@@ -1,0 +1,28 @@
+# Convenience targets for the Noctua reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/banking_invariants.py
+	$(PYTHON) examples/analyze_custom_app.py
+	$(PYTHON) examples/replication_necessity.py
+	$(PYTHON) examples/geo_replication_performance.py
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,34 @@
+"""Figure 11 — average user-perceived latency for the Figure-10 setups.
+
+Expected shape: strong consistency pays coordination on every request and
+has the highest average latency; relaxing consistency lowers it, the more
+so the smaller the write ratio."""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_fig10_throughput import sweep
+from conftest import emit
+
+
+@pytest.mark.parametrize("name", ["zhihu", "postgraduation"])
+def test_fig11_latency(benchmark, builders, analyses, name):
+    rows = benchmark.pedantic(
+        sweep, args=(name, builders, analyses), rounds=1, iterations=1
+    )
+    lines = [
+        f"Figure 11 — average user-perceived latency, {name}",
+        f"{'mode':>5} {'avg latency (ms)':>18} {'p95 (ms)':>10}",
+        "-" * 38,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.mode:>5} {row.avg_latency_ms:18.3f} {row.p95_latency_ms:10.3f}"
+        )
+    emit(f"fig11_{name}", lines)
+
+    latencies = [r.avg_latency_ms for r in rows]
+    # SC highest; latency falls as the write ratio falls.
+    assert latencies == sorted(latencies, reverse=True)
+    assert latencies[0] / latencies[-1] > 1.3

@@ -1,0 +1,77 @@
+"""Figure 7 — analysis times for codebases scaled x1 / x2 / x3.
+
+The paper doubles and triples each codebase "by repeating the same set of
+HTTP endpoints" and shows analysis time scaling linearly with codebase
+size.  We do exactly that: every application's endpoint list is mounted
+once, twice and three times (under distinct prefixes), and the analyzer
+runs over the multiplied endpoint set."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import emit
+from repro.analyzer import analyze_application
+from repro.web import Application, include
+
+ORDER = ["todo", "postgraduation", "zhihu", "ownphotos"]
+
+
+def scaled_app(builder, factor: int) -> Application:
+    app = builder()
+    patterns = list(app.urlpatterns)
+    for copy in range(1, factor):
+        patterns.extend(include(f"copy{copy}", app.urlpatterns))
+    return Application(
+        f"{app.name}-x{factor}", app.registry, patterns,
+        source_loc=app.source_loc * factor,
+    )
+
+
+@pytest.mark.parametrize("name", ORDER)
+@pytest.mark.parametrize("factor", [1, 2, 3])
+def test_fig7_analysis_scaling(benchmark, builders, name, factor):
+    app = scaled_app(builders[name], factor)
+    result = benchmark.pedantic(
+        analyze_application, args=(app,), rounds=3, iterations=1
+    )
+    assert len(result.paths) > 0
+    benchmark.extra_info["code_paths"] = len(result.paths)
+    benchmark.extra_info["factor"] = factor
+
+
+def test_fig7_series(benchmark, builders):
+    def build_series():
+        rows = []
+        for name in ORDER:
+            times = []
+            paths = []
+            for factor in (1, 2, 3):
+                app = scaled_app(builders[name], factor)
+                start = time.perf_counter()
+                result = analyze_application(app)
+                times.append(time.perf_counter() - start)
+                paths.append(len(result.paths))
+            rows.append((name, times, paths))
+        return rows
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    lines = [
+        "Figure 7 — analysis time vs codebase size (endpoint duplication)",
+        f"{'application':>15} {'x1 (s)':>9} {'x2 (s)':>9} {'x3 (s)':>9} "
+        f"{'paths x1/x2/x3':>18}",
+        "-" * 66,
+    ]
+    for name, times, paths in rows:
+        lines.append(
+            f"{name:>15} {times[0]:9.3f} {times[1]:9.3f} {times[2]:9.3f} "
+            f"{paths[0]:5d}/{paths[1]}/{paths[2]}"
+        )
+    emit("fig7", lines)
+    # Linear-scaling shape: tripled codebase costs roughly 3x (not 9x).
+    for name, times, paths in rows:
+        assert paths[2] == 3 * paths[0]
+        if times[0] > 0.005:  # below that, timer noise dominates
+            assert times[2] < 6 * times[0]

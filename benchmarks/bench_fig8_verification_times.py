@@ -1,0 +1,39 @@
+"""Figure 8 — verification times of the four real applications.
+
+The paper reports per-application verification wall time, quadratic in the
+number of effectful code paths (#checks = n(n+1)/2).  The series is taken
+from the shared Table-6 verification run."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+ORDER = ["todo", "postgraduation", "zhihu", "ownphotos"]
+
+
+def test_fig8_verification_times(benchmark, analyses, verification_reports):
+    def build_series():
+        rows = []
+        for name in ORDER:
+            report = verification_reports[name]
+            n = len(analyses[name].effectful_paths)
+            rows.append((name, n, report.checks, report.elapsed_s))
+        return rows
+
+    rows = benchmark(build_series)
+    lines = [
+        "Figure 8 — verification times (quadratic in #effectful paths)",
+        f"{'application':>15} {'effectful':>10} {'#checks':>8} {'time (s)':>9}",
+        "-" * 48,
+    ]
+    for name, n, checks, elapsed in rows:
+        lines.append(f"{name:>15} {n:10d} {checks:8d} {elapsed:9.1f}")
+    emit("fig8", lines)
+
+    # Shape: checks grow quadratically with effectful paths, and the
+    # largest app dominates total verification time.
+    by_paths = sorted(rows, key=lambda r: r[1])
+    assert [r[2] for r in by_paths] == sorted(r[2] for r in rows)
+    assert by_paths[-1][3] == max(r[3] for r in rows)
+    for _, n, checks, _ in rows:
+        assert checks == n * (n + 1) // 2

@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the individual layers (not a paper table; useful
+for tracking performance regressions of the substrate itself):
+
+* ORM query execution against the in-memory database;
+* SOIR reference-interpreter path execution (run and apply modes);
+* analyzer throughput (paths discovered per second);
+* a single bounded-model-finder check;
+* a single symbolic-engine (solver) check;
+* coordination-service grant/release cycles.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer import analyze_application
+from repro.apps.smallbank import build_app as build_smallbank
+from repro.georep import CoordinationService
+from repro.orm import Database
+from repro.soir.interp import apply_path, run_path
+from repro.soir.state import DBState
+from repro.verifier import CheckConfig, PairChecker, SmtPairChecker
+from repro.web import Client
+
+
+def test_micro_orm_filtered_query(benchmark):
+    app = build_smallbank()
+    db = Database(app.registry)
+    account = app.registry.get_model("Account")
+    with db.activate():
+        for i in range(50):
+            account.objects.create(name=f"acct{i}", checking=i, savings=i)
+
+        def query():
+            return account.objects.filter(checking__gte=25).count()
+
+        result = benchmark(query)
+    assert result == 25
+
+
+def test_micro_http_request_dispatch(benchmark):
+    app = build_smallbank()
+    client = Client(app, Database(app.registry))
+    account = app.registry.get_model("Account")
+    with client.db.activate():
+        account.objects.create(name="alice", checking=100, savings=0)
+
+    result = benchmark(lambda: client.get("/balance/alice"))
+    assert result.ok
+
+
+def _transact_setup():
+    analysis = analyze_application(build_smallbank())
+    path = [p for p in analysis.effectful_paths
+            if p.view == "TransactSavings"][0]
+    state = DBState.empty(analysis.schema)
+    state.insert_row("Account", "a", {"name": "a", "checking": 5, "savings": 5})
+    env = {"arg_url_name": "a", "arg_POST_amount": -2}
+    return analysis, path, state, env
+
+
+def test_micro_interp_run_path(benchmark):
+    analysis, path, state, env = _transact_setup()
+    outcome = benchmark(run_path, path, state, env, analysis.schema)
+    assert outcome.committed
+
+
+def test_micro_interp_apply_path(benchmark):
+    analysis, path, state, env = _transact_setup()
+    result = benchmark(apply_path, path, state, env, analysis.schema)
+    assert result.table("Account")["a"]["savings"] == 3
+
+
+def test_micro_analyzer_throughput(benchmark):
+    result = benchmark(lambda: analyze_application(build_smallbank()))
+    assert len(result.paths) == 15
+
+
+def test_micro_enum_check(benchmark):
+    analysis, path, _, _ = _transact_setup()
+
+    def check():
+        checker = PairChecker(path, path, analysis.schema, CheckConfig())
+        return checker.check_semantic()
+
+    result = benchmark.pedantic(check, rounds=3, iterations=1)
+    assert result.outcome.value == "fail"
+
+
+def test_micro_smt_check(benchmark):
+    analysis, path, _, _ = _transact_setup()
+
+    def check():
+        checker = SmtPairChecker(path, path, analysis.schema,
+                                 CheckConfig(timeout_s=10.0))
+        return checker.check_semantic()
+
+    result = benchmark.pedantic(check, rounds=3, iterations=1)
+    assert result.outcome.value == "fail"
+
+
+def test_micro_coordination_cycle(benchmark):
+    table = {frozenset(("W",))}
+
+    def cycle():
+        service = CoordinationService(table)
+        tickets = [service.request("W", {"k": i % 4}, lambda t: None)
+                   for i in range(32)]
+        for ticket in tickets:
+            service.release(ticket)
+        return service
+
+    service = benchmark(cycle)
+    assert service.active_count == 0
+    assert service.queue_length == 0

@@ -1,0 +1,64 @@
+"""Table 6 — overall verification results for the four real applications:
+number of checks (= pairs of effectful paths), restrictions, commutativity
+failures and semantic failures.
+
+Absolute counts depend on our re-implementations' path inventories; the
+structural relations reported by the paper are asserted instead:
+``checks = n(n+1)/2`` for n effectful paths, every failure is a
+restriction, and restrictions = union of the two failure kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit, light_config, quick_config
+from repro.verifier import verify_application
+
+ORDER = ["todo", "postgraduation", "zhihu", "ownphotos"]
+
+
+@pytest.mark.parametrize("name", ["todo", "postgraduation", "zhihu"])
+def test_table6_verification(benchmark, analyses, name):
+    report = benchmark.pedantic(
+        verify_application, args=(analyses[name], quick_config()),
+        rounds=1, iterations=1,
+    )
+    n = len(analyses[name].effectful_paths)
+    assert report.checks == n * (n + 1) // 2
+    failing = {frozenset((v.left, v.right)) for v in report.restrictions}
+    com = {frozenset((v.left, v.right)) for v in report.commutativity_failures}
+    sem = {frozenset((v.left, v.right)) for v in report.semantic_failures}
+    assert failing == com | sem
+    benchmark.extra_info.update(report.summary())
+
+
+def test_table6_ownphotos(benchmark, analyses):
+    report = benchmark.pedantic(
+        verify_application, args=(analyses["ownphotos"], light_config()),
+        rounds=1, iterations=1,
+    )
+    n = len(analyses["ownphotos"].effectful_paths)
+    assert report.checks == n * (n + 1) // 2
+    assert report.checks > 6000  # the paper's 7260-check scale
+    benchmark.extra_info.update(report.summary())
+
+
+def test_table6_table(benchmark, verification_reports):
+    benchmark(lambda: [verification_reports[n].summary() for n in ORDER])
+    lines = [
+        "Table 6 — overall verification results",
+        f"{'application':>15} {'#checks':>8} {'#restr':>7} "
+        f"{'com.fail':>9} {'sem.fail':>9} {'time(s)':>9}",
+        "-" * 62,
+    ]
+    for name in ORDER:
+        report = verification_reports[name]
+        summary = report.summary()
+        lines.append(
+            f"{name:>15} {summary['checks']:8d} {summary['restrictions']:7d} "
+            f"{summary['com_failures']:9d} {summary['sem_failures']:9d} "
+            f"{summary['time_s']:9.1f}"
+        )
+    emit("table6", lines)
+    for name in ORDER:
+        assert verification_reports[name].checks > 0

@@ -1,0 +1,96 @@
+"""Shared fixtures and helpers for the evaluation benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (§6).  Regenerated tables are printed and also written to
+``benchmarks/out/`` so EXPERIMENTS.md can reference them.
+
+Budgets: by default the verifier runs with reduced search budgets so the
+whole suite finishes on a laptop in minutes.  Set ``REPRO_FULL=1`` for
+paper-grade budgets (the 2 s per-check timeout of §6.1); expect the
+OwnPhotos sweep to take tens of minutes, against the paper's ~6 h with Z3.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.verifier import CheckConfig, verify_application
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+
+def quick_config(**overrides) -> CheckConfig:
+    if FULL:
+        base = dict(timeout_s=2.0, max_samples=1200, max_exhaustive=30000)
+    else:
+        base = dict(timeout_s=0.4, max_samples=200, max_exhaustive=2500)
+    base.update(overrides)
+    return CheckConfig(**base)
+
+
+def light_config(**overrides) -> CheckConfig:
+    """Extra-light budget for the largest application."""
+    if FULL:
+        return quick_config(**overrides)
+    base = dict(timeout_s=0.15, max_samples=80, max_exhaustive=600)
+    base.update(overrides)
+    return CheckConfig(**base)
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a regenerated table and persist it under benchmarks/out/."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Cached application analyses (session scope: analysis is cheap, but the
+# verification fixtures below are shared across table/figure benches).
+# ---------------------------------------------------------------------------
+
+def _builders():
+    from repro.apps.courseware import build_app as courseware
+    from repro.apps.ownphotos import build_app as ownphotos
+    from repro.apps.postgraduation import build_app as postgraduation
+    from repro.apps.smallbank import build_app as smallbank
+    from repro.apps.todo import build_app as todo
+    from repro.apps.zhihu import build_app as zhihu
+
+    return {
+        "todo": todo,
+        "postgraduation": postgraduation,
+        "zhihu": zhihu,
+        "ownphotos": ownphotos,
+        "smallbank": smallbank,
+        "courseware": courseware,
+    }
+
+
+@pytest.fixture(scope="session")
+def builders():
+    return _builders()
+
+
+@pytest.fixture(scope="session")
+def analyses(builders):
+    return {name: analyze_application(b()) for name, b in builders.items()}
+
+
+@pytest.fixture(scope="session")
+def verification_reports(analyses):
+    """Table 6 / Figure 8 data: verification of the four real apps."""
+    reports = {}
+    for name in ("todo", "postgraduation", "zhihu"):
+        reports[name] = verify_application(analyses[name], quick_config())
+    reports["ownphotos"] = verify_application(
+        analyses["ownphotos"], light_config()
+    )
+    return reports

@@ -1,0 +1,42 @@
+"""End-to-end performance: what the restriction set buys you (Figs 10-11).
+
+Verifies the Zhihu application, lifts the restriction set to an
+endpoint-level conflict table, then simulates a 3-site geo-replicated
+deployment under strong consistency and under PoR consistency at three
+write ratios — reproducing the shape of paper Figures 10 and 11
+(throughput rises and latency falls as fewer operations need coordination;
+relaxed consistency beats SC by up to ~2.8x).
+
+Run:  python examples/geo_replication_performance.py
+"""
+
+from repro import CheckConfig, analyze_application, operation_conflict_table, verify_application
+from repro.apps.zhihu import build_app
+from repro.georep import DeploymentConfig, run_modes, zhihu_workload
+
+print("Verifying zhihu to obtain its conflict table (reduced budget)...")
+analysis = analyze_application(build_app())
+config = CheckConfig(timeout_s=0.4, max_samples=200, max_exhaustive=2000)
+report = verify_application(analysis, config)
+conflicts = operation_conflict_table(report)
+print(f"  {report.checks} checks -> {len(conflicts)} conflicting endpoint pairs\n")
+
+print("Simulating 3 sites, 1 ms WAN latency, closed-loop clients...")
+rows = run_modes(
+    build_app,
+    zhihu_workload,
+    conflicts,
+    config=DeploymentConfig(duration_ms=400.0, warmup_ms=80.0),
+)
+
+print(f"\n{'mode':>5} | {'throughput (req/s)':>19} | {'avg latency (ms)':>17}")
+print("-" * 50)
+for row in rows:
+    print(f"{row.mode:>5} | {row.throughput_rps:19.1f} | {row.avg_latency_ms:17.3f}")
+
+sc = rows[0].throughput_rps
+best = max(r.throughput_rps for r in rows[1:])
+print(f"\nRelaxing consistency achieves up to {best / sc:.2f}x the throughput "
+      "of strong consistency (paper: up to 2.8x).")
+assert all(rows[i].throughput_rps < rows[i + 1].throughput_rps
+           for i in range(len(rows) - 1)), "throughput should rise as writes fall"

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Allows `pip install -e .` in offline environments lacking the `wheel`
+package (PEP 660 editable installs require it; the legacy develop path
+does not).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Noctua reproduction: automated, practical fine-grained consistency
+analysis for ORM-based web applications (EuroSys '24).
+
+Top-level convenience API::
+
+    from repro import analyze_application, verify_application
+    from repro.apps.smallbank import build_app
+
+    analysis = analyze_application(build_app())
+    report = verify_application(analysis)
+    print(report.summary())
+
+Sub-packages:
+
+* :mod:`repro.soir` — the SOIR intermediate representation;
+* :mod:`repro.orm` / :mod:`repro.web` — the Django-like substrate the
+  evaluated applications are written against;
+* :mod:`repro.analyzer` — the embedded symbolic program analyzer;
+* :mod:`repro.verifier` — the pairwise consistency verifier;
+* :mod:`repro.baselines` — Rigi-/Hamsaz-style baseline analyzers;
+* :mod:`repro.georep` — the geo-replicated deployment simulator;
+* :mod:`repro.apps` — the six evaluated applications.
+"""
+
+from .analyzer import analyze_application
+from .verifier import CheckConfig, operation_conflict_table, verify_application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckConfig",
+    "analyze_application",
+    "operation_conflict_table",
+    "verify_application",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""The Noctua ANALYZER: embedded, debugger-based, framework-integrated.
+
+Runs unmodified view functions inside the live interpreter with a symbolic
+request and a symbolic database backend, steering branch decisions through
+``__bool__`` interception to enumerate all code paths, and emitting SOIR
+for each (paper §4.1, §5.1).
+"""
+
+from .context import AnalysisSession, ConservativeFallback
+from .dbproxy import SymbolicBackend
+from .engine import analyze_application, analyze_view
+from .pathfinder import LoopLimitExceeded, PathFinder
+from .request import SymbolicRequest
+from .symbolic import (
+    Sym,
+    SymBool,
+    SymDatetime,
+    SymFloat,
+    SymInt,
+    SymObj,
+    SymStr,
+    lift,
+    sym_of,
+)
+
+__all__ = [
+    "AnalysisSession",
+    "ConservativeFallback",
+    "LoopLimitExceeded",
+    "PathFinder",
+    "Sym",
+    "SymBool",
+    "SymDatetime",
+    "SymFloat",
+    "SymInt",
+    "SymObj",
+    "SymStr",
+    "SymbolicBackend",
+    "SymbolicRequest",
+    "analyze_application",
+    "analyze_view",
+    "lift",
+    "sym_of",
+]

@@ -1,0 +1,61 @@
+"""Annotations for third-party semantics (paper §6.3).
+
+Third-party library calls are opaque to the analyzer; by default a path
+that depends on one degrades to the conservative strategy.  The paper
+"added a few annotations in OwnPhotos that override the default strategy"
+— this module provides that mechanism:
+
+* :func:`external` wraps a third-party callable.  Under concrete execution
+  it simply calls through.  Under analysis it yields an *opaque value* of
+  a declared SOIR type: an unconstrained input of the code path (the
+  verifier treats it as an additional argument, quantified over its
+  domain), which is sound whenever the callable is a pure function of its
+  inputs and the replicated state is only affected through the value.
+
+* :func:`consistency_irrelevant` marks a callable whose effects never
+  reach the replicated database (logging, metrics, cache warming): under
+  analysis the call is skipped entirely.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from typing import Callable
+
+from ..soir.types import SoirType
+from .context import current_session, in_analysis
+from .symbolic import sym_of
+
+_counter = itertools.count()
+
+
+def external(tag: str, fn: Callable, result_type: SoirType):
+    """Annotate a pure third-party callable.
+
+    Returns a wrapper that behaves like ``fn`` concretely and like a fresh
+    opaque value of ``result_type`` under analysis."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if not in_analysis():
+            return fn(*args, **kwargs)
+        session = current_session()
+        name = f"ext_{tag}${next(_counter)}"
+        var = session.declare_arg(name, result_type, source="opaque")
+        session.note(f"external annotation {tag!r} produced opaque {name}")
+        return sym_of(var, session.registry)
+
+    return wrapper
+
+
+def consistency_irrelevant(fn: Callable):
+    """Annotate a callable whose side effects never touch replicated state."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if in_analysis():
+            return None
+        return fn(*args, **kwargs)
+
+    return wrapper

@@ -1,0 +1,158 @@
+"""The analysis session: shared state between the symbolic values, the
+symbolic backend and the engine.
+
+One :class:`AnalysisSession` lives for the duration of one view function's
+analysis; it owns the path finder, the per-run recorder (arguments and
+commands of the current code path) and the fresh-name counters.  It is
+installed in a context variable so that ``Sym.__bool__`` — triggered from
+arbitrary application code — can reach the path finder, exactly like the
+debugger hook of paper Figure 5.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..soir import commands as C
+from ..soir import expr as E
+from ..soir.path import Argument
+from ..soir.pretty import pp_expr
+from ..soir.schema import Schema
+from ..soir.types import SoirType
+from .pathfinder import PathFinder
+
+
+class ConservativeFallback(Exception):
+    """The analyzer met semantics it cannot translate on this path.
+
+    The engine records the path as *conservative*: the verifier will
+    restrict it against every operation (paper §3.3)."""
+
+
+class NoAnalysisSession(RuntimeError):
+    """A symbolic value was used outside any analysis session."""
+
+
+_active: contextvars.ContextVar["AnalysisSession | None"] = contextvars.ContextVar(
+    "analysis_session", default=None
+)
+
+
+def current_session() -> "AnalysisSession":
+    session = _active.get()
+    if session is None:
+        raise NoAnalysisSession(
+            "symbolic value used outside an analysis session"
+        )
+    return session
+
+
+def in_analysis() -> bool:
+    return _active.get() is not None
+
+
+@dataclass
+class Recorder:
+    """Arguments, conditions and effects of the *current* run (code path)."""
+
+    args: dict[str, Argument] = field(default_factory=dict)
+    commands: list[C.Command] = field(default_factory=list)
+
+    def record(self, command: C.Command) -> None:
+        self.commands.append(command)
+
+    def add_arg(self, arg: Argument) -> None:
+        existing = self.args.get(arg.name)
+        if existing is None:
+            self.args[arg.name] = arg
+        elif existing.type != arg.type:
+            raise ConservativeFallback(
+                f"argument {arg.name!r} used at two types"
+            )
+
+
+class AnalysisSession:
+    """Per-view analysis state."""
+
+    def __init__(self, registry, schema: Schema):
+        self.registry = registry
+        self.schema = schema
+        self.finder = PathFinder()
+        self.recorder = Recorder()
+        self._fresh_counter = 0
+        self.notes: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def installed(self) -> Iterator["AnalysisSession"]:
+        token = _active.set(self)
+        try:
+            yield self
+        finally:
+            _active.reset(token)
+
+    def begin_run(self) -> None:
+        self.finder.begin_run()
+        self.recorder = Recorder()
+        self._fresh_counter = 0
+
+    # ------------------------------------------------------------------
+    # Branching (the onBranch hook of paper Figure 5)
+    # ------------------------------------------------------------------
+
+    def decide(self, cond: E.Expr) -> bool:
+        """Choose a branch for a symbolic condition, record the guard."""
+        key = pp_expr(cond)
+        value = self.finder.decide(key)
+        guard_cond = cond if value else _negate(cond)
+        self.recorder.record(C.Guard(guard_cond))
+        return value
+
+    # ------------------------------------------------------------------
+    # Arguments
+    # ------------------------------------------------------------------
+
+    def declare_arg(
+        self,
+        name: str,
+        type_: SoirType,
+        *,
+        source: str,
+        unique_id: bool = False,
+    ) -> E.Var:
+        """Register a (possibly already known) path argument."""
+        self.recorder.add_arg(Argument(name, type_, source, unique_id))
+        return E.Var(name, type_)
+
+    def fresh_arg(
+        self, base: str, type_: SoirType, *, source: str = "fresh",
+        unique_id: bool = False,
+    ) -> E.Var:
+        """Register a fresh argument with a unique, deterministic name.
+
+        Fresh names are deterministic *per run* so the same program point
+        yields the same name in every re-invocation — conditions collected
+        in one run stay comparable across runs.
+        """
+        self._fresh_counter += 1
+        name = f"{base}${self._fresh_counter}"
+        return self.declare_arg(name, type_, source=source, unique_id=unique_id)
+
+    # ------------------------------------------------------------------
+
+    def record(self, command: C.Command) -> None:
+        self.recorder.record(command)
+
+    def note(self, message: str) -> None:
+        if message not in self.notes:
+            self.notes.append(message)
+
+
+def _negate(cond: E.Expr) -> E.Expr:
+    if isinstance(cond, E.Not):
+        return cond.operand
+    return E.Not(cond)

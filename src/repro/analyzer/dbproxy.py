@@ -1,0 +1,387 @@
+"""The symbolic execution backend.
+
+Installed in place of the concrete backend while a view function runs under
+analysis.  Effectful query-set and object methods "do not make actual
+database calls, but instead notify the path finder about the events"
+(paper §4.1): reads return symbolic values carrying SOIR expressions,
+writes are recorded as SOIR commands, and implicit framework preconditions
+(existence for ``get``, uniqueness for inserts, field refinements such as
+``PositiveIntegerField``) are recorded as guards.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..orm.database import qs_to_soir
+from ..orm.exceptions import IntegrityError
+from ..orm.fields import AutoField
+from ..orm.query import QuerySet
+from ..soir import commands as C
+from ..soir import expr as E
+from ..soir.schema import FieldSchema
+from ..soir.types import (
+    FLOAT,
+    INT,
+    Aggregation,
+    Comparator,
+    ListType,
+)
+from .context import AnalysisSession, ConservativeFallback
+from .symbolic import Sym, SymBool, SymInt, SymObj, lift, sym_of
+
+
+class SymbolicBackend:
+    """Backend recording SOIR instead of touching a database."""
+
+    def __init__(self, session: AnalysisSession):
+        self.session = session
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _compile(self, qs: QuerySet) -> E.Expr:
+        return qs_to_soir(qs, self.session.schema)
+
+    def _obj_expr(self, value: Any) -> E.Expr:
+        from ..orm.models import Model
+
+        if isinstance(value, SymObj):
+            return value.expr
+        if isinstance(value, Model):
+            if value.pk is None:
+                raise ConservativeFallback(
+                    "relation operation on an unsaved concrete instance"
+                )
+            return E.Deref(lift(value.pk), type(value).__name__)
+        raise ConservativeFallback(
+            f"cannot use {type(value).__name__} as a related object"
+        )
+
+    def _refinement_guards(self, fschema: FieldSchema, expr: E.Expr) -> None:
+        """Field refinements become preconditions for symbolic values
+        (concrete values are validated eagerly by the ORM)."""
+        if isinstance(expr, (E.Lit, E.NoneLit)):
+            return
+        if fschema.min_value is not None:
+            self.session.record(
+                C.Guard(E.Cmp(Comparator.GE, expr, E.intlit(fschema.min_value)))
+            )
+        if fschema.choices is not None:
+            self.session.record(
+                C.Guard(
+                    E.Cmp(
+                        Comparator.IN,
+                        expr,
+                        E.Lit(tuple(fschema.choices), ListType(fschema.type)),
+                    )
+                )
+            )
+
+    def _unique_guards(
+        self, model_name: str, field_values: dict[str, E.Expr]
+    ) -> None:
+        """Uniqueness preconditions of a merge (paper §6.4: the
+        FollowQuestion 'unique together' case arises from these)."""
+        mschema = self.session.schema.model(model_name)
+        for fschema in mschema.fields:
+            if not fschema.unique or fschema.name == mschema.pk:
+                continue
+            value = field_values.get(fschema.name)
+            if value is None or isinstance(value, E.NoneLit):
+                continue
+            clash = E.Filter(
+                E.All(model_name), (), fschema.name, Comparator.EQ, value
+            )
+            self.session.record(C.Guard(E.IsEmpty(clash)))
+        for group in mschema.unique_together:
+            clash_expr: E.Expr = E.All(model_name)
+            complete = True
+            for fname in group:
+                value = field_values.get(fname)
+                if value is None:
+                    complete = False
+                    break
+                clash_expr = E.Filter(clash_expr, (), fname, Comparator.EQ, value)
+            if complete:
+                self.session.record(C.Guard(E.IsEmpty(clash_expr)))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def fetch(self, qs: QuerySet):
+        raise ConservativeFallback(
+            "iteration over a query set is unbounded; use query-set level "
+            "batch operations instead (paper §3.3)"
+        )
+
+    def fetch_by_pk(self, model: type, pk: Any) -> SymObj:
+        ref = lift(pk)
+        return SymObj(
+            model,
+            E.Deref(ref, model.__name__),
+            bool_expr=E.Exists(model.__name__, ref),
+        )
+
+    def get(self, qs: QuerySet):
+        """A branch on existence: the true side continues with the object,
+        the false side raises ``DoesNotExist`` (catchable by the app)."""
+        mschema = self.session.schema.model(qs.model.__name__)
+        pk_only = (
+            len(qs.lookups) == 1
+            and not qs.lookups[0].relpath
+            and qs.lookups[0].field == mschema.pk
+            and qs.lookups[0].op == Comparator.EQ
+        )
+        if pk_only:
+            ref = _lookup_value_expr(qs, self.session.schema)
+            exists = E.Exists(qs.model.__name__, ref)
+            obj_expr: E.Expr = E.Deref(ref, qs.model.__name__)
+        else:
+            expr = self._compile(qs)
+            exists = E.Not(E.IsEmpty(expr))
+            obj_expr = E.AnyOf(expr)
+        if self.session.decide(exists):
+            return SymObj(qs.model, obj_expr)
+        raise qs.model.DoesNotExist(f"{qs.model.__name__} (symbolic)")
+
+    def first(self, qs: QuerySet) -> SymObj:
+        expr = self._compile(qs)
+        return SymObj(
+            qs.model, E.FirstOf(expr), bool_expr=E.Not(E.IsEmpty(expr))
+        )
+
+    def last(self, qs: QuerySet) -> SymObj:
+        expr = self._compile(qs)
+        return SymObj(qs.model, E.LastOf(expr), bool_expr=E.Not(E.IsEmpty(expr)))
+
+    def exists(self, qs: QuerySet) -> SymBool:
+        return SymBool(E.Not(E.IsEmpty(self._compile(qs))))
+
+    def count(self, qs: QuerySet) -> SymInt:
+        mschema = self.session.schema.model(qs.model.__name__)
+        return SymInt(
+            E.Aggregate(self._compile(qs), Aggregation.CNT, mschema.pk, INT)
+        )
+
+    def aggregate(self, qs: QuerySet, agg: str, field_name: str):
+        mschema = self.session.schema.model(qs.model.__name__)
+        kinds = {
+            "sum": Aggregation.SUM,
+            "avg": Aggregation.AVG,
+            "max": Aggregation.MAX,
+            "min": Aggregation.MIN,
+        }
+        result_type = (
+            FLOAT if agg == "avg" else mschema.field(field_name).type
+        )
+        return sym_of(
+            E.Aggregate(self._compile(qs), kinds[agg], field_name, result_type)
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def create(self, model: type, kwargs: dict) -> SymObj:
+        return self._insert(model, dict(kwargs))
+
+    def _insert(self, model: type, kwargs: dict) -> SymObj:
+        """Insert = merge of a fresh object + non-existence guard, with the
+        fresh primary key as a globally-unique argument (paper §3.1.3,
+        §5.2 unique-ID optimisation)."""
+        meta = model._meta
+        mschema = self.session.schema.model(model.__name__)
+        fields: dict[str, E.Expr] = {}
+        for f in meta.columns:
+            fschema = mschema.field(f.name)
+            if f.name in kwargs:
+                value = kwargs.pop(f.name)
+                if not isinstance(value, (Sym, E.Expr)):
+                    f.validate(value)  # concrete values validated eagerly
+                expr = lift(value, fschema.type)
+                self._refinement_guards(fschema, expr)
+            elif f is meta.pk and isinstance(f, AutoField):
+                expr = self.session.fresh_arg(
+                    f"new_{model.__name__}_id", fschema.type,
+                    source="fresh", unique_id=True,
+                )
+            elif f.has_default():
+                if callable(f.default):
+                    # Computed at the originating site, replicated by value.
+                    expr = self.session.fresh_arg(
+                        f"default_{model.__name__}_{f.name}", fschema.type,
+                        source="fresh",
+                    )
+                else:
+                    expr = lift(f.default, fschema.type)
+            elif f.null or f is meta.pk:
+                expr = E.NoneLit(fschema.type)
+            else:
+                raise IntegrityError(
+                    f"{model.__name__}.{f.name}: no value and no default"
+                )
+            fields[f.name] = expr
+
+        # Preconditions: fresh pk does not exist; unique fields are free.
+        self.session.record(
+            C.Guard(E.Not(E.Exists(model.__name__, fields[meta.pk.name])))
+        )
+        self._unique_guards(model.__name__, fields)
+
+        make = E.MakeObj(model.__name__, tuple(fields.items()))
+        self.session.record(C.Update(E.Singleton(make)))
+
+        for rel in meta.relations:
+            value = kwargs.pop(rel.name, None)
+            id_value = kwargs.pop(f"{rel.name}_id", None)
+            if value is None and id_value is not None:
+                target = rel.target_name()
+                ref = lift(id_value)
+                self.session.record(C.Guard(E.Exists(target, ref)))
+                self.session.record(
+                    C.Link(rel.relation_name(), make, E.Deref(ref, target))
+                )
+            elif value is not None:
+                self.session.record(
+                    C.Link(rel.relation_name(), make, self._obj_expr(value))
+                )
+            elif rel.kind == "fk" and not rel.null:
+                raise IntegrityError(
+                    f"{model.__name__}.{rel.name}: NULL foreign key"
+                )
+        if kwargs:
+            raise ConservativeFallback(
+                f"create(): unhandled fields {sorted(kwargs)}"
+            )
+        return SymObj(model, make)
+
+    def save_instance(self, instance) -> None:
+        from ..orm.models import Model
+
+        if isinstance(instance, SymObj):
+            self._save_symbolic(instance)
+            return
+        if isinstance(instance, Model):
+            # An app-constructed concrete instance saved under analysis:
+            # treat as an insert with its current field values.
+            kwargs: dict[str, Any] = {}
+            for f in type(instance)._meta.columns:
+                value = instance._data.get(f.name)
+                if value is not None:
+                    kwargs[f.name] = value
+            for rel in type(instance)._meta.fk_relations():
+                target_pk = instance._data.get(f"{rel.name}_id")
+                if target_pk is not None:
+                    kwargs[f"{rel.name}_id"] = target_pk
+            sym = self._insert(type(instance), kwargs)
+            instance._data[type(instance)._meta.pk.name] = sym.pk
+            instance._saved = True
+            return
+        raise ConservativeFallback(
+            f"cannot save {type(instance).__name__} symbolically"
+        )
+
+    def _save_symbolic(self, obj: SymObj) -> None:
+        meta = obj.model_cls._meta
+        mschema = self.session.schema.model(obj.model_cls.__name__)
+        chained: E.Expr = obj.expr
+        changed_values: dict[str, E.Expr] = {}
+        relation_ops: list[tuple[Any, Any]] = []
+        for name, value in obj._pending.items():
+            if name.endswith("@id"):
+                relation_ops.append((meta.relation(name[:-3]), ("id", value)))
+            elif any(r.name == name for r in meta.relations):
+                relation_ops.append((meta.relation(name), ("obj", value)))
+            else:
+                fschema = mschema.field(name)
+                expr = lift(value, fschema.type)
+                self._refinement_guards(fschema, expr)
+                changed_values[name] = expr
+                chained = E.SetField(name, expr, chained)
+        if changed_values:
+            # Changed unique fields must not collide (over-approximation:
+            # the object itself holding the value already is ignored).
+            self._unique_guards(obj.model_cls.__name__, changed_values)
+            self.session.record(C.Update(E.Singleton(chained)))
+        for rel, (kind, value) in relation_ops:
+            if value is None:
+                self.session.record(
+                    C.ClearLinks(rel.relation_name(), obj.expr, "source")
+                )
+            elif kind == "id":
+                target = rel.target_name()
+                ref = lift(value)
+                self.session.record(C.Guard(E.Exists(target, ref)))
+                self.session.record(
+                    C.Link(rel.relation_name(), obj.expr, E.Deref(ref, target))
+                )
+            else:
+                self.session.record(
+                    C.Link(rel.relation_name(), obj.expr, self._obj_expr(value))
+                )
+        obj._pending.clear()
+
+    def delete_instance(self, instance) -> None:
+        self.session.record(C.Delete(E.Singleton(self._obj_expr(instance))))
+
+    def update_qs(self, qs: QuerySet, kwargs: dict) -> None:
+        meta = qs.model._meta
+        mschema = self.session.schema.model(qs.model.__name__)
+        expr = self._compile(qs)
+        chained = expr
+        any_column = False
+        for key, value in kwargs.items():
+            if any(f.name == key for f in meta.columns):
+                fschema = mschema.field(key)
+                vexpr = lift(value, fschema.type)
+                self._refinement_guards(fschema, vexpr)
+                chained = E.MapSet(chained, key, vexpr)
+                any_column = True
+            elif any(r.name == key for r in meta.fk_relations()):
+                if value is None:
+                    raise ConservativeFallback(
+                        "bulk foreign-key set-to-NULL is not expressible"
+                    )
+                self.session.record(
+                    C.RLink(
+                        meta.relation(key).relation_name(),
+                        expr,
+                        self._obj_expr(value),
+                    )
+                )
+            else:
+                raise ConservativeFallback(f"update(): unknown field {key!r}")
+        if any_column:
+            self.session.record(C.Update(chained))
+
+    def delete_qs(self, qs: QuerySet) -> None:
+        self.session.record(C.Delete(self._compile(qs)))
+
+    # ------------------------------------------------------------------
+    # Relation commands
+    # ------------------------------------------------------------------
+
+    def link(self, rel, src, dst) -> None:
+        self.session.record(
+            C.Link(rel.relation_name(), self._obj_expr(src), self._obj_expr(dst))
+        )
+
+    def delink(self, rel, src, dst) -> None:
+        self.session.record(
+            C.Delink(rel.relation_name(), self._obj_expr(src), self._obj_expr(dst))
+        )
+
+    def clearlinks(self, rel, instance, end: str) -> None:
+        self.session.record(
+            C.ClearLinks(rel.relation_name(), self._obj_expr(instance), end)
+        )
+
+
+def _lookup_value_expr(qs: QuerySet, schema) -> E.Expr:
+    """The literal/symbolic value expression of a single-lookup query."""
+    from ..orm.database import _value_expr
+
+    return _value_expr(qs.lookups[0], qs, schema)

@@ -1,0 +1,176 @@
+"""The analysis engine: ``AnalyzeApp`` / ``AnalyzeFunc`` of paper Figure 5.
+
+For every HTTP endpoint of an initialized application, the engine
+repeatedly invokes the (possibly runtime-constructed) view function with a
+symbolic request and symbolic URL arguments, under the symbolic database
+backend.  The path finder steers each invocation down a different branch
+assignment until the whole branch tree is explored; each run yields one
+:class:`~repro.soir.path.CodePath`.
+
+Exception discipline:
+
+* *application* exceptions (``Http404``, ``DoesNotExist``, missing request
+  parameters, integrity/validation errors, explicit ``raise``) mark the
+  path **aborted** — its effects roll back and never replicate;
+* *analysis* limitations (query-set iteration, unbounded symbolic loops,
+  unliftable values) mark the path **conservative** — the verifier will
+  restrict it against everything (paper §3.3);
+* any other exception is treated as an analyzer gap and also degrades to
+  conservative, preserving soundness.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..orm import runtime
+from ..orm.exceptions import (
+    IntegrityError,
+    MultipleObjectsReturned,
+    ObjectDoesNotExist,
+    ValidationError,
+)
+from ..soir.path import AnalysisResult, CodePath
+from ..soir.types import INT, STRING
+from ..soir.validate import ValidationError as SoirValidationError, validate_path
+from ..web.app import Application
+from ..web.http import BadRequest, Http404
+from ..web.urls import URLPattern
+from .context import AnalysisSession, ConservativeFallback
+from .dbproxy import SymbolicBackend
+from .pathfinder import LoopLimitExceeded
+from .request import SymbolicRequest
+from .symbolic import sym_of
+
+#: exceptions that mean "this request fails and rolls back"
+ABORT_EXCEPTIONS = (
+    Http404,
+    BadRequest,
+    ObjectDoesNotExist,
+    MultipleObjectsReturned,
+    IntegrityError,
+    ValidationError,
+    KeyError,
+    ValueError,
+    RuntimeError,
+)
+
+#: exceptions that mean "the analyzer cannot translate this path"
+CONSERVATIVE_EXCEPTIONS = (ConservativeFallback, LoopLimitExceeded)
+
+
+def analyze_view(
+    pattern: URLPattern,
+    registry,
+    schema,
+    *,
+    max_paths: int = 256,
+) -> tuple[list[CodePath], list[str]]:
+    """Discover and translate every code path of one view function."""
+    session = AnalysisSession(registry, schema)
+    view_name = pattern.view_name
+    paths: list[CodePath] = []
+    index = 0
+    while True:
+        session.begin_run()
+        request = SymbolicRequest(session)
+        url_args = {}
+        for name, pytype in pattern.param_specs():
+            soir_type = INT if pytype is int else STRING
+            var = session.declare_arg(
+                f"arg_url_{name}", soir_type, source="url"
+            )
+            url_args[name] = sym_of(var, registry)
+
+        aborted = False
+        conservative = False
+        exhausted = False
+        reason = ""
+        with session.installed(), runtime.use_backend(SymbolicBackend(session)):
+            try:
+                pattern.view(request, **url_args)
+            except LoopLimitExceeded as exc:
+                # An unbounded symbolic loop: its branch tree is hopeless to
+                # enumerate, so stop exploring this view after recording the
+                # conservative path (which restricts it against everything).
+                conservative = True
+                exhausted = True
+                reason = str(exc)
+            except CONSERVATIVE_EXCEPTIONS as exc:
+                conservative = True
+                reason = str(exc)
+            except ABORT_EXCEPTIONS as exc:
+                aborted = True
+                reason = f"{type(exc).__name__}: {exc}"
+            except Exception as exc:  # analyzer gap: stay sound
+                conservative = True
+                reason = f"analyzer gap: {type(exc).__name__}: {exc}"
+                session.note(f"{view_name}: conservative fallback ({reason})")
+
+        path = CodePath(
+            name=f"{view_name}[{index}]",
+            args=tuple(session.recorder.args.values()),
+            commands=tuple(session.recorder.commands),
+            view=view_name,
+            branch_trace=session.finder.trace(),
+            aborted=aborted,
+            conservative=conservative,
+            abort_reason=reason,
+        )
+        paths.append(path)
+        index += 1
+        if exhausted:
+            session.note(
+                f"{view_name}: unbounded symbolic loop; exploration stopped"
+            )
+            break
+        if index >= max_paths:
+            session.note(f"{view_name}: path budget ({max_paths}) exhausted")
+            break
+        if not session.finder.advance():
+            break
+    return paths, session.notes
+
+
+def analyze_application(
+    app: Application, *, max_paths_per_view: int = 256
+) -> AnalysisResult:
+    """Analyze every endpoint of an initialized application.
+
+    The application must already be constructed (models registered, routes
+    mounted) — endpoint discovery queries the live framework state, never
+    the source text (paper §5.1).
+    """
+    static_start = time.perf_counter()
+    schema = app.registry.to_soir_schema()
+    static_time = time.perf_counter() - static_start
+
+    result = AnalysisResult(app.name, schema)
+    result.timings["static_ms"] = static_time * 1e3
+    start = time.perf_counter()
+    for pattern in app.endpoints():
+        paths, notes = analyze_view(
+            pattern, app.registry, schema, max_paths=max_paths_per_view
+        )
+        for path in paths:
+            if not path.conservative:
+                try:
+                    validate_path(path, schema)
+                except SoirValidationError as exc:
+                    # An ill-formed path is an analyzer bug; degrade to the
+                    # conservative strategy rather than mis-verify.
+                    path = CodePath(
+                        name=path.name,
+                        args=path.args,
+                        commands=(),
+                        view=path.view,
+                        branch_trace=path.branch_trace,
+                        aborted=path.aborted,
+                        conservative=True,
+                        abort_reason=f"ill-formed SOIR: {exc}",
+                    )
+                    result.notes.append(f"{path.name}: ill-formed SOIR: {exc}")
+            result.paths.append(path)
+        result.notes.extend(notes)
+    result.timings["analysis"] = time.perf_counter() - start
+    return result

@@ -1,0 +1,90 @@
+"""Path discovery: the branch-state machine of paper Figure 5.
+
+The path finder owns ``curState``: an ordered mapping from branch-condition
+keys (canonical pretty-printed SOIR expressions) to the truth value assigned
+in the current code path.  Whenever a branch is about to happen on a
+symbolic condition (via ``Sym.__bool__``), the finder is consulted:
+
+* a *fresh* condition is assigned ``True`` and remembered;
+* a *known* condition returns its assigned value (so re-evaluating the same
+  condition within one run is consistent).
+
+After a run completes, :meth:`advance` flips the deepest ``True`` decision
+to ``False`` and discards everything below it — a depth-first traversal of
+the branch tree that, for functions with finitely many code paths,
+eventually enumerates them all.
+"""
+
+from __future__ import annotations
+
+
+class LoopLimitExceeded(Exception):
+    """The same condition was consulted too many times within one run —
+    an unbounded loop over a symbolic condition (unsupported, paper §3.3)."""
+
+
+class PathFinder:
+    """Depth-first enumerator of branch decisions for one view function."""
+
+    def __init__(self, *, loop_limit: int = 8, decision_budget: int = 256):
+        #: condition key -> assigned truth value (persists across runs)
+        self.decisions: dict[str, bool] = {}
+        #: keys consulted during the current run, in first-consultation order
+        self._run_order: list[str] = []
+        #: per-run consultation counts, to detect symbolic loops
+        self._run_counts: dict[str, int] = {}
+        self.loop_limit = loop_limit
+        #: total decisions allowed per run — catches loops whose condition
+        #: *changes* every iteration (e.g. ``while x > 0: x = x - 1`` over a
+        #: symbolic x builds a fresh condition per round and would escape
+        #: the per-key limit)
+        self.decision_budget = decision_budget
+        self._run_total = 0
+        self.runs = 0
+
+    def begin_run(self) -> None:
+        self._run_order = []
+        self._run_counts = {}
+        self._run_total = 0
+        self.runs += 1
+
+    def decide(self, key: str) -> bool:
+        """The truth value of the condition identified by ``key``."""
+        self._run_total += 1
+        if self._run_total > self.decision_budget:
+            raise LoopLimitExceeded(
+                f"decision budget ({self.decision_budget}) exhausted"
+            )
+        count = self._run_counts.get(key, 0) + 1
+        self._run_counts[key] = count
+        if count > self.loop_limit:
+            raise LoopLimitExceeded(key)
+        if key in self.decisions:
+            value = self.decisions[key]
+        else:
+            self.decisions[key] = True
+            value = True
+        if key not in self._run_order:
+            self._run_order.append(key)
+        return value
+
+    def trace(self) -> tuple[tuple[str, bool], ...]:
+        """The branch decisions of the current run, in order."""
+        return tuple((k, self.decisions[k]) for k in self._run_order)
+
+    def advance(self) -> bool:
+        """Prepare the next unexplored path.
+
+        Returns ``False`` when the branch tree is exhausted.  Decisions
+        recorded in previous runs but *not* consulted in the current run
+        belong to abandoned subtrees and are dropped first.
+        """
+        self.decisions = {k: self.decisions[k] for k in self._run_order}
+        while self._run_order:
+            key = self._run_order[-1]
+            if self.decisions[key]:
+                self.decisions[key] = False
+                return True
+            self._run_order.pop()
+            del self.decisions[key]
+        return False

@@ -1,0 +1,80 @@
+"""The symbolic HTTP request.
+
+Arguments of a code path are *discovered*, not declared (paper §4.1):
+whenever the view accesses a request parameter, the access is recorded as a
+path argument (``arg_POST_action``) and a symbolic value is returned.
+Presence checks (``"x" in request.POST``, ``request.POST.get``) branch on a
+fresh boolean argument describing the request's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..soir.types import BOOL, INT, STRING
+from .context import AnalysisSession
+from .symbolic import SymInt, SymStr, sym_of
+
+
+class SymbolicParams:
+    """Stands in for ``request.POST`` / ``request.GET``."""
+
+    def __init__(self, session: AnalysisSession, kind: str):
+        self._session = session
+        self._kind = kind  # "POST" or "GET"
+
+    def _arg(self, key: str, type_=STRING):
+        name = f"arg_{self._kind}_{key}"
+        var = self._session.declare_arg(name, type_, source=self._kind.lower())
+        return sym_of(var, self._session.registry)
+
+    def __getitem__(self, key: str):
+        return self._arg(key)
+
+    def int(self, key: str) -> SymInt:
+        return self._arg(key, INT)
+
+    def __contains__(self, key: str) -> bool:
+        # Branch on the request's shape: a fresh boolean argument.
+        name = f"has_{self._kind}_{key}"
+        var = self._session.declare_arg(name, BOOL, source=self._kind.lower())
+        return self._session.decide(var)
+
+    def get(self, key: str, default: Any = None):
+        if key in self:  # symbolic presence branch
+            return self._arg(key)
+        return default
+
+    def keys(self):
+        raise NotImplementedError(
+            "enumerating symbolic request parameters is not supported"
+        )
+
+
+class SymbolicRequest:
+    """The symbolic stand-in for :class:`repro.web.http.HttpRequest`.
+
+    ``method`` is a symbolic string, so views that branch on the HTTP
+    method fan out into one code path per method comparison outcome.
+    """
+
+    def __init__(self, session: AnalysisSession):
+        self._session = session
+        self.POST = SymbolicParams(session, "POST")
+        self.GET = SymbolicParams(session, "GET")
+        self.user = None
+        self.path = "<symbolic>"
+
+    @property
+    def method(self) -> SymStr:
+        var = self._session.declare_arg("arg_method", STRING, source="request")
+        return SymStr(var)
+
+    def post_int(self, key: str) -> SymInt:
+        return self.POST.int(key)
+
+    def get_int(self, key: str) -> SymInt:
+        return self.GET.int(key)
+
+    def __repr__(self) -> str:
+        return "<SymbolicRequest>"

@@ -1,0 +1,358 @@
+"""Symbolic values (the ``Sym`` class of paper Figure 6).
+
+Operations on symbolic values are overridden so that computing with them
+builds SOIR expressions instead of concrete results.  Concrete operands are
+lifted to literals on contact.  ``__bool__`` — Python's shortcut for the
+``onBranch`` debugger hook (paper §5.1) — forwards to the path finder, and
+``bool_expr`` carries the object-existence condition used in place of the
+default truthiness (paper §5.1, "Object existence").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..soir import expr as E
+from ..soir.types import (
+    BOOL,
+    DATETIME,
+    FLOAT,
+    INT,
+    STRING,
+    Comparator,
+    Direction,
+    DRelation,
+    ListType,
+    ObjType,
+    SoirType,
+)
+from .context import ConservativeFallback, current_session
+
+
+class Sym:
+    """Base class of all symbolic values."""
+
+    __soir_symbolic__ = True
+
+    def __init__(self, expr: E.Expr, bool_expr: E.Expr | None = None):
+        self.expr = expr
+        #: condition substituted for default truthiness in branches
+        self.bool_expr = bool_expr
+
+    @property
+    def type(self) -> SoirType:
+        return self.expr.type
+
+    def __bool__(self) -> bool:
+        cond = self.bool_expr if self.bool_expr is not None else self._truthiness()
+        return current_session().decide(cond)
+
+    def _truthiness(self) -> E.Expr:
+        raise ConservativeFallback(
+            f"truthiness of {type(self).__name__} is not defined"
+        )
+
+    def __hash__(self) -> int:  # identity: Syms never act as lookup keys
+        return id(self)
+
+    def __repr__(self) -> str:
+        from ..soir.pretty import pp_expr
+
+        return f"<{type(self).__name__} {pp_expr(self.expr)}>"
+
+
+def lift(value: Any, type_hint: SoirType | None = None) -> E.Expr:
+    """Lift a concrete or symbolic value to a SOIR expression."""
+    if isinstance(value, Sym):
+        return value.expr
+    if isinstance(value, E.Expr):
+        return value
+    if value is None:
+        return E.NoneLit(type_hint if type_hint is not None else STRING)
+    if isinstance(value, bool):
+        return E.Lit(value, BOOL)
+    if isinstance(value, int):
+        return E.Lit(value, type_hint if type_hint == DATETIME else INT)
+    if isinstance(value, float):
+        return E.Lit(value, FLOAT)
+    if isinstance(value, str):
+        return E.Lit(value, STRING)
+    if isinstance(value, (list, tuple)):
+        elems = tuple(value)
+        elem_t = type_hint.elem if isinstance(type_hint, ListType) else STRING
+        return E.Lit(elems, ListType(elem_t))
+    raise ConservativeFallback(f"cannot lift value of type {type(value).__name__}")
+
+
+def sym_of(expr: E.Expr, registry=None, bool_expr: E.Expr | None = None) -> Any:
+    """Wrap a SOIR expression into the Sym subclass matching its type."""
+    t = expr.type
+    if t == BOOL:
+        return SymBool(expr, bool_expr)
+    if t == INT:
+        return SymInt(expr, bool_expr)
+    if t == FLOAT:
+        return SymFloat(expr, bool_expr)
+    if t == STRING:
+        return SymStr(expr, bool_expr)
+    if t == DATETIME:
+        return SymDatetime(expr, bool_expr)
+    if isinstance(t, ObjType):
+        reg = registry if registry is not None else current_session().registry
+        return SymObj(reg.get_model(t.model_name), expr, bool_expr)
+    # References and other types stay as a plain Sym wrapper.
+    return Sym(expr, bool_expr)
+
+
+class _Comparable:
+    """Mixin providing comparison operators that build SymBool."""
+
+    def _cmp(self, op: Comparator, other: Any) -> "SymBool":
+        return SymBool(E.Cmp(op, self.expr, lift(other, self.type)))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._cmp(Comparator.EQ, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._cmp(Comparator.NE, other)
+
+    def __lt__(self, other):
+        return self._cmp(Comparator.LT, other)
+
+    def __le__(self, other):
+        return self._cmp(Comparator.LE, other)
+
+    def __gt__(self, other):
+        return self._cmp(Comparator.GT, other)
+
+    def __ge__(self, other):
+        return self._cmp(Comparator.GE, other)
+
+    __hash__ = Sym.__hash__
+
+
+class SymBool(Sym, _Comparable):
+    def _truthiness(self) -> E.Expr:
+        return self.expr
+
+    def logical_not(self) -> "SymBool":
+        return SymBool(E.Not(self.expr))
+
+
+class _Numeric(_Comparable):
+    """Mixin providing arithmetic operators."""
+
+    def _bin(self, op: str, other: Any, *, rev: bool = False):
+        other_expr = lift(other, self.type)
+        left, right = (other_expr, self.expr) if rev else (self.expr, other_expr)
+        return sym_of(E.BinOp(op, left, right))
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __radd__(self, other):
+        return self._bin("+", other, rev=True)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __rsub__(self, other):
+        return self._bin("-", other, rev=True)
+
+    def __mul__(self, other):
+        return self._bin("*", other)
+
+    def __rmul__(self, other):
+        return self._bin("*", other, rev=True)
+
+    def __truediv__(self, other):
+        return self._bin("/", other)
+
+    def __rtruediv__(self, other):
+        return self._bin("/", other, rev=True)
+
+    def __floordiv__(self, other):
+        return self._bin("/", other)
+
+    def __mod__(self, other):
+        return self._bin("%", other)
+
+    def __neg__(self):
+        return sym_of(E.Neg(self.expr))
+
+
+class SymInt(Sym, _Numeric):
+    def _truthiness(self) -> E.Expr:
+        return E.Cmp(Comparator.NE, self.expr, E.intlit(0))
+
+
+class SymFloat(Sym, _Numeric):
+    def _truthiness(self) -> E.Expr:
+        return E.Cmp(Comparator.NE, self.expr, E.floatlit(0.0))
+
+
+class SymDatetime(Sym, _Numeric):
+    def _truthiness(self) -> E.Expr:
+        return E.Cmp(Comparator.NE, self.expr, E.Lit(0, DATETIME))
+
+
+class SymStr(Sym, _Comparable):
+    def _truthiness(self) -> E.Expr:
+        return E.Cmp(Comparator.NE, self.expr, E.strlit(""))
+
+    def __add__(self, other):
+        return SymStr(E.BinOp("concat", self.expr, lift(other, STRING)))
+
+    def __radd__(self, other):
+        return SymStr(E.BinOp("concat", lift(other, STRING), self.expr))
+
+    def startswith(self, prefix) -> SymBool:
+        return SymBool(E.Cmp(Comparator.STARTSWITH, self.expr, lift(prefix, STRING)))
+
+    def __contains__(self, needle) -> bool:
+        # Python coerces __contains__ results, so this is a branch point.
+        cond = E.Cmp(Comparator.CONTAINS, self.expr, lift(needle, STRING))
+        return current_session().decide(cond)
+
+    def strip(self) -> "SymStr":
+        # Normalisation is invisible to consistency semantics; keep as-is.
+        return self
+
+    def lower(self) -> "SymStr":
+        raise ConservativeFallback("string case transformation is not modelled")
+
+
+class SymObj(Sym):
+    """A symbolic model object.
+
+    Field reads build ``FieldGet`` expressions; relation accesses return
+    symbolic related objects / the ordinary ORM related managers (which
+    route back into the symbolic backend); field writes are buffered until
+    ``save()``, mirroring Django instance semantics.
+    """
+
+    __soir_object__ = True  # participates in lookup parsing like a Model
+
+    def __init__(self, model_cls: type, expr: E.Expr, bool_expr: E.Expr | None = None):
+        super().__init__(expr, bool_expr)
+        object.__setattr__(self, "_initialized", False)
+        self.model_cls = model_cls
+        self._meta = model_cls._meta
+        self._registry = model_cls._registry
+        self._pending: dict[str, Any] = {}
+        self._initialized = True
+
+    def _truthiness(self) -> E.Expr:
+        # ``if obj:`` on an existing object is vacuously true in Django;
+        # bool_expr (existence) is what careful analysis substitutes.
+        return E.true()
+
+    # -- reads ---------------------------------------------------------
+
+    @property
+    def pk(self):
+        return self._field_sym(self._meta.pk.name)
+
+    def _field_sym(self, name: str):
+        if name in self._pending:
+            value = self._pending[name]
+            return value
+        schema = current_session().schema
+        ftype = schema.model(self.model_cls.__name__).field(name).type
+        return sym_of(E.FieldGet(self.expr, name, ftype))
+
+    def __getattr__(self, name: str):
+        if name.startswith("_") or not getattr(self, "_initialized", False):
+            raise AttributeError(name)
+        meta = self._meta
+        if any(f.name == name for f in meta.columns):
+            return self._field_sym(name)
+        for rel in meta.relations:
+            if rel.name == name and rel.kind == "fk":
+                return self._follow_fk(rel)
+            if rel.name == name and rel.kind == "m2m":
+                from ..orm.query import M2MManager
+
+                return M2MManager(self, rel)
+        if name.endswith("_id"):
+            base = name[:-3]
+            for rel in meta.fk_relations():
+                if rel.name == base:
+                    related = self._follow_fk(rel)
+                    return related.pk
+        reverse = meta.reverse_relations.get(name)
+        if reverse is not None:
+            from ..orm.query import RelatedManager, ReverseM2MManager
+
+            if reverse.kind == "m2m":
+                return ReverseM2MManager(self, reverse)
+            return RelatedManager(self, reverse)
+        raise AttributeError(f"{self.model_cls.__name__} has no attribute {name!r}")
+
+    def _follow_fk(self, rel) -> "SymObj":
+        hop = DRelation(rel.relation_name(), Direction.FORWARD)
+        target_name = rel.target_name()
+        followed = E.Follow(E.Singleton(self.expr), (hop,), target_name)
+        target_cls = self._registry.get_model(target_name)
+        return SymObj(
+            target_cls,
+            E.AnyOf(followed),
+            bool_expr=E.Not(E.IsEmpty(followed)),
+        )
+
+    # -- writes --------------------------------------------------------
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name.startswith("_") or not getattr(self, "_initialized", False):
+            object.__setattr__(self, name, value)
+            return
+        if name in ("expr", "bool_expr", "model_cls"):
+            object.__setattr__(self, name, value)
+            return
+        meta = self._meta
+        if any(f.name == name for f in meta.columns):
+            self._pending[name] = value
+            return
+        if any(r.name == name for r in meta.relations):
+            self._pending[name] = value
+            return
+        if name.endswith("_id") and any(r.name == name[:-3] for r in meta.fk_relations()):
+            self._pending[name[:-3] + "@id"] = value
+            return
+        object.__setattr__(self, name, value)
+
+    def save(self) -> None:
+        from ..orm import runtime
+
+        runtime.backend().save_instance(self)
+
+    def delete(self) -> None:
+        from ..orm import runtime
+
+        runtime.backend().delete_instance(self)
+
+    def refresh_from_db(self) -> None:
+        self._pending.clear()
+
+    def __eq__(self, other):
+        # Django compares model instances by primary key.
+        if isinstance(other, SymObj):
+            return SymBool(
+                E.Cmp(Comparator.EQ, E.RefOf(self.expr), E.RefOf(other.expr))
+            )
+        if isinstance(other, Sym):
+            return SymBool(E.Cmp(Comparator.EQ, E.RefOf(self.expr), other.expr))
+        return NotImplemented
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return NotImplemented
+        return eq.logical_not()
+
+    __hash__ = Sym.__hash__
+
+    def __repr__(self) -> str:
+        from ..soir.pretty import pp_expr
+
+        return f"<SymObj {self.model_cls.__name__} {pp_expr(self.expr)}>"

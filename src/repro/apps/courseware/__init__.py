@@ -1,0 +1,17 @@
+"""Courseware (paper §6.2, as specified by Hamsaz), as a web application.
+
+Three models — ``Student``, ``Course`` and ``Enrolment`` (a pair of a
+student and a course) — and four effectful operations: ``Register``,
+``AddCourse``, ``Enroll`` and ``DeleteCourse``.  The only application
+property is referential integrity, carried by the foreign keys of
+``Enrolment``.
+
+Expected verification results (paper Table 5): **1 commutativity failure**
+— (AddCourse, DeleteCourse), because the two can carry the same ID — and
+**1 semantic failure** — (Enroll, DeleteCourse), because the course can be
+deleted before the enrolment lands, breaking referential integrity.
+"""
+
+from .app import build_app
+
+__all__ = ["build_app"]

@@ -1,0 +1,81 @@
+"""Courseware models and views (built per call, on a fresh registry)."""
+
+from __future__ import annotations
+
+from ...orm import PROTECT, ForeignKey, Model, Registry, TextField
+from ...web import Application, HttpResponse, JsonResponse, path
+
+
+def build_app() -> Application:
+    """Construct a fresh Courseware application instance."""
+    registry = Registry("courseware")
+    with registry.use():
+
+        class Student(Model):
+            name = TextField(default="")
+
+        class Course(Model):
+            title = TextField(default="")
+
+        class Enrolment(Model):
+            """A (student, course) pair.
+
+            Referential integrity is a *precondition* (PROTECT), exactly
+            as in the Hamsaz specification: a course with enrolments
+            cannot be deleted."""
+
+            student = ForeignKey(Student, on_delete=PROTECT)
+            course = ForeignKey(Course, on_delete=PROTECT)
+
+    def register(request):
+        """Register a new student."""
+        student = Student.objects.create(name=request.POST["name"])
+        return JsonResponse({"pk": student.pk}, status=201)
+
+    def add_course(request):
+        """Open a new course."""
+        course = Course.objects.create(title=request.POST["title"])
+        return JsonResponse({"pk": course.pk}, status=201)
+
+    def enroll(request, student_id, course_id):
+        """Enroll a student in a course (both must exist)."""
+        student = Student.objects.get(pk=student_id)
+        course = Course.objects.get(pk=course_id)
+        Enrolment.objects.create(student=student, course=course)
+        return HttpResponse(status=201)
+
+    def delete_course(request, course_id):
+        """Drop a course.
+
+        Written as a delete-by-query, which carries no *existence*
+        precondition (deleting an already-absent course is a no-op); the
+        PROTECT keys add the referential-integrity precondition that no
+        enrolment references the course."""
+        Course.objects.filter(pk=course_id).delete()
+        return HttpResponse(status=204)
+
+    def list_courses(request):
+        """Read-only: number of open courses."""
+        return JsonResponse(Course.objects.count())
+
+    patterns = [
+        path("register", register, name="Register"),
+        path("courses/add", add_course, name="AddCourse"),
+        path("enroll/<int:student_id>/<int:course_id>", enroll, name="Enroll"),
+        path("courses/<int:course_id>/delete", delete_course, name="DeleteCourse"),
+        path("courses", list_courses, name="ListCourses"),
+    ]
+    return Application("courseware", registry, patterns, source_loc=_loc())
+
+
+def _loc() -> int:
+    """Lines of application code (reported in Table 4)."""
+    import os
+
+    here = os.path.dirname(__file__)
+    total = 0
+    for fname in os.listdir(here):
+        if fname.endswith(".py"):
+            with open(os.path.join(here, fname)) as f:
+                total += sum(1 for _ in f)
+    return total

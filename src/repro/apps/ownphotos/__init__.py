@@ -1,0 +1,14 @@
+"""OwnPhotos — a miniature of the OwnPhotos self-hosted photo service
+(paper §6.1), the largest evaluated application.
+
+Users, photos, faces, people, tags, comments, five kinds of albums
+(auto/date/user/place/thing) and long-running jobs; heavily
+relation-centric (sharing, favourites, covers, collaborators).  Table 4 of
+the paper reports 12 models, 46 relations and 545 code paths of which 120
+are effectful — the bulk of them produced by REST-style viewsets whose
+create/update actions branch on every optional request field.
+"""
+
+from .app import build_app
+
+__all__ = ["build_app"]

@@ -1,0 +1,135 @@
+"""OwnPhotos data model: 12 models, 46 relations."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...orm import (
+    BooleanField,
+    CASCADE,
+    DateTimeField,
+    ForeignKey,
+    IntegerField,
+    ManyToManyField,
+    Model,
+    PositiveIntegerField,
+    Registry,
+    SET_NULL,
+    TextField,
+)
+
+
+def build_models(registry: Registry) -> SimpleNamespace:
+    with registry.use():
+
+        class User(Model):
+            username = TextField(unique=True)
+            scan_directory = TextField(default="")
+            favorites = ManyToManyField("Photo", related_name="favorited_by")
+            friends = ManyToManyField("User", related_name="friended_by")
+            blocked = ManyToManyField("User", related_name="blocked_by")
+
+        class Photo(Model):
+            image_hash = TextField(unique=True)
+            caption = TextField(default="")
+            rating = IntegerField(default=0, choices=(0, 1, 2, 3, 4, 5))
+            hidden = BooleanField(default=False)
+            video = BooleanField(default=False)
+            added = DateTimeField(auto_now_add=True)
+            owner = ForeignKey(User, on_delete=CASCADE)
+            shared_to = ManyToManyField(User, related_name="shared_photos")
+            liked_by = ManyToManyField(User, related_name="liked_photos")
+            similar = ManyToManyField("Photo", related_name="similar_of")
+
+        class Person(Model):
+            name = TextField(default="")
+            kind = TextField(default="USER", choices=("USER", "CLUSTER", "UNKNOWN"))
+            cover_photo = ForeignKey(Photo, on_delete=SET_NULL, null=True)
+            created_by = ForeignKey(User, on_delete=SET_NULL, null=True)
+            key_face = ForeignKey("Face", on_delete=SET_NULL, null=True)
+
+        class Face(Model):
+            photo = ForeignKey(Photo, on_delete=CASCADE)
+            person = ForeignKey(Person, on_delete=SET_NULL, null=True)
+            tagged_by = ForeignKey(User, on_delete=SET_NULL, null=True)
+            verified_by = ForeignKey(User, on_delete=SET_NULL, null=True)
+            confidence = IntegerField(default=0)
+
+        class Tag(Model):
+            name = TextField(unique=True)
+            created_by = ForeignKey(User, on_delete=SET_NULL, null=True)
+            photos = ManyToManyField(Photo, related_name="tags")
+
+        class Comment(Model):
+            photo = ForeignKey(Photo, on_delete=CASCADE)
+            author = ForeignKey(User, on_delete=CASCADE)
+            text = TextField(default="")
+            mentions = ManyToManyField(User, related_name="mentioned_in")
+
+        class AlbumAuto(Model):
+            title = TextField(default="")
+            owner = ForeignKey(User, on_delete=CASCADE)
+            photos = ManyToManyField(Photo, related_name="albums_auto")
+            shared_to = ManyToManyField(User, related_name="shared_albums_auto")
+            cover = ForeignKey(Photo, on_delete=SET_NULL, null=True,
+                               related_name="cover_of_auto")
+            people = ManyToManyField(Person, related_name="albums_auto")
+
+        class AlbumDate(Model):
+            date = DateTimeField(default=0)
+            owner = ForeignKey(User, on_delete=CASCADE)
+            photos = ManyToManyField(Photo, related_name="albums_date")
+            shared_to = ManyToManyField(User, related_name="shared_albums_date")
+            cover = ForeignKey(Photo, on_delete=SET_NULL, null=True,
+                               related_name="cover_of_date")
+            people = ManyToManyField(Person, related_name="albums_date")
+
+        class AlbumUser(Model):
+            title = TextField(default="")
+            favorited = BooleanField(default=False)
+            owner = ForeignKey(User, on_delete=CASCADE)
+            photos = ManyToManyField(Photo, related_name="albums_user")
+            shared_to = ManyToManyField(User, related_name="shared_albums_user")
+            cover = ForeignKey(Photo, on_delete=SET_NULL, null=True,
+                               related_name="cover_of_user")
+            collaborators = ManyToManyField(User, related_name="collaborating_on")
+
+        class AlbumPlace(Model):
+            title = TextField(default="")
+            owner = ForeignKey(User, on_delete=CASCADE)
+            photos = ManyToManyField(Photo, related_name="albums_place")
+            shared_to = ManyToManyField(User, related_name="shared_albums_place")
+            cover = ForeignKey(Photo, on_delete=SET_NULL, null=True,
+                               related_name="cover_of_place")
+
+        class AlbumThing(Model):
+            title = TextField(default="")
+            owner = ForeignKey(User, on_delete=CASCADE)
+            photos = ManyToManyField(Photo, related_name="albums_thing")
+            shared_to = ManyToManyField(User, related_name="shared_albums_thing")
+            tags = ManyToManyField(Tag, related_name="albums_thing")
+
+        class LongRunningJob(Model):
+            job_type = TextField(default="scan",
+                                 choices=("scan", "train", "cluster", "generate"))
+            finished = BooleanField(default=False)
+            failed = BooleanField(default=False)
+            progress = PositiveIntegerField(default=0)
+            started_by = ForeignKey(User, on_delete=CASCADE)
+            photos = ManyToManyField(Photo, related_name="jobs")
+            album = ForeignKey(AlbumUser, on_delete=SET_NULL, null=True)
+
+    return SimpleNamespace(
+        User=User,
+        Photo=Photo,
+        Person=Person,
+        Face=Face,
+        Tag=Tag,
+        Comment=Comment,
+        AlbumAuto=AlbumAuto,
+        AlbumDate=AlbumDate,
+        AlbumUser=AlbumUser,
+        AlbumPlace=AlbumPlace,
+        AlbumThing=AlbumThing,
+        LongRunningJob=LongRunningJob,
+    )

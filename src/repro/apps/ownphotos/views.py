@@ -1,0 +1,550 @@
+"""OwnPhotos HTTP endpoints.
+
+Mixes three endpoint styles found in the real codebase:
+
+* REST viewsets (runtime-generated closures, one per action);
+* loop-generated per-album-kind management views (add/remove/share/cover) —
+  more runtime view construction that no static analyzer could enumerate;
+* hand-written function views for the photo/face/job workflows.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...analyzer.annotations import external
+from ...soir.types import STRING
+from ...web import (
+    DestroyMixin,
+    GenericViewSet,
+    HttpResponse,
+    JsonResponse,
+    ListMixin,
+    RetrieveMixin,
+    UpdateMixin,
+    get_object_or_404,
+    path,
+)
+
+
+class _ManagedViewSet(
+    ListMixin, RetrieveMixin, UpdateMixin, DestroyMixin, GenericViewSet
+):
+    """CRUD minus create (creation needs an owner, handled by custom views)."""
+
+
+def build_views(m: SimpleNamespace) -> list:
+    patterns: list = []
+
+    # ------------------------------------------------------------------
+    # Viewsets
+    # ------------------------------------------------------------------
+
+    viewset_specs = [
+        (m.Photo, "photo", ("caption", "rating", "hidden", "video")),
+        (m.Person, "person", ("name", "kind")),
+        (m.Tag, "tag", ("name",)),
+        (m.Comment, "comment", ("text",)),
+        (m.AlbumUser, "albumuser", ("title", "favorited")),
+        (m.AlbumAuto, "albumauto", ("title",)),
+        (m.AlbumDate, "albumdate", ("date",)),
+        (m.AlbumPlace, "albumplace", ("title",)),
+        (m.AlbumThing, "albumthing", ("title",)),
+        (m.LongRunningJob, "job", ("progress",)),
+    ]
+    for model_cls, base, vs_fields in viewset_specs:
+        viewset = type(
+            f"{model_cls.__name__}ViewSet",
+            (_ManagedViewSet,),
+            {"model": model_cls, "fields": vs_fields, "basename": base},
+        )
+        patterns.extend(viewset.urls())
+
+    # ------------------------------------------------------------------
+    # Users & social graph
+    # ------------------------------------------------------------------
+
+    def register_user(request):
+        user = m.User.objects.create(username=request.POST["username"])
+        return JsonResponse({"pk": user.pk}, status=201)
+
+    def add_friend(request, pk, other):
+        user = get_object_or_404(m.User, pk=pk)
+        friend = get_object_or_404(m.User, pk=other)
+        user.friends.add(friend)
+        return HttpResponse(status=200)
+
+    def remove_friend(request, pk, other):
+        user = get_object_or_404(m.User, pk=pk)
+        friend = get_object_or_404(m.User, pk=other)
+        user.friends.remove(friend)
+        return HttpResponse(status=200)
+
+    def block_user(request, pk, other):
+        user = get_object_or_404(m.User, pk=pk)
+        target = get_object_or_404(m.User, pk=other)
+        user.blocked.add(target)
+        return HttpResponse(status=200)
+
+    def unblock_user(request, pk, other):
+        user = get_object_or_404(m.User, pk=pk)
+        target = get_object_or_404(m.User, pk=other)
+        user.blocked.remove(target)
+        return HttpResponse(status=200)
+
+    patterns += [
+        path("users/register", register_user, name="RegisterUser"),
+        path("users/<int:pk>/friend/<int:other>", add_friend, name="AddFriend"),
+        path("users/<int:pk>/unfriend/<int:other>", remove_friend,
+             name="RemoveFriend"),
+        path("users/<int:pk>/block/<int:other>", block_user, name="BlockUser"),
+        path("users/<int:pk>/unblock/<int:other>", unblock_user,
+             name="UnblockUser"),
+    ]
+
+    # ------------------------------------------------------------------
+    # Photos
+    # ------------------------------------------------------------------
+
+    def upload_photo(request, owner_id):
+        owner = get_object_or_404(m.User, pk=owner_id)
+        kwargs = {"image_hash": request.POST["image_hash"], "owner": owner}
+        if "caption" in request.POST:
+            kwargs["caption"] = request.POST["caption"]
+        if "video" in request.POST:
+            kwargs["video"] = True
+        photo = m.Photo.objects.create(**kwargs)
+        return JsonResponse({"pk": photo.pk}, status=201)
+
+    def favorite_photo(request, owner_id, pk):
+        user = get_object_or_404(m.User, pk=owner_id)
+        photo = get_object_or_404(m.Photo, pk=pk)
+        user.favorites.add(photo)
+        return HttpResponse(status=200)
+
+    def unfavorite_photo(request, owner_id, pk):
+        user = get_object_or_404(m.User, pk=owner_id)
+        photo = get_object_or_404(m.Photo, pk=pk)
+        user.favorites.remove(photo)
+        return HttpResponse(status=200)
+
+    def like_photo(request, owner_id, pk):
+        user = get_object_or_404(m.User, pk=owner_id)
+        photo = get_object_or_404(m.Photo, pk=pk)
+        photo.liked_by.add(user)
+        return HttpResponse(status=200)
+
+    def unlike_photo(request, owner_id, pk):
+        user = get_object_or_404(m.User, pk=owner_id)
+        photo = get_object_or_404(m.Photo, pk=pk)
+        photo.liked_by.remove(user)
+        return HttpResponse(status=200)
+
+    def hide_photo(request, pk):
+        m.Photo.objects.filter(pk=pk).update(hidden=True)
+        return HttpResponse(status=200)
+
+    def unhide_photo(request, pk):
+        m.Photo.objects.filter(pk=pk).update(hidden=False)
+        return HttpResponse(status=200)
+
+    def rate_photo(request, pk):
+        photo = get_object_or_404(m.Photo, pk=pk)
+        photo.rating = request.post_int("rating")
+        photo.save()
+        return HttpResponse(status=200)
+
+    def share_photo(request, pk, user_id):
+        photo = get_object_or_404(m.Photo, pk=pk)
+        user = get_object_or_404(m.User, pk=user_id)
+        photo.shared_to.add(user)
+        return HttpResponse(status=200)
+
+    def unshare_photo(request, pk, user_id):
+        photo = get_object_or_404(m.Photo, pk=pk)
+        user = get_object_or_404(m.User, pk=user_id)
+        photo.shared_to.remove(user)
+        return HttpResponse(status=200)
+
+    def mark_similar(request, pk, other):
+        photo = get_object_or_404(m.Photo, pk=pk)
+        twin = get_object_or_404(m.Photo, pk=other)
+        photo.similar.add(twin)
+        return HttpResponse(status=200)
+
+    # A "third-party" ML captioning model, annotated so the analyzer treats
+    # its result as an opaque input instead of degrading the whole path to
+    # the conservative strategy (paper §6.3).
+    caption_model = external(
+        "caption_model",
+        lambda image_hash: f"a photo ({image_hash})",
+        STRING,
+    )
+
+    def auto_caption(request, pk):
+        """Caption a photo with the annotated captioning model."""
+        photo = get_object_or_404(m.Photo, pk=pk)
+        photo.caption = caption_model(photo.image_hash)
+        photo.save()
+        return HttpResponse(status=200)
+
+    def edit_photo_exif(request, pk):
+        photo = get_object_or_404(m.Photo, pk=pk)
+        if "caption" in request.POST:
+            photo.caption = request.POST["caption"]
+        if "rating" in request.POST:
+            photo.rating = request.post_int("rating")
+        if "hidden" in request.POST:
+            photo.hidden = True
+        photo.save()
+        return HttpResponse(status=200)
+
+    patterns += [
+        path("users/<int:owner_id>/photos/upload", upload_photo,
+             name="UploadPhoto"),
+        path("users/<int:owner_id>/favorites/add/<int:pk>", favorite_photo,
+             name="FavoritePhoto"),
+        path("users/<int:owner_id>/favorites/remove/<int:pk>", unfavorite_photo,
+             name="UnfavoritePhoto"),
+        path("users/<int:owner_id>/likes/add/<int:pk>", like_photo,
+             name="LikePhoto"),
+        path("users/<int:owner_id>/likes/remove/<int:pk>", unlike_photo,
+             name="UnlikePhoto"),
+        path("photos/<int:pk>/hide", hide_photo, name="HidePhoto"),
+        path("photos/<int:pk>/unhide", unhide_photo, name="UnhidePhoto"),
+        path("photos/<int:pk>/rate", rate_photo, name="RatePhoto"),
+        path("photos/<int:pk>/share/<int:user_id>", share_photo,
+             name="SharePhoto"),
+        path("photos/<int:pk>/unshare/<int:user_id>", unshare_photo,
+             name="UnsharePhoto"),
+        path("photos/<int:pk>/similar/<int:other>", mark_similar,
+             name="MarkSimilar"),
+        path("photos/<int:pk>/exif", edit_photo_exif, name="EditPhotoExif"),
+        path("photos/<int:pk>/caption", auto_caption, name="AutoCaption"),
+    ]
+
+    # ------------------------------------------------------------------
+    # Faces & people
+    # ------------------------------------------------------------------
+
+    def create_person(request, owner_id):
+        creator = get_object_or_404(m.User, pk=owner_id)
+        person = m.Person.objects.create(
+            name=request.POST["name"], created_by=creator
+        )
+        return JsonResponse({"pk": person.pk}, status=201)
+
+    def detect_face(request, photo_id):
+        photo = get_object_or_404(m.Photo, pk=photo_id)
+        face = m.Face.objects.create(
+            photo=photo, confidence=request.post_int("confidence")
+        )
+        return JsonResponse({"pk": face.pk}, status=201)
+
+    def tag_face(request, face_id, person_id, user_id):
+        face = get_object_or_404(m.Face, pk=face_id)
+        person = get_object_or_404(m.Person, pk=person_id)
+        tagger = get_object_or_404(m.User, pk=user_id)
+        face.person = person
+        face.tagged_by = tagger
+        face.save()
+        return HttpResponse(status=200)
+
+    def untag_face(request, face_id):
+        face = get_object_or_404(m.Face, pk=face_id)
+        face.person = None
+        face.save()
+        return HttpResponse(status=200)
+
+    def verify_face(request, face_id, user_id):
+        face = get_object_or_404(m.Face, pk=face_id)
+        verifier = get_object_or_404(m.User, pk=user_id)
+        face.verified_by = verifier
+        face.save()
+        return HttpResponse(status=200)
+
+    def delete_face(request, face_id):
+        m.Face.objects.filter(pk=face_id).delete()
+        return HttpResponse(status=204)
+
+    def set_key_face(request, person_id, face_id):
+        person = get_object_or_404(m.Person, pk=person_id)
+        face = get_object_or_404(m.Face, pk=face_id)
+        person.key_face = face
+        person.save()
+        return HttpResponse(status=200)
+
+    def set_person_cover(request, person_id, photo_id):
+        person = get_object_or_404(m.Person, pk=person_id)
+        photo = get_object_or_404(m.Photo, pk=photo_id)
+        person.cover_photo = photo
+        person.save()
+        return HttpResponse(status=200)
+
+    def merge_people(request, person_id, other_id):
+        """Move every face of ``other`` onto ``person`` and drop ``other``."""
+        person = get_object_or_404(m.Person, pk=person_id)
+        other = get_object_or_404(m.Person, pk=other_id)
+        m.Face.objects.filter(person=other).update(person=person)
+        other.delete()
+        return HttpResponse(status=200)
+
+    def rename_person(request, person_id):
+        person = get_object_or_404(m.Person, pk=person_id)
+        person.name = request.POST["name"]
+        person.save()
+        return HttpResponse(status=200)
+
+    patterns += [
+        path("users/<int:owner_id>/people/create", create_person,
+             name="CreatePerson"),
+        path("photos/<int:photo_id>/faces/detect", detect_face,
+             name="DetectFace"),
+        path("faces/<int:face_id>/tag/<int:person_id>/<int:user_id>", tag_face,
+             name="TagFace"),
+        path("faces/<int:face_id>/untag", untag_face, name="UntagFace"),
+        path("faces/<int:face_id>/verify/<int:user_id>", verify_face,
+             name="VerifyFace"),
+        path("faces/<int:face_id>/delete", delete_face, name="DeleteFace"),
+        path("people/<int:person_id>/keyface/<int:face_id>", set_key_face,
+             name="SetKeyFace"),
+        path("people/<int:person_id>/cover/<int:photo_id>", set_person_cover,
+             name="SetPersonCover"),
+        path("people/<int:person_id>/merge/<int:other_id>", merge_people,
+             name="MergePeople"),
+        path("people/<int:person_id>/rename", rename_person,
+             name="RenamePerson"),
+    ]
+
+    # ------------------------------------------------------------------
+    # Tags & comments
+    # ------------------------------------------------------------------
+
+    def create_tag(request, owner_id):
+        creator = get_object_or_404(m.User, pk=owner_id)
+        tag = m.Tag.objects.create(name=request.POST["name"], created_by=creator)
+        return JsonResponse({"pk": tag.pk}, status=201)
+
+    def tag_photo(request, tag_id, photo_id):
+        tag = get_object_or_404(m.Tag, pk=tag_id)
+        photo = get_object_or_404(m.Photo, pk=photo_id)
+        tag.photos.add(photo)
+        return HttpResponse(status=200)
+
+    def untag_photo(request, tag_id, photo_id):
+        tag = get_object_or_404(m.Tag, pk=tag_id)
+        photo = get_object_or_404(m.Photo, pk=photo_id)
+        tag.photos.remove(photo)
+        return HttpResponse(status=200)
+
+    def add_comment(request, photo_id, user_id):
+        photo = get_object_or_404(m.Photo, pk=photo_id)
+        author = get_object_or_404(m.User, pk=user_id)
+        comment = m.Comment.objects.create(
+            photo=photo, author=author, text=request.POST["text"]
+        )
+        if "mention" in request.POST:
+            mentioned = get_object_or_404(
+                m.User, username=request.POST["mention"]
+            )
+            comment.mentions.add(mentioned)
+        return JsonResponse({"pk": comment.pk}, status=201)
+
+    patterns += [
+        path("users/<int:owner_id>/tags/create", create_tag, name="CreateTag"),
+        path("tags/<int:tag_id>/photos/add/<int:photo_id>", tag_photo,
+             name="TagPhoto"),
+        path("tags/<int:tag_id>/photos/remove/<int:photo_id>", untag_photo,
+             name="UntagPhoto"),
+        path("photos/<int:photo_id>/comments/add/<int:user_id>", add_comment,
+             name="AddComment"),
+    ]
+
+    # ------------------------------------------------------------------
+    # Albums — loop-generated management views per album kind
+    # ------------------------------------------------------------------
+
+    album_kinds = {
+        "auto": m.AlbumAuto,
+        "date": m.AlbumDate,
+        "user": m.AlbumUser,
+        "place": m.AlbumPlace,
+        "thing": m.AlbumThing,
+    }
+
+    def _album_views(kind: str, album_cls: type) -> list:
+        def create_album(request, owner_id, _cls=album_cls):
+            owner = get_object_or_404(m.User, pk=owner_id)
+            kwargs = {"owner": owner}
+            if _cls is m.AlbumDate:
+                kwargs["date"] = request.post_int("date")
+            else:
+                kwargs["title"] = request.POST["title"]
+            album = _cls.objects.create(**kwargs)
+            return JsonResponse({"pk": album.pk}, status=201)
+
+        def add_photo(request, pk, photo_id, _cls=album_cls):
+            album = get_object_or_404(_cls, pk=pk)
+            photo = get_object_or_404(m.Photo, pk=photo_id)
+            album.photos.add(photo)
+            return HttpResponse(status=200)
+
+        def remove_photo(request, pk, photo_id, _cls=album_cls):
+            album = get_object_or_404(_cls, pk=pk)
+            photo = get_object_or_404(m.Photo, pk=photo_id)
+            album.photos.remove(photo)
+            return HttpResponse(status=200)
+
+        def share_album(request, pk, user_id, _cls=album_cls):
+            album = get_object_or_404(_cls, pk=pk)
+            user = get_object_or_404(m.User, pk=user_id)
+            album.shared_to.add(user)
+            return HttpResponse(status=200)
+
+        views = [
+            path(f"albums/{kind}/create/<int:owner_id>", create_album,
+                 name=f"CreateAlbum_{kind}"),
+            path(f"albums/{kind}/<int:pk>/photos/add/<int:photo_id>", add_photo,
+                 name=f"AlbumAddPhoto_{kind}"),
+            path(f"albums/{kind}/<int:pk>/photos/remove/<int:photo_id>",
+                 remove_photo, name=f"AlbumRemovePhoto_{kind}"),
+            path(f"albums/{kind}/<int:pk>/share/<int:user_id>", share_album,
+                 name=f"ShareAlbum_{kind}"),
+        ]
+        if hasattr(album_cls, "cover"):
+            def set_cover(request, pk, photo_id, _cls=album_cls):
+                album = get_object_or_404(_cls, pk=pk)
+                photo = get_object_or_404(m.Photo, pk=photo_id)
+                album.cover = photo
+                album.save()
+                return HttpResponse(status=200)
+
+            views.append(
+                path(f"albums/{kind}/<int:pk>/cover/<int:photo_id>", set_cover,
+                     name=f"SetAlbumCover_{kind}")
+            )
+        return views
+
+    for kind, album_cls in album_kinds.items():
+        patterns += _album_views(kind, album_cls)
+
+    def add_collaborator(request, pk, user_id):
+        album = get_object_or_404(m.AlbumUser, pk=pk)
+        user = get_object_or_404(m.User, pk=user_id)
+        album.collaborators.add(user)
+        return HttpResponse(status=200)
+
+    def remove_collaborator(request, pk, user_id):
+        album = get_object_or_404(m.AlbumUser, pk=pk)
+        user = get_object_or_404(m.User, pk=user_id)
+        album.collaborators.remove(user)
+        return HttpResponse(status=200)
+
+    def add_person_to_auto(request, pk, person_id):
+        album = get_object_or_404(m.AlbumAuto, pk=pk)
+        person = get_object_or_404(m.Person, pk=person_id)
+        album.people.add(person)
+        return HttpResponse(status=200)
+
+    def tag_album_thing(request, pk, tag_id):
+        album = get_object_or_404(m.AlbumThing, pk=pk)
+        tag = get_object_or_404(m.Tag, pk=tag_id)
+        album.tags.add(tag)
+        return HttpResponse(status=200)
+
+    patterns += [
+        path("albums/user/<int:pk>/collaborators/add/<int:user_id>",
+             add_collaborator, name="AddCollaborator"),
+        path("albums/user/<int:pk>/collaborators/remove/<int:user_id>",
+             remove_collaborator, name="RemoveCollaborator"),
+        path("albums/auto/<int:pk>/people/add/<int:person_id>",
+             add_person_to_auto, name="AlbumAddPerson"),
+        path("albums/thing/<int:pk>/tags/add/<int:tag_id>", tag_album_thing,
+             name="AlbumThingTag"),
+    ]
+
+    # ------------------------------------------------------------------
+    # Long-running jobs
+    # ------------------------------------------------------------------
+
+    def start_job(request, owner_id):
+        owner = get_object_or_404(m.User, pk=owner_id)
+        job = m.LongRunningJob.objects.create(
+            started_by=owner, job_type=request.POST["job_type"]
+        )
+        return JsonResponse({"pk": job.pk}, status=201)
+
+    def finish_job(request, pk):
+        job = get_object_or_404(m.LongRunningJob, pk=pk)
+        job.finished = True
+        job.progress = 100
+        job.save()
+        return HttpResponse(status=200)
+
+    def fail_job(request, pk):
+        job = get_object_or_404(m.LongRunningJob, pk=pk)
+        job.finished = True
+        job.failed = True
+        job.save()
+        return HttpResponse(status=200)
+
+    def cancel_job(request, pk):
+        m.LongRunningJob.objects.filter(pk=pk).delete()
+        return HttpResponse(status=204)
+
+    def attach_photo_to_job(request, pk, photo_id):
+        job = get_object_or_404(m.LongRunningJob, pk=pk)
+        photo = get_object_or_404(m.Photo, pk=photo_id)
+        job.photos.add(photo)
+        return HttpResponse(status=200)
+
+    patterns += [
+        path("jobs/start/<int:owner_id>", start_job, name="StartJob"),
+        path("jobs/<int:pk>/finish", finish_job, name="FinishJob"),
+        path("jobs/<int:pk>/fail", fail_job, name="FailJob"),
+        path("jobs/<int:pk>/cancel", cancel_job, name="CancelJob"),
+        path("jobs/<int:pk>/photos/add/<int:photo_id>", attach_photo_to_job,
+             name="JobAddPhoto"),
+    ]
+
+    # ------------------------------------------------------------------
+    # Read-only search & stats (branch-heavy, no effects)
+    # ------------------------------------------------------------------
+
+    def search_photos(request):
+        qs = m.Photo.objects.all()
+        if "hidden" in request.POST:
+            qs = qs.filter(hidden=False)
+        if "video" in request.POST:
+            qs = qs.filter(video=True)
+        if "min_rating" in request.POST:
+            qs = qs.filter(rating__gte=request.post_int("min_rating"))
+        if "owner" in request.POST:
+            qs = qs.filter(owner__username=request.POST["owner"])
+        return JsonResponse(qs.count())
+
+    def recent_photo(request):
+        photo = m.Photo.objects.order_by("added").last()
+        if photo:
+            return JsonResponse({"pk": photo.pk})
+        return JsonResponse(None, status=404)
+
+    def user_stats(request, pk):
+        user = get_object_or_404(m.User, pk=pk)
+        return JsonResponse(
+            {
+                "photos": m.Photo.objects.filter(owner=user).count(),
+                "favorites": user.favorites.count(),
+            }
+        )
+
+    def face_backlog(request):
+        return JsonResponse(m.Face.objects.filter(person__isnull=True).count())
+
+    patterns += [
+        path("photos/search", search_photos, name="SearchPhotos"),
+        path("photos/recent", recent_photo, name="RecentPhoto"),
+        path("users/<int:pk>/stats", user_stats, name="UserStats"),
+        path("faces/backlog", face_backlog, name="FaceBacklog"),
+    ]
+    return patterns

@@ -1,0 +1,13 @@
+"""PostGraduation — a miniature of the PostGraduation management system
+(paper §6.1): departments, supervisors, candidates, theses, scholarships,
+courses, announcements and a contact box.
+
+Table 4 of the paper reports 8 models, 4 relations, 40 code paths of which
+19 effectful.  This application deliberately uses **no order-related
+primitives**, making it the subject of the order-decoupling ablation
+(paper Table 7 / Figure 9).
+"""
+
+from .app import build_app
+
+__all__ = ["build_app"]

@@ -1,0 +1,84 @@
+"""PostGraduation data model: 8 models, 4 relations."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...orm import (
+    BooleanField,
+    CASCADE,
+    DateTimeField,
+    ForeignKey,
+    Model,
+    PROTECT,
+    PositiveIntegerField,
+    Registry,
+    SET_NULL,
+    TextField,
+)
+
+
+def build_models(registry: Registry) -> SimpleNamespace:
+    with registry.use():
+
+        class Department(Model):
+            name = TextField(unique=True)
+            building = TextField(default="")
+
+        class Supervisor(Model):
+            name = TextField(default="")
+            email = TextField(unique=True)
+            department = ForeignKey(Department, on_delete=CASCADE)
+            capacity = PositiveIntegerField(default=3)
+
+        class Candidate(Model):
+            name = TextField(default="")
+            email = TextField(unique=True)
+            supervisor = ForeignKey(
+                Supervisor, on_delete=SET_NULL, null=True,
+                related_name="candidates",
+            )
+            enrolled = DateTimeField(auto_now_add=True)
+            active = BooleanField(default=True)
+
+        class Thesis(Model):
+            candidate = ForeignKey(Candidate, on_delete=CASCADE)
+            title = TextField(default="")
+            status = TextField(
+                default="draft",
+                choices=("draft", "submitted", "approved", "rejected"),
+            )
+            submitted = DateTimeField(null=True)
+
+        class Scholarship(Model):
+            candidate = ForeignKey(Candidate, on_delete=PROTECT)
+            amount = PositiveIntegerField(default=0)
+            active = BooleanField(default=True)
+
+        class Course(Model):
+            code = TextField(unique=True)
+            title = TextField(default="")
+            archived = BooleanField(default=False)
+
+        class Announcement(Model):
+            title = TextField(default="")
+            body = TextField(default="")
+            posted = DateTimeField(auto_now_add=True)
+            pinned = BooleanField(default=False)
+
+        class ContactMessage(Model):
+            sender = TextField(default="")
+            body = TextField(default="")
+            received = DateTimeField(auto_now_add=True)
+            handled = BooleanField(default=False)
+
+    return SimpleNamespace(
+        Department=Department,
+        Supervisor=Supervisor,
+        Candidate=Candidate,
+        Thesis=Thesis,
+        Scholarship=Scholarship,
+        Course=Course,
+        Announcement=Announcement,
+        ContactMessage=ContactMessage,
+    )

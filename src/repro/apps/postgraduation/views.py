@@ -1,0 +1,199 @@
+"""PostGraduation HTTP endpoints."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...web import HttpResponse, JsonResponse, get_object_or_404, path
+
+
+def build_views(m: SimpleNamespace) -> list:
+    # -- read-only -------------------------------------------------------
+
+    def department_list(request):
+        return JsonResponse(m.Department.objects.count())
+
+    def supervisor_load(request, pk):
+        supervisor = get_object_or_404(m.Supervisor, pk=pk)
+        return JsonResponse(supervisor.candidates.count())
+
+    def candidate_detail(request, pk):
+        candidate = get_object_or_404(m.Candidate, pk=pk)
+        return JsonResponse({"name": candidate.name, "active": candidate.active})
+
+    def unhandled_messages(request):
+        return JsonResponse(
+            m.ContactMessage.objects.filter(handled=False).count()
+        )
+
+    def open_courses(request):
+        return JsonResponse(m.Course.objects.filter(archived=False).count())
+
+    # -- administration ----------------------------------------------------
+
+    def create_department(request):
+        department = m.Department.objects.create(name=request.POST["name"])
+        return JsonResponse({"pk": department.pk}, status=201)
+
+    def hire_supervisor(request, department_id):
+        department = get_object_or_404(m.Department, pk=department_id)
+        supervisor = m.Supervisor.objects.create(
+            name=request.POST["name"],
+            email=request.POST["email"],
+            department=department,
+        )
+        return JsonResponse({"pk": supervisor.pk}, status=201)
+
+    def register_candidate(request):
+        candidate = m.Candidate.objects.create(
+            name=request.POST["name"],
+            email=request.POST["email"],
+        )
+        return JsonResponse({"pk": candidate.pk}, status=201)
+
+    def assign_supervisor(request, candidate_id, supervisor_id):
+        candidate = get_object_or_404(m.Candidate, pk=candidate_id)
+        supervisor = get_object_or_404(m.Supervisor, pk=supervisor_id)
+        # Capacity is an application invariant checked on assignment.
+        if supervisor.candidates.count() >= supervisor.capacity:
+            return HttpResponse("supervisor at capacity", status=400)
+        candidate.supervisor = supervisor
+        candidate.save()
+        return HttpResponse(status=200)
+
+    def unassign_supervisor(request, candidate_id):
+        candidate = get_object_or_404(m.Candidate, pk=candidate_id)
+        candidate.supervisor = None
+        candidate.save()
+        return HttpResponse(status=200)
+
+    def deactivate_candidate(request, candidate_id):
+        candidate = get_object_or_404(m.Candidate, pk=candidate_id)
+        candidate.active = False
+        candidate.save()
+        return HttpResponse(status=200)
+
+    def delete_candidate(request, candidate_id):
+        candidate = get_object_or_404(m.Candidate, pk=candidate_id)
+        candidate.delete()  # PROTECTed by active scholarships
+        return HttpResponse(status=204)
+
+    # -- theses -----------------------------------------------------------
+
+    def submit_thesis(request, candidate_id):
+        candidate = get_object_or_404(m.Candidate, pk=candidate_id)
+        thesis = m.Thesis.objects.create(
+            candidate=candidate,
+            title=request.POST["title"],
+            status="submitted",
+        )
+        return JsonResponse({"pk": thesis.pk}, status=201)
+
+    def review_thesis(request, thesis_id):
+        thesis = get_object_or_404(m.Thesis, pk=thesis_id)
+        if request.POST["verdict"] == "approve":
+            thesis.status = "approved"
+        else:
+            thesis.status = "rejected"
+        thesis.save()
+        return HttpResponse(status=200)
+
+    def withdraw_thesis(request, thesis_id):
+        m.Thesis.objects.filter(pk=thesis_id).delete()
+        return HttpResponse(status=204)
+
+    # -- scholarships -------------------------------------------------------
+
+    def award_scholarship(request, candidate_id):
+        candidate = get_object_or_404(m.Candidate, pk=candidate_id)
+        scholarship = m.Scholarship.objects.create(
+            candidate=candidate,
+            amount=request.post_int("amount"),
+        )
+        return JsonResponse({"pk": scholarship.pk}, status=201)
+
+    def suspend_scholarship(request, scholarship_id):
+        scholarship = get_object_or_404(m.Scholarship, pk=scholarship_id)
+        scholarship.active = False
+        scholarship.save()
+        return HttpResponse(status=200)
+
+    # -- courses ------------------------------------------------------------
+
+    def create_course(request):
+        course = m.Course.objects.create(
+            code=request.POST["code"], title=request.POST["title"]
+        )
+        return JsonResponse({"pk": course.pk}, status=201)
+
+    def archive_course(request, course_id):
+        m.Course.objects.filter(pk=course_id).update(archived=True)
+        return HttpResponse(status=200)
+
+    # -- announcements & contact ---------------------------------------------
+
+    def post_announcement(request):
+        announcement = m.Announcement.objects.create(
+            title=request.POST["title"], body=request.POST["body"]
+        )
+        return JsonResponse({"pk": announcement.pk}, status=201)
+
+    def pin_announcement(request, announcement_id):
+        m.Announcement.objects.filter(pk=announcement_id).update(pinned=True)
+        return HttpResponse(status=200)
+
+    def delete_announcement(request, announcement_id):
+        m.Announcement.objects.filter(pk=announcement_id).delete()
+        return HttpResponse(status=204)
+
+    def contact(request):
+        message = m.ContactMessage.objects.create(
+            sender=request.POST["sender"], body=request.POST["body"]
+        )
+        return JsonResponse({"pk": message.pk}, status=201)
+
+    def handle_message(request, message_id):
+        message = get_object_or_404(m.ContactMessage, pk=message_id)
+        message.handled = True
+        message.save()
+        return HttpResponse(status=200)
+
+    return [
+        path("departments", department_list, name="DepartmentList"),
+        path("supervisors/<int:pk>/load", supervisor_load, name="SupervisorLoad"),
+        path("candidates/<int:pk>", candidate_detail, name="CandidateDetail"),
+        path("messages/unhandled", unhandled_messages, name="UnhandledMessages"),
+        path("courses/open", open_courses, name="OpenCourses"),
+        path("departments/create", create_department, name="CreateDepartment"),
+        path("departments/<int:department_id>/hire", hire_supervisor,
+             name="HireSupervisor"),
+        path("candidates/register", register_candidate, name="RegisterCandidate"),
+        path("candidates/<int:candidate_id>/assign/<int:supervisor_id>",
+             assign_supervisor, name="AssignSupervisor"),
+        path("candidates/<int:candidate_id>/unassign", unassign_supervisor,
+             name="UnassignSupervisor"),
+        path("candidates/<int:candidate_id>/deactivate", deactivate_candidate,
+             name="DeactivateCandidate"),
+        path("candidates/<int:candidate_id>/delete", delete_candidate,
+             name="DeleteCandidate"),
+        path("candidates/<int:candidate_id>/thesis", submit_thesis,
+             name="SubmitThesis"),
+        path("theses/<int:thesis_id>/review", review_thesis, name="ReviewThesis"),
+        path("theses/<int:thesis_id>/withdraw", withdraw_thesis,
+             name="WithdrawThesis"),
+        path("candidates/<int:candidate_id>/scholarship", award_scholarship,
+             name="AwardScholarship"),
+        path("scholarships/<int:scholarship_id>/suspend", suspend_scholarship,
+             name="SuspendScholarship"),
+        path("courses/create", create_course, name="CreateCourse"),
+        path("courses/<int:course_id>/archive", archive_course,
+             name="ArchiveCourse"),
+        path("announcements/post", post_announcement, name="PostAnnouncement"),
+        path("announcements/<int:announcement_id>/pin", pin_announcement,
+             name="PinAnnouncement"),
+        path("announcements/<int:announcement_id>/delete", delete_announcement,
+             name="DeleteAnnouncement"),
+        path("contact", contact, name="Contact"),
+        path("messages/<int:message_id>/handle", handle_message,
+             name="HandleMessage"),
+    ]

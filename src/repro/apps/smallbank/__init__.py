@@ -1,0 +1,23 @@
+"""SmallBank (paper §6.2), re-implemented as a web application.
+
+One model, ``Account``, holding two balances (checking and savings), and
+five operations: ``Balance`` (read-only), ``DepositChecking``,
+``TransactSavings``, ``SendPayment`` and ``Amalgamate``.  The application
+invariant is that balances never go negative — expressed, Django-style,
+through ``PositiveIntegerField`` (paper §2.3), whose refinement the
+analyzer turns into guards.
+
+Expected verification results (paper Table 5): **0 commutativity failures,
+4 semantic failures** — (TransactSavings, TransactSavings),
+(SendPayment, SendPayment), (Amalgamate, Amalgamate) and
+(Amalgamate, SendPayment), all arising from balance non-negativity.
+
+Implementation note: ``Amalgamate`` consolidates a client-audited amount of
+the source account's checking funds (the web-idiomatic variant of H-Store's
+read-modify-write amalgamate; the moved amount travels in the request and
+is validated against the invariant server-side).  See DESIGN.md §7.
+"""
+
+from .app import build_app
+
+__all__ = ["build_app"]

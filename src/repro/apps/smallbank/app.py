@@ -1,0 +1,97 @@
+"""SmallBank models and views (built per call, on a fresh registry)."""
+
+from __future__ import annotations
+
+from ...orm import Model, PositiveIntegerField, Registry, TextField
+from ...web import Application, HttpResponse, JsonResponse, path
+
+
+def build_app() -> Application:
+    """Construct a fresh SmallBank application instance."""
+    registry = Registry("smallbank")
+    with registry.use():
+
+        class Account(Model):
+            """A customer account with two non-negative balances."""
+
+            name = TextField(primary_key=True)
+            checking = PositiveIntegerField(default=0)
+            savings = PositiveIntegerField(default=0)
+
+    def balance(request, name):
+        """Read-only: the total balance of an account."""
+        account = Account.objects.get(name=name)
+        return JsonResponse(account.checking + account.savings)
+
+    def deposit_checking(request, name):
+        """Add a non-negative amount to the checking balance."""
+        amount = request.post_int("amount")
+        if amount < 0:
+            raise ValueError("deposit must be non-negative")
+        account = Account.objects.get(name=name)
+        account.checking = account.checking + amount
+        account.save()
+        return HttpResponse(status=200)
+
+    def transact_savings(request, name):
+        """Add a (possibly negative) amount to the savings balance.
+
+        The non-negativity of ``savings`` (PositiveIntegerField) is the
+        implicit precondition: an overdraft aborts the transaction."""
+        amount = request.post_int("amount")
+        account = Account.objects.get(name=name)
+        account.savings = account.savings + amount
+        account.save()
+        return HttpResponse(status=200)
+
+    def send_payment(request, src, dst):
+        """Move a non-negative amount between two checking balances."""
+        amount = request.post_int("amount")
+        if amount < 0:
+            raise ValueError("payment must be non-negative")
+        source = Account.objects.get(name=src)
+        destination = Account.objects.get(name=dst)
+        source.checking = source.checking - amount
+        source.save()
+        destination.checking = destination.checking + amount
+        destination.save()
+        return HttpResponse(status=200)
+
+    def amalgamate(request, src, dst):
+        """Consolidate ``amount`` of ``src``'s checking funds into ``dst``.
+
+        The client audits the source balance and submits the amount to
+        amalgamate; non-negativity of the source balance is enforced by the
+        ``PositiveIntegerField`` refinement when the subtraction is saved."""
+        amount = request.post_int("amount")
+        if amount < 0:
+            raise ValueError("amalgamate amount must be non-negative")
+        source = Account.objects.get(name=src)
+        destination = Account.objects.get(name=dst)
+        source.checking = source.checking - amount
+        source.save()
+        destination.checking = destination.checking + amount
+        destination.save()
+        return HttpResponse(status=200)
+
+    patterns = [
+        path("balance/<name>", balance, name="Balance"),
+        path("deposit/<name>", deposit_checking, name="DepositChecking"),
+        path("transact/<name>", transact_savings, name="TransactSavings"),
+        path("pay/<src>/<dst>", send_payment, name="SendPayment"),
+        path("amalgamate/<src>/<dst>", amalgamate, name="Amalgamate"),
+    ]
+    return Application("smallbank", registry, patterns, source_loc=_loc())
+
+
+def _loc() -> int:
+    """Lines of application code (reported in Table 4)."""
+    import os
+
+    here = os.path.dirname(__file__)
+    total = 0
+    for fname in os.listdir(here):
+        if fname.endswith(".py"):
+            with open(os.path.join(here, fname)) as f:
+                total += sum(1 for _ in f)
+    return total

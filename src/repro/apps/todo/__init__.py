@@ -1,0 +1,10 @@
+"""Todo — a faithful miniature of the django-todo application (paper §6.1).
+
+A single ``Task`` model, no relations; list/detail pages plus task
+creation, completion, starring, editing and bulk clearing.  Table 4 of the
+paper reports 1 model, 0 relations, 18 code paths of which 10 effectful.
+"""
+
+from .app import build_app
+
+__all__ = ["build_app"]

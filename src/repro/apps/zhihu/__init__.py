@@ -1,0 +1,18 @@
+"""Zhihu — a miniature of the zhihu Q&A application (paper §6.1, §6.4).
+
+A Quora-like site: profiles, topics, questions, answers, comments, votes,
+collections, drafts, reports, badges, messages and notifications.  Table 4
+of the paper reports 14 models, 25 relations, 51 code paths of which 17
+effectful.
+
+The §6.4 case-study operations live here: ``CreateQuestion`` initializes a
+question's follow counter to zero, while ``FollowQuestion`` creates a
+``QuestionFollow`` object whose (user, question) pair is unique-together
+and increments the counter — yielding the commutativity conflict
+(CreateQuestion, FollowQuestion) and the semantic self-conflict
+(FollowQuestion, FollowQuestion) described in the paper.
+"""
+
+from .app import build_app
+
+__all__ = ["build_app"]

@@ -1,0 +1,129 @@
+"""Zhihu data model: 14 models, 25 relations."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...orm import (
+    BooleanField,
+    CASCADE,
+    DateTimeField,
+    ForeignKey,
+    ManyToManyField,
+    Model,
+    PositiveIntegerField,
+    Registry,
+    SET_NULL,
+    TextField,
+)
+
+
+def build_models(registry: Registry) -> SimpleNamespace:
+    with registry.use():
+
+        class Profile(Model):
+            handle = TextField(unique=True)
+            bio = TextField(default="")
+            reputation = PositiveIntegerField(default=0)
+            following = ManyToManyField("Profile", related_name="followed_by")
+
+        class Topic(Model):
+            name = TextField(unique=True)
+            description = TextField(default="")
+            followers = ManyToManyField(Profile, related_name="followed_topics")
+
+        class Question(Model):
+            title = TextField(default="")
+            body = TextField(default="")
+            author = ForeignKey(Profile, on_delete=CASCADE)
+            topics = ManyToManyField(Topic, related_name="questions")
+            follow = PositiveIntegerField(default=0)
+            created = DateTimeField(auto_now_add=True)
+
+        class QuestionFollow(Model):
+            """A user's subscription to a question's activity (§6.4).
+
+            The (user, question) pair is unique-together; the key columns
+            mirror the foreign keys, the common Django idiom for enforcing
+            joint uniqueness over relations."""
+
+            user = ForeignKey(Profile, on_delete=CASCADE)
+            question = ForeignKey(Question, on_delete=CASCADE)
+            user_key = TextField(default="")
+            question_key = TextField(default="")
+
+            class Meta:
+                unique_together = ("user_key", "question_key")
+
+        class Answer(Model):
+            question = ForeignKey(Question, on_delete=CASCADE)
+            author = ForeignKey(Profile, on_delete=CASCADE)
+            body = TextField(default="")
+            votes = PositiveIntegerField(default=0)
+            upvoters = ManyToManyField(Profile, related_name="upvoted")
+            downvoters = ManyToManyField(Profile, related_name="downvoted")
+            created = DateTimeField(auto_now_add=True)
+
+        class QuestionComment(Model):
+            question = ForeignKey(Question, on_delete=CASCADE)
+            author = ForeignKey(Profile, on_delete=CASCADE)
+            text = TextField(default="")
+
+        class AnswerComment(Model):
+            answer = ForeignKey(Answer, on_delete=CASCADE)
+            author = ForeignKey(Profile, on_delete=CASCADE)
+            text = TextField(default="")
+
+        class Notification(Model):
+            recipient = ForeignKey(Profile, on_delete=CASCADE)
+            text = TextField(default="")
+            read = BooleanField(default=False)
+
+        class Collection(Model):
+            owner = ForeignKey(Profile, on_delete=CASCADE)
+            name = TextField(default="")
+            answers = ManyToManyField(Answer, related_name="collected_in")
+
+        class Draft(Model):
+            author = ForeignKey(Profile, on_delete=CASCADE)
+            title = TextField(default="")
+            body = TextField(default="")
+
+        class Report(Model):
+            reporter = ForeignKey(Profile, on_delete=CASCADE)
+            answer = ForeignKey(Answer, on_delete=SET_NULL, null=True)
+            question = ForeignKey(Question, on_delete=SET_NULL, null=True)
+            reason = TextField(default="")
+            resolved = BooleanField(default=False)
+
+        class Badge(Model):
+            name = TextField(unique=True)
+            description = TextField(default="")
+
+        class BadgeAward(Model):
+            badge = ForeignKey(Badge, on_delete=CASCADE)
+            profile = ForeignKey(Profile, on_delete=CASCADE)
+            awarded = DateTimeField(auto_now_add=True)
+
+        class Message(Model):
+            sender = ForeignKey(Profile, on_delete=CASCADE)
+            recipient = ForeignKey(Profile, on_delete=CASCADE)
+            text = TextField(default="")
+            sent = DateTimeField(auto_now_add=True)
+
+    return SimpleNamespace(
+        Profile=Profile,
+        Topic=Topic,
+        Question=Question,
+        QuestionFollow=QuestionFollow,
+        Answer=Answer,
+        QuestionComment=QuestionComment,
+        AnswerComment=AnswerComment,
+        Notification=Notification,
+        Collection=Collection,
+        Draft=Draft,
+        Report=Report,
+        Badge=Badge,
+        BadgeAward=BadgeAward,
+        Message=Message,
+    )

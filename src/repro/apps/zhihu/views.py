@@ -1,0 +1,236 @@
+"""Zhihu HTTP endpoints."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...web import HttpResponse, JsonResponse, get_object_or_404, path
+
+
+def build_views(m: SimpleNamespace) -> list:
+    # -- read-only --------------------------------------------------------
+
+    def question_detail(request, pk):
+        question = get_object_or_404(m.Question, pk=pk)
+        return JsonResponse({"title": question.title, "follow": question.follow})
+
+    def question_answers(request, pk):
+        question = get_object_or_404(m.Question, pk=pk)
+        return JsonResponse(m.Answer.objects.filter(question=question).count())
+
+    def hot_answer(request, pk):
+        """The highest-voted answer (an order-related read)."""
+        question = get_object_or_404(m.Question, pk=pk)
+        answer = (
+            m.Answer.objects.filter(question=question).order_by("-votes").first()
+        )
+        if answer:
+            return JsonResponse({"pk": answer.pk})
+        return JsonResponse(None, status=404)
+
+    def latest_question(request):
+        """The most recent question (an order-related read)."""
+        question = m.Question.objects.order_by("created").last()
+        if question:
+            return JsonResponse({"pk": question.pk})
+        return JsonResponse(None, status=404)
+
+    def profile_detail(request, handle):
+        profile = get_object_or_404(m.Profile, handle=handle)
+        return JsonResponse({"bio": profile.bio, "reputation": profile.reputation})
+
+    def unread_notifications(request, handle):
+        profile = get_object_or_404(m.Profile, handle=handle)
+        return JsonResponse(
+            m.Notification.objects.filter(recipient=profile, read=False).count()
+        )
+
+    def topic_questions(request, pk):
+        topic = get_object_or_404(m.Topic, pk=pk)
+        return JsonResponse(topic.questions.count())
+
+    # -- §6.4 case-study operations -----------------------------------------
+
+    def create_question(request, handle):
+        """CreateQuestion: a new Question with follow count zero."""
+        author = get_object_or_404(m.Profile, handle=handle)
+        question = m.Question.objects.create(
+            title=request.POST["title"],
+            body=request.POST["body"],
+            author=author,
+        )
+        return JsonResponse({"pk": question.pk}, status=201)
+
+    def follow_question(request, handle, pk):
+        """FollowQuestion: subscribe + bump the question's follow count."""
+        user = get_object_or_404(m.Profile, handle=handle)
+        question = get_object_or_404(m.Question, pk=pk)
+        m.QuestionFollow.objects.create(
+            user=user,
+            question=question,
+            user_key=handle,
+            question_key=request.POST["question_key"],
+        )
+        question.follow = question.follow + 1
+        question.save()
+        return HttpResponse(status=201)
+
+    # -- content creation -----------------------------------------------------
+
+    def register_profile(request):
+        profile = m.Profile.objects.create(handle=request.POST["handle"])
+        return JsonResponse({"pk": profile.pk}, status=201)
+
+    def create_answer(request, handle, pk):
+        author = get_object_or_404(m.Profile, handle=handle)
+        question = get_object_or_404(m.Question, pk=pk)
+        answer = m.Answer.objects.create(
+            question=question, author=author, body=request.POST["body"]
+        )
+        return JsonResponse({"pk": answer.pk}, status=201)
+
+    def comment_question(request, handle, pk):
+        author = get_object_or_404(m.Profile, handle=handle)
+        question = get_object_or_404(m.Question, pk=pk)
+        m.QuestionComment.objects.create(
+            question=question, author=author, text=request.POST["text"]
+        )
+        return HttpResponse(status=201)
+
+    def comment_answer(request, handle, pk):
+        author = get_object_or_404(m.Profile, handle=handle)
+        answer = get_object_or_404(m.Answer, pk=pk)
+        m.AnswerComment.objects.create(
+            answer=answer, author=author, text=request.POST["text"]
+        )
+        return HttpResponse(status=201)
+
+    def upvote_answer(request, handle, pk):
+        voter = get_object_or_404(m.Profile, handle=handle)
+        answer = get_object_or_404(m.Answer, pk=pk)
+        answer.upvoters.add(voter)
+        answer.votes = answer.votes + 1
+        answer.save()
+        return HttpResponse(status=200)
+
+    def retract_vote(request, handle, pk):
+        voter = get_object_or_404(m.Profile, handle=handle)
+        answer = get_object_or_404(m.Answer, pk=pk)
+        answer.upvoters.remove(voter)
+        answer.votes = answer.votes - 1
+        answer.save()
+        return HttpResponse(status=200)
+
+    def delete_answer(request, pk):
+        m.Answer.objects.filter(pk=pk).delete()
+        return HttpResponse(status=204)
+
+    # -- social graph -----------------------------------------------------------
+
+    def follow_user(request, handle, other):
+        follower = get_object_or_404(m.Profile, handle=handle)
+        followee = get_object_or_404(m.Profile, handle=other)
+        follower.following.add(followee)
+        return HttpResponse(status=200)
+
+    def follow_topic(request, handle, pk):
+        profile = get_object_or_404(m.Profile, handle=handle)
+        topic = get_object_or_404(m.Topic, pk=pk)
+        topic.followers.add(profile)
+        return HttpResponse(status=200)
+
+    def create_topic(request):
+        topic = m.Topic.objects.create(name=request.POST["name"])
+        return JsonResponse({"pk": topic.pk}, status=201)
+
+    def tag_question(request, pk, topic_id):
+        question = get_object_or_404(m.Question, pk=pk)
+        topic = get_object_or_404(m.Topic, pk=topic_id)
+        question.topics.add(topic)
+        return HttpResponse(status=200)
+
+    # -- collections, drafts, reports, badges, messages ------------------------
+
+    def create_collection(request, handle):
+        owner = get_object_or_404(m.Profile, handle=handle)
+        collection = m.Collection.objects.create(
+            owner=owner, name=request.POST["name"]
+        )
+        return JsonResponse({"pk": collection.pk}, status=201)
+
+    def collect_answer(request, pk, answer_id):
+        collection = get_object_or_404(m.Collection, pk=pk)
+        answer = get_object_or_404(m.Answer, pk=answer_id)
+        collection.answers.add(answer)
+        return HttpResponse(status=200)
+
+    def save_draft(request, handle):
+        author = get_object_or_404(m.Profile, handle=handle)
+        draft = m.Draft.objects.create(
+            author=author,
+            title=request.POST["title"],
+            body=request.POST["body"],
+        )
+        return JsonResponse({"pk": draft.pk}, status=201)
+
+    def submit_report(request, handle, answer_id):
+        reporter = get_object_or_404(m.Profile, handle=handle)
+        answer = get_object_or_404(m.Answer, pk=answer_id)
+        m.Report.objects.create(
+            reporter=reporter, answer=answer, reason=request.POST["reason"]
+        )
+        return HttpResponse(status=201)
+
+    def award_badge(request, handle, badge_id):
+        profile = get_object_or_404(m.Profile, handle=handle)
+        badge = get_object_or_404(m.Badge, pk=badge_id)
+        m.BadgeAward.objects.create(badge=badge, profile=profile)
+        return HttpResponse(status=201)
+
+    def send_message(request, handle, other):
+        sender = get_object_or_404(m.Profile, handle=handle)
+        recipient = get_object_or_404(m.Profile, handle=other)
+        m.Message.objects.create(
+            sender=sender, recipient=recipient, text=request.POST["text"]
+        )
+        return HttpResponse(status=201)
+
+    def read_notifications(request, handle):
+        profile = get_object_or_404(m.Profile, handle=handle)
+        m.Notification.objects.filter(recipient=profile).update(read=True)
+        return HttpResponse(status=200)
+
+    return [
+        path("q/<int:pk>", question_detail, name="QuestionDetail"),
+        path("q/<int:pk>/answers", question_answers, name="QuestionAnswers"),
+        path("q/<int:pk>/hot", hot_answer, name="HotAnswer"),
+        path("q/latest", latest_question, name="LatestQuestion"),
+        path("u/<handle>", profile_detail, name="ProfileDetail"),
+        path("u/<handle>/unread", unread_notifications, name="UnreadNotifications"),
+        path("t/<int:pk>/questions", topic_questions, name="TopicQuestions"),
+        path("u/<handle>/ask", create_question, name="CreateQuestion"),
+        path("u/<handle>/follow-q/<int:pk>", follow_question, name="FollowQuestion"),
+        path("register", register_profile, name="RegisterProfile"),
+        path("u/<handle>/answer/<int:pk>", create_answer, name="CreateAnswer"),
+        path("u/<handle>/comment-q/<int:pk>", comment_question,
+             name="CommentQuestion"),
+        path("u/<handle>/comment-a/<int:pk>", comment_answer, name="CommentAnswer"),
+        path("u/<handle>/upvote/<int:pk>", upvote_answer, name="UpvoteAnswer"),
+        path("u/<handle>/retract/<int:pk>", retract_vote, name="RetractVote"),
+        path("a/<int:pk>/delete", delete_answer, name="DeleteAnswer"),
+        path("u/<handle>/follow-u/<other>", follow_user, name="FollowUser"),
+        path("u/<handle>/follow-t/<int:pk>", follow_topic, name="FollowTopic"),
+        path("topics/create", create_topic, name="CreateTopic"),
+        path("q/<int:pk>/tag/<int:topic_id>", tag_question, name="TagQuestion"),
+        path("u/<handle>/collections/create", create_collection,
+             name="CreateCollection"),
+        path("c/<int:pk>/collect/<int:answer_id>", collect_answer,
+             name="CollectAnswer"),
+        path("u/<handle>/drafts/save", save_draft, name="SaveDraft"),
+        path("u/<handle>/report/<int:answer_id>", submit_report,
+             name="SubmitReport"),
+        path("u/<handle>/badges/<int:badge_id>", award_badge, name="AwardBadge"),
+        path("u/<handle>/message/<other>", send_message, name="SendMessage"),
+        path("u/<handle>/notifications/read", read_notifications,
+             name="ReadNotifications"),
+    ]

@@ -1,0 +1,19 @@
+"""Baseline analyzers: Rigi-style and Hamsaz-style, over static operation
+specifications (paper Table 5's comparison column)."""
+
+from . import hamsaz, rigi
+from .engine import SpecCheckOutcome, analyze_spec, check_pair
+from .specs import BenchmarkSpec, OpSpec, Param, courseware_spec, smallbank_spec
+
+__all__ = [
+    "BenchmarkSpec",
+    "OpSpec",
+    "Param",
+    "SpecCheckOutcome",
+    "analyze_spec",
+    "check_pair",
+    "courseware_spec",
+    "hamsaz",
+    "rigi",
+    "smallbank_spec",
+]

@@ -1,0 +1,104 @@
+"""Shared bounded engine for the baseline analyzers.
+
+Implements the two checking rules of §2.2.1 directly over operation
+specifications: exhaustive enumeration of the spec's initial states and
+argument vectors (the spec domains are tiny by construction).  Entirely
+independent of the SOIR/interpreter machinery, so agreement with Noctua
+(Table 5) is a genuine two-implementation cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import BenchmarkSpec, OpSpec, SpecState, clone_state
+
+
+@dataclass(frozen=True)
+class SpecCheckOutcome:
+    commutes: bool
+    not_invalidating: bool
+    witness: str = ""
+
+    @property
+    def restricted(self) -> bool:
+        return not (self.commutes and self.not_invalidating)
+
+
+def _apply(op: OpSpec, state: SpecState, args: dict) -> SpecState:
+    new = clone_state(state)
+    op.effect(new, args)
+    return new
+
+
+def _env_pairs(p: OpSpec, q: OpSpec, *, unique_ids: bool):
+    for args_p in p.arg_vectors():
+        for args_q in q.arg_vectors():
+            if unique_ids and _fresh_collision(p, args_p, q, args_q):
+                continue
+            yield args_p, args_q
+
+
+def _fresh_collision(p: OpSpec, args_p: dict, q: OpSpec, args_q: dict) -> bool:
+    fresh_p = {args_p[par.name] for par in p.params if par.fresh}
+    fresh_q = {args_q[par.name] for par in q.params if par.fresh}
+    # Two storage-generated IDs never coincide; a fresh ID may coincide
+    # with a *plain* argument (a client-supplied ID).
+    return bool(fresh_p & fresh_q)
+
+
+def _feasible(op: OpSpec, args: dict, states: list[SpecState]) -> bool:
+    return any(op.precondition(state, args) for state in states)
+
+
+def check_pair(
+    spec: BenchmarkSpec,
+    p: OpSpec,
+    q: OpSpec,
+    *,
+    unique_ids: bool = True,
+) -> SpecCheckOutcome:
+    """Run both checks exhaustively over the spec's finite scope."""
+    states = [s for s in spec.states() if spec.invariant(s)]
+    commutes = True
+    not_invalidating = True
+    witness = ""
+    for args_p, args_q in _env_pairs(p, q, unique_ids=unique_ids):
+        feasible_p = _feasible(p, args_p, states)
+        feasible_q = _feasible(q, args_q, states)
+        if not (feasible_p and feasible_q):
+            continue
+        for state in states:
+            if commutes:
+                s_pq = _apply(q, _apply(p, state, args_p), args_q)
+                s_qp = _apply(p, _apply(q, state, args_q), args_p)
+                if s_pq != s_qp:
+                    commutes = False
+                    witness = f"commutativity: {args_p} / {args_q}"
+            if not_invalidating:
+                p_ok = p.precondition(state, args_p)
+                q_ok = q.precondition(state, args_q)
+                if p_ok and q_ok:
+                    if not p.precondition(_apply(q, state, args_q), args_p):
+                        not_invalidating = False
+                        witness = f"{q.name} invalidates {p.name}: {args_q}"
+                    elif not q.precondition(_apply(p, state, args_p), args_q):
+                        not_invalidating = False
+                        witness = f"{p.name} invalidates {q.name}: {args_p}"
+            if not commutes and not not_invalidating:
+                return SpecCheckOutcome(commutes, not_invalidating, witness)
+    return SpecCheckOutcome(commutes, not_invalidating, witness)
+
+
+def analyze_spec(
+    spec: BenchmarkSpec, *, unique_ids: bool = True
+) -> dict[frozenset[str], SpecCheckOutcome]:
+    """All unordered operation pairs (including self-pairs)."""
+    results: dict[frozenset[str], SpecCheckOutcome] = {}
+    ops = spec.operations
+    for i, p in enumerate(ops):
+        for q in ops[i:]:
+            results[frozenset((p.name, q.name))] = check_pair(
+                spec, p, q, unique_ids=unique_ids
+            )
+    return results

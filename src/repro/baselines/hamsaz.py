@@ -1,0 +1,46 @@
+"""Hamsaz-style baseline analyzer (paper §7, [18]).
+
+Hamsaz analyzes user-supplied object specifications under the
+*well-coordination* framework: executions must be locally permissible,
+conflict-synchronizing and dependency-preserving.  Its pairwise relations
+map onto the paper's checks as follows:
+
+* two operations **conflict** when their effects do not commute
+  (conflict-synchronization ⇒ the commutativity check);
+* ``P`` **invalidates** ``Q`` when ``P``'s effect can revoke ``Q``'s local
+  permissibility (⇒ the semantic / NotInvalidate check).
+
+The analyzer reports both relations for every pair of a specification —
+the "Baseline" column for Courseware in paper Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .engine import analyze_spec
+from .specs import BenchmarkSpec
+
+
+@dataclass
+class HamsazReport:
+    """Pairwise well-coordination relations."""
+
+    benchmark: str
+    conflicting: set[frozenset[str]] = field(default_factory=set)
+    invalidating: set[frozenset[str]] = field(default_factory=set)
+
+    @property
+    def must_synchronize(self) -> set[frozenset[str]]:
+        """Pairs that well-coordination forces to coordinate."""
+        return self.conflicting | self.invalidating
+
+
+def analyze(spec: BenchmarkSpec, *, unique_ids: bool = True) -> HamsazReport:
+    report = HamsazReport(spec.name)
+    for pair, outcome in analyze_spec(spec, unique_ids=unique_ids).items():
+        if not outcome.commutes:
+            report.conflicting.add(pair)
+        if not outcome.not_invalidating:
+            report.invalidating.add(pair)
+    return report

@@ -1,0 +1,39 @@
+"""Rigi-style baseline analyzer (paper §7, [41]).
+
+Rigi/AutoGR analyzes applications whose SQL queries are explicit and
+static, encodes tables as arrays (no order component) and asks Z3 for
+counterexamples to the same two checking rules.  This baseline consumes
+our hand-written static specifications and reports, per operation pair,
+whether the pair fails the commutativity and/or semantic check — the
+numbers of the "Baseline" column for SmallBank in paper Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .engine import analyze_spec
+from .specs import BenchmarkSpec
+
+
+@dataclass
+class RigiReport:
+    """Restriction table in Rigi's terms."""
+
+    benchmark: str
+    commutativity_failures: set[frozenset[str]] = field(default_factory=set)
+    semantic_failures: set[frozenset[str]] = field(default_factory=set)
+
+    @property
+    def restrictions(self) -> set[frozenset[str]]:
+        return self.commutativity_failures | self.semantic_failures
+
+
+def analyze(spec: BenchmarkSpec, *, unique_ids: bool = True) -> RigiReport:
+    report = RigiReport(spec.name)
+    for pair, outcome in analyze_spec(spec, unique_ids=unique_ids).items():
+        if not outcome.commutes:
+            report.commutativity_failures.add(pair)
+        if not outcome.not_invalidating:
+            report.semantic_failures.add(pair)
+    return report

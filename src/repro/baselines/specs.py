@@ -1,0 +1,263 @@
+"""Hand-written operation specifications for the baseline analyzers.
+
+Prior tools (Rigi, Hamsaz, CISE) do not analyze application code: they
+consume *explicit, static* operation specifications — preconditions and
+effects over a simple table-structured state (paper §7).  This module
+contains such specifications for the two synthetic benchmarks, written
+independently of the SOIR machinery so that agreement between Noctua and
+the baselines (paper Table 5) is a meaningful, two-implementation check.
+
+A specification state is ``dict[table_name, dict[key, record]]``; effects
+mutate it in place; preconditions are pure predicates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+SpecState = dict  # table name -> {key: record-dict}
+
+
+@dataclass(frozen=True)
+class Param:
+    """One operation parameter with its finite candidate domain."""
+
+    name: str
+    domain: tuple
+
+    #: fresh parameters model storage-generated unique IDs
+    fresh: bool = False
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One operation: a guarded state transformer."""
+
+    name: str
+    params: tuple[Param, ...]
+    precondition: Callable[[SpecState, dict], bool]
+    effect: Callable[[SpecState, dict], None]
+
+    def arg_vectors(self) -> Iterable[dict]:
+        pools = [p.domain for p in self.params]
+        for combo in itertools.product(*pools):
+            yield dict(zip((p.name for p in self.params), combo))
+
+
+@dataclass
+class BenchmarkSpec:
+    """A benchmark: operations plus a generator of initial states."""
+
+    name: str
+    operations: list[OpSpec]
+    states: Callable[[], list[SpecState]]
+    invariant: Callable[[SpecState], bool] = field(default=lambda s: True)
+
+    def operation(self, name: str) -> OpSpec:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise KeyError(name)
+
+
+def _clone(state: SpecState) -> SpecState:
+    return {t: {k: dict(r) for k, r in rows.items()} for t, rows in state.items()}
+
+
+# ---------------------------------------------------------------------------
+# SmallBank
+# ---------------------------------------------------------------------------
+
+
+def smallbank_spec() -> BenchmarkSpec:
+    """SmallBank as the Rigi family specifies it: accounts with checking
+    and savings balances, invariant: balances never negative."""
+
+    accounts = ("a", "b")
+    amounts = (0, 1, 2)
+
+    def deposit_pre(state, args):
+        return args["v"] >= 0 and args["acct"] in state["accounts"]
+
+    def deposit_eff(state, args):
+        state["accounts"][args["acct"]]["checking"] += args["v"]
+
+    def transact_pre(state, args):
+        row = state["accounts"].get(args["acct"])
+        return row is not None and row["savings"] + args["v"] >= 0
+
+    def transact_eff(state, args):
+        state["accounts"][args["acct"]]["savings"] += args["v"]
+
+    def payment_pre(state, args):
+        src = state["accounts"].get(args["src"])
+        dst = state["accounts"].get(args["dst"])
+        return (
+            src is not None
+            and dst is not None
+            and args["v"] >= 0
+            and src["checking"] - args["v"] >= 0
+        )
+
+    def payment_eff(state, args):
+        state["accounts"][args["src"]]["checking"] -= args["v"]
+        state["accounts"][args["dst"]]["checking"] += args["v"]
+
+    def states() -> list[SpecState]:
+        out = []
+        for c_a, s_a, c_b, s_b in itertools.product((0, 1, 2), repeat=4):
+            out.append(
+                {
+                    "accounts": {
+                        "a": {"checking": c_a, "savings": s_a},
+                        "b": {"checking": c_b, "savings": s_b},
+                    }
+                }
+            )
+        return out
+
+    def invariant(state) -> bool:
+        return all(
+            r["checking"] >= 0 and r["savings"] >= 0
+            for r in state["accounts"].values()
+        )
+
+    transact_amounts = (-2, -1, 0, 1)
+    return BenchmarkSpec(
+        name="smallbank",
+        operations=[
+            OpSpec(
+                "DepositChecking",
+                (Param("acct", accounts), Param("v", amounts)),
+                deposit_pre,
+                deposit_eff,
+            ),
+            OpSpec(
+                "TransactSavings",
+                (Param("acct", accounts), Param("v", transact_amounts)),
+                transact_pre,
+                transact_eff,
+            ),
+            OpSpec(
+                "SendPayment",
+                (Param("src", accounts), Param("dst", accounts), Param("v", amounts)),
+                payment_pre,
+                payment_eff,
+            ),
+            OpSpec(
+                "Amalgamate",
+                (Param("src", accounts), Param("dst", accounts), Param("v", amounts)),
+                payment_pre,  # same shape: move v of src's checking
+                payment_eff,
+            ),
+        ],
+        states=states,
+        invariant=invariant,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Courseware
+# ---------------------------------------------------------------------------
+
+
+def courseware_spec() -> BenchmarkSpec:
+    """Courseware as Hamsaz specifies it: students, courses and enrolments
+    with referential integrity as the permissibility condition."""
+
+    student_ids = (1, 2)
+    course_ids = (1, 2, 101)  # 101 doubles as the freshly allocated ID
+    fresh_ids = (101, 102)
+
+    def register_pre(state, args):
+        return args["sid"] not in state["students"]
+
+    def register_eff(state, args):
+        state["students"][args["sid"]] = {}
+
+    def addcourse_pre(state, args):
+        return args["cid"] not in state["courses"]
+
+    def addcourse_eff(state, args):
+        state["courses"][args["cid"]] = {}
+
+    def enroll_pre(state, args):
+        # Referential integrity only; re-enrolment is an idempotent set-add
+        # (Hamsaz models enrolments as a set).
+        return args["sid"] in state["students"] and args["cid"] in state["courses"]
+
+    def enroll_eff(state, args):
+        state["enrolments"][(args["sid"], args["cid"])] = {}
+
+    def delete_pre(state, args):
+        # Referential integrity: no enrolment may reference the course.
+        return all(cid != args["cid"] for (_, cid) in state["enrolments"])
+
+    def delete_eff(state, args):
+        state["courses"].pop(args["cid"], None)
+
+    def states() -> list[SpecState]:
+        out = []
+        for n_students, n_courses in itertools.product((0, 1, 2), repeat=2):
+            students = {sid: {} for sid in student_ids[:n_students]}
+            courses = {cid: {} for cid in course_ids[:n_courses]}
+            for enrol_mask in range(2 ** (n_students * n_courses)):
+                enrolments = {}
+                bit = 0
+                for sid in students:
+                    for cid in courses:
+                        if enrol_mask >> bit & 1:
+                            enrolments[(sid, cid)] = {}
+                        bit += 1
+                out.append(
+                    {
+                        "students": dict(students),
+                        "courses": dict(courses),
+                        "enrolments": enrolments,
+                    }
+                )
+        return out
+
+    def invariant(state) -> bool:
+        return all(
+            sid in state["students"] and cid in state["courses"]
+            for (sid, cid) in state["enrolments"]
+        )
+
+    return BenchmarkSpec(
+        name="courseware",
+        operations=[
+            OpSpec(
+                "Register",
+                (Param("sid", fresh_ids, fresh=True),),
+                register_pre,
+                register_eff,
+            ),
+            OpSpec(
+                "AddCourse",
+                (Param("cid", fresh_ids, fresh=True),),
+                addcourse_pre,
+                addcourse_eff,
+            ),
+            OpSpec(
+                "Enroll",
+                (Param("sid", student_ids), Param("cid", course_ids)),
+                enroll_pre,
+                enroll_eff,
+            ),
+            OpSpec(
+                "DeleteCourse",
+                (Param("cid", course_ids),),
+                delete_pre,
+                delete_eff,
+            ),
+        ],
+        states=states,
+        invariant=invariant,
+    )
+
+
+def clone_state(state: SpecState) -> SpecState:
+    return _clone(state)

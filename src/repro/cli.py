@@ -1,0 +1,196 @@
+"""Command-line interface: ``noctua`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``noctua apps`` — list the bundled applications;
+* ``noctua analyze <app> [--paths]`` — run the analyzer, print the
+  Table-4 statistics (optionally dumping every SOIR code path);
+* ``noctua verify <app> [--quick]`` — analyze + verify, print the Table-6
+  row and the restriction set;
+* ``noctua simulate <zhihu|postgraduation>`` — run the Figure-10/11
+  throughput/latency sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analyzer import analyze_application
+from .georep import postgraduation_workload, run_modes, zhihu_workload
+from .soir.pretty import pp_path
+from .verifier import CheckConfig, operation_conflict_table, verify_application
+
+APP_BUILDERS = {}
+
+
+def _load_apps() -> None:
+    from .apps.courseware import build_app as courseware
+    from .apps.ownphotos import build_app as ownphotos
+    from .apps.postgraduation import build_app as postgraduation
+    from .apps.smallbank import build_app as smallbank
+    from .apps.todo import build_app as todo
+    from .apps.zhihu import build_app as zhihu
+
+    APP_BUILDERS.update(
+        {
+            "todo": todo,
+            "postgraduation": postgraduation,
+            "zhihu": zhihu,
+            "ownphotos": ownphotos,
+            "smallbank": smallbank,
+            "courseware": courseware,
+        }
+    )
+
+
+def _build(name: str):
+    _load_apps()
+    try:
+        return APP_BUILDERS[name]()
+    except KeyError:
+        sys.exit(f"unknown application {name!r}; try `noctua apps`")
+
+
+def cmd_apps(_args) -> int:
+    _load_apps()
+    for name, builder in sorted(APP_BUILDERS.items()):
+        app = builder()
+        print(f"{name:16s} {len(app.registry.models):3d} models  "
+              f"{len(app.endpoints()):3d} endpoints  {app.source_loc:5d} LoC")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    app = _build(args.app)
+    result = analyze_application(app)
+    stats = result.stats()
+    print(f"application      : {stats['app']}")
+    print(f"models           : {stats['models']}")
+    print(f"relations        : {stats['relations']}")
+    print(f"code paths       : {stats['code_paths']}")
+    print(f"effectful paths  : {stats['effectful_paths']}")
+    print(f"analysis time    : {stats['analysis_time_s']:.3f} s")
+    if result.notes:
+        print("notes:")
+        for note in result.notes:
+            print(f"  - {note}")
+    if args.json:
+        from .soir import serialize
+
+        with open(args.json, "w") as f:
+            f.write(serialize.dumps(result, indent=2))
+        print(f"wrote {args.json}")
+    if args.paths:
+        print()
+        for path in result.paths:
+            status = "ABORTED " if path.aborted else (
+                "CONSERVATIVE " if path.conservative else "")
+            print(f"# {status}{path.abort_reason}".rstrip())
+            print(pp_path(path))
+            print()
+    return 0
+
+
+def cmd_verify(args) -> int:
+    app = _build(args.app)
+    result = analyze_application(app)
+    config = CheckConfig()
+    if args.quick:
+        config = CheckConfig(
+            timeout_s=0.5, max_samples=300, max_exhaustive=4000
+        )
+    report = verify_application(result, config)
+    summary = report.summary()
+    print(f"application   : {summary['app']}")
+    print(f"checks        : {summary['checks']}")
+    print(f"restrictions  : {summary['restrictions']}")
+    print(f"com. failures : {summary['com_failures']}")
+    print(f"sem. failures : {summary['sem_failures']}")
+    print(f"verify time   : {summary['time_s']:.2f} s")
+    print("restricted pairs:")
+    for verdict in report.restrictions:
+        kinds = []
+        if verdict.commutativity and verdict.commutativity.outcome.restricts:
+            kinds.append("com")
+        if verdict.semantic and verdict.semantic.outcome.restricts:
+            kinds.append("sem")
+        print(f"  ({verdict.left}, {verdict.right})  [{','.join(kinds)}]")
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as f:
+            _json.dump(report.to_json_obj(), f, indent=2)
+        print(f"wrote {args.json}")
+    if args.conflict_table:
+        print("endpoint conflict table:")
+        for pair in sorted(
+            tuple(sorted(p)) for p in operation_conflict_table(report)
+        ):
+            print(f"  {pair}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    workloads = {
+        "zhihu": zhihu_workload,
+        "postgraduation": postgraduation_workload,
+    }
+    if args.app not in workloads:
+        sys.exit("simulate supports: zhihu, postgraduation")
+    _load_apps()
+    builder = APP_BUILDERS[args.app]
+    config = CheckConfig(timeout_s=0.5, max_samples=200, max_exhaustive=2000)
+    analysis = analyze_application(builder())
+    conflicts = operation_conflict_table(verify_application(analysis, config))
+    rows = run_modes(builder, workloads[args.app], conflicts)
+    print(f"{'mode':>5} {'throughput (req/s)':>20} {'avg latency (ms)':>18}")
+    for row in rows:
+        print(f"{row.mode:>5} {row.throughput_rps:20.1f} {row.avg_latency_ms:18.3f}")
+    base = rows[0].throughput_rps
+    best = max(r.throughput_rps for r in rows[1:])
+    print(f"speedup over SC: up to {best / base:.2f}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="noctua",
+        description="Automated fine-grained consistency analysis "
+                    "(Noctua reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list bundled applications")
+
+    p_analyze = sub.add_parser("analyze", help="run the program analyzer")
+    p_analyze.add_argument("app")
+    p_analyze.add_argument("--paths", action="store_true",
+                           help="dump every SOIR code path")
+    p_analyze.add_argument("--json", metavar="FILE", default=None,
+                           help="write the analysis result (SOIR) as JSON")
+
+    p_verify = sub.add_parser("verify", help="run analysis + verification")
+    p_verify.add_argument("app")
+    p_verify.add_argument("--quick", action="store_true",
+                          help="reduced search budget")
+    p_verify.add_argument("--conflict-table", action="store_true",
+                          help="print the endpoint-level conflict table")
+    p_verify.add_argument("--json", metavar="FILE", default=None,
+                          help="write the restriction set as JSON")
+
+    p_sim = sub.add_parser("simulate", help="geo-replication performance sweep")
+    p_sim.add_argument("app")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "apps": cmd_apps,
+        "analyze": cmd_analyze,
+        "verify": cmd_verify,
+        "simulate": cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

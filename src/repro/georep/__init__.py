@@ -1,0 +1,27 @@
+"""Geo-replication performance substrate (paper §6.5, Figures 10-11).
+
+A deterministic discrete-event simulation of a 3-site deployment with a
+centralized coordination service honouring the verifier's restriction set;
+workload generators with a write-ratio knob; throughput/latency metrics.
+"""
+
+from .coordination import ActiveOp, CoordinationService
+from .deployment import Deployment, DeploymentConfig, run_modes
+from .metrics import Metrics, RunSummary
+from .simulator import Simulator
+from .workload import RequestSpec, Workload, postgraduation_workload, zhihu_workload
+
+__all__ = [
+    "ActiveOp",
+    "CoordinationService",
+    "Deployment",
+    "DeploymentConfig",
+    "Metrics",
+    "RequestSpec",
+    "RunSummary",
+    "Simulator",
+    "Workload",
+    "postgraduation_workload",
+    "run_modes",
+    "zhihu_workload",
+]

@@ -1,0 +1,189 @@
+"""A simulated 3-site geo-replicated deployment (paper §6.5).
+
+Sites run web servers against replicated storage; a centralized
+coordination service (colocated with site 0) orders restricted operation
+pairs.  Timing is simulated (cross-node one-way latency of 1 ms, as the
+paper injects); request *results* are computed by actually executing the
+application against the database through the ordinary ORM stack, so the
+workload exercises the real code.
+
+Closed-loop clients: each of ``clients_per_site`` clients per site issues
+a request, waits for its response, and immediately issues the next one.
+
+* Relaxed (PoR) mode — read-only requests execute locally with no
+  coordination; effectful requests acquire a slot from the coordination
+  service for their conflict class, execute, release, and replicate
+  asynchronously.
+* Strong-consistency mode — every request, including reads, acquires the
+  single global slot (all pairs conflict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..orm import Database
+from ..web import Application
+from .coordination import CoordinationService
+from .metrics import Metrics, RunSummary
+from .simulator import Simulator
+from .workload import Workload
+
+
+@dataclass
+class DeploymentConfig:
+    sites: int = 3
+    clients_per_site: int = 4
+    #: one-way network latency between distinct sites, ms (paper: 1 ms)
+    wan_latency_ms: float = 1.0
+    #: one-way latency to a colocated service, ms
+    local_latency_ms: float = 0.05
+    #: CPU time to execute one request at a web server, ms
+    service_time_ms: float = 0.6
+    duration_ms: float = 500.0
+    warmup_ms: float = 100.0
+    #: site index hosting the coordination service, or ``None`` for a
+    #: dedicated coordination node one WAN hop from every site
+    coordinator_site: int | None = None
+
+
+class Deployment:
+    """Runs one workload against one coordination mode."""
+
+    def __init__(
+        self,
+        app: Application,
+        db: Database,
+        workload: Workload,
+        conflict_table: set[frozenset[str]],
+        *,
+        strong: bool = False,
+        config: DeploymentConfig | None = None,
+    ):
+        self.app = app
+        self.db = db
+        self.workload = workload
+        self.config = config or DeploymentConfig()
+        self.coordinator = CoordinationService(conflict_table, strong=strong)
+        self.sim = Simulator()
+        self.metrics = Metrics(warmup_ms=self.config.warmup_ms)
+        self.replication_events = 0
+
+    # ------------------------------------------------------------------
+
+    def _coord_latency(self, site: int) -> float:
+        if site == self.config.coordinator_site:
+            return self.config.local_latency_ms
+        return self.config.wan_latency_ms
+
+    def _needs_coordination(self, is_write: bool) -> bool:
+        return self.coordinator.strong or is_write
+
+    def run(self) -> RunSummary:
+        for site in range(self.config.sites):
+            for _ in range(self.config.clients_per_site):
+                self._next_client_request(site)
+        self.sim.run_until(self.config.duration_ms)
+        mode = "SC" if self.coordinator.strong else f"{int(self.workload.write_ratio * 100)}%"
+        return RunSummary(
+            app=self.app.name,
+            mode=mode,
+            throughput_rps=self.metrics.throughput(self.config.duration_ms),
+            avg_latency_ms=self.metrics.avg_latency_ms(),
+            p95_latency_ms=self.metrics.percentile_latency_ms(0.95),
+            requests=len(self.metrics.completions),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _next_client_request(self, site: int) -> None:
+        spec = self.workload.next_request()
+        start = self.sim.now
+
+        def execute_and_complete(extra_delay: float, release=None) -> None:
+            def finish() -> None:
+                response = self.app.handle(spec.to_http(), self.db)
+                if release is not None:
+                    release()
+                if spec.is_write:
+                    self._replicate(site)
+                self._complete(site, start, spec.is_write, response.ok)
+
+            self.sim.schedule(extra_delay + self.config.service_time_ms, finish)
+
+        if not self._needs_coordination(spec.is_write):
+            execute_and_complete(0.0)
+            return
+
+        lat = self._coord_latency(site)
+
+        def on_grant(ticket: int) -> None:
+            # The grant travels back to the originating site, the request
+            # executes there, then the slot is released at the coordinator.
+            def release() -> None:
+                self.sim.schedule(lat, lambda: self.coordinator.release(ticket))
+
+            execute_and_complete(lat, release)
+
+        def ask() -> None:
+            self.coordinator.request(
+                _endpoint_of(self.app, spec),
+                spec.lock_params(),
+                on_grant,
+            )
+
+        self.sim.schedule(lat, ask)
+
+    def _replicate(self, origin: int) -> None:
+        """Asynchronous effect propagation to the remote replicas."""
+        for site in range(self.config.sites):
+            if site == origin:
+                continue
+
+            def arrived() -> None:
+                self.replication_events += 1
+
+            self.sim.schedule(self.config.wan_latency_ms, arrived)
+
+    def _complete(self, site: int, start: float, is_write: bool, ok: bool) -> None:
+        self.metrics.record(self.sim.now, self.sim.now - start, is_write, ok)
+        if self.sim.now < self.config.duration_ms:
+            self._next_client_request(site)
+
+
+def _endpoint_of(app: Application, spec) -> str:
+    try:
+        pattern, _ = app.resolver.resolve(spec.path)
+        return pattern.view_name
+    except Exception:
+        return spec.path
+
+
+def run_modes(
+    app_builder,
+    workload_builder,
+    conflict_table: set[frozenset[str]],
+    *,
+    write_ratios: tuple[float, ...] = (0.5, 0.3, 0.15),
+    config: DeploymentConfig | None = None,
+    seed: int = 7,
+) -> list[RunSummary]:
+    """The Figure 10/11 sweep: SC plus one run per write ratio."""
+    summaries: list[RunSummary] = []
+    # Strong consistency baseline (50% writes, all requests coordinated).
+    app = app_builder()
+    db = Database(app.registry)
+    workload = workload_builder(app, db, 0.5, seed)
+    summaries.append(
+        Deployment(app, db, workload, conflict_table, strong=True,
+                   config=config).run()
+    )
+    for ratio in write_ratios:
+        app = app_builder()
+        db = Database(app.registry)
+        workload = workload_builder(app, db, ratio, seed)
+        summaries.append(
+            Deployment(app, db, workload, conflict_table, strong=False,
+                       config=config).run()
+        )
+    return summaries

@@ -1,0 +1,62 @@
+"""Throughput / latency aggregation for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Per-run measurement sink."""
+
+    #: (completion_time_ms, latency_ms, is_write, ok)
+    completions: list[tuple[float, float, bool, bool]] = field(default_factory=list)
+    warmup_ms: float = 0.0
+
+    def record(self, now: float, latency: float, is_write: bool, ok: bool) -> None:
+        self.completions.append((now, latency, is_write, ok))
+
+    def _steady(self) -> list[tuple[float, float, bool, bool]]:
+        return [c for c in self.completions if c[0] >= self.warmup_ms]
+
+    def throughput(self, duration_ms: float) -> float:
+        """Completed requests per second over the steady-state window."""
+        window = max(duration_ms - self.warmup_ms, 1e-9)
+        return len(self._steady()) / (window / 1e3)
+
+    def avg_latency_ms(self) -> float:
+        steady = self._steady()
+        if not steady:
+            return 0.0
+        return sum(c[1] for c in steady) / len(steady)
+
+    def percentile_latency_ms(self, fraction: float) -> float:
+        steady = sorted(c[1] for c in self._steady())
+        if not steady:
+            return 0.0
+        index = min(len(steady) - 1, int(fraction * len(steady)))
+        return steady[index]
+
+    def write_fraction(self) -> float:
+        steady = self._steady()
+        if not steady:
+            return 0.0
+        return sum(1 for c in steady if c[2]) / len(steady)
+
+    def error_fraction(self) -> float:
+        steady = self._steady()
+        if not steady:
+            return 0.0
+        return sum(1 for c in steady if not c[3]) / len(steady)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One row of the Figures 10/11 series."""
+
+    app: str
+    mode: str  # "SC" | "15%" | "30%" | "50%"
+    throughput_rps: float
+    avg_latency_ms: float
+    p95_latency_ms: float
+    requests: int

@@ -1,0 +1,162 @@
+"""Operation replication under PoR consistency (paper §2.1, §2.2).
+
+The timing simulator (:mod:`repro.georep.deployment`) measures performance;
+this module models the *state* side: a set of replica databases executing
+SOIR code paths with genuine PoR semantics —
+
+* a request is **generated** at its origin replica against the (possibly
+  stale) local state: guards checked, transaction aborts on violation;
+* an accepted effect **applies locally** and propagates to every other
+  replica, where it is applied with replication semantics;
+* remote delivery order is arbitrary **except** that pairs in the
+  restriction set preserve their global (coordinated) order — exactly the
+  partial order ``O = (U, ≺)`` of PoR consistency.
+
+This turns the verifier's output into something testable end-to-end: with
+the verifier's restriction set, replicas converge and invariants hold; with
+an empty restriction set, the conflicting workloads the verifier flagged
+really do diverge or violate invariants (tests/test_replication.py).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..soir.interp import apply_path, run_path
+from ..soir.path import CodePath
+from ..soir.schema import Schema
+from ..soir.state import DBState
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One accepted operation: its path, arguments and global order."""
+
+    index: int
+    path: CodePath
+    env: dict
+
+    def op_pair_key(self, other: "Effect") -> frozenset[str]:
+        return frozenset((self.path.name, other.path.name))
+
+
+@dataclass
+class PoRReplicatedSystem:
+    """N replicas executing a stream of operations under PoR scheduling."""
+
+    schema: Schema
+    restrictions: set[frozenset[str]]
+    sites: int = 3
+    seed: int = 11
+    initial: DBState | None = None
+    #: how many operations may be in flight (un-replicated) per replica —
+    #: the concurrency window during which effects can interleave
+    window: int = 8
+
+    replicas: list[DBState] = field(init=False)
+    #: effects each replica has not applied yet
+    pending: list[list[Effect]] = field(init=False)
+    accepted: list[Effect] = field(init=False)
+    rejected: int = field(init=False, default=0)
+    _counter: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        base = self.initial if self.initial is not None else DBState()
+        self.replicas = [base.clone() for _ in range(self.sites)]
+        self.pending = [[] for _ in range(self.sites)]
+        self.accepted = []
+        self.rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, path: CodePath, env: dict, origin: int) -> bool:
+        """Generate one operation at ``origin``; returns acceptance.
+
+        Coordination first: a PoR runtime may not *accept* an operation
+        while a restricted predecessor is still in flight, so any pending
+        effect at the origin that conflicts with the new operation (and
+        everything ordered before it) is delivered before generation."""
+        conflicting = [
+            e for e in self.pending[origin]
+            if frozenset((e.path.name, path.name)) in self.restrictions
+        ]
+        if conflicting:
+            horizon = max(e.index for e in conflicting)
+            for effect in sorted(self.pending[origin], key=lambda e: e.index):
+                if effect.index > horizon:
+                    break
+                self.pending[origin].remove(effect)
+                self.replicas[origin] = apply_path(
+                    effect.path, self.replicas[origin], effect.env, self.schema
+                )
+        outcome = run_path(path, self.replicas[origin], env, self.schema)
+        if not outcome.committed:
+            self.rejected += 1
+            return False
+        effect = Effect(self._counter, path, env)
+        self._counter += 1
+        self.accepted.append(effect)
+        self.replicas[origin] = outcome.state
+        for site in range(self.sites):
+            if site != origin:
+                self.pending[site].append(effect)
+        self._maybe_deliver()
+        return True
+
+    def _maybe_deliver(self) -> None:
+        for site in range(self.sites):
+            while len(self.pending[site]) > self.window:
+                self._deliver_one(site)
+
+    def _deliver_one(self, site: int) -> None:
+        """Apply one pending effect at ``site``.
+
+        Any pending effect may be chosen (replication is asynchronous),
+        except that an effect restricted against an *earlier* pending one
+        must wait — restricted pairs apply in their coordinated order."""
+        queue = self.pending[site]
+        candidates = []
+        for i, effect in enumerate(queue):
+            blocked = any(
+                earlier.index < effect.index
+                and effect.op_pair_key(earlier) in self.restrictions
+                for earlier in queue[:i] + queue[i + 1:]
+            )
+            if not blocked:
+                candidates.append(i)
+        choice = self.rng.choice(candidates) if candidates else 0
+        effect = queue.pop(choice)
+        self.replicas[site] = apply_path(
+            effect.path, self.replicas[site], effect.env, self.schema
+        )
+
+    def drain(self) -> None:
+        """Deliver every outstanding effect everywhere."""
+        for site in range(self.sites):
+            while self.pending[site]:
+                self._deliver_one(site)
+
+    # ------------------------------------------------------------------
+
+    def converged(self) -> bool:
+        """Whether all replicas hold the same state (after :meth:`drain`)."""
+        first = self.replicas[0]
+        return all(first.same_state(other) for other in self.replicas[1:])
+
+    def check_invariant(self, predicate) -> bool:
+        """Whether ``predicate(state)`` holds at every replica."""
+        return all(predicate(state) for state in self.replicas)
+
+
+def run_workload(
+    system: PoRReplicatedSystem,
+    operations: list[tuple[CodePath, dict]],
+) -> int:
+    """Submit operations round-robin across sites; returns #accepted."""
+    accepted = 0
+    for i, (path, env) in enumerate(operations):
+        if system.submit(path, env, i % system.sites):
+            accepted += 1
+    system.drain()
+    return accepted

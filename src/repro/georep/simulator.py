@@ -1,0 +1,39 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event-driven simulator: events are ``(time,
+sequence, callback)`` triples in a heap; callbacks schedule further events.
+Time is simulated milliseconds — wall-clock plays no role, so runs are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class Simulator:
+    """An event loop over simulated time."""
+
+    def __init__(self):
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` ms from the current simulated time."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), callback))
+
+    def run_until(self, end_time: float) -> None:
+        """Process events until the queue drains or ``end_time`` passes."""
+        while self._queue and self._queue[0][0] <= end_time:
+            time, _, callback = heapq.heappop(self._queue)
+            self.now = time
+            callback()
+        self.now = max(self.now, end_time)
+
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,195 @@
+"""Workload generators for the end-to-end experiments (paper §6.5).
+
+Operations are "initiated by sending random HTTP requests continuously";
+the write-ratio knob selects what fraction of requests update system state.
+Each application gets a seeded entity pool and a request generator drawing
+from read-only and effectful endpoint templates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..orm import Database
+from ..web import Application, HttpRequest
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One generated request."""
+
+    path: str
+    method: str
+    params: dict
+    is_write: bool
+
+    def to_http(self) -> HttpRequest:
+        if self.method == "POST":
+            return HttpRequest("POST", self.path, POST=self.params)
+        return HttpRequest(self.method, self.path, GET=self.params)
+
+    def lock_params(self) -> dict:
+        """Parameters the coordination service keys conflicts on: both the
+        request body and the identifiers embedded in the path."""
+        out = dict(self.params)
+        for i, segment in enumerate(self.path.strip("/").split("/")):
+            if segment.isdigit():
+                out[f"url{i}"] = segment
+        return out
+
+
+class Workload:
+    """A seeded generator of application requests."""
+
+    def __init__(
+        self,
+        app: Application,
+        db: Database,
+        write_ratio: float,
+        seed: int = 7,
+    ):
+        self.app = app
+        self.db = db
+        self.write_ratio = write_ratio
+        self.rng = random.Random(seed)
+        self.reads: list[Callable[[random.Random], RequestSpec]] = []
+        self.writes: list[Callable[[random.Random], RequestSpec]] = []
+
+    def next_request(self) -> RequestSpec:
+        if self.rng.random() < self.write_ratio:
+            maker = self.rng.choice(self.writes)
+        else:
+            maker = self.rng.choice(self.reads)
+        return maker(self.rng)
+
+
+def zhihu_workload(app: Application, db: Database, write_ratio: float,
+                   seed: int = 7) -> Workload:
+    """Seed the Q&A site and build its request mix."""
+    registry = app.registry
+    Profile = registry.get_model("Profile")
+    Question = registry.get_model("Question")
+    Answer = registry.get_model("Answer")
+
+    with db.activate():
+        handles = [f"user{i}" for i in range(12)]
+        profiles = [Profile.objects.create(handle=h) for h in handles]
+        questions = []
+        answers = []
+        for i in range(15):
+            author = profiles[i % len(profiles)]
+            question = Question.objects.create(
+                title=f"q{i}", body="...", author=author
+            )
+            questions.append(question.pk)
+            answer = Answer.objects.create(
+                question=question, author=profiles[(i + 1) % len(profiles)],
+                body="a",
+            )
+            answers.append(answer.pk)
+
+    wl = Workload(app, db, write_ratio, seed)
+    counter = {"n": 0}
+
+    def fresh_suffix() -> int:
+        counter["n"] += 1
+        return counter["n"]
+
+    wl.reads = [
+        lambda rng: RequestSpec(
+            f"/q/{rng.choice(questions)}", "GET", {}, False),
+        lambda rng: RequestSpec(
+            f"/q/{rng.choice(questions)}/answers", "GET", {}, False),
+        lambda rng: RequestSpec(
+            f"/q/{rng.choice(questions)}/hot", "GET", {}, False),
+        lambda rng: RequestSpec(
+            f"/u/{rng.choice(handles)}", "GET", {}, False),
+        lambda rng: RequestSpec(
+            f"/u/{rng.choice(handles)}/unread", "GET", {}, False),
+    ]
+    wl.writes = [
+        lambda rng: RequestSpec(
+            f"/u/{rng.choice(handles)}/ask",
+            "POST", {"title": f"t{fresh_suffix()}", "body": "b"}, True),
+        lambda rng: RequestSpec(
+            f"/u/{rng.choice(handles)}/answer/{rng.choice(questions)}",
+            "POST", {"body": "a"}, True),
+        lambda rng: (lambda q: RequestSpec(
+            f"/u/{rng.choice(handles)}/follow-q/{q}",
+            "POST", {"question_key": f"{q}#{fresh_suffix()}"}, True))(
+                rng.choice(questions)),
+        lambda rng: RequestSpec(
+            f"/u/{rng.choice(handles)}/upvote/{rng.choice(answers)}",
+            "POST", {}, True),
+        lambda rng: RequestSpec(
+            f"/u/{rng.choice(handles)}/comment-q/{rng.choice(questions)}",
+            "POST", {"text": "c"}, True),
+    ]
+    return wl
+
+
+def postgraduation_workload(app: Application, db: Database, write_ratio: float,
+                            seed: int = 7) -> Workload:
+    """Seed the management system and build its request mix."""
+    registry = app.registry
+    Department = registry.get_model("Department")
+    Supervisor = registry.get_model("Supervisor")
+    Candidate = registry.get_model("Candidate")
+
+    with db.activate():
+        departments = [
+            Department.objects.create(name=f"dept{i}").pk for i in range(4)
+        ]
+        supervisors = []
+        for i in range(8):
+            supervisor = Supervisor.objects.create(
+                name=f"sup{i}",
+                email=f"sup{i}@u.edu",
+                department_id=departments[i % len(departments)],
+                capacity=1000,
+            )
+            supervisors.append(supervisor.pk)
+        candidates = []
+        for i in range(20):
+            candidate = Candidate.objects.create(
+                name=f"cand{i}", email=f"cand{i}@u.edu"
+            )
+            candidates.append(candidate.pk)
+
+    wl = Workload(app, db, write_ratio, seed)
+    counter = {"n": 0}
+
+    def fresh_suffix() -> int:
+        counter["n"] += 1
+        return counter["n"]
+
+    wl.reads = [
+        lambda rng: RequestSpec("/departments", "GET", {}, False),
+        lambda rng: RequestSpec(
+            f"/supervisors/{rng.choice(supervisors)}/load", "GET", {}, False),
+        lambda rng: RequestSpec(
+            f"/candidates/{rng.choice(candidates)}", "GET", {}, False),
+        lambda rng: RequestSpec("/messages/unhandled", "GET", {}, False),
+        lambda rng: RequestSpec("/courses/open", "GET", {}, False),
+    ]
+    wl.writes = [
+        lambda rng: RequestSpec(
+            "/candidates/register",
+            "POST",
+            {"name": "x", "email": f"new{fresh_suffix()}@u.edu"},
+            True),
+        lambda rng: RequestSpec(
+            f"/candidates/{rng.choice(candidates)}/assign/"
+            f"{rng.choice(supervisors)}",
+            "POST", {}, True),
+        lambda rng: RequestSpec(
+            f"/candidates/{rng.choice(candidates)}/thesis",
+            "POST", {"title": f"thesis{fresh_suffix()}"}, True),
+        lambda rng: RequestSpec(
+            "/contact", "POST", {"sender": "s", "body": "b"}, True),
+        lambda rng: RequestSpec(
+            "/announcements/post", "POST", {"title": "t", "body": "b"}, True),
+    ]
+    return wl

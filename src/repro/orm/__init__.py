@@ -1,0 +1,89 @@
+"""A from-scratch Django-like ORM (substrate for the Noctua reproduction).
+
+Provides the subset of Django's model layer the paper's applications rely
+on: declarative models with dynamic field inheritance (mixins / abstract
+bases), lazy query sets with relation-chained lookups, foreign keys with
+referential actions, many-to-many fields, reverse accessors, unique
+constraints (including ``unique_together``), transactions and a pluggable
+execution backend that the Noctua analyzer swaps for a symbolic one.
+"""
+
+from .clock import now, reset as reset_clock
+from .database import ConcreteBackend, Database, qs_to_soir
+from .exceptions import (
+    FieldError,
+    IntegrityError,
+    MultipleObjectsReturned,
+    ObjectDoesNotExist,
+    ORMError,
+    ProtectedError,
+    TransactionError,
+    ValidationError,
+)
+from .fields import (
+    CASCADE,
+    DO_NOTHING,
+    PROTECT,
+    SET_NULL,
+    AutoField,
+    BooleanField,
+    CharField,
+    DateTimeField,
+    EmailField,
+    Field,
+    FloatField,
+    ForeignKey,
+    IntegerField,
+    ManyToManyField,
+    OneToOneField,
+    PositiveIntegerField,
+    SlugField,
+    TextField,
+    URLField,
+)
+from .models import Model
+from .query import Lookup, Manager, QuerySet
+from .registry import Registry, default_registry
+from . import runtime
+
+__all__ = [
+    "AutoField",
+    "BooleanField",
+    "CASCADE",
+    "CharField",
+    "ConcreteBackend",
+    "Database",
+    "DateTimeField",
+    "DO_NOTHING",
+    "EmailField",
+    "Field",
+    "FieldError",
+    "FloatField",
+    "ForeignKey",
+    "IntegerField",
+    "IntegrityError",
+    "Lookup",
+    "Manager",
+    "ManyToManyField",
+    "Model",
+    "MultipleObjectsReturned",
+    "ORMError",
+    "ObjectDoesNotExist",
+    "OneToOneField",
+    "PROTECT",
+    "PositiveIntegerField",
+    "ProtectedError",
+    "QuerySet",
+    "Registry",
+    "SET_NULL",
+    "SlugField",
+    "TextField",
+    "TransactionError",
+    "URLField",
+    "ValidationError",
+    "default_registry",
+    "now",
+    "qs_to_soir",
+    "reset_clock",
+    "runtime",
+]

@@ -1,0 +1,27 @@
+"""A deterministic logical clock for timestamp fields.
+
+Real wall-clock time would make analysis and simulation non-deterministic;
+the ORM instead draws timestamps from a monotonically increasing logical
+clock.  SOIR encodes datetimes as integers, so the two layers agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+_lock = threading.Lock()
+_counter = itertools.count(1_000)
+
+
+def now() -> int:
+    """The next timestamp.  Strictly increasing within a process."""
+    with _lock:
+        return next(_counter)
+
+
+def reset(start: int = 1_000) -> None:
+    """Reset the clock (tests and simulator runs)."""
+    global _counter
+    with _lock:
+        _counter = itertools.count(start)

@@ -1,0 +1,36 @@
+"""ORM exception hierarchy, mirroring Django's."""
+
+from __future__ import annotations
+
+
+class ORMError(Exception):
+    """Base class of all ORM errors."""
+
+
+class ObjectDoesNotExist(ORMError):
+    """``get()`` matched no row.  Each model also exposes a subclass as
+    ``Model.DoesNotExist``, like Django."""
+
+
+class MultipleObjectsReturned(ORMError):
+    """``get()`` matched more than one row."""
+
+
+class IntegrityError(ORMError):
+    """A database constraint (uniqueness, referential integrity) failed."""
+
+
+class ProtectedError(IntegrityError):
+    """Deleting the object is blocked by a PROTECT foreign key."""
+
+
+class FieldError(ORMError):
+    """A query referenced an unknown field or used a bad lookup."""
+
+
+class ValidationError(ORMError):
+    """A field value violates the field's own constraints."""
+
+
+class TransactionError(ORMError):
+    """Misuse of the transaction API."""

@@ -1,0 +1,261 @@
+"""Model field types.
+
+Fields mirror the Django field zoo the paper's applications rely on,
+including the "utility classes that express rich application semantics"
+(§2.3): ``PositiveIntegerField`` can only hold non-negative integers and a
+``choices`` option restricts values to a fixed set.  These refinements are
+surfaced to the verifier through the SOIR schema.
+
+``ForeignKey`` / ``ManyToManyField`` / ``OneToOneField`` declare relations;
+the model metaclass turns them into relation descriptors and reverse
+accessors, and the storage layer keeps them as association sets (exactly
+the SOIR relation representation).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..soir.types import BOOL, DATETIME, FLOAT, INT, STRING, SoirType
+from . import clock
+from .exceptions import ValidationError
+
+#: Sentinel for "no default configured".
+NOT_PROVIDED = object()
+
+# Referential actions (module-level constants, like django.db.models.CASCADE).
+CASCADE = "cascade"
+SET_NULL = "set_null"
+PROTECT = "protect"
+DO_NOTHING = "do_nothing"
+
+
+class Field:
+    """Base class of all concrete (column) fields."""
+
+    soir_type: SoirType = STRING
+
+    def __init__(
+        self,
+        *,
+        primary_key: bool = False,
+        unique: bool = False,
+        null: bool = False,
+        default: Any = NOT_PROVIDED,
+        choices: tuple | list | None = None,
+    ):
+        self.primary_key = primary_key
+        self.unique = unique or primary_key
+        self.null = null
+        self.default = default
+        self.choices = tuple(choices) if choices is not None else None
+        self.name: str = ""  # assigned by the metaclass
+        self.model: type | None = None
+
+    def contribute_to_class(self, model: type, name: str) -> None:
+        self.name = name
+        self.model = model
+
+    def has_default(self) -> bool:
+        return self.default is not NOT_PROVIDED
+
+    def get_default(self) -> Any:
+        if not self.has_default():
+            return None
+        if callable(self.default):
+            return self.default()
+        return self.default
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`ValidationError` if ``value`` is not storable."""
+        if value is None:
+            if not self.null and not self.primary_key:
+                raise ValidationError(f"{self.name}: NULL not allowed")
+            return
+        if self.choices is not None:
+            allowed = [c[0] if isinstance(c, (tuple, list)) else c for c in self.choices]
+            if value not in allowed:
+                raise ValidationError(
+                    f"{self.name}: {value!r} not in choices {allowed!r}"
+                )
+        self.check_type(value)
+
+    def check_type(self, value: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class BooleanField(Field):
+    soir_type = BOOL
+
+    def check_type(self, value: Any) -> None:
+        if not isinstance(value, bool):
+            raise ValidationError(f"{self.name}: expected bool, got {value!r}")
+
+
+class IntegerField(Field):
+    soir_type = INT
+
+    #: Lower bound enforced by :meth:`check_type`; ``None`` = unbounded.
+    min_value: int | None = None
+
+    def check_type(self, value: Any) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(f"{self.name}: expected int, got {value!r}")
+        if self.min_value is not None and value < self.min_value:
+            raise ValidationError(
+                f"{self.name}: {value} below minimum {self.min_value}"
+            )
+
+
+class PositiveIntegerField(IntegerField):
+    """Only takes values >= 0 (paper §2.3)."""
+
+    min_value = 0
+
+
+class AutoField(IntegerField):
+    """Storage-assigned integer primary key.
+
+    The geo-replicated storage tier generates globally unique values for
+    this field (paper §5.2, unique-ID optimisation)."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("primary_key", True)
+        super().__init__(**kwargs)
+
+
+class FloatField(Field):
+    soir_type = FLOAT
+
+    def check_type(self, value: Any) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(f"{self.name}: expected float, got {value!r}")
+
+
+class TextField(Field):
+    soir_type = STRING
+
+    def check_type(self, value: Any) -> None:
+        if not isinstance(value, str):
+            raise ValidationError(f"{self.name}: expected str, got {value!r}")
+
+
+class CharField(TextField):
+    def __init__(self, max_length: int = 255, **kwargs):
+        super().__init__(**kwargs)
+        self.max_length = max_length
+
+    def check_type(self, value: Any) -> None:
+        super().check_type(value)
+        if len(value) > self.max_length:
+            raise ValidationError(
+                f"{self.name}: length {len(value)} exceeds {self.max_length}"
+            )
+
+
+class SlugField(CharField):
+    pass
+
+
+class EmailField(CharField):
+    def check_type(self, value: Any) -> None:
+        super().check_type(value)
+        if value and "@" not in value:
+            raise ValidationError(f"{self.name}: {value!r} is not an email")
+
+
+class URLField(CharField):
+    pass
+
+
+class DateTimeField(Field):
+    """Timestamps, drawn from the deterministic logical clock.
+
+    ``auto_now_add`` stamps on insert; ``auto_now`` stamps on every save
+    (both mirror Django's options)."""
+
+    soir_type = DATETIME
+
+    def __init__(self, *, auto_now: bool = False, auto_now_add: bool = False, **kwargs):
+        if (auto_now or auto_now_add) and "default" not in kwargs:
+            kwargs["default"] = clock.now
+        super().__init__(**kwargs)
+        self.auto_now = auto_now
+        self.auto_now_add = auto_now_add
+
+    def check_type(self, value: Any) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(
+                f"{self.name}: expected int timestamp, got {value!r}"
+            )
+
+
+class RelationField:
+    """Base of fields that declare relations rather than columns."""
+
+    kind = "fk"
+
+    def __init__(
+        self,
+        to: "type | str",
+        *,
+        on_delete: str = CASCADE,
+        related_name: str | None = None,
+        null: bool = False,
+        unique: bool = False,
+    ):
+        self.to = to
+        self.on_delete = on_delete
+        self.related_name = related_name
+        self.null = null
+        self.unique = unique
+        self.name: str = ""
+        self.model: type | None = None
+
+    def contribute_to_class(self, model: type, name: str) -> None:
+        self.name = name
+        self.model = model
+
+    def target_name(self) -> str:
+        """The target model's name (supports string and class references)."""
+        if isinstance(self.to, str):
+            return self.to
+        return self.to.__name__
+
+    def default_related_name(self) -> str:
+        assert self.model is not None
+        return f"{self.model.__name__.lower()}_set"
+
+    def relation_name(self) -> str:
+        """The schema-level relation identifier: ``Model.field``."""
+        assert self.model is not None
+        return f"{self.model.__name__}.{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} -> {self.target_name()}>"
+
+
+class ForeignKey(RelationField):
+    """Many-to-one relation (a related key, paper §2.3)."""
+
+    kind = "fk"
+
+
+class OneToOneField(ForeignKey):
+    """A ForeignKey with a uniqueness constraint on the source side."""
+
+    def __init__(self, to, **kwargs):
+        kwargs["unique"] = True
+        super().__init__(to, **kwargs)
+
+
+class ManyToManyField(RelationField):
+    """Many-to-many relation; manipulated through related managers."""
+
+    kind = "m2m"
+
+    def __init__(self, to, *, related_name: str | None = None):
+        super().__init__(to, on_delete=DO_NOTHING, related_name=related_name)

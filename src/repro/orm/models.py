@@ -1,0 +1,296 @@
+"""Model base class and metaclass.
+
+Models are declared exactly as in Django (paper Figure 3)::
+
+    class Article(Model):
+        url = TextField(unique=True)
+        author = ForeignKey(User, on_delete=SET_NULL, null=True)
+        title = TextField()
+        created = DateTimeField(default=clock.now)
+
+The metaclass is deliberately *dynamic*: fields are inherited through
+arbitrary mixins and abstract bases (collected along the MRO at class
+creation), reverse accessors are installed onto other classes at runtime,
+and the model registers itself into the active :class:`Registry`.  None of
+this structure is recoverable by a static analyzer — which is precisely
+challenge (C1) the paper's embedded analyzer addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from . import runtime
+from .exceptions import FieldError, MultipleObjectsReturned, ObjectDoesNotExist
+from .fields import AutoField, Field, ManyToManyField, RelationField
+from .query import Manager, M2MManager
+from .registry import Registry
+
+
+class Options:
+    """Per-model metadata (Django's ``Model._meta``)."""
+
+    def __init__(self, model: type, meta_cls: type | None):
+        self.model = model
+        self.columns: list[Field] = []
+        self.relations: list[RelationField] = []
+        self.reverse_relations: dict[str, RelationField] = {}
+        self.abstract = bool(getattr(meta_cls, "abstract", False))
+        self.unique_together = _normalize_unique_together(
+            getattr(meta_cls, "unique_together", ())
+        )
+        self.ordering: tuple[str, ...] = tuple(getattr(meta_cls, "ordering", ()))
+        self.pk: Field | None = None
+
+    def column(self, name: str) -> Field:
+        for f in self.columns:
+            if f.name == name:
+                return f
+        raise FieldError(f"{self.model.__name__} has no column {name!r}")
+
+    def relation(self, name: str) -> RelationField:
+        for r in self.relations:
+            if r.name == name:
+                return r
+        raise FieldError(f"{self.model.__name__} has no relation {name!r}")
+
+    def fk_relations(self) -> list[RelationField]:
+        return [r for r in self.relations if r.kind == "fk"]
+
+
+def _normalize_unique_together(value) -> tuple[tuple[str, ...], ...]:
+    if not value:
+        return ()
+    if value and isinstance(value[0], str):
+        return (tuple(value),)
+    return tuple(tuple(group) for group in value)
+
+
+class ColumnDescriptor:
+    """Attribute access for a concrete column."""
+
+    def __init__(self, field: Field):
+        self.field = field
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self.field
+        return instance._data.get(self.field.name)
+
+    def __set__(self, instance, value):
+        instance._data[self.field.name] = value
+
+
+class ForwardFKDescriptor:
+    """Attribute access for a ``ForeignKey``: reads dereference lazily."""
+
+    def __init__(self, rel: RelationField):
+        self.rel = rel
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self.rel
+        cached = instance._rel_cache.get(self.rel.name)
+        if cached is not None:
+            return cached
+        pk = instance._data.get(f"{self.rel.name}_id")
+        if pk is None:
+            return None
+        target = instance._registry.get_model(self.rel.target_name())
+        obj = runtime.backend().fetch_by_pk(target, pk)
+        instance._rel_cache[self.rel.name] = obj
+        return obj
+
+    def __set__(self, instance, value):
+        if value is None:
+            instance._data[f"{self.rel.name}_id"] = None
+            instance._rel_cache.pop(self.rel.name, None)
+            return
+        instance._data[f"{self.rel.name}_id"] = value.pk
+        instance._rel_cache[self.rel.name] = value
+
+
+class FKIdDescriptor:
+    """The raw ``<name>_id`` attribute of a ``ForeignKey``."""
+
+    def __init__(self, rel: RelationField):
+        self.rel = rel
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        return instance._data.get(f"{self.rel.name}_id")
+
+    def __set__(self, instance, value):
+        instance._data[f"{self.rel.name}_id"] = value
+        instance._rel_cache.pop(self.rel.name, None)
+
+
+class M2MDescriptor:
+    """Attribute access for a ``ManyToManyField``: yields a manager."""
+
+    def __init__(self, rel: RelationField):
+        self.rel = rel
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self.rel
+        return M2MManager(instance, self.rel)
+
+
+class ModelMeta(type):
+    """Collects fields (including via mixins), wires descriptors,
+    creates per-class exceptions and registers the model."""
+
+    def __new__(mcls, name, bases, namespace, **kwargs):
+        parents = [b for b in bases if isinstance(b, ModelMeta)]
+        if not parents:  # the Model base class itself
+            return super().__new__(mcls, name, bases, namespace, **kwargs)
+
+        meta_cls = namespace.pop("Meta", None)
+
+        # Gather declared fields: inherited (abstract bases / mixins,
+        # following the MRO) first, then this class's own namespace.
+        declared: dict[str, Any] = {}
+        for base in reversed(bases):
+            inherited = getattr(base, "_declared_fields", None)
+            if inherited:
+                declared.update(inherited)
+        own = {
+            key: value
+            for key, value in list(namespace.items())
+            if isinstance(value, (Field, RelationField))
+        }
+        for key in own:
+            namespace.pop(key)
+        declared.update(own)
+
+        cls = super().__new__(mcls, name, bases, namespace, **kwargs)
+        cls._declared_fields = declared
+        meta = Options(cls, meta_cls)
+        cls._meta = meta
+        if meta.abstract:
+            return cls
+
+        import copy
+
+        for fname, template in declared.items():
+            field = copy.copy(template)  # fresh instance per concrete model
+            field.contribute_to_class(cls, fname)
+            if isinstance(field, ManyToManyField):
+                meta.relations.append(field)
+                setattr(cls, fname, M2MDescriptor(field))
+            elif isinstance(field, RelationField):
+                meta.relations.append(field)
+                setattr(cls, fname, ForwardFKDescriptor(field))
+                setattr(cls, f"{fname}_id", FKIdDescriptor(field))
+            else:
+                meta.columns.append(field)
+                setattr(cls, fname, ColumnDescriptor(field))
+                if field.primary_key:
+                    if meta.pk is not None:
+                        raise FieldError(f"{name}: multiple primary keys")
+                    meta.pk = field
+
+        if meta.pk is None:
+            auto = AutoField()
+            auto.contribute_to_class(cls, "id")
+            meta.columns.insert(0, auto)
+            meta.pk = auto
+            setattr(cls, "id", ColumnDescriptor(auto))
+
+        cls.DoesNotExist = type("DoesNotExist", (ObjectDoesNotExist,), {})
+        cls.MultipleObjectsReturned = type(
+            "MultipleObjectsReturned", (MultipleObjectsReturned,), {}
+        )
+        cls.objects = Manager(cls)
+        Registry.active().register(cls)
+        return cls
+
+
+class Model(metaclass=ModelMeta):
+    """Base class for persistent models."""
+
+    _meta: Options
+    _registry: Registry
+    #: marks instances as "object-like" for lookup parsing; the analyzer's
+    #: symbolic objects carry the same marker (see ``query.is_object_like``).
+    __soir_object__ = True
+
+    def __init__(self, **kwargs):
+        self._data: dict[str, Any] = {}
+        self._rel_cache: dict[str, Any] = {}
+        self._saved = False
+        meta = self._meta
+        for field in meta.columns:
+            self._data[field.name] = field.get_default() if field.has_default() else None
+        for rel in meta.fk_relations():
+            self._data[f"{rel.name}_id"] = None
+        for key, value in kwargs.items():
+            if key == "pk":
+                key = meta.pk.name
+            if any(f.name == key for f in meta.columns):
+                setattr(self, key, value)
+            elif any(r.name == key for r in meta.relations):
+                rel = meta.relation(key)
+                if rel.kind == "m2m":
+                    raise FieldError(
+                        f"{key}: many-to-many values cannot be set at init"
+                    )
+                setattr(self, key, value)
+            elif key.endswith("_id") and any(
+                r.name == key[:-3] for r in meta.fk_relations()
+            ):
+                setattr(self, key, value)
+            else:
+                raise FieldError(
+                    f"{type(self).__name__} got unexpected field {key!r}"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pk(self):
+        return self._data.get(self._meta.pk.name)
+
+    def save(self) -> None:
+        """Insert or update this object in the current database."""
+        runtime.backend().save_instance(self)
+
+    def delete(self) -> None:
+        """Delete this object (and run referential actions)."""
+        runtime.backend().delete_instance(self)
+
+    def refresh_from_db(self) -> None:
+        fresh = runtime.backend().fetch_by_pk(type(self), self.pk)
+        if fresh is None:
+            raise self.DoesNotExist(f"{type(self).__name__} pk={self.pk!r}")
+        self._data = dict(fresh._data)
+        self._rel_cache = {}
+        self._saved = True
+
+    def full_clean(self) -> None:
+        """Validate every column value against its field."""
+        for field in self._meta.columns:
+            if isinstance(field, AutoField) and self._data.get(field.name) is None:
+                continue  # assigned by storage on insert
+            field.validate(self._data.get(field.name))
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Model):
+            return NotImplemented
+        if type(self) is not type(other):
+            return False
+        if self.pk is None:
+            return self is other
+        return self.pk == other.pk
+
+    def __hash__(self) -> int:
+        if self.pk is None:
+            return id(self)
+        return hash((type(self).__name__, self.pk))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} pk={self.pk!r}>"

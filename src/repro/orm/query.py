@@ -1,0 +1,508 @@
+"""Query sets, managers and lookup parsing.
+
+A :class:`QuerySet` is *lazy*: chainable operations only accumulate a
+declarative description (model, lookups, ordering) and never touch storage.
+Terminal operations (iteration, ``get``, ``count``, ``update``, ``delete``,
+...) hand the description to the **current execution backend**
+(:mod:`repro.orm.runtime`).  The default backend executes concretely
+against the in-memory database; the Noctua analyzer installs a *symbolic*
+backend instead, so unmodified application code emits SOIR when run under
+analysis — the paper's framework-integrated analyzer design (§4.1).
+
+Because SQL (here: SOIR) is constructed dynamically and lazily from these
+descriptions, nothing about the database interaction is visible statically
+— the realistic property that defeats tools like Rigi (paper §1, C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator
+
+from ..soir.types import Comparator, Direction, DRelation
+from . import runtime
+from .exceptions import FieldError
+from .fields import RelationField
+
+#: Django lookup suffix -> SOIR comparator.
+LOOKUP_OPS: dict[str, Comparator] = {
+    "exact": Comparator.EQ,
+    "ne": Comparator.NE,
+    "gt": Comparator.GT,
+    "gte": Comparator.GE,
+    "lt": Comparator.LT,
+    "lte": Comparator.LE,
+    "contains": Comparator.CONTAINS,
+    "icontains": Comparator.CONTAINS,
+    "startswith": Comparator.STARTSWITH,
+    "in": Comparator.IN,
+    "isnull": Comparator.ISNULL,
+}
+
+#: Complement used by ``exclude`` (only plain-field lookups support it).
+_COMPLEMENT: dict[Comparator, Comparator] = {
+    Comparator.EQ: Comparator.NE,
+    Comparator.NE: Comparator.EQ,
+    Comparator.LT: Comparator.GE,
+    Comparator.GE: Comparator.LT,
+    Comparator.GT: Comparator.LE,
+    Comparator.LE: Comparator.GT,
+}
+
+
+@dataclass(frozen=True)
+class Lookup:
+    """One parsed filter criterion.
+
+    ``relpath`` is the chain of relation hops (SOIR ``DRelation``), ``field``
+    the terminal column on the model reached by the path, ``op`` the SOIR
+    comparator and ``value`` the (concrete or symbolic) comparand.
+    """
+
+    relpath: tuple[DRelation, ...]
+    field: str
+    op: Comparator
+    value: Any
+
+
+def is_object_like(value: Any) -> bool:
+    """Model instances and the analyzer's symbolic objects."""
+    return getattr(value, "__soir_object__", False)
+
+
+def parse_lookup(model: type, key: str, value: Any) -> Lookup:
+    """Parse a Django-style lookup key against live model metadata.
+
+    Handles relation chains (``article__author__name``), reverse accessors,
+    ``<fk>_id`` shortcuts, the ``pk`` alias, operator suffixes and the
+    ``field=None`` / ``field__isnull`` null checks.
+    """
+    segments = key.split("__")
+    current = model
+    relpath: list[DRelation] = []
+    fieldname: str | None = None
+    op_name: str | None = None
+
+    i = 0
+    while i < len(segments):
+        seg = segments[i]
+        meta = current._meta
+        if seg == "pk":
+            seg = meta.pk.name
+        rel = _forward_relation(meta, seg)
+        if rel is not None and fieldname is None:
+            relpath.append(DRelation(rel.relation_name(), Direction.FORWARD))
+            current = current._registry.get_model(rel.target_name())
+            i += 1
+            continue
+        reverse = meta.reverse_relations.get(seg)
+        if reverse is not None and fieldname is None:
+            relpath.append(
+                DRelation(reverse.relation_name(), Direction.BACKWARD)
+            )
+            current = reverse.model
+            i += 1
+            continue
+        if (
+            fieldname is None
+            and seg.endswith("_id")
+            and _forward_relation(meta, seg[:-3]) is not None
+        ):
+            rel = _forward_relation(meta, seg[:-3])
+            relpath.append(DRelation(rel.relation_name(), Direction.FORWARD))
+            current = current._registry.get_model(rel.target_name())
+            fieldname = current._meta.pk.name
+            i += 1
+            continue
+        if fieldname is None and any(f.name == seg for f in meta.columns):
+            fieldname = seg
+            i += 1
+            continue
+        if op_name is None and seg in LOOKUP_OPS and (fieldname is not None or relpath):
+            if fieldname is None:
+                # ``author__isnull=True`` — operate on the terminal pk.
+                fieldname = current._meta.pk.name
+            op_name = seg
+            i += 1
+            continue
+        raise FieldError(f"cannot resolve lookup {key!r} at segment {seg!r}")
+
+    if fieldname is None:
+        # Pure relation lookup: ``filter(author=user)`` — compare the pk of
+        # the object at the end of the path.
+        fieldname = current._meta.pk.name
+
+    if op_name == "isnull":
+        return Lookup(tuple(relpath), fieldname, Comparator.ISNULL, bool(value))
+
+    op = LOOKUP_OPS[op_name] if op_name else Comparator.EQ
+    if value is None and op == Comparator.EQ:
+        return Lookup(tuple(relpath), fieldname, Comparator.ISNULL, True)
+    if is_object_like(value):
+        value = value.pk
+    elif op == Comparator.IN and isinstance(value, (list, tuple, set)):
+        value = tuple(v.pk if is_object_like(v) else v for v in value)
+    return Lookup(tuple(relpath), fieldname, op, value)
+
+
+def _forward_relation(meta, name: str) -> RelationField | None:
+    for rel in meta.relations:
+        if rel.name == name:
+            return rel
+    return None
+
+
+@dataclass(frozen=True)
+class QuerySet:
+    """A lazy, immutable query description over ``model``."""
+
+    model: type
+    lookups: tuple[Lookup, ...] = ()
+    order_fields: tuple[str, ...] = ()
+    is_reversed: bool = False
+
+    # -- chainable (lazy) ------------------------------------------------
+
+    def filter(self, **kwargs) -> "QuerySet":
+        new = tuple(parse_lookup(self.model, k, v) for k, v in kwargs.items())
+        return replace(self, lookups=self.lookups + new)
+
+    def exclude(self, **kwargs) -> "QuerySet":
+        """Negated filter.  Supported for plain-column lookups only (the
+        negation of a relation-path match is not expressible as a SOIR
+        filter; the analyzer treats such code conservatively)."""
+        negated = []
+        for k, v in kwargs.items():
+            lk = parse_lookup(self.model, k, v)
+            if lk.op == Comparator.ISNULL:
+                # Null-ness flips cleanly even across a relation path.
+                negated.append(replace(lk, value=not lk.value))
+                continue
+            if lk.relpath:
+                raise FieldError(
+                    f"exclude() across relations is unsupported: {k!r}"
+                )
+            if lk.op in _COMPLEMENT:
+                negated.append(replace(lk, op=_COMPLEMENT[lk.op]))
+            else:
+                raise FieldError(f"exclude() cannot negate lookup {k!r}")
+        return replace(self, lookups=self.lookups + tuple(negated))
+
+    def all(self) -> "QuerySet":
+        return self
+
+    def order_by(self, *fields: str) -> "QuerySet":
+        return replace(self, order_fields=tuple(fields), is_reversed=False)
+
+    def reverse(self) -> "QuerySet":
+        return replace(self, is_reversed=not self.is_reversed)
+
+    # -- terminal --------------------------------------------------------
+
+    def __iter__(self) -> Iterator:
+        return iter(runtime.backend().fetch(self))
+
+    def __len__(self) -> int:
+        return len(runtime.backend().fetch(self))
+
+    def __getitem__(self, index):
+        return runtime.backend().fetch(self)[index]
+
+    def __bool__(self) -> bool:
+        return bool(runtime.backend().exists(self))
+
+    def get(self, **kwargs):
+        qs = self.filter(**kwargs) if kwargs else self
+        return runtime.backend().get(qs)
+
+    def first(self):
+        return runtime.backend().first(self)
+
+    def last(self):
+        return runtime.backend().last(self)
+
+    def exists(self):
+        return runtime.backend().exists(self)
+
+    def count(self):
+        return runtime.backend().count(self)
+
+    def sum(self, field_name: str):
+        return runtime.backend().aggregate(self, "sum", field_name)
+
+    def avg(self, field_name: str):
+        return runtime.backend().aggregate(self, "avg", field_name)
+
+    def max(self, field_name: str):
+        return runtime.backend().aggregate(self, "max", field_name)
+
+    def min(self, field_name: str):
+        return runtime.backend().aggregate(self, "min", field_name)
+
+    def update(self, **kwargs) -> None:
+        runtime.backend().update_qs(self, kwargs)
+
+    def delete(self) -> None:
+        runtime.backend().delete_qs(self)
+
+    def earliest(self, field_name: str):
+        """The object with the smallest ``field_name`` (Django semantics:
+        raises ``DoesNotExist`` when empty)."""
+        found = self.order_by(field_name).first()
+        # Truthiness (not `is None`) so the emptiness check is a symbolic
+        # branch under analysis, yielding the existence precondition.
+        if not found:
+            raise self.model.DoesNotExist(
+                f"{self.model.__name__}.earliest({field_name!r})"
+            )
+        return found
+
+    def latest(self, field_name: str):
+        """The object with the greatest ``field_name``."""
+        found = self.order_by(field_name).last()
+        if not found:
+            raise self.model.DoesNotExist(
+                f"{self.model.__name__}.latest({field_name!r})"
+            )
+        return found
+
+    def values_list(self, field_name: str, flat: bool = True) -> list:
+        """Simplified ``values_list``: one flat column."""
+        return [getattr(obj, field_name) for obj in self]
+
+
+class Manager:
+    """``Model.objects``."""
+
+    def __init__(self, model: type):
+        self.model = model
+
+    def _qs(self) -> QuerySet:
+        return QuerySet(self.model)
+
+    def all(self) -> QuerySet:
+        return self._qs()
+
+    def filter(self, **kwargs) -> QuerySet:
+        return self._qs().filter(**kwargs)
+
+    def exclude(self, **kwargs) -> QuerySet:
+        return self._qs().exclude(**kwargs)
+
+    def order_by(self, *fields) -> QuerySet:
+        return self._qs().order_by(*fields)
+
+    def get(self, **kwargs):
+        return self._qs().get(**kwargs)
+
+    def create(self, **kwargs):
+        return runtime.backend().create(self.model, kwargs)
+
+    def get_or_create(self, defaults: dict | None = None, **kwargs):
+        """Returns ``(object, created)``."""
+        try:
+            return self.get(**kwargs), False
+        except self.model.DoesNotExist:
+            params = dict(kwargs)
+            params.update(defaults or {})
+            return self.create(**params), True
+
+    def update_or_create(self, defaults: dict | None = None, **kwargs):
+        """Returns ``(object, created)``: update the match or create it."""
+        defaults = defaults or {}
+        try:
+            obj = self.get(**kwargs)
+        except self.model.DoesNotExist:
+            params = dict(kwargs)
+            params.update(defaults)
+            return self.create(**params), True
+        for key, value in defaults.items():
+            setattr(obj, key, value)
+        obj.save()
+        return obj, False
+
+    def bulk_create(self, objs) -> list:
+        """Insert a (concrete, finite) batch of unsaved instances.
+
+        Under analysis the batch length is known (it is a Python list), so
+        this stays within SOIR's finite-commands restriction (§3.3)."""
+        for obj in objs:
+            runtime.backend().save_instance(obj)
+        return list(objs)
+
+    def earliest(self, field_name: str):
+        return self._qs().earliest(field_name)
+
+    def latest(self, field_name: str):
+        return self._qs().latest(field_name)
+
+    def count(self) -> int:
+        return self._qs().count()
+
+    def exists(self):
+        return self._qs().exists()
+
+    def first(self):
+        return self._qs().first()
+
+    def last(self):
+        return self._qs().last()
+
+
+class RelatedManager:
+    """Reverse accessor for a ForeignKey: ``user.article_set``."""
+
+    def __init__(self, instance, rel: RelationField):
+        self.instance = instance
+        self.rel = rel
+        self.model = rel.model  # the relation's *source* model
+
+    def _qs(self) -> QuerySet:
+        hop = DRelation(self.rel.relation_name(), Direction.FORWARD)
+        target_pk = self.instance._meta.pk.name
+        lookup = Lookup((hop,), target_pk, Comparator.EQ, self.instance.pk)
+        return QuerySet(self.model, (lookup,))
+
+    def all(self) -> QuerySet:
+        return self._qs()
+
+    def filter(self, **kwargs) -> QuerySet:
+        return self._qs().filter(**kwargs)
+
+    def get(self, **kwargs):
+        return self._qs().get(**kwargs)
+
+    def count(self):
+        return self._qs().count()
+
+    def exists(self):
+        return self._qs().exists()
+
+    def first(self):
+        return self._qs().first()
+
+    def last(self):
+        return self._qs().last()
+
+    def __iter__(self):
+        return iter(self._qs())
+
+    def create(self, **kwargs):
+        kwargs[self.rel.name] = self.instance
+        return runtime.backend().create(self.model, kwargs)
+
+    def add(self, obj) -> None:
+        runtime.backend().link(self.rel, obj, self.instance)
+
+    def remove(self, obj) -> None:
+        if not self.rel.null:
+            raise FieldError(
+                f"cannot remove from non-nullable relation {self.rel.relation_name()}"
+            )
+        runtime.backend().delink(self.rel, obj, self.instance)
+
+    def clear(self) -> None:
+        if self.rel.kind == "fk" and not self.rel.null:
+            raise FieldError(
+                f"cannot clear non-nullable relation {self.rel.relation_name()}"
+            )
+        runtime.backend().clearlinks(self.rel, self.instance, end="target")
+
+
+class M2MManager:
+    """Forward accessor for a ManyToManyField: ``article.tags``."""
+
+    def __init__(self, instance, rel: RelationField):
+        self.instance = instance
+        self.rel = rel
+
+    def _target(self) -> type:
+        return self.instance._registry.get_model(self.rel.target_name())
+
+    def _qs(self) -> QuerySet:
+        hop = DRelation(self.rel.relation_name(), Direction.BACKWARD)
+        src_pk = self.instance._meta.pk.name
+        lookup = Lookup((hop,), src_pk, Comparator.EQ, self.instance.pk)
+        return QuerySet(self._target(), (lookup,))
+
+    def all(self) -> QuerySet:
+        return self._qs()
+
+    def filter(self, **kwargs) -> QuerySet:
+        return self._qs().filter(**kwargs)
+
+    def count(self):
+        return self._qs().count()
+
+    def exists(self):
+        return self._qs().exists()
+
+    def __iter__(self):
+        return iter(self._qs())
+
+    def add(self, *objs) -> None:
+        for obj in objs:
+            runtime.backend().link(self.rel, self.instance, obj)
+
+    def remove(self, *objs) -> None:
+        for obj in objs:
+            runtime.backend().delink(self.rel, self.instance, obj)
+
+    def clear(self) -> None:
+        runtime.backend().clearlinks(self.rel, self.instance, end="source")
+
+    def set(self, objs) -> None:
+        self.clear()
+        self.add(*objs)
+
+
+class ReverseRelatedDescriptor:
+    """Installed on a relation's *target* class by the registry."""
+
+    def __init__(self, rel: RelationField, accessor: str):
+        self.rel = rel
+        self.accessor = accessor
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        if self.rel.kind == "m2m":
+            return ReverseM2MManager(instance, self.rel)
+        return RelatedManager(instance, self.rel)
+
+
+class ReverseM2MManager:
+    """Reverse accessor for a ManyToManyField (from the target side)."""
+
+    def __init__(self, instance, rel: RelationField):
+        self.instance = instance
+        self.rel = rel
+
+    def _qs(self) -> QuerySet:
+        hop = DRelation(self.rel.relation_name(), Direction.FORWARD)
+        target_pk = self.instance._meta.pk.name
+        lookup = Lookup((hop,), target_pk, Comparator.EQ, self.instance.pk)
+        return QuerySet(self.rel.model, (lookup,))
+
+    def all(self) -> QuerySet:
+        return self._qs()
+
+    def filter(self, **kwargs) -> QuerySet:
+        return self._qs().filter(**kwargs)
+
+    def count(self):
+        return self._qs().count()
+
+    def __iter__(self):
+        return iter(self._qs())
+
+    def add(self, *objs) -> None:
+        for obj in objs:
+            runtime.backend().link(self.rel, obj, self.instance)
+
+    def remove(self, *objs) -> None:
+        for obj in objs:
+            runtime.backend().delink(self.rel, obj, self.instance)
+
+    def clear(self) -> None:
+        runtime.backend().clearlinks(self.rel, self.instance, end="target")

@@ -1,0 +1,156 @@
+"""Model registry.
+
+A :class:`Registry` plays the role of Django's app registry: every model
+class registers itself at class-creation time, relation fields are resolved
+(including string forward references), and reverse accessors are installed
+on target models.
+
+The registry is also the bridge to verification: :meth:`Registry.to_soir_schema`
+derives the SOIR :class:`~repro.soir.schema.Schema` the analyzer and
+verifier consume — this is the "harness the power of the language runtime"
+part of the paper's embedded-analyzer design (§4.1): the schema is read off
+live class objects, never parsed from source.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import TYPE_CHECKING, Iterator
+
+from ..soir.schema import FieldSchema, ModelSchema, RelationSchema, Schema
+from .exceptions import FieldError
+from .fields import AutoField, Field, ManyToManyField, RelationField
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .models import Model
+
+
+_active_registry: contextvars.ContextVar["Registry | None"] = contextvars.ContextVar(
+    "active_registry", default=None
+)
+
+
+class Registry:
+    """Holds the model classes of one application."""
+
+    def __init__(self, label: str = "default"):
+        self.label = label
+        self.models: dict[str, type] = {}
+        #: relations whose reverse accessor awaits the target's registration
+        self._pending_reverse: dict[str, list[RelationField]] = {}
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def use(self) -> Iterator["Registry"]:
+        """Make this registry receive models defined inside the block."""
+        token = _active_registry.set(self)
+        try:
+            yield self
+        finally:
+            _active_registry.reset(token)
+
+    @staticmethod
+    def active() -> "Registry":
+        reg = _active_registry.get()
+        if reg is None:
+            return _default_registry
+        return reg
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, model: type) -> None:
+        name = model.__name__
+        if name in self.models:
+            raise FieldError(f"model {name!r} registered twice in {self.label!r}")
+        self.models[name] = model
+        model._registry = self
+        for rel in model._meta.relations:
+            self._install_reverse(rel)
+        for rel in self._pending_reverse.pop(name, []):
+            self._install_reverse(rel)
+
+    def _install_reverse(self, rel: RelationField) -> None:
+        from .query import ReverseRelatedDescriptor
+
+        target_name = rel.target_name()
+        target = self.models.get(target_name)
+        if target is None:
+            self._pending_reverse.setdefault(target_name, []).append(rel)
+            return
+        accessor = rel.related_name or rel.default_related_name()
+        setattr(target, accessor, ReverseRelatedDescriptor(rel, accessor))
+        target._meta.reverse_relations[accessor] = rel
+
+    def get_model(self, name: str) -> type:
+        try:
+            return self.models[name]
+        except KeyError:
+            raise FieldError(f"unknown model {name!r} in registry {self.label!r}") from None
+
+    # ------------------------------------------------------------------
+    # SOIR schema derivation
+    # ------------------------------------------------------------------
+
+    def to_soir_schema(self) -> Schema:
+        """Derive the verification schema from the live model classes."""
+        schema = Schema()
+        for model in self.models.values():
+            meta = model._meta
+            fschemas = []
+            for f in meta.columns:
+                fschemas.append(
+                    FieldSchema(
+                        name=f.name,
+                        type=f.soir_type,
+                        unique=f.unique,
+                        nullable=f.null,
+                        min_value=getattr(f, "min_value", None),
+                        choices=_choice_values(f),
+                    )
+                )
+            schema.add_model(
+                ModelSchema(
+                    name=model.__name__,
+                    fields=tuple(fschemas),
+                    pk=meta.pk.name,
+                    unique_together=tuple(
+                        tuple(group) for group in meta.unique_together
+                    ),
+                    auto_pk=isinstance(meta.pk, AutoField),
+                )
+            )
+        for model in self.models.values():
+            for rel in model._meta.relations:
+                schema.add_relation(
+                    RelationSchema(
+                        name=rel.relation_name(),
+                        source=model.__name__,
+                        target=rel.target_name(),
+                        kind=rel.kind,
+                        on_delete=rel.on_delete,
+                        reverse_name=rel.related_name or rel.default_related_name(),
+                        nullable=rel.null,
+                    )
+                )
+        schema.validate()
+        return schema
+
+
+def _choice_values(f: Field) -> tuple | None:
+    if f.choices is None:
+        return None
+    return tuple(c[0] if isinstance(c, (tuple, list)) else c for c in f.choices)
+
+
+#: The fallback registry used when no ``Registry.use()`` block is active.
+_default_registry = Registry("global")
+
+
+def default_registry() -> Registry:
+    return _default_registry

@@ -1,0 +1,59 @@
+"""Execution backend plumbing.
+
+The ORM never talks to storage directly: every terminal operation resolves
+the *current backend* from a context variable and delegates.  This is the
+plug point of the whole framework:
+
+* :class:`repro.orm.database.ConcreteBackend` executes for real against an
+  in-memory database (normal application execution, tests, the
+  geo-replication simulator);
+* :class:`repro.analyzer.dbproxy.SymbolicBackend` records SOIR instead
+  (consistency analysis) — application code is byte-for-byte identical in
+  both modes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database import Database
+
+_current_backend: contextvars.ContextVar[object | None] = contextvars.ContextVar(
+    "orm_backend", default=None
+)
+
+
+class NoBackendError(RuntimeError):
+    """An ORM operation ran outside any database / analysis context."""
+
+
+def backend():
+    """The active execution backend."""
+    b = _current_backend.get()
+    if b is None:
+        raise NoBackendError(
+            "no active ORM backend; wrap the code in `with db.activate():` "
+            "or run it under the analyzer"
+        )
+    return b
+
+
+@contextlib.contextmanager
+def use_backend(b) -> Iterator[object]:
+    token = _current_backend.set(b)
+    try:
+        yield b
+    finally:
+        _current_backend.reset(token)
+
+
+def current_database() -> "Database":
+    """The database behind the active backend (concrete execution only)."""
+    b = backend()
+    db = getattr(b, "db", None)
+    if db is None:
+        raise NoBackendError("the active backend has no concrete database")
+    return db

@@ -1,0 +1,11 @@
+"""A small many-sorted term language and finite-domain model finder.
+
+The offline substitute for Z3 (DESIGN.md §2): the verifier's symbolic
+engine builds verification conditions as terms and asks the solver for
+counterexample models over finite domains.
+"""
+
+from . import terms
+from .solver import Model, Solver, SolverTimeout, UNKNOWN, evaluate
+
+__all__ = ["Model", "Solver", "SolverTimeout", "UNKNOWN", "evaluate", "terms"]

@@ -1,0 +1,272 @@
+"""A small many-sorted term language.
+
+This is the formula layer of the reproduction's verification backend: the
+offline stand-in for Z3's term API (DESIGN.md §2).  Terms are immutable,
+hashable and lightly simplified at construction time (constant folding,
+unit laws), so formulas stay compact before they reach the solver.
+
+Sorts are strings: ``"bool"``, ``"int"`` (also used for datetimes),
+``"float"``, ``"str"`` and ``"ref:<Model>"`` for object identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+BOOL = "bool"
+INT = "int"
+FLOAT = "float"
+STR = "str"
+
+
+def ref_sort(model: str) -> str:
+    return f"ref:{model}"
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class; use the constructor helpers below."""
+
+    def walk(self) -> Iterator["Term"]:
+        yield self
+
+    @property
+    def sort(self) -> str:
+        raise NotImplementedError
+
+    def free_vars(self) -> set[str]:
+        out: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Var):
+                out.add(node.name)
+        return out
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    value: Any
+    const_sort: str
+
+    @property
+    def sort(self) -> str:
+        return self.const_sort
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    name: str
+    var_sort: str
+
+    @property
+    def sort(self) -> str:
+        return self.var_sort
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """An operator application."""
+
+    op: str
+    args: tuple[Term, ...]
+    app_sort: str
+
+    def walk(self) -> Iterator[Term]:
+        yield self
+        for arg in self.args:
+            yield from arg.walk()
+
+    @property
+    def sort(self) -> str:
+        return self.app_sort
+
+
+# ---------------------------------------------------------------------------
+# Constructors with light simplification
+# ---------------------------------------------------------------------------
+
+TRUE = Const(True, BOOL)
+FALSE = Const(False, BOOL)
+
+
+def const(value: Any) -> Term:
+    if isinstance(value, bool):
+        return Const(value, BOOL)
+    if isinstance(value, int):
+        return Const(value, INT)
+    if isinstance(value, float):
+        return Const(value, FLOAT)
+    if isinstance(value, str):
+        return Const(value, STR)
+    raise TypeError(f"no term constant for {value!r}")
+
+
+def var(name: str, sort: str) -> Var:
+    return Var(name, sort)
+
+
+def _is_const(t: Term) -> bool:
+    return isinstance(t, Const)
+
+
+def and_(*parts: Term) -> Term:
+    flat: list[Term] = []
+    for p in parts:
+        if p == TRUE:
+            continue
+        if p == FALSE:
+            return FALSE
+        if isinstance(p, App) and p.op == "and":
+            flat.extend(p.args)
+        else:
+            flat.append(p)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return App("and", tuple(flat), BOOL)
+
+
+def or_(*parts: Term) -> Term:
+    flat: list[Term] = []
+    for p in parts:
+        if p == FALSE:
+            continue
+        if p == TRUE:
+            return TRUE
+        if isinstance(p, App) and p.op == "or":
+            flat.extend(p.args)
+        else:
+            flat.append(p)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return App("or", tuple(flat), BOOL)
+
+
+def not_(p: Term) -> Term:
+    if p == TRUE:
+        return FALSE
+    if p == FALSE:
+        return TRUE
+    if isinstance(p, App) and p.op == "not":
+        return p.args[0]
+    return App("not", (p,), BOOL)
+
+
+def implies(a: Term, b: Term) -> Term:
+    return or_(not_(a), b)
+
+
+def eq(a: Term, b: Term) -> Term:
+    if a == b:
+        return TRUE
+    if _is_const(a) and _is_const(b):
+        return TRUE if a.value == b.value else FALSE
+    return App("eq", (a, b), BOOL)
+
+
+def ne(a: Term, b: Term) -> Term:
+    return not_(eq(a, b))
+
+
+def distinct(*terms: Term) -> Term:
+    conjuncts = []
+    for i, a in enumerate(terms):
+        for b in terms[i + 1:]:
+            conjuncts.append(ne(a, b))
+    return and_(*conjuncts)
+
+
+def ite(cond: Term, then: Term, other: Term) -> Term:
+    if cond == TRUE:
+        return then
+    if cond == FALSE:
+        return other
+    if then == other:
+        return then
+    return App("ite", (cond, then, other), then.sort)
+
+
+def _arith(op: str, a: Term, b: Term, pyop) -> Term:
+    if _is_const(a) and _is_const(b):
+        return const(pyop(a.value, b.value))
+    sort = FLOAT if FLOAT in (a.sort, b.sort) else a.sort
+    return App(op, (a, b), sort)
+
+
+def add(a: Term, b: Term) -> Term:
+    return _arith("add", a, b, lambda x, y: x + y)
+
+
+def sub(a: Term, b: Term) -> Term:
+    return _arith("sub", a, b, lambda x, y: x - y)
+
+
+def mul(a: Term, b: Term) -> Term:
+    return _arith("mul", a, b, lambda x, y: x * y)
+
+
+def neg(a: Term) -> Term:
+    if _is_const(a):
+        return const(-a.value)
+    return App("neg", (a,), a.sort)
+
+
+def _cmp(op: str, a: Term, b: Term, pyop) -> Term:
+    if _is_const(a) and _is_const(b):
+        try:
+            return const(bool(pyop(a.value, b.value)))
+        except TypeError:
+            return FALSE
+    return App(op, (a, b), BOOL)
+
+
+def lt(a: Term, b: Term) -> Term:
+    return _cmp("lt", a, b, lambda x, y: x < y)
+
+
+def le(a: Term, b: Term) -> Term:
+    return _cmp("le", a, b, lambda x, y: x <= y)
+
+
+def gt(a: Term, b: Term) -> Term:
+    return lt(b, a)
+
+
+def ge(a: Term, b: Term) -> Term:
+    return le(b, a)
+
+
+def concat(a: Term, b: Term) -> Term:
+    if _is_const(a) and _is_const(b):
+        return const(str(a.value) + str(b.value))
+    return App("concat", (a, b), STR)
+
+
+def contains(a: Term, b: Term) -> Term:
+    if _is_const(a) and _is_const(b):
+        return const(str(b.value) in str(a.value))
+    return App("contains", (a, b), BOOL)
+
+
+def startswith(a: Term, b: Term) -> Term:
+    if _is_const(a) and _is_const(b):
+        return const(str(a.value).startswith(str(b.value)))
+    return App("startswith", (a, b), BOOL)
+
+
+def in_list(a: Term, values: tuple) -> Term:
+    return or_(*(eq(a, const(v)) for v in values))
+
+
+def is_null(a: Term) -> Term:
+    """NULL is modelled as the distinguished constant ``Const(None, sort)``."""
+    if _is_const(a):
+        return TRUE if a.value is None else FALSE
+    return App("is_null", (a,), BOOL)
+
+
+def null(sort: str) -> Const:
+    return Const(None, sort)

@@ -1,0 +1,62 @@
+"""SOIR — the SMT-verifiable Object Intermediate Representation.
+
+SOIR models the database interactions of one application code path: a list
+of arguments, path conditions (guards) and state-mutating commands over an
+ORM-shaped data model (paper Section 3).
+
+Public surface:
+
+* :mod:`repro.soir.types` — the type system and static enums;
+* :mod:`repro.soir.schema` — model / relation metadata;
+* :mod:`repro.soir.expr` — expression AST;
+* :mod:`repro.soir.commands` — command AST;
+* :mod:`repro.soir.path` — :class:`CodePath` and :class:`AnalysisResult`;
+* :mod:`repro.soir.pretty` — stable pretty-printer;
+* :mod:`repro.soir.validate` — well-formedness validation;
+* :mod:`repro.soir.interp` — the reference concrete interpreter;
+* :mod:`repro.soir.state` — concrete database states.
+"""
+
+from . import commands, expr, types
+from .path import AnalysisResult, Argument, CodePath
+from .pretty import pp_command, pp_expr, pp_path
+from .schema import (
+    FieldSchema,
+    ModelSchema,
+    RelationSchema,
+    Schema,
+    SchemaError,
+    make_model,
+)
+from .state import DBState, ObjVal, QuerySetVal
+from .interp import Outcome, run_path, precondition_holds
+from . import serialize
+from .validate import ValidationError, validate_path, validate_result
+
+__all__ = [
+    "AnalysisResult",
+    "Argument",
+    "CodePath",
+    "DBState",
+    "FieldSchema",
+    "ModelSchema",
+    "ObjVal",
+    "Outcome",
+    "QuerySetVal",
+    "RelationSchema",
+    "Schema",
+    "SchemaError",
+    "ValidationError",
+    "commands",
+    "expr",
+    "make_model",
+    "pp_command",
+    "pp_expr",
+    "pp_path",
+    "precondition_holds",
+    "run_path",
+    "serialize",
+    "types",
+    "validate_path",
+    "validate_result",
+]

@@ -1,0 +1,128 @@
+"""SOIR commands.
+
+A command models one transition of the system state during the execution of
+a code path (paper §3.1.3).  Commands take expressions as arguments (where
+database queries may occur) and possibly change the replicated database:
+
+* ``guard(cond)`` aborts the path when ``cond`` is false — the conjunction
+  of all guards, each evaluated at its program point, is the path's
+  precondition ``g_P``.
+* ``update(qs)`` merges the (possibly modified) objects of ``qs`` into the
+  current state, regardless of prior existence; inserts are expressed as an
+  update of a singleton fresh object plus a non-existence guard.
+* ``delete(qs)`` removes the objects of ``qs``, triggering the configured
+  referential actions (cascade / set-null / protect) on incident relations.
+* ``link``/``delink``/``rlink``/``clearlinks`` manipulate relation
+  association sets (paper §3.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
+from .expr import Expr
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class of all SOIR commands."""
+
+    _expr_fields: ClassVar[tuple[str, ...]] = ()
+
+    def exprs(self) -> tuple[Expr, ...]:
+        """The argument expressions of this command, in order."""
+        return tuple(getattr(self, name) for name in self._expr_fields)
+
+    def with_exprs(self, new_exprs: tuple[Expr, ...]) -> "Command":
+        if len(new_exprs) != len(self._expr_fields):
+            raise ValueError("expression arity mismatch")
+        return dataclasses.replace(self, **dict(zip(self._expr_fields, new_exprs)))
+
+    def walk_exprs(self) -> Iterator[Expr]:
+        for e in self.exprs():
+            yield from e.walk()
+
+    def is_effectful(self) -> bool:
+        """Whether the command can change the replicated database state."""
+        return True
+
+
+@dataclass(frozen=True)
+class Guard(Command):
+    """Abort the code path if ``cond`` evaluates to false."""
+
+    cond: Expr
+    _expr_fields = ("cond",)
+
+    def is_effectful(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Update(Command):
+    """Merge the objects of ``qs`` into the current state."""
+
+    qs: Expr
+    _expr_fields = ("qs",)
+
+
+@dataclass(frozen=True)
+class Delete(Command):
+    """Delete the objects of ``qs`` from the current state."""
+
+    qs: Expr
+    _expr_fields = ("qs",)
+
+
+@dataclass(frozen=True)
+class Link(Command):
+    """Create an association between ``src`` and ``dst`` in ``relation``.
+
+    For an ``fk`` relation the new association replaces any existing
+    association of ``src`` (a source has at most one target); for ``m2m``
+    the pair is added to the association set.
+    """
+
+    relation: str
+    src: Expr
+    dst: Expr
+    _expr_fields = ("src", "dst")
+
+
+@dataclass(frozen=True)
+class Delink(Command):
+    """Remove the association between ``src`` and ``dst`` in ``relation``."""
+
+    relation: str
+    src: Expr
+    dst: Expr
+    _expr_fields = ("src", "dst")
+
+
+@dataclass(frozen=True)
+class RLink(Command):
+    """Link every object of query set ``srcs`` with object ``dst``."""
+
+    relation: str
+    srcs: Expr
+    dst: Expr
+    _expr_fields = ("srcs", "dst")
+
+
+@dataclass(frozen=True)
+class ClearLinks(Command):
+    """Remove all associations of ``obj`` in ``relation``.
+
+    ``end`` selects which end ``obj`` sits at: ``"source"`` or ``"target"``.
+    """
+
+    relation: str
+    obj: Expr
+    end: str = "source"
+    _expr_fields = ("obj",)
+
+    def __post_init__(self) -> None:
+        if self.end not in ("source", "target"):
+            raise ValueError(f"bad relation end {self.end!r}")

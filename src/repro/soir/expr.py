@@ -1,0 +1,642 @@
+"""SOIR expressions.
+
+Expressions model local computations and database *queries* — evaluations
+that never change the replicated database state (paper §3.1.2).  They are
+built from literals, path arguments, conventional operations (arithmetic,
+comparison, boolean connectives, string concatenation) and the ORM query
+primitives (``all``, ``filter``, ``follow``, ``orderby``, ``aggregate``,
+conversions between objects / query sets / references).
+
+Every node is an immutable, hashable dataclass.  Structural sharing is used
+freely; rewriting goes through :meth:`Expr.children` and
+:meth:`Expr.with_children`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
+from .types import (
+    BOOL,
+    INT,
+    FLOAT,
+    STRING,
+    Aggregation,
+    Comparator,
+    DRelation,
+    ObjType,
+    Order,
+    RefType,
+    SetType,
+    SoirType,
+)
+
+
+class SoirTypeError(Exception):
+    """Raised when an expression is built from ill-typed parts."""
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of all SOIR expressions."""
+
+    # Names of dataclass fields that hold sub-expressions, in order.
+    _child_fields: ClassVar[tuple[str, ...]] = ()
+
+    @property
+    def type(self) -> SoirType:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        return tuple(getattr(self, name) for name in self._child_fields)
+
+    def with_children(self, new_children: tuple["Expr", ...]) -> "Expr":
+        if len(new_children) != len(self._child_fields):
+            raise ValueError("child arity mismatch")
+        return dataclasses.replace(
+            self, **dict(zip(self._child_fields, new_children))
+        )
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def _children(*names: str) -> tuple[str, ...]:
+    """Helper naming the sub-expression fields of a node class."""
+    return tuple(names)
+
+
+# ---------------------------------------------------------------------------
+# Literals and variables
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A constant of a scalar type.
+
+    ``value`` holds the Python representation: ``bool``, ``int``, ``float``
+    or ``str``.  Datetimes are represented as integer timestamps.
+    """
+
+    value: object
+    lit_type: SoirType
+
+    @property
+    def type(self) -> SoirType:
+        return self.lit_type
+
+
+@dataclass(frozen=True)
+class NoneLit(Expr):
+    """SQL ``NULL`` at a given type (used for nullable fields and refs)."""
+
+    none_type: SoirType
+
+    @property
+    def type(self) -> SoirType:
+        return self.none_type
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A reference to a code-path argument or a bound symbolic value."""
+
+    name: str
+    var_type: SoirType
+
+    @property
+    def type(self) -> SoirType:
+        return self.var_type
+
+
+@dataclass(frozen=True)
+class Opaque(Expr):
+    """An unknown value of a known type.
+
+    Produced when the analyzer meets semantics it cannot translate and
+    falls back to a conservative over-approximation (paper §3.3).  Two
+    ``Opaque`` nodes with different ``name`` are unrelated unknowns.
+    """
+
+    name: str
+    opaque_type: SoirType
+    deps: tuple[Expr, ...] = ()
+
+    @property
+    def type(self) -> SoirType:
+        return self.opaque_type
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.deps
+
+    def with_children(self, new_children: tuple[Expr, ...]) -> "Opaque":
+        return dataclasses.replace(self, deps=tuple(new_children))
+
+
+# ---------------------------------------------------------------------------
+# Scalar operations
+# ---------------------------------------------------------------------------
+
+_ARITH_OPS = ("+", "-", "*", "/", "%", "concat")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic or string concatenation.  Result type follows ``left``."""
+
+    op: str
+    left: Expr
+    right: Expr
+    _child_fields = _children("left", "right")
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise SoirTypeError(f"unknown binary operator {self.op!r}")
+
+    @property
+    def type(self) -> SoirType:
+        if self.op == "concat":
+            return STRING
+        # Evaluate each child type exactly once: type computation recurses
+        # through the chain, and a second evaluation per level would make
+        # deep arithmetic chains exponential.
+        left_type = self.left.type
+        if left_type == FLOAT or self.right.type == FLOAT:
+            return FLOAT
+        return left_type
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Arithmetic negation."""
+
+    operand: Expr
+    _child_fields = _children("operand")
+
+    @property
+    def type(self) -> SoirType:
+        return self.operand.type
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """A comparison; always boolean-valued."""
+
+    op: Comparator
+    left: Expr
+    right: Expr
+    _child_fields = _children("left", "right")
+
+    @property
+    def type(self) -> SoirType:
+        return BOOL
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+    _child_fields = _children("operand")
+
+    @property
+    def type(self) -> SoirType:
+        return BOOL
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    args: tuple[Expr, ...]
+
+    @property
+    def type(self) -> SoirType:
+        return BOOL
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def with_children(self, new_children: tuple[Expr, ...]) -> "And":
+        return And(tuple(new_children))
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    args: tuple[Expr, ...]
+
+    @property
+    def type(self) -> SoirType:
+        return BOOL
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def with_children(self, new_children: tuple[Expr, ...]) -> "Or":
+        return Or(tuple(new_children))
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """``if cond then then_ else else_`` — both branches share a type."""
+
+    cond: Expr
+    then_: Expr
+    else_: Expr
+    _child_fields = _children("cond", "then_", "else_")
+
+    @property
+    def type(self) -> SoirType:
+        return self.then_.type
+
+
+# ---------------------------------------------------------------------------
+# Objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldGet(Expr):
+    """``o.f`` — retrieve field ``field`` of an object."""
+
+    obj: Expr
+    field: str
+    field_type: SoirType
+    _child_fields = _children("obj")
+
+    @property
+    def type(self) -> SoirType:
+        return self.field_type
+
+
+@dataclass(frozen=True)
+class SetField(Expr):
+    """``setf(f, v, o)`` — a copy of ``o`` with field ``f`` set to ``v``.
+
+    Values are immutable in SOIR, so mutation is modelled functionally.
+    """
+
+    field: str
+    value: Expr
+    obj: Expr
+    _child_fields = _children("value", "obj")
+
+    @property
+    def type(self) -> SoirType:
+        return self.obj.type
+
+
+@dataclass(frozen=True)
+class MakeObj(Expr):
+    """Construct a fresh object of ``model`` with the given field values.
+
+    Fields are a tuple of ``(name, expr)`` pairs; the analyzer guarantees
+    every model field is present (defaulted fields get literal defaults,
+    the primary key gets a fresh-ID argument).
+    """
+
+    model: str
+    fields: tuple[tuple[str, Expr], ...]
+
+    @property
+    def type(self) -> SoirType:
+        return ObjType(self.model)
+
+    def children(self) -> tuple[Expr, ...]:
+        return tuple(e for _, e in self.fields)
+
+    def with_children(self, new_children: tuple[Expr, ...]) -> "MakeObj":
+        names = tuple(n for n, _ in self.fields)
+        return MakeObj(self.model, tuple(zip(names, new_children)))
+
+    def field_expr(self, name: str) -> Expr:
+        for fname, fexpr in self.fields:
+            if fname == name:
+                return fexpr
+        raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# Conversions between objects, references and query sets
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MapSet(Expr):
+    """A copy of ``qs`` with every object's ``field`` set to ``value``.
+
+    ``value`` is a single expression that cannot depend on the individual
+    object (SOIR has no closures, §3.3) — exactly the expressive power of
+    SQL's ``UPDATE ... SET field = value`` and Django's
+    ``queryset.update(field=value)`` for scalar columns.
+    """
+
+    qs: Expr
+    field: str
+    value: Expr
+    _child_fields = _children("qs", "value")
+
+    @property
+    def type(self) -> SoirType:
+        return self.qs.type
+
+
+@dataclass(frozen=True)
+class Singleton(Expr):
+    """Wrap an object into a one-element query set."""
+
+    obj: Expr
+    _child_fields = _children("obj")
+
+    @property
+    def type(self) -> SoirType:
+        t = self.obj.type
+        if not isinstance(t, ObjType):
+            raise SoirTypeError(f"singleton of non-object {t}")
+        return SetType(t.model_name)
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """Convert a reference to its full object (must exist; guard separately)."""
+
+    ref: Expr
+    model: str
+    _child_fields = _children("ref")
+
+    @property
+    def type(self) -> SoirType:
+        return ObjType(self.model)
+
+
+@dataclass(frozen=True)
+class RefOf(Expr):
+    """The primary key (reference) of an object."""
+
+    obj: Expr
+    _child_fields = _children("obj")
+
+    @property
+    def type(self) -> SoirType:
+        t = self.obj.type
+        if not isinstance(t, ObjType):
+            raise SoirTypeError(f"ref of non-object {t}")
+        return RefType(t.model_name)
+
+
+@dataclass(frozen=True)
+class AnyOf(Expr):
+    """``any(qs)`` — an arbitrary object from a query set (must be non-empty)."""
+
+    qs: Expr
+    _child_fields = _children("qs")
+
+    @property
+    def type(self) -> SoirType:
+        t = self.qs.type
+        if not isinstance(t, SetType):
+            raise SoirTypeError(f"any of non-set {t}")
+        return ObjType(t.model_name)
+
+
+# ---------------------------------------------------------------------------
+# Query primitives
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class All(Expr):
+    """``all<mu>()`` — the current state of model ``model``."""
+
+    model: str
+
+    @property
+    def type(self) -> SoirType:
+        return SetType(self.model)
+
+
+@dataclass(frozen=True)
+class Filter(Expr):
+    """``filter<mu, rs, fld, op>(val, qs)``.
+
+    Selects the subset of ``qs`` whose objects, after following the
+    (possibly empty) relation path ``relpath``, have a related object whose
+    field ``field`` compares ``op`` against ``value``.  With an empty
+    ``relpath`` this is a plain column filter.
+    """
+
+    qs: Expr
+    relpath: tuple[DRelation, ...]
+    field: str
+    op: Comparator
+    value: Expr
+    _child_fields = _children("qs", "value")
+
+    @property
+    def type(self) -> SoirType:
+        return self.qs.type
+
+
+@dataclass(frozen=True)
+class Follow(Expr):
+    """``follow<mu, rs>(qs)`` — successively follow relations in ``relpath``.
+
+    ``target_model`` is the model reached after the final hop (statically
+    known from the schema)."""
+
+    qs: Expr
+    relpath: tuple[DRelation, ...]
+    target_model: str
+    _child_fields = _children("qs")
+
+    @property
+    def type(self) -> SoirType:
+        return SetType(self.target_model)
+
+
+@dataclass(frozen=True)
+class OrderBy(Expr):
+    """Reorder ``qs`` by ``field`` ascending/descending."""
+
+    qs: Expr
+    field: str
+    order: Order
+    _child_fields = _children("qs")
+
+    @property
+    def type(self) -> SoirType:
+        return self.qs.type
+
+
+@dataclass(frozen=True)
+class ReverseSet(Expr):
+    """Reverse the order of a query set."""
+
+    qs: Expr
+    _child_fields = _children("qs")
+
+    @property
+    def type(self) -> SoirType:
+        return self.qs.type
+
+
+@dataclass(frozen=True)
+class FirstOf(Expr):
+    """The least-ordered object of a query set (must be non-empty)."""
+
+    qs: Expr
+    _child_fields = _children("qs")
+
+    @property
+    def type(self) -> SoirType:
+        t = self.qs.type
+        if not isinstance(t, SetType):
+            raise SoirTypeError(f"first of non-set {t}")
+        return ObjType(t.model_name)
+
+
+@dataclass(frozen=True)
+class LastOf(Expr):
+    """The greatest-ordered object of a query set (must be non-empty)."""
+
+    qs: Expr
+    _child_fields = _children("qs")
+
+    @property
+    def type(self) -> SoirType:
+        t = self.qs.type
+        if not isinstance(t, SetType):
+            raise SoirTypeError(f"last of non-set {t}")
+        return ObjType(t.model_name)
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """``aggregate<mu, ag, fld>(qs)`` — max/min/sum/cnt/avg over a field."""
+
+    qs: Expr
+    agg: Aggregation
+    field: str
+    result_type: SoirType
+    _child_fields = _children("qs")
+
+    @property
+    def type(self) -> SoirType:
+        return self.result_type
+
+
+@dataclass(frozen=True)
+class IsEmpty(Expr):
+    """Whether a query set contains no objects."""
+
+    qs: Expr
+    _child_fields = _children("qs")
+
+    @property
+    def type(self) -> SoirType:
+        return BOOL
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``exists<mu>(ref)`` — whether an object with this primary key exists."""
+
+    model: str
+    ref: Expr
+    _child_fields = _children("ref")
+
+    @property
+    def type(self) -> SoirType:
+        return BOOL
+
+
+@dataclass(frozen=True)
+class MemberOf(Expr):
+    """Whether object ``obj`` is a member of query set ``qs`` (by ID)."""
+
+    obj: Expr
+    qs: Expr
+    _child_fields = _children("obj", "qs")
+
+    @property
+    def type(self) -> SoirType:
+        return BOOL
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def true() -> Lit:
+    return Lit(True, BOOL)
+
+
+def false() -> Lit:
+    return Lit(False, BOOL)
+
+
+def intlit(v: int) -> Lit:
+    return Lit(int(v), INT)
+
+
+def floatlit(v: float) -> Lit:
+    return Lit(float(v), FLOAT)
+
+
+def strlit(v: str) -> Lit:
+    return Lit(str(v), STRING)
+
+
+def conj(*parts: Expr) -> Expr:
+    """N-ary conjunction, flattening and dropping literal ``true``."""
+    flat: list[Expr] = []
+    for p in parts:
+        if isinstance(p, And):
+            flat.extend(p.args)
+        elif isinstance(p, Lit) and p.value is True:
+            continue
+        else:
+            flat.append(p)
+    if not flat:
+        return true()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*parts: Expr) -> Expr:
+    """N-ary disjunction, flattening and dropping literal ``false``."""
+    flat: list[Expr] = []
+    for p in parts:
+        if isinstance(p, Or):
+            flat.extend(p.args)
+        elif isinstance(p, Lit) and p.value is False:
+            continue
+        else:
+            flat.append(p)
+    if not flat:
+        return false()
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def eq(left: Expr, right: Expr) -> Cmp:
+    return Cmp(Comparator.EQ, left, right)
+
+
+def models_used(e: Expr) -> set[str]:
+    """The set of model names an expression reads from."""
+    out: set[str] = set()
+    for node in e.walk():
+        t = node.type
+        if t.is_model_type():
+            out.add(t.model)
+        if isinstance(node, (Filter, Follow)):
+            # Relation hops read intermediate models too; recorded lazily by
+            # the caller using the schema.  Here we record endpoint models.
+            pass
+    return out

@@ -1,0 +1,114 @@
+"""Pretty-printer for SOIR.
+
+Produces a stable, human-readable concrete syntax used in analysis reports
+and as canonical dictionary keys (two structurally equal terms always print
+identically).
+"""
+
+from __future__ import annotations
+
+from . import commands as C
+from . import expr as E
+from .path import CodePath
+
+
+def pp_expr(e: E.Expr) -> str:
+    if isinstance(e, E.Lit):
+        if isinstance(e.value, str):
+            return repr(e.value)
+        return str(e.value)
+    if isinstance(e, E.NoneLit):
+        return f"none:{e.none_type}"
+    if isinstance(e, E.Var):
+        return e.name
+    if isinstance(e, E.Opaque):
+        deps = ", ".join(pp_expr(d) for d in e.deps)
+        return f"opaque[{e.name}]({deps})"
+    if isinstance(e, E.BinOp):
+        return f"({pp_expr(e.left)} {e.op} {pp_expr(e.right)})"
+    if isinstance(e, E.Neg):
+        return f"(-{pp_expr(e.operand)})"
+    if isinstance(e, E.Cmp):
+        return f"({pp_expr(e.left)} {e.op} {pp_expr(e.right)})"
+    if isinstance(e, E.Not):
+        return f"not({pp_expr(e.operand)})"
+    if isinstance(e, E.And):
+        return "(" + " and ".join(pp_expr(a) for a in e.args) + ")"
+    if isinstance(e, E.Or):
+        return "(" + " or ".join(pp_expr(a) for a in e.args) + ")"
+    if isinstance(e, E.Ite):
+        return f"ite({pp_expr(e.cond)}, {pp_expr(e.then_)}, {pp_expr(e.else_)})"
+    if isinstance(e, E.FieldGet):
+        return f"{pp_expr(e.obj)}.{e.field}"
+    if isinstance(e, E.SetField):
+        return f"setf({e.field}, {pp_expr(e.value)}, {pp_expr(e.obj)})"
+    if isinstance(e, E.MakeObj):
+        fields = ", ".join(f"{n}={pp_expr(v)}" for n, v in e.fields)
+        return f"new<{e.model}>({fields})"
+    if isinstance(e, E.MapSet):
+        return f"mapset({e.field}, {pp_expr(e.value)}, {pp_expr(e.qs)})"
+    if isinstance(e, E.Singleton):
+        return f"singleton({pp_expr(e.obj)})"
+    if isinstance(e, E.Deref):
+        return f"deref<{e.model}>({pp_expr(e.ref)})"
+    if isinstance(e, E.RefOf):
+        return f"refof({pp_expr(e.obj)})"
+    if isinstance(e, E.AnyOf):
+        return f"any({pp_expr(e.qs)})"
+    if isinstance(e, E.All):
+        return f"all<{e.model}>"
+    if isinstance(e, E.Filter):
+        hops = "".join(str(h) + "." for h in e.relpath)
+        return (
+            f"filter({hops}{e.field} {e.op} {pp_expr(e.value)}, {pp_expr(e.qs)})"
+        )
+    if isinstance(e, E.Follow):
+        hops = ", ".join(str(h) for h in e.relpath)
+        return f"follow([{hops}], {pp_expr(e.qs)})"
+    if isinstance(e, E.OrderBy):
+        return f"orderby({e.field}, {e.order}, {pp_expr(e.qs)})"
+    if isinstance(e, E.ReverseSet):
+        return f"reverse({pp_expr(e.qs)})"
+    if isinstance(e, E.FirstOf):
+        return f"first({pp_expr(e.qs)})"
+    if isinstance(e, E.LastOf):
+        return f"last({pp_expr(e.qs)})"
+    if isinstance(e, E.Aggregate):
+        return f"aggregate({e.agg}, {e.field}, {pp_expr(e.qs)})"
+    if isinstance(e, E.IsEmpty):
+        return f"empty({pp_expr(e.qs)})"
+    if isinstance(e, E.Exists):
+        return f"exists<{e.model}>({pp_expr(e.ref)})"
+    if isinstance(e, E.MemberOf):
+        return f"member({pp_expr(e.obj)}, {pp_expr(e.qs)})"
+    raise TypeError(f"unknown expression node {type(e).__name__}")
+
+
+def pp_command(c: C.Command) -> str:
+    if isinstance(c, C.Guard):
+        return f"guard({pp_expr(c.cond)})"
+    if isinstance(c, C.Update):
+        return f"update({pp_expr(c.qs)})"
+    if isinstance(c, C.Delete):
+        return f"delete({pp_expr(c.qs)})"
+    if isinstance(c, C.Link):
+        return f"link<{c.relation}>({pp_expr(c.src)}, {pp_expr(c.dst)})"
+    if isinstance(c, C.Delink):
+        return f"delink<{c.relation}>({pp_expr(c.src)}, {pp_expr(c.dst)})"
+    if isinstance(c, C.RLink):
+        return f"rlink<{c.relation}>({pp_expr(c.srcs)}, {pp_expr(c.dst)})"
+    if isinstance(c, C.ClearLinks):
+        return f"clearlinks<{c.relation}:{c.end}>({pp_expr(c.obj)})"
+    raise TypeError(f"unknown command node {type(c).__name__}")
+
+
+def pp_path(p: CodePath) -> str:
+    lines = [f"path {p.name}:"]
+    if p.args:
+        args = ", ".join(
+            f"{a.name}: {a.type}" + ("!" if a.unique_id else "") for a in p.args
+        )
+        lines.append(f"  args({args})")
+    for cmd in p.commands:
+        lines.append(f"  {pp_command(cmd)};")
+    return "\n".join(lines)

@@ -1,0 +1,442 @@
+"""JSON (de)serialization of SOIR: schemas, expressions, commands, code
+paths and whole analysis results.
+
+Analysis and verification are separate phases (paper Figure 1: the
+ANALYZER emits SOIR, the VERIFIER consumes it); persisting the IR lets the
+two run in separate processes or sessions (``noctua analyze --json``).
+The format round-trips exactly: ``loads(dumps(x)) == x``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from . import commands as C
+from . import expr as E
+from .path import AnalysisResult, Argument, CodePath
+from .schema import FieldSchema, ModelSchema, RelationSchema, Schema
+from .types import (
+    BOOL,
+    DATETIME,
+    FLOAT,
+    INT,
+    STRING,
+    Aggregation,
+    Comparator,
+    Direction,
+    DRelation,
+    ListType,
+    ObjType,
+    Order,
+    RefType,
+    SetType,
+    SoirType,
+)
+
+_SCALARS = {"Bool": BOOL, "Int": INT, "Float": FLOAT, "String": STRING,
+            "Datetime": DATETIME}
+
+
+class SerializationError(Exception):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def type_to_obj(t: SoirType) -> Any:
+    if isinstance(t, ObjType):
+        return {"kind": "obj", "model": t.model_name}
+    if isinstance(t, SetType):
+        return {"kind": "set", "model": t.model_name}
+    if isinstance(t, RefType):
+        return {"kind": "ref", "model": t.model_name}
+    if isinstance(t, ListType):
+        return {"kind": "list", "elem": type_to_obj(t.elem)}
+    name = str(t)
+    if name in _SCALARS:
+        return name
+    raise SerializationError(f"unserializable type {t!r}")
+
+
+def type_from_obj(obj: Any) -> SoirType:
+    if isinstance(obj, str):
+        try:
+            return _SCALARS[obj]
+        except KeyError:
+            raise SerializationError(f"unknown scalar type {obj!r}") from None
+    kind = obj["kind"]
+    if kind == "obj":
+        return ObjType(obj["model"])
+    if kind == "set":
+        return SetType(obj["model"])
+    if kind == "ref":
+        return RefType(obj["model"])
+    if kind == "list":
+        return ListType(type_from_obj(obj["elem"]))
+    raise SerializationError(f"unknown type kind {kind!r}")
+
+
+def _relpath_to_obj(relpath) -> list:
+    return [{"relation": h.relation, "direction": h.direction.value}
+            for h in relpath]
+
+
+def _relpath_from_obj(items) -> tuple:
+    return tuple(
+        DRelation(i["relation"], Direction(i["direction"])) for i in items
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def expr_to_obj(e: E.Expr) -> dict:
+    node: dict[str, Any] = {"node": type(e).__name__}
+    if isinstance(e, E.Lit):
+        value = e.value
+        if isinstance(value, tuple):
+            value = {"__tuple__": list(value)}
+        node["value"] = value
+        node["type"] = type_to_obj(e.lit_type)
+    elif isinstance(e, E.NoneLit):
+        node["type"] = type_to_obj(e.none_type)
+    elif isinstance(e, E.Var):
+        node["name"] = e.name
+        node["type"] = type_to_obj(e.var_type)
+    elif isinstance(e, E.Opaque):
+        node["name"] = e.name
+        node["type"] = type_to_obj(e.opaque_type)
+        node["deps"] = [expr_to_obj(d) for d in e.deps]
+    elif isinstance(e, E.BinOp):
+        node["op"] = e.op
+        node["left"] = expr_to_obj(e.left)
+        node["right"] = expr_to_obj(e.right)
+    elif isinstance(e, (E.Neg, E.Not)):
+        node["operand"] = expr_to_obj(e.operand)
+    elif isinstance(e, E.Cmp):
+        node["op"] = e.op.name
+        node["left"] = expr_to_obj(e.left)
+        node["right"] = expr_to_obj(e.right)
+    elif isinstance(e, (E.And, E.Or)):
+        node["args"] = [expr_to_obj(a) for a in e.args]
+    elif isinstance(e, E.Ite):
+        node["cond"] = expr_to_obj(e.cond)
+        node["then"] = expr_to_obj(e.then_)
+        node["else"] = expr_to_obj(e.else_)
+    elif isinstance(e, E.FieldGet):
+        node["obj"] = expr_to_obj(e.obj)
+        node["field"] = e.field
+        node["type"] = type_to_obj(e.field_type)
+    elif isinstance(e, E.SetField):
+        node["field"] = e.field
+        node["value"] = expr_to_obj(e.value)
+        node["obj"] = expr_to_obj(e.obj)
+    elif isinstance(e, E.MakeObj):
+        node["model"] = e.model
+        node["fields"] = [[n, expr_to_obj(v)] for n, v in e.fields]
+    elif isinstance(e, E.MapSet):
+        node["qs"] = expr_to_obj(e.qs)
+        node["field"] = e.field
+        node["value"] = expr_to_obj(e.value)
+    elif isinstance(e, (E.Singleton, E.RefOf)):
+        node["obj"] = expr_to_obj(e.obj)
+    elif isinstance(e, E.Deref):
+        node["ref"] = expr_to_obj(e.ref)
+        node["model"] = e.model
+    elif isinstance(e, (E.AnyOf, E.FirstOf, E.LastOf, E.ReverseSet, E.IsEmpty)):
+        node["qs"] = expr_to_obj(e.qs)
+    elif isinstance(e, E.All):
+        node["model"] = e.model
+    elif isinstance(e, E.Filter):
+        node["qs"] = expr_to_obj(e.qs)
+        node["relpath"] = _relpath_to_obj(e.relpath)
+        node["field"] = e.field
+        node["op"] = e.op.name
+        node["value"] = expr_to_obj(e.value)
+    elif isinstance(e, E.Follow):
+        node["qs"] = expr_to_obj(e.qs)
+        node["relpath"] = _relpath_to_obj(e.relpath)
+        node["target"] = e.target_model
+    elif isinstance(e, E.OrderBy):
+        node["qs"] = expr_to_obj(e.qs)
+        node["field"] = e.field
+        node["order"] = e.order.value
+    elif isinstance(e, E.Aggregate):
+        node["qs"] = expr_to_obj(e.qs)
+        node["agg"] = e.agg.value
+        node["field"] = e.field
+        node["type"] = type_to_obj(e.result_type)
+    elif isinstance(e, E.Exists):
+        node["model"] = e.model
+        node["ref"] = expr_to_obj(e.ref)
+    elif isinstance(e, E.MemberOf):
+        node["obj"] = expr_to_obj(e.obj)
+        node["qs"] = expr_to_obj(e.qs)
+    else:
+        raise SerializationError(f"unserializable node {type(e).__name__}")
+    return node
+
+
+def expr_from_obj(obj: dict) -> E.Expr:
+    kind = obj["node"]
+    if kind == "Lit":
+        value = obj["value"]
+        if isinstance(value, dict) and "__tuple__" in value:
+            value = tuple(value["__tuple__"])
+        return E.Lit(value, type_from_obj(obj["type"]))
+    if kind == "NoneLit":
+        return E.NoneLit(type_from_obj(obj["type"]))
+    if kind == "Var":
+        return E.Var(obj["name"], type_from_obj(obj["type"]))
+    if kind == "Opaque":
+        return E.Opaque(
+            obj["name"], type_from_obj(obj["type"]),
+            tuple(expr_from_obj(d) for d in obj.get("deps", ())),
+        )
+    if kind == "BinOp":
+        return E.BinOp(obj["op"], expr_from_obj(obj["left"]),
+                       expr_from_obj(obj["right"]))
+    if kind == "Neg":
+        return E.Neg(expr_from_obj(obj["operand"]))
+    if kind == "Not":
+        return E.Not(expr_from_obj(obj["operand"]))
+    if kind == "Cmp":
+        return E.Cmp(Comparator[obj["op"]], expr_from_obj(obj["left"]),
+                     expr_from_obj(obj["right"]))
+    if kind == "And":
+        return E.And(tuple(expr_from_obj(a) for a in obj["args"]))
+    if kind == "Or":
+        return E.Or(tuple(expr_from_obj(a) for a in obj["args"]))
+    if kind == "Ite":
+        return E.Ite(expr_from_obj(obj["cond"]), expr_from_obj(obj["then"]),
+                     expr_from_obj(obj["else"]))
+    if kind == "FieldGet":
+        return E.FieldGet(expr_from_obj(obj["obj"]), obj["field"],
+                          type_from_obj(obj["type"]))
+    if kind == "SetField":
+        return E.SetField(obj["field"], expr_from_obj(obj["value"]),
+                          expr_from_obj(obj["obj"]))
+    if kind == "MakeObj":
+        return E.MakeObj(obj["model"], tuple(
+            (n, expr_from_obj(v)) for n, v in obj["fields"]
+        ))
+    if kind == "MapSet":
+        return E.MapSet(expr_from_obj(obj["qs"]), obj["field"],
+                        expr_from_obj(obj["value"]))
+    if kind == "Singleton":
+        return E.Singleton(expr_from_obj(obj["obj"]))
+    if kind == "RefOf":
+        return E.RefOf(expr_from_obj(obj["obj"]))
+    if kind == "Deref":
+        return E.Deref(expr_from_obj(obj["ref"]), obj["model"])
+    if kind == "AnyOf":
+        return E.AnyOf(expr_from_obj(obj["qs"]))
+    if kind == "FirstOf":
+        return E.FirstOf(expr_from_obj(obj["qs"]))
+    if kind == "LastOf":
+        return E.LastOf(expr_from_obj(obj["qs"]))
+    if kind == "ReverseSet":
+        return E.ReverseSet(expr_from_obj(obj["qs"]))
+    if kind == "IsEmpty":
+        return E.IsEmpty(expr_from_obj(obj["qs"]))
+    if kind == "All":
+        return E.All(obj["model"])
+    if kind == "Filter":
+        return E.Filter(
+            expr_from_obj(obj["qs"]), _relpath_from_obj(obj["relpath"]),
+            obj["field"], Comparator[obj["op"]], expr_from_obj(obj["value"]),
+        )
+    if kind == "Follow":
+        return E.Follow(expr_from_obj(obj["qs"]),
+                        _relpath_from_obj(obj["relpath"]), obj["target"])
+    if kind == "OrderBy":
+        return E.OrderBy(expr_from_obj(obj["qs"]), obj["field"],
+                         Order(obj["order"]))
+    if kind == "Aggregate":
+        return E.Aggregate(expr_from_obj(obj["qs"]), Aggregation(obj["agg"]),
+                           obj["field"], type_from_obj(obj["type"]))
+    if kind == "Exists":
+        return E.Exists(obj["model"], expr_from_obj(obj["ref"]))
+    if kind == "MemberOf":
+        return E.MemberOf(expr_from_obj(obj["obj"]), expr_from_obj(obj["qs"]))
+    raise SerializationError(f"unknown node kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Commands, paths, schema, result
+# ---------------------------------------------------------------------------
+
+
+def command_to_obj(cmd: C.Command) -> dict:
+    if isinstance(cmd, C.Guard):
+        return {"cmd": "guard", "cond": expr_to_obj(cmd.cond)}
+    if isinstance(cmd, C.Update):
+        return {"cmd": "update", "qs": expr_to_obj(cmd.qs)}
+    if isinstance(cmd, C.Delete):
+        return {"cmd": "delete", "qs": expr_to_obj(cmd.qs)}
+    if isinstance(cmd, C.Link):
+        return {"cmd": "link", "relation": cmd.relation,
+                "src": expr_to_obj(cmd.src), "dst": expr_to_obj(cmd.dst)}
+    if isinstance(cmd, C.Delink):
+        return {"cmd": "delink", "relation": cmd.relation,
+                "src": expr_to_obj(cmd.src), "dst": expr_to_obj(cmd.dst)}
+    if isinstance(cmd, C.RLink):
+        return {"cmd": "rlink", "relation": cmd.relation,
+                "srcs": expr_to_obj(cmd.srcs), "dst": expr_to_obj(cmd.dst)}
+    if isinstance(cmd, C.ClearLinks):
+        return {"cmd": "clearlinks", "relation": cmd.relation,
+                "obj": expr_to_obj(cmd.obj), "end": cmd.end}
+    raise SerializationError(f"unserializable command {type(cmd).__name__}")
+
+
+def command_from_obj(obj: dict) -> C.Command:
+    kind = obj["cmd"]
+    if kind == "guard":
+        return C.Guard(expr_from_obj(obj["cond"]))
+    if kind == "update":
+        return C.Update(expr_from_obj(obj["qs"]))
+    if kind == "delete":
+        return C.Delete(expr_from_obj(obj["qs"]))
+    if kind == "link":
+        return C.Link(obj["relation"], expr_from_obj(obj["src"]),
+                      expr_from_obj(obj["dst"]))
+    if kind == "delink":
+        return C.Delink(obj["relation"], expr_from_obj(obj["src"]),
+                        expr_from_obj(obj["dst"]))
+    if kind == "rlink":
+        return C.RLink(obj["relation"], expr_from_obj(obj["srcs"]),
+                       expr_from_obj(obj["dst"]))
+    if kind == "clearlinks":
+        return C.ClearLinks(obj["relation"], expr_from_obj(obj["obj"]),
+                            obj["end"])
+    raise SerializationError(f"unknown command kind {kind!r}")
+
+
+def path_to_obj(path: CodePath) -> dict:
+    return {
+        "name": path.name,
+        "view": path.view,
+        "args": [
+            {"name": a.name, "type": type_to_obj(a.type), "source": a.source,
+             "unique_id": a.unique_id}
+            for a in path.args
+        ],
+        "commands": [command_to_obj(c) for c in path.commands],
+        "branch_trace": [list(t) for t in path.branch_trace],
+        "aborted": path.aborted,
+        "conservative": path.conservative,
+        "abort_reason": path.abort_reason,
+    }
+
+
+def path_from_obj(obj: dict) -> CodePath:
+    return CodePath(
+        name=obj["name"],
+        view=obj.get("view", ""),
+        args=tuple(
+            Argument(a["name"], type_from_obj(a["type"]), a["source"],
+                     a["unique_id"])
+            for a in obj["args"]
+        ),
+        commands=tuple(command_from_obj(c) for c in obj["commands"]),
+        branch_trace=tuple((k, v) for k, v in obj.get("branch_trace", [])),
+        aborted=obj.get("aborted", False),
+        conservative=obj.get("conservative", False),
+        abort_reason=obj.get("abort_reason", ""),
+    )
+
+
+def schema_to_obj(schema: Schema) -> dict:
+    return {
+        "models": [
+            {
+                "name": m.name,
+                "pk": m.pk,
+                "auto_pk": m.auto_pk,
+                "unique_together": [list(g) for g in m.unique_together],
+                "fields": [
+                    {
+                        "name": f.name,
+                        "type": type_to_obj(f.type),
+                        "unique": f.unique,
+                        "nullable": f.nullable,
+                        "min_value": f.min_value,
+                        "choices": list(f.choices) if f.choices else None,
+                    }
+                    for f in m.fields
+                ],
+            }
+            for m in schema.models.values()
+        ],
+        "relations": [
+            {
+                "name": r.name, "source": r.source, "target": r.target,
+                "kind": r.kind, "on_delete": r.on_delete,
+                "reverse_name": r.reverse_name, "nullable": r.nullable,
+            }
+            for r in schema.relations.values()
+        ],
+    }
+
+
+def schema_from_obj(obj: dict) -> Schema:
+    schema = Schema()
+    for m in obj["models"]:
+        schema.add_model(ModelSchema(
+            name=m["name"],
+            pk=m["pk"],
+            auto_pk=m["auto_pk"],
+            unique_together=tuple(tuple(g) for g in m["unique_together"]),
+            fields=tuple(
+                FieldSchema(
+                    name=f["name"],
+                    type=type_from_obj(f["type"]),
+                    unique=f["unique"],
+                    nullable=f["nullable"],
+                    min_value=f["min_value"],
+                    choices=tuple(f["choices"]) if f["choices"] else None,
+                )
+                for f in m["fields"]
+            ),
+        ))
+    for r in obj["relations"]:
+        schema.add_relation(RelationSchema(
+            name=r["name"], source=r["source"], target=r["target"],
+            kind=r["kind"], on_delete=r["on_delete"],
+            reverse_name=r["reverse_name"], nullable=r["nullable"],
+        ))
+    return schema
+
+
+def result_to_obj(result: AnalysisResult) -> dict:
+    return {
+        "app": result.app_name,
+        "schema": schema_to_obj(result.schema),
+        "paths": [path_to_obj(p) for p in result.paths],
+        "timings": result.timings,
+        "notes": result.notes,
+    }
+
+
+def result_from_obj(obj: dict) -> AnalysisResult:
+    return AnalysisResult(
+        app_name=obj["app"],
+        schema=schema_from_obj(obj["schema"]),
+        paths=[path_from_obj(p) for p in obj["paths"]],
+        timings=dict(obj.get("timings", {})),
+        notes=list(obj.get("notes", [])),
+    )
+
+
+def dumps(result: AnalysisResult, *, indent: int | None = None) -> str:
+    return json.dumps(result_to_obj(result), indent=indent)
+
+
+def loads(text: str) -> AnalysisResult:
+    return result_from_obj(json.loads(text))

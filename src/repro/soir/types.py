@@ -1,0 +1,206 @@
+"""SOIR type system.
+
+SOIR (SMT-verifiable Object Intermediate Representation) is a simply-typed
+imperative language modelling the database interactions of one code path of a
+web application (paper, Section 3).  Its types mirror SQL data types plus the
+three ORM abstractions: objects ``Obj<mu>``, query sets ``Set<mu>`` and
+references ``Ref<mu>``.
+
+All type objects are immutable and compare structurally, so they can be used
+as dictionary keys and in sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SoirType:
+    """Base class of all SOIR types."""
+
+    def is_model_type(self) -> bool:
+        """Whether this type refers to a model (``Obj``/``Set``/``Ref``)."""
+        return False
+
+    @property
+    def model(self) -> str:
+        raise TypeError(f"{self!r} is not a model type")
+
+
+@dataclass(frozen=True)
+class BoolType(SoirType):
+    def __str__(self) -> str:
+        return "Bool"
+
+
+@dataclass(frozen=True)
+class IntType(SoirType):
+    def __str__(self) -> str:
+        return "Int"
+
+
+@dataclass(frozen=True)
+class FloatType(SoirType):
+    def __str__(self) -> str:
+        return "Float"
+
+
+@dataclass(frozen=True)
+class StringType(SoirType):
+    def __str__(self) -> str:
+        return "String"
+
+
+@dataclass(frozen=True)
+class DatetimeType(SoirType):
+    """Timestamps.  Encoded as integers by the verifier."""
+
+    def __str__(self) -> str:
+        return "Datetime"
+
+
+@dataclass(frozen=True)
+class ListType(SoirType):
+    """A list of homogeneous values (used for static parameters)."""
+
+    elem: SoirType
+
+    def __str__(self) -> str:
+        return f"List<{self.elem}>"
+
+
+@dataclass(frozen=True)
+class ObjType(SoirType):
+    """An instance of model ``model_name`` — a record of fields."""
+
+    model_name: str
+
+    def is_model_type(self) -> bool:
+        return True
+
+    @property
+    def model(self) -> str:
+        return self.model_name
+
+    def __str__(self) -> str:
+        return f"Obj<{self.model_name}>"
+
+
+@dataclass(frozen=True)
+class SetType(SoirType):
+    """A query set: an ordered set of homogeneous ``model_name`` objects."""
+
+    model_name: str
+
+    def is_model_type(self) -> bool:
+        return True
+
+    @property
+    def model(self) -> str:
+        return self.model_name
+
+    def __str__(self) -> str:
+        return f"Set<{self.model_name}>"
+
+
+@dataclass(frozen=True)
+class RefType(SoirType):
+    """The primary-key (ID) type for ``model_name`` objects."""
+
+    model_name: str
+
+    def is_model_type(self) -> bool:
+        return True
+
+    @property
+    def model(self) -> str:
+        return self.model_name
+
+    def __str__(self) -> str:
+        return f"Ref<{self.model_name}>"
+
+
+# Canonical singletons for the scalar types.  Using shared instances keeps
+# construction cheap; structural equality still holds for fresh instances.
+BOOL = BoolType()
+INT = IntType()
+FLOAT = FloatType()
+STRING = StringType()
+DATETIME = DatetimeType()
+
+
+def obj(model_name: str) -> ObjType:
+    return ObjType(model_name)
+
+
+def qset(model_name: str) -> SetType:
+    return SetType(model_name)
+
+
+def ref(model_name: str) -> RefType:
+    return RefType(model_name)
+
+
+class Comparator(enum.Enum):
+    """Comparison operators usable in ``filter`` criteria and guards."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    CONTAINS = "contains"  # substring match, mirrors Django's __contains
+    STARTSWITH = "startswith"
+    IN = "in"  # membership in a literal list
+    ISNULL = "isnull"  # value (a Bool literal) selects null / non-null;
+    # over a relation path, "null" means no associated object exists
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Direction(enum.Enum):
+    """Which way a relation is traversed by ``follow``/``filter``."""
+
+    FORWARD = "+"
+    BACKWARD = "-"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Order(enum.Enum):
+    ASC = "asc"
+    DESC = "desc"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Aggregation(enum.Enum):
+    MAX = "max"
+    MIN = "min"
+    SUM = "sum"
+    CNT = "cnt"
+    AVG = "avg"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DRelation:
+    """A relation name plus a traversal direction (paper, Table 1)."""
+
+    relation: str
+    direction: Direction = Direction.FORWARD
+
+    def __str__(self) -> str:
+        return f"{self.relation}{self.direction}"
+
+
+def scalar_types() -> tuple[SoirType, ...]:
+    """The scalar (non-model, non-list) SOIR types."""
+    return (BOOL, INT, FLOAT, STRING, DATETIME)

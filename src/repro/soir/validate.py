@@ -1,0 +1,177 @@
+"""Static well-formedness validation of SOIR code paths.
+
+The analyzer should only ever emit well-formed SOIR; this validator is the
+contract between the analyzer and the verifier, and is run on every path in
+tests and (cheaply) before verification.  Checks:
+
+* every ``Var`` refers to a declared argument with a matching type;
+* every model / relation / field named in the path exists in the schema;
+* relation hops in ``filter``/``follow`` are chainable (each hop's source
+  model matches the previous hop's result);
+* command arguments are of the required SOIR types;
+* ``MakeObj`` supplies every field of its model.
+"""
+
+from __future__ import annotations
+
+from . import commands as C
+from . import expr as E
+from .path import CodePath
+from .schema import Schema, SchemaError
+from .types import Direction, ObjType, SetType
+
+
+class ValidationError(Exception):
+    """The path is not well-formed SOIR."""
+
+
+def validate_path(path: CodePath, schema: Schema) -> None:
+    """Raise :class:`ValidationError` if ``path`` is malformed."""
+    arg_types = {a.name: a.type for a in path.args}
+    v = _Validator(schema, arg_types, path.name)
+    for cmd in path.commands:
+        v.check_command(cmd)
+
+
+def validate_result(paths: list[CodePath], schema: Schema) -> None:
+    for p in paths:
+        validate_path(p, schema)
+
+
+class _Validator:
+    def __init__(self, schema: Schema, arg_types: dict, path_name: str):
+        self.schema = schema
+        self.arg_types = arg_types
+        self.path_name = path_name
+
+    def fail(self, message: str) -> None:
+        raise ValidationError(f"{self.path_name}: {message}")
+
+    # -- commands -------------------------------------------------------
+
+    def check_command(self, cmd: C.Command) -> None:
+        for e in cmd.exprs():
+            self.check_expr(e)
+        if isinstance(cmd, C.Guard):
+            if str(cmd.cond.type) != "Bool":
+                self.fail(f"guard condition of type {cmd.cond.type}")
+        elif isinstance(cmd, (C.Update, C.Delete)):
+            if not isinstance(cmd.qs.type, SetType):
+                self.fail(f"{type(cmd).__name__.lower()} of non-queryset")
+        elif isinstance(cmd, (C.Link, C.Delink)):
+            rel = self._relation(cmd.relation)
+            self._expect_obj(cmd.src, rel.source, "link source")
+            self._expect_obj(cmd.dst, rel.target, "link target")
+        elif isinstance(cmd, C.RLink):
+            rel = self._relation(cmd.relation)
+            if not isinstance(cmd.srcs.type, SetType) or cmd.srcs.type.model != rel.source:
+                self.fail(f"rlink sources must be Set<{rel.source}>")
+            self._expect_obj(cmd.dst, rel.target, "rlink target")
+        elif isinstance(cmd, C.ClearLinks):
+            rel = self._relation(cmd.relation)
+            expected = rel.source if cmd.end == "source" else rel.target
+            self._expect_obj(cmd.obj, expected, "clearlinks object")
+
+    def _relation(self, name: str):
+        try:
+            return self.schema.relation(name)
+        except SchemaError:
+            self.fail(f"unknown relation {name!r}")
+
+    def _expect_obj(self, e: E.Expr, model: str, what: str) -> None:
+        if not isinstance(e.type, ObjType) or e.type.model != model:
+            self.fail(f"{what} must be Obj<{model}>, got {e.type}")
+
+    # -- expressions ----------------------------------------------------
+
+    def check_expr(self, e: E.Expr) -> None:
+        for node in e.walk():
+            self._check_node(node)
+
+    def _check_node(self, node: E.Expr) -> None:
+        if isinstance(node, E.Var):
+            declared = self.arg_types.get(node.name)
+            if declared is None:
+                self.fail(f"undeclared variable {node.name!r}")
+            if declared != node.var_type:
+                self.fail(
+                    f"variable {node.name!r} used at type {node.var_type}, "
+                    f"declared {declared}"
+                )
+        elif isinstance(node, (E.All, E.Deref, E.Exists)):
+            self._model(node.model)
+        elif isinstance(node, E.MakeObj):
+            model = self._model(node.model)
+            supplied = {n for n, _ in node.fields}
+            missing = set(model.field_names) - supplied
+            if missing:
+                self.fail(f"new<{node.model}> missing fields {sorted(missing)}")
+            extra = supplied - set(model.field_names)
+            if extra:
+                self.fail(f"new<{node.model}> unknown fields {sorted(extra)}")
+        elif isinstance(node, E.FieldGet):
+            t = node.obj.type
+            if not isinstance(t, ObjType):
+                self.fail("field access on non-object")
+            model = self._model(t.model)
+            if not model.has_field(node.field):
+                self.fail(f"model {t.model} has no field {node.field!r}")
+        elif isinstance(node, E.MapSet):
+            t = node.qs.type
+            if not isinstance(t, SetType):
+                self.fail("mapset on non-queryset")
+            model = self._model(t.model)
+            if not model.has_field(node.field):
+                self.fail(f"model {t.model} has no field {node.field!r}")
+        elif isinstance(node, E.SetField):
+            t = node.obj.type
+            if not isinstance(t, ObjType):
+                self.fail("setf on non-object")
+            model = self._model(t.model)
+            if not model.has_field(node.field):
+                self.fail(f"model {t.model} has no field {node.field!r}")
+        elif isinstance(node, E.Filter):
+            self._check_relpath(node.qs.type, node.relpath, node.field)
+        elif isinstance(node, E.Follow):
+            end = self._check_relpath(node.qs.type, node.relpath, None)
+            if end != node.target_model:
+                self.fail(
+                    f"follow ends at {end}, annotated {node.target_model}"
+                )
+        elif isinstance(node, (E.OrderBy, E.Aggregate)):
+            t = node.qs.type
+            if not isinstance(t, SetType):
+                self.fail("order/aggregate on non-queryset")
+            model = self._model(t.model)
+            if not model.has_field(node.field):
+                self.fail(f"model {t.model} has no field {node.field!r}")
+
+    def _model(self, name: str):
+        try:
+            return self.schema.model(name)
+        except SchemaError:
+            self.fail(f"unknown model {name!r}")
+
+    def _check_relpath(self, qs_type, relpath, field: str | None) -> str:
+        if not isinstance(qs_type, SetType):
+            self.fail("filter/follow on non-queryset")
+        current = qs_type.model
+        for hop in relpath:
+            rel = self._relation(hop.relation)
+            if hop.direction == Direction.FORWARD:
+                if rel.source != current:
+                    self.fail(
+                        f"hop {hop} expects source {rel.source}, at {current}"
+                    )
+                current = rel.target
+            else:
+                if rel.target != current:
+                    self.fail(
+                        f"hop {hop} expects target {rel.target}, at {current}"
+                    )
+                current = rel.source
+        if field is not None:
+            model = self._model(current)
+            if not model.has_field(field):
+                self.fail(f"model {current} has no field {field!r}")
+        return current

@@ -1,0 +1,38 @@
+"""The Noctua VERIFIER.
+
+Decides, for every pair of effectful code paths, whether they may run
+concurrently under PoR consistency: the commutativity check guards state
+convergence, the semantic check guards invariant preservation (paper
+§2.2.1).  Facts are established by counterexample search over finite
+scopes (the offline substitution for Z3 documented in DESIGN.md); the
+restriction set is the union of failing pairs.
+"""
+
+from .enumcheck import CheckConfig, PairChecker
+from .restrictions import (
+    CheckResult,
+    Counterexample,
+    Outcome,
+    PairVerdict,
+    VerificationReport,
+)
+from .runner import operation_conflict_table, verify_application, verify_pair
+from .smtcheck import SmtPairChecker
+from .scopes import Scope, StateGenerator, build_scope
+
+__all__ = [
+    "CheckConfig",
+    "CheckResult",
+    "Counterexample",
+    "Outcome",
+    "PairChecker",
+    "PairVerdict",
+    "Scope",
+    "SmtPairChecker",
+    "StateGenerator",
+    "VerificationReport",
+    "build_scope",
+    "operation_conflict_table",
+    "verify_application",
+    "verify_pair",
+]

@@ -1,0 +1,790 @@
+"""The order-aware array-based SMT encoding (paper §4.2, Table 2),
+grounded over the finite scopes of :mod:`repro.verifier.scopes`.
+
+A model state is encoded as the paper's triple, one term per universe
+element:
+
+* ``ids``   — a boolean membership term per candidate primary key;
+* ``data``  — per candidate key, one term per field (a *total* map: keys
+  outside ``ids`` carry unconstrained values, exactly the array-theory
+  totality the paper exploits);
+* ``order`` — per candidate key, an integer order term.  **Decoupling**:
+  the order component is materialized lazily — only when the code paths
+  under verification actually use an order-related primitive — so the
+  common case pays nothing for it (``order_mode="decoupled"``).
+
+Well-formedness axioms follow §5.2: the pk column of ``data[r]`` *is*
+``r`` (structurally), unique fields do not collide between present rows,
+order numbers are distinct, and foreign keys are functional, non-dangling
+and (when non-nullable) total.
+
+:class:`Encoder` symbolically executes a SOIR code path over such a state:
+*run* mode collects the precondition ``g_P`` (explicit guards plus
+implicit existence/non-emptiness obligations); *apply* mode is replication
+semantics (guards skipped, ghost reads).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..smt import terms as T
+from ..soir import commands as C
+from ..soir import expr as E
+from ..soir.path import CodePath
+from ..soir.schema import Schema
+from ..soir.types import (
+    Aggregation,
+    Comparator,
+    Direction,
+    SoirType,
+)
+from ..soir.types import BOOL as S_BOOL, FLOAT as S_FLOAT, INT as S_INT
+from .scopes import Scope
+
+
+class EncodingUnsupported(Exception):
+    """The construct cannot be encoded; the caller degrades conservatively."""
+
+
+def term_sort(soir_type: SoirType) -> str:
+    if soir_type == S_BOOL:
+        return T.BOOL
+    if soir_type == S_FLOAT:
+        return T.FLOAT
+    if soir_type == S_INT:
+        return T.INT
+    if str(soir_type) == "Datetime":
+        return T.INT
+    return T.STR
+
+
+@dataclass
+class GroundState:
+    """One encoded database state (the paper's Table 2, grounded)."""
+
+    prefix: str
+    ids: dict[str, dict[object, T.Term]] = field(default_factory=dict)
+    data: dict[str, dict[object, dict[str, T.Term]]] = field(default_factory=dict)
+    order: dict[str, dict[object, T.Term] | None] = field(default_factory=dict)
+    assocs: dict[str, dict[tuple, T.Term]] = field(default_factory=dict)
+
+    def copy(self) -> "GroundState":
+        return GroundState(
+            prefix=self.prefix,
+            ids={m: dict(v) for m, v in self.ids.items()},
+            data={m: {r: dict(fs) for r, fs in rows.items()}
+                  for m, rows in self.data.items()},
+            order={m: (dict(v) if v is not None else None)
+                   for m, v in self.order.items()},
+            assocs={rel: dict(v) for rel, v in self.assocs.items()},
+        )
+
+
+@dataclass
+class StateBundle:
+    """A fresh state with its axioms and variable domains."""
+
+    state: GroundState
+    axioms: list[T.Term]
+    domains: dict[str, list]
+
+
+def universe_of(scope: Scope) -> dict[str, list]:
+    """Candidate primary keys per model: scope rows, plus fresh-pool slots
+    for models the paths actually insert fresh rows into (keeping the
+    grounded state as small as the pair allows)."""
+    return {
+        m: list(scope.ids[m]) + (
+            list(scope.fresh_ids.get(m, [])) if m in scope.fresh_models else []
+        )
+        for m in scope.models
+    }
+
+
+def fresh_state(
+    prefix: str,
+    schema: Schema,
+    scope: Scope,
+    *,
+    with_order: bool,
+) -> StateBundle:
+    universe = universe_of(scope)
+    state = GroundState(prefix)
+    axioms: list[T.Term] = []
+    domains: dict[str, list] = {}
+
+    for mname in sorted(scope.models):
+        model = schema.model(mname)
+        refs = universe[mname]
+        state.ids[mname] = {}
+        state.data[mname] = {}
+        state.order[mname] = {} if with_order else None
+        for r in refs:
+            id_var = T.var(f"{prefix}.{mname}.ids[{r}]", T.BOOL)
+            state.ids[mname][r] = id_var
+            domains[id_var.name] = [True, False]
+            row: dict[str, T.Term] = {}
+            for fschema in model.fields:
+                if fschema.name == model.pk:
+                    # Well-formedness axiom data[r].pk == r, structurally.
+                    row[fschema.name] = T.const(r)
+                    continue
+                fvar = T.var(
+                    f"{prefix}.{mname}.data[{r}].{fschema.name}",
+                    term_sort(fschema.type),
+                )
+                row[fschema.name] = fvar
+                domain = list(scope.field_domains.get((mname, fschema.name),
+                                                      [None]))
+                domains[fvar.name] = domain
+            state.data[mname][r] = row
+            if with_order:
+                ovar = T.var(f"{prefix}.{mname}.order[{r}]", T.INT)
+                state.order[mname][r] = ovar
+                domains[ovar.name] = list(range(len(refs) + 2))
+        # Unique-field axioms between distinct present rows.
+        for fschema in model.fields:
+            if not fschema.unique or fschema.name == model.pk:
+                continue
+            for r1, r2 in itertools.combinations(refs, 2):
+                both = T.and_(state.ids[mname][r1], state.ids[mname][r2])
+                v1 = state.data[mname][r1][fschema.name]
+                v2 = state.data[mname][r2][fschema.name]
+                axioms.append(T.implies(
+                    T.and_(both, T.not_(T.is_null(v1))), T.ne(v1, v2)
+                ))
+        for group in model.unique_together:
+            for r1, r2 in itertools.combinations(refs, 2):
+                both = T.and_(state.ids[mname][r1], state.ids[mname][r2])
+                same = T.and_(*(
+                    T.eq(state.data[mname][r1][f], state.data[mname][r2][f])
+                    for f in group
+                ))
+                axioms.append(T.implies(both, T.not_(same)))
+        if with_order:
+            # Order numbers are unique among present rows (§5.2).
+            for r1, r2 in itertools.combinations(refs, 2):
+                both = T.and_(state.ids[mname][r1], state.ids[mname][r2])
+                axioms.append(T.implies(
+                    both,
+                    T.ne(state.order[mname][r1], state.order[mname][r2]),
+                ))
+
+    for rname in sorted(scope.relations):
+        rel = schema.relation(rname)
+        if rel.source not in scope.models or rel.target not in scope.models:
+            continue
+        srcs = universe[rel.source]
+        dsts = universe[rel.target]
+        state.assocs[rname] = {}
+        for s in srcs:
+            for d in dsts:
+                avar = T.var(f"{prefix}.{rname}[{s},{d}]", T.BOOL)
+                state.assocs[rname][(s, d)] = avar
+                domains[avar.name] = [True, False]
+                # No dangling associations in a valid state.
+                axioms.append(T.implies(
+                    avar,
+                    T.and_(state.ids[rel.source][s], state.ids[rel.target][d]),
+                ))
+        if rel.kind == "fk":
+            for s in srcs:
+                # Functional: at most one target per source.
+                for d1, d2 in itertools.combinations(dsts, 2):
+                    axioms.append(T.not_(T.and_(
+                        state.assocs[rname][(s, d1)],
+                        state.assocs[rname][(s, d2)],
+                    )))
+                if not rel.nullable:
+                    axioms.append(T.implies(
+                        state.ids[rel.source][s],
+                        T.or_(*(state.assocs[rname][(s, d)] for d in dsts)),
+                    ))
+    return StateBundle(state, axioms, domains)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic values
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ObjV:
+    """A symbolic object: per-field terms (pk included)."""
+
+    model: str
+    fields: dict[str, T.Term]
+
+    def replace(self, name: str, value: T.Term) -> "ObjV":
+        fields = dict(self.fields)
+        fields[name] = value
+        return ObjV(self.model, fields)
+
+
+@dataclass
+class SetV:
+    """A symbolic query set: membership / data / optional order, per
+    universe element."""
+
+    model: str
+    member: dict[object, T.Term]
+    data: dict[object, dict[str, T.Term]]
+    order: dict[object, T.Term] | None = None
+
+
+# ---------------------------------------------------------------------------
+# The encoder
+# ---------------------------------------------------------------------------
+
+
+class Encoder:
+    """Symbolically executes one SOIR path over a ground state."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        scope: Scope,
+        state: GroundState,
+        env: dict[str, T.Term],
+        *,
+        mode: str = "run",
+        uses_order: bool = False,
+    ):
+        self.schema = schema
+        self.scope = scope
+        self.universe = universe_of(scope)
+        self.state = state
+        self.env = env
+        self.mode = mode
+        self.uses_order = uses_order
+        self.pre: list[T.Term] = []
+        self._fresh = itertools.count()
+        #: extra variables created during encoding (opaque orders, aggregates)
+        self.extra_domains: dict[str, list] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def fresh_var(self, hint: str, sort: str) -> T.Var:
+        return T.var(f"{self.state.prefix}!{hint}{next(self._fresh)}", sort)
+
+    def _declare(self, var: T.Var, domain: list) -> None:
+        self.extra_domains[var.name] = domain
+
+    def member_term(self, model: str, ref: T.Term) -> T.Term:
+        """Whether the object named by ``ref`` exists in the state."""
+        return T.or_(*(
+            T.and_(T.eq(ref, T.const(r)), self.state.ids[model][r])
+            for r in self.universe[model]
+        ))
+
+    def _order_of(self, setv: SetV) -> dict[object, T.Term]:
+        if setv.order is not None:
+            return setv.order
+        model_order = self.state.order.get(setv.model)
+        if model_order:
+            return model_order
+        # Order never materialized: fall back to universe position (the
+        # deterministic stand-in used when no order primitive occurs).
+        return {r: T.const(i) for i, r in enumerate(self.universe[setv.model])}
+
+    def _select(self, setv: SetV, *, smallest: bool) -> ObjV:
+        """The minimal/maximal-order member, as ITE chains; in run mode the
+        non-emptiness obligation joins the precondition."""
+        refs = list(self.universe[setv.model])
+        order = self._order_of(setv)
+        if self.mode == "run":
+            self.pre.append(T.or_(*(setv.member[r] for r in refs)))
+        conds: dict[object, T.Term] = {}
+        for r in refs:
+            others = []
+            for r2 in refs:
+                if r2 == r:
+                    continue
+                cmp_term = (
+                    T.lt(order[r], order[r2]) if smallest
+                    else T.lt(order[r2], order[r])
+                )
+                others.append(T.or_(T.not_(setv.member[r2]), cmp_term))
+            conds[r] = T.and_(setv.member[r], *others)
+        model = self.schema.model(setv.model)
+        fields: dict[str, T.Term] = {}
+        for fschema in model.fields:
+            # Fall-through default: the last universe element's value
+            # (unreachable when the set is non-empty and orders distinct).
+            acc = setv.data[refs[-1]][fschema.name]
+            for r in refs[:-1]:
+                acc = T.ite(conds[r], setv.data[r][fschema.name], acc)
+            fields[fschema.name] = acc
+        return ObjV(setv.model, fields)
+
+    # -- expressions -----------------------------------------------------
+
+    def eval(self, e: E.Expr):
+        method = getattr(self, f"_eval_{type(e).__name__}", None)
+        if method is None:
+            raise EncodingUnsupported(type(e).__name__)
+        return method(e)
+
+    def _eval_Lit(self, e: E.Lit):
+        if isinstance(e.value, (list, tuple)):
+            return tuple(e.value)  # IN-lists stay concrete
+        return T.const(e.value)
+
+    def _eval_NoneLit(self, e: E.NoneLit):
+        return T.null(term_sort(e.none_type))
+
+    def _eval_Var(self, e: E.Var):
+        try:
+            return self.env[e.name]
+        except KeyError:
+            raise EncodingUnsupported(f"unbound {e.name}") from None
+
+    def _eval_Opaque(self, e: E.Opaque):
+        try:
+            return self.env[e.name]
+        except KeyError:
+            raise EncodingUnsupported(f"unpinned opaque {e.name}") from None
+
+    def _eval_BinOp(self, e: E.BinOp):
+        left, right = self.eval(e.left), self.eval(e.right)
+        ops = {"+": T.add, "-": T.sub, "*": T.mul, "concat": T.concat}
+        if e.op not in ops:
+            raise EncodingUnsupported(f"operator {e.op}")
+        return ops[e.op](left, right)
+
+    def _eval_Neg(self, e: E.Neg):
+        return T.neg(self.eval(e.operand))
+
+    def _eval_Cmp(self, e: E.Cmp):
+        left, right = self.eval(e.left), self.eval(e.right)
+        return compare_terms(e.op, left, right)
+
+    def _eval_Not(self, e: E.Not):
+        return T.not_(self.eval(e.operand))
+
+    def _eval_And(self, e: E.And):
+        return T.and_(*(self.eval(a) for a in e.args))
+
+    def _eval_Or(self, e: E.Or):
+        return T.or_(*(self.eval(a) for a in e.args))
+
+    def _eval_Ite(self, e: E.Ite):
+        return T.ite(self.eval(e.cond), self.eval(e.then_), self.eval(e.else_))
+
+    def _eval_FieldGet(self, e: E.FieldGet):
+        obj = self.eval(e.obj)
+        return obj.fields[e.field]
+
+    def _eval_SetField(self, e: E.SetField):
+        return self.eval(e.obj).replace(e.field, self.eval(e.value))
+
+    def _eval_MakeObj(self, e: E.MakeObj):
+        return ObjV(e.model, {n: self.eval(v) for n, v in e.fields})
+
+    def _eval_MapSet(self, e: E.MapSet):
+        setv = self.eval(e.qs)
+        value = self.eval(e.value)
+        data = {r: {**fs, e.field: value} for r, fs in setv.data.items()}
+        return SetV(setv.model, dict(setv.member), data, setv.order)
+
+    def _eval_Singleton(self, e: E.Singleton):
+        obj = self.eval(e.obj)
+        model = self.schema.model(obj.model)
+        ref = obj.fields[model.pk]
+        member = {
+            r: T.eq(ref, T.const(r)) for r in self.universe[obj.model]
+        }
+        data = {r: dict(obj.fields) for r in self.universe[obj.model]}
+        # pk column stays structurally correct per universe slot.
+        for r in data:
+            data[r][model.pk] = T.const(r)
+        return SetV(obj.model, member, data)
+
+    def _eval_Deref(self, e: E.Deref):
+        ref = self.eval(e.ref)
+        if self.mode == "run":
+            self.pre.append(self.member_term(e.model, ref))
+        model = self.schema.model(e.model)
+        refs = self.universe[e.model]
+        fields: dict[str, T.Term] = {}
+        for fschema in model.fields:
+            if fschema.name == model.pk:
+                fields[fschema.name] = ref
+                continue
+            acc = self.state.data[e.model][refs[-1]][fschema.name]
+            for r in refs[:-1]:
+                acc = T.ite(T.eq(ref, T.const(r)),
+                            self.state.data[e.model][r][fschema.name], acc)
+            fields[fschema.name] = acc
+        return ObjV(e.model, fields)
+
+    def _eval_RefOf(self, e: E.RefOf):
+        obj = self.eval(e.obj)
+        return obj.fields[self.schema.model(obj.model).pk]
+
+    def _eval_AnyOf(self, e: E.AnyOf):
+        return self._select(self.eval(e.qs), smallest=True)
+
+    def _eval_FirstOf(self, e: E.FirstOf):
+        return self._select(self.eval(e.qs), smallest=True)
+
+    def _eval_LastOf(self, e: E.LastOf):
+        return self._select(self.eval(e.qs), smallest=False)
+
+    def _eval_All(self, e: E.All):
+        return SetV(
+            e.model,
+            dict(self.state.ids[e.model]),
+            {r: dict(fs) for r, fs in self.state.data[e.model].items()},
+        )
+
+    def _eval_Filter(self, e: E.Filter):
+        setv = self.eval(e.qs)
+        value = self.eval(e.value)
+        member = {}
+        for r in self.universe[setv.model]:
+            matches = self._match_through(
+                setv.model, r, e.relpath, e.field, e.op, value
+            )
+            member[r] = T.and_(setv.member[r], matches)
+        return SetV(setv.model, member, setv.data, setv.order)
+
+    def _match_through(self, model, r, relpath, fieldname, op, value):
+        """Does object ``r`` (of ``model``), through ``relpath``, reach an
+        object whose ``fieldname`` satisfies ``op value``?"""
+        if not relpath:
+            row = self.state.data[model][r] if fieldname != \
+                self.schema.model(model).pk else None
+            term = (T.const(r) if fieldname == self.schema.model(model).pk
+                    else self.state.data[model][r][fieldname])
+            if op == Comparator.ISNULL:
+                cond = T.is_null(term)
+                want_null = bool(value.value) if isinstance(value, T.Const) else True
+                return cond if want_null else T.not_(cond)
+            return compare_terms(op, term, value)
+        hop, rest = relpath[0], relpath[1:]
+        rel = self.schema.relation(hop.relation)
+        if hop.direction == Direction.FORWARD:
+            next_model = rel.target
+            pair = lambda r2: (r, r2)  # noqa: E731
+        else:
+            next_model = rel.source
+            pair = lambda r2: (r2, r)  # noqa: E731
+        assoc = self.state.assocs[hop.relation]
+        reached = []
+        for r2 in self.universe[next_model]:
+            linked = assoc.get(pair(r2), T.FALSE)
+            reached.append(T.and_(
+                linked,
+                self._match_through(next_model, r2, rest, fieldname, op, value),
+            ))
+        if op == Comparator.ISNULL:
+            want_null = bool(value.value) if isinstance(value, T.Const) else True
+            has = []
+            for r2 in self.universe[next_model]:
+                linked = assoc.get(pair(r2), T.FALSE)
+                non_null = T.not_(T.is_null(
+                    T.const(r2) if fieldname == self.schema.model(next_model).pk
+                    else self.state.data[next_model][r2][fieldname]
+                )) if not rest else self._match_through(
+                    next_model, r2, rest, fieldname, op, value)
+                has.append(T.and_(linked, non_null))
+            present = T.or_(*has)
+            return T.not_(present) if want_null else present
+        return T.or_(*reached)
+
+    def _eval_Follow(self, e: E.Follow):
+        setv = self.eval(e.qs)
+        current = setv.member
+        current_model = setv.model
+        for hop in e.relpath:
+            rel = self.schema.relation(hop.relation)
+            assoc = self.state.assocs[hop.relation]
+            if hop.direction == Direction.FORWARD:
+                next_model = rel.target
+                linked = lambda a, b: assoc.get((a, b), T.FALSE)  # noqa: E731
+            else:
+                next_model = rel.source
+                linked = lambda a, b: assoc.get((b, a), T.FALSE)  # noqa: E731
+            new_member = {}
+            for r2 in self.universe[next_model]:
+                new_member[r2] = T.or_(*(
+                    T.and_(current[r1], linked(r1, r2))
+                    for r1 in self.universe[current_model]
+                ))
+            current = new_member
+            current_model = next_model
+        return SetV(
+            current_model,
+            current,
+            {r: dict(fs) for r, fs in self.state.data[current_model].items()},
+        )
+
+    def _eval_OrderBy(self, e: E.OrderBy):
+        from ..soir.types import Order
+
+        setv = self.eval(e.qs)
+        new_order = {}
+        for r in self.universe[setv.model]:
+            key = setv.data[r][e.field]
+            new_order[r] = T.neg(key) if e.order == Order.DESC else key
+        return SetV(setv.model, setv.member, setv.data, new_order)
+
+    def _eval_ReverseSet(self, e: E.ReverseSet):
+        setv = self.eval(e.qs)
+        order = self._order_of(setv)
+        # order'[x] = -order[x] (paper §4.2).
+        return SetV(setv.model, setv.member, setv.data,
+                    {r: T.neg(order[r]) for r in order})
+
+    def _eval_Aggregate(self, e: E.Aggregate):
+        setv = self.eval(e.qs)
+        zero = T.const(0)
+        if e.agg == Aggregation.CNT:
+            acc = zero
+            for r in self.universe[setv.model]:
+                acc = T.add(acc, T.ite(setv.member[r], T.const(1), zero))
+            return acc
+        if e.agg == Aggregation.SUM:
+            acc = zero
+            for r in self.universe[setv.model]:
+                acc = T.add(
+                    acc,
+                    T.ite(setv.member[r], setv.data[r][e.field], zero),
+                )
+            return acc
+        # max/min/avg: an unconstrained value (over-approximation; the
+        # paper notes Z3 cannot handle averages either, §3.3).
+        fresh = self.fresh_var(f"agg_{e.agg.value}_", term_sort(e.result_type))
+        self._declare(fresh, self.scope.type_domains.get(
+            e.result_type, [0, 1]))
+        return fresh
+
+    def _eval_IsEmpty(self, e: E.IsEmpty):
+        setv = self.eval(e.qs)
+        return T.not_(T.or_(*setv.member.values()))
+
+    def _eval_Exists(self, e: E.Exists):
+        return self.member_term(e.model, self.eval(e.ref))
+
+    def _eval_MemberOf(self, e: E.MemberOf):
+        obj = self.eval(e.obj)
+        setv = self.eval(e.qs)
+        pk = self.schema.model(setv.model).pk
+        ref = obj.fields[pk]
+        return T.or_(*(
+            T.and_(T.eq(ref, T.const(r)), setv.member[r])
+            for r in self.universe[setv.model]
+        ))
+
+    # -- commands ---------------------------------------------------------
+
+    def exec_path(self, path: CodePath) -> None:
+        for cmd in path.commands:
+            self.exec(cmd)
+
+    def exec(self, cmd: C.Command) -> None:
+        if isinstance(cmd, C.Guard):
+            if self.mode == "run":
+                self.pre.append(self.eval(cmd.cond))
+            return
+        method = getattr(self, f"_exec_{type(cmd).__name__}", None)
+        if method is None:
+            raise EncodingUnsupported(type(cmd).__name__)
+        method(cmd)
+
+    def _exec_Update(self, cmd: C.Update) -> None:
+        setv = self.eval(cmd.qs)
+        model = setv.model
+        ids = self.state.ids[model]
+        data = self.state.data[model]
+        order = self.state.order.get(model)
+        for r in self.universe[model]:
+            merged = setv.member[r]
+            if order is not None:
+                # New rows get an opaque, unknown order (paper §4.2).
+                fresh = self.fresh_var(f"order_{model}_{r}_", T.INT)
+                self._declare(fresh, list(range(len(self.universe[model]) + 2)))
+                order[r] = T.ite(
+                    T.and_(merged, T.not_(ids[r])), fresh, order[r]
+                )
+            for fname in data[r]:
+                if fname == self.schema.model(model).pk:
+                    continue
+                data[r][fname] = T.ite(merged, setv.data[r][fname],
+                                       data[r][fname])
+            ids[r] = T.or_(ids[r], merged)
+
+    def _exec_Delete(self, cmd: C.Delete) -> None:
+        setv = self.eval(cmd.qs)
+        deleted: dict[str, dict[object, T.Term]] = {
+            setv.model: dict(setv.member)
+        }
+        # Bounded cascade fixpoint over the schema graph.
+        for _ in range(len(self.scope.models)):
+            changed = False
+            for rname in self.state.assocs:
+                rel = self.schema.relation(rname)
+                if rel.kind != "fk" or rel.on_delete != "cascade":
+                    continue
+                tgt = deleted.get(rel.target)
+                if not tgt:
+                    continue
+                src_del = deleted.setdefault(
+                    rel.source,
+                    {r: T.FALSE for r in self.universe[rel.source]},
+                )
+                for s in self.universe[rel.source]:
+                    extra = T.or_(*(
+                        T.and_(self.state.assocs[rname][(s, d)], tgt[d])
+                        for d in self.universe[rel.target]
+                    ))
+                    combined = T.or_(src_del[s], extra)
+                    if combined != src_del[s]:
+                        src_del[s] = combined
+                        changed = True
+            if not changed:
+                break
+        # Referential actions on associations.
+        for rname in self.state.assocs:
+            rel = self.schema.relation(rname)
+            assoc = self.state.assocs[rname]
+            tgt_del = deleted.get(rel.target)
+            src_del = deleted.get(rel.source)
+            for (s, d), present in list(assoc.items()):
+                keep = present
+                if tgt_del is not None:
+                    if rel.on_delete == "protect":
+                        if self.mode == "run":
+                            self.pre.append(T.not_(T.and_(present, tgt_del[d])))
+                        # apply mode: dangling association survives
+                    else:
+                        keep = T.and_(keep, T.not_(tgt_del[d]))
+                if src_del is not None:
+                    keep = T.and_(keep, T.not_(src_del[s]))
+                assoc[(s, d)] = keep
+        for mname, dels in deleted.items():
+            for r in self.universe[mname]:
+                self.state.ids[mname][r] = T.and_(
+                    self.state.ids[mname][r], T.not_(dels[r])
+                )
+
+    def _ref_of(self, obj: ObjV) -> T.Term:
+        return obj.fields[self.schema.model(obj.model).pk]
+
+    def _exec_Link(self, cmd: C.Link) -> None:
+        rel = self.schema.relation(cmd.relation)
+        src = self.eval(cmd.src)
+        dst = self.eval(cmd.dst)
+        self._link(rel, cmd.relation, self._ref_of(src), self._ref_of(dst))
+
+    def _link(self, rel, rname: str, src_ref: T.Term, dst_ref: T.Term) -> None:
+        assoc = self.state.assocs[rname]
+        for (s, d), present in list(assoc.items()):
+            is_src = T.eq(src_ref, T.const(s))
+            is_pair = T.and_(is_src, T.eq(dst_ref, T.const(d)))
+            if rel.kind == "fk":
+                # fk: the new association replaces the source's old one.
+                assoc[(s, d)] = T.or_(is_pair, T.and_(present, T.not_(is_src)))
+            else:
+                assoc[(s, d)] = T.or_(present, is_pair)
+
+    def _exec_Delink(self, cmd: C.Delink) -> None:
+        rel = self.schema.relation(cmd.relation)
+        src_ref = self._ref_of(self.eval(cmd.src))
+        dst_ref = self._ref_of(self.eval(cmd.dst))
+        assoc = self.state.assocs[cmd.relation]
+        for (s, d), present in list(assoc.items()):
+            is_pair = T.and_(T.eq(src_ref, T.const(s)),
+                             T.eq(dst_ref, T.const(d)))
+            assoc[(s, d)] = T.and_(present, T.not_(is_pair))
+
+    def _exec_RLink(self, cmd: C.RLink) -> None:
+        rel = self.schema.relation(cmd.relation)
+        setv = self.eval(cmd.srcs)
+        dst_ref = self._ref_of(self.eval(cmd.dst))
+        assoc = self.state.assocs[cmd.relation]
+        for (s, d), present in list(assoc.items()):
+            in_set = setv.member[s]
+            is_dst = T.eq(dst_ref, T.const(d))
+            linked = T.and_(in_set, is_dst)
+            if rel.kind == "fk":
+                assoc[(s, d)] = T.or_(
+                    linked, T.and_(present, T.not_(in_set))
+                )
+            else:
+                assoc[(s, d)] = T.or_(present, linked)
+
+    def _exec_ClearLinks(self, cmd: C.ClearLinks) -> None:
+        rel = self.schema.relation(cmd.relation)
+        obj = self.eval(cmd.obj)
+        ref = self._ref_of(obj)
+        assoc = self.state.assocs[cmd.relation]
+        for (s, d), present in list(assoc.items()):
+            hit = T.eq(ref, T.const(s if cmd.end == "source" else d))
+            assoc[(s, d)] = T.and_(present, T.not_(hit))
+
+
+def compare_terms(op: Comparator, left, right) -> T.Term:
+    if op == Comparator.EQ:
+        return T.eq(left, right)
+    if op == Comparator.NE:
+        return T.ne(left, right)
+    if op == Comparator.LT:
+        return T.lt(left, right)
+    if op == Comparator.LE:
+        return T.le(left, right)
+    if op == Comparator.GT:
+        return T.gt(left, right)
+    if op == Comparator.GE:
+        return T.ge(left, right)
+    if op == Comparator.CONTAINS:
+        return T.contains(left, right)
+    if op == Comparator.STARTSWITH:
+        return T.startswith(left, right)
+    if op == Comparator.IN:
+        values = right if isinstance(right, tuple) else (right,)
+        return T.in_list(left, values)
+    if op == Comparator.ISNULL:
+        cond = T.is_null(left)
+        want_null = bool(right.value) if isinstance(right, T.Const) else True
+        return cond if want_null else T.not_(cond)
+    raise EncodingUnsupported(f"comparator {op}")
+
+
+def states_equal_parts(
+    a: GroundState, b: GroundState, schema: Schema, scope: Scope
+) -> list[T.Term]:
+    """Pointwise equality of two encoded states, one term per state
+    component (order excluded, like the enumerative engine: merged-in
+    order is opaque).  Components untouched by either execution are
+    *structurally identical* terms and fold to ``True`` — only genuinely
+    written components survive, which lets the commutativity check issue
+    one small solver query per touched component."""
+    parts: list[T.Term] = []
+    universe = universe_of(scope)
+    for mname in sorted(scope.models):
+        model = schema.model(mname)
+        for r in universe[mname]:
+            ida, idb = a.ids[mname][r], b.ids[mname][r]
+            parts.append(T.eq(ida, idb))
+            for fschema in model.fields:
+                if fschema.name == model.pk:
+                    continue
+                parts.append(T.implies(
+                    ida,
+                    T.eq(a.data[mname][r][fschema.name],
+                         b.data[mname][r][fschema.name]),
+                ))
+    for rname in sorted(scope.relations):
+        for pair in a.assocs[rname]:
+            parts.append(T.eq(a.assocs[rname][pair], b.assocs[rname][pair]))
+    return [p for p in parts if p != T.TRUE]
+
+
+def states_equal(
+    a: GroundState, b: GroundState, schema: Schema, scope: Scope
+) -> T.Term:
+    return T.and_(*states_equal_parts(a, b, schema, scope))

@@ -1,0 +1,296 @@
+"""The bounded model finder: counterexample search for the checking rules.
+
+Both checking rules (paper §2.2.1) are decided by searching the finite
+scope for witnesses:
+
+* **commutativity** — find ``S, x, y`` with both preconditions holding at
+  ``S`` (the concurrent operations' common ancestor state) such that
+  *applying* the two effects (replication semantics: guards skipped, an
+  inapplicable effect no-ops) in the two orders diverges;
+* **semantic** (``NotInvalidate(P, Q)``) — find ``S, x, y`` with
+  ``g_P(x, S)`` and ``g_Q(y, S)`` but ``¬g_P(x, S + Q(y))``.
+
+A found witness is a *real* counterexample (it is produced by the reference
+interpreter, not an abstraction); absence of a witness within scope and
+budget counts as a pass, mirroring the paper's use of the SMT solver as a
+counterexample finder (§5.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+
+from ..soir.interp import apply_path, run_path
+from ..soir.path import CodePath
+from ..soir.schema import Schema
+from ..soir.state import DBState
+from .restrictions import CheckResult, Counterexample, Outcome
+from .scopes import (
+    Scope,
+    StateGenerator,
+    build_scope,
+    collect_args,
+    env_products,
+    random_envs,
+)
+
+
+@dataclass
+class CheckConfig:
+    """Knobs of the bounded search."""
+
+    ids_per_model: int = 2
+    timeout_s: float = 2.0
+    max_samples: int = 1200
+    env_product_cap: int = 4096
+    max_exhaustive: int = 30000
+    #: the unique-ID optimisation (paper §5.2): storage-generated fresh IDs
+    #: are globally distinct, so two inserts never collide on pk.
+    unique_ids: bool = True
+    #: order-aware encoding (paper §4.2).  When disabled, the verifier
+    #: behaves like a classic order-less array encoding: any path using an
+    #: order-related primitive cannot be verified and is restricted
+    #: conservatively (the "unnecessary restrictions" of paper §2.2.2).
+    order_enabled: bool = True
+    seed: int = 0x5EED
+
+
+class PairChecker:
+    """Runs both checks for one pair of effectful code paths."""
+
+    def __init__(
+        self,
+        p: CodePath,
+        q: CodePath,
+        schema: Schema,
+        config: CheckConfig | None = None,
+        scope: Scope | None = None,
+    ):
+        self.p = p
+        self.q = q
+        self.schema = schema
+        self.config = config or CheckConfig()
+        self.scope = scope or build_scope(
+            schema, [p, q], ids_per_model=self.config.ids_per_model
+        )
+        self.args_p = collect_args(p)
+        self.args_q = collect_args(q)
+        self.generator = StateGenerator(self.scope)
+
+    # ------------------------------------------------------------------
+
+    def _candidates(self) -> Iterator[tuple[DBState, dict, dict]]:
+        """Deterministic candidate stream: canonical states × exhaustive
+        argument products first, then seeded random sampling."""
+        cfg = self.config
+        envs = env_products(
+            self.args_p,
+            self.args_q,
+            self.scope,
+            unique_ids_distinct=cfg.unique_ids,
+            cap=cfg.env_product_cap,
+        )
+        produced = 0
+        if envs is not None:
+            # Exhaustive over canonical states × argument products.
+            for state in self.generator.canonical_states():
+                for env_p, env_q in envs:
+                    yield state, env_p, env_q
+                    produced += 1
+                    if produced >= cfg.max_exhaustive:
+                        break
+                if produced >= cfg.max_exhaustive:
+                    break
+        rng = random.Random(
+            cfg.seed ^ hash((self.p.name, self.q.name)) & 0xFFFFFFFF
+        )
+        produced = 0
+        while produced < cfg.max_samples:
+            state = self.generator.random_state(rng)
+            if state is None:
+                produced += 1
+                continue
+            env_p, env_q = random_envs(
+                self.args_p,
+                self.args_q,
+                self.scope,
+                rng,
+                unique_ids_distinct=cfg.unique_ids,
+            )
+            yield state, env_p, env_q
+            produced += 1
+
+    # ------------------------------------------------------------------
+
+    def _feasibility_states(self) -> list[DBState]:
+        """States used to witness that an argument vector is generatable.
+
+        The paper only requires an effect's precondition to hold on *some*
+        fresh system state (§5.2), so beyond the scope's canonical states
+        this includes states where the fresh-ID pool values already exist
+        as rows (an ID that is fresh for one replica's insert may have
+        long existed at another operation's originating site)."""
+        states = list(self.generator.canonical_states())
+        extended_ids = {
+            m: pks + self.scope.fresh_ids.get(m, [])
+            for m, pks in self.scope.ids.items()
+        }
+        extended = StateGenerator(dataclasses.replace(self.scope, ids=extended_ids))
+        states.extend(extended.canonical_states())
+        rng = random.Random(self.config.seed ^ 0xFEA51B1E)
+        for _ in range(12):
+            sampled = extended.random_state(rng)
+            if sampled is not None:
+                states.append(sampled)
+        return states
+
+    def _feasible(self, path: CodePath, env: dict, cache: dict) -> bool:
+        """Whether the argument vector can be *generated* at all."""
+        key = (id(path), tuple(sorted((k, repr(v)) for k, v in env.items())))
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        states = cache.get("__states__")
+        if states is None:
+            states = self._feasibility_states()
+            cache["__states__"] = states
+        ok = any(
+            run_path(path, state, env, self.schema).committed for state in states
+        )
+        cache[key] = ok
+        return ok
+
+    def check_commutativity(self) -> CheckResult:
+        """Counterexample search for paper rule 1.
+
+        The two effects were generated concurrently, each at its *own*
+        originating site (the paper asserts each precondition on an
+        independent fresh state, §5.2); both are then applied to a common
+        state ``S`` in the two possible orders, with replication
+        semantics.  A divergence of the final states is a witness.
+        """
+        start = time.perf_counter()
+        deadline = start + self.config.timeout_s
+        feasible_cache: dict = {}
+        # The candidate stream is state-major over a product
+        # state x env_p x env_q: the first-level application of each side
+        # depends on only one env, so it is memoized per env for the
+        # current state (the cache resets when the state changes) —
+        # cutting the interpreter work for a full sweep roughly in half.
+        first_level: dict = {}
+        current_state = None
+
+        def applied(path, state, env) -> object:
+            key = (
+                id(path),
+                tuple(sorted((k, repr(v)) for k, v in env.items())),
+            )
+            cached = first_level.get(key)
+            if cached is None:
+                cached = apply_path(path, state, env, self.schema)
+                first_level[key] = cached
+            return cached
+
+        for state, env_p, env_q in self._candidates():
+            if state is not current_state:
+                first_level.clear()
+                current_state = state
+            if time.perf_counter() > deadline:
+                return CheckResult(
+                    self.p.name, self.q.name, "commutativity",
+                    Outcome.TIMEOUT, time.perf_counter() - start,
+                )
+            s_pq = apply_path(
+                self.q, applied(self.p, state, env_p), env_q, self.schema
+            )
+            s_qp = apply_path(
+                self.p, applied(self.q, state, env_q), env_p, self.schema
+            )
+            if s_pq.same_state(s_qp):
+                continue
+            # Divergence found — confirm both effects are generatable.
+            if not self._feasible(self.p, env_p, feasible_cache):
+                continue
+            if not self._feasible(self.q, env_q, feasible_cache):
+                continue
+            return CheckResult(
+                self.p.name, self.q.name, "commutativity", Outcome.FAIL,
+                time.perf_counter() - start,
+                witness=Counterexample(
+                    description="application orders diverge",
+                    state=repr(state.canonical()),
+                    args_p=repr(env_p),
+                    args_q=repr(env_q),
+                ),
+            )
+        return CheckResult(
+            self.p.name, self.q.name, "commutativity", Outcome.PASS,
+            time.perf_counter() - start,
+        )
+
+    def check_semantic(self) -> CheckResult:
+        """``NotInvalidate(P,Q) ∧ NotInvalidate(Q,P)`` (paper rule 2).
+
+        ``NotInvalidate(P,Q)`` fails on a witness ``S, x, y`` where both
+        preconditions hold at ``S`` (so both effects can be generated from
+        the common ancestor state of the concurrent execution) but ``g_P``
+        no longer holds once ``Q``'s effect lands.
+        """
+        start = time.perf_counter()
+        deadline = start + self.config.timeout_s
+        generated: dict = {}
+        current_state = None
+
+        def gen(path, state, env):
+            key = (
+                id(path),
+                tuple(sorted((k, repr(v)) for k, v in env.items())),
+            )
+            cached = generated.get(key)
+            if cached is None:
+                cached = run_path(path, state, env, self.schema)
+                generated[key] = cached
+            return cached
+
+        for state, env_p, env_q in self._candidates():
+            if state is not current_state:
+                generated.clear()
+                current_state = state
+            if time.perf_counter() > deadline:
+                return CheckResult(
+                    self.p.name, self.q.name, "semantic",
+                    Outcome.TIMEOUT, time.perf_counter() - start,
+                )
+            out_p = gen(self.p, state, env_p)
+            out_q = gen(self.q, state, env_q)
+            if not (out_p.committed and out_q.committed):
+                continue
+            if not run_path(self.p, out_q.state, env_p, self.schema).committed:
+                return self._sem_fail(
+                    start, state, env_p, env_q, "Q invalidates P"
+                )
+            if not run_path(self.q, out_p.state, env_q, self.schema).committed:
+                return self._sem_fail(
+                    start, state, env_p, env_q, "P invalidates Q"
+                )
+        return CheckResult(
+            self.p.name, self.q.name, "semantic", Outcome.PASS,
+            time.perf_counter() - start,
+        )
+
+    def _sem_fail(self, start, state, env_p, env_q, description) -> CheckResult:
+        return CheckResult(
+            self.p.name, self.q.name, "semantic", Outcome.FAIL,
+            time.perf_counter() - start,
+            witness=Counterexample(
+                description=description,
+                state=repr(state.canonical()),
+                args_p=repr(env_p),
+                args_q=repr(env_q),
+            ),
+        )

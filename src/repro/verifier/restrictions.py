@@ -1,0 +1,154 @@
+"""Verification result types.
+
+The verifier's output is a *restriction set*: the set of operation pairs
+that must not run concurrently because their concurrent execution can
+diverge state (commutativity failure) or invalidate a precondition
+(semantic failure).  A PoR-consistent runtime coordinates exactly these
+pairs (paper §2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Outcome(enum.Enum):
+    PASS = "pass"
+    FAIL = "fail"
+    TIMEOUT = "timeout"  # treated as fail (restricted), conservatively
+    CONSERVATIVE = "conservative"  # a path the analyzer could not translate
+
+    @property
+    def restricts(self) -> bool:
+        return self is not Outcome.PASS
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A witness found by the model finder."""
+
+    description: str
+    state: str = ""
+    args_p: str = ""
+    args_q: str = ""
+
+
+@dataclass
+class CheckResult:
+    """The result of one check (one rule on one pair)."""
+
+    left: str
+    right: str
+    kind: str  # "commutativity" | "semantic"
+    outcome: Outcome
+    elapsed_s: float = 0.0
+    witness: Counterexample | None = None
+    detail: str = ""
+
+
+@dataclass
+class PairVerdict:
+    """Combined verdict for one unordered pair of code paths."""
+
+    left: str
+    right: str
+    commutativity: CheckResult | None = None
+    semantic: CheckResult | None = None
+
+    @property
+    def restricted(self) -> bool:
+        for check in (self.commutativity, self.semantic):
+            if check is not None and check.outcome.restricts:
+                return True
+        return False
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate results for one application (the rows of Table 6)."""
+
+    app_name: str
+    verdicts: list[PairVerdict] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    #: wall-clock split by check kind (Figure 9's com/sem stacking)
+    time_commutativity_s: float = 0.0
+    time_semantic_s: float = 0.0
+
+    @property
+    def checks(self) -> int:
+        """Number of verified pairs (the paper's '#Checks')."""
+        return len(self.verdicts)
+
+    @property
+    def restrictions(self) -> list[PairVerdict]:
+        return [v for v in self.verdicts if v.restricted]
+
+    @property
+    def commutativity_failures(self) -> list[PairVerdict]:
+        return [
+            v
+            for v in self.verdicts
+            if v.commutativity is not None and v.commutativity.outcome.restricts
+        ]
+
+    @property
+    def semantic_failures(self) -> list[PairVerdict]:
+        return [
+            v
+            for v in self.verdicts
+            if v.semantic is not None and v.semantic.outcome.restricts
+        ]
+
+    def restriction_pairs(self) -> set[frozenset[str]]:
+        """The restriction set over operation (code path) names."""
+        return {frozenset((v.left, v.right)) for v in self.restrictions}
+
+    def coordination_free_operations(self) -> set[str]:
+        """Operations (code paths) never named by any restriction.
+
+        These are the 'blue' operations in RedBlue terms (paper §7): a
+        PoR runtime can accept and replicate them with no coordination at
+        all, which is where the end-to-end speedup comes from."""
+        everyone = {v.left for v in self.verdicts} | {
+            v.right for v in self.verdicts
+        }
+        restricted = {
+            name
+            for v in self.restrictions
+            for name in (v.left, v.right)
+        }
+        return everyone - restricted
+
+    def to_json_obj(self) -> dict:
+        """A deployment-facing artifact: the restriction set and per-check
+        outcomes, consumable by a coordination service."""
+        return {
+            "app": self.app_name,
+            "checks": self.checks,
+            "restrictions": sorted(
+                sorted(pair) for pair in self.restriction_pairs()
+            ),
+            "coordination_free": sorted(self.coordination_free_operations()),
+            "verdicts": [
+                {
+                    "left": v.left,
+                    "right": v.right,
+                    "commutativity": v.commutativity.outcome.value
+                    if v.commutativity else None,
+                    "semantic": v.semantic.outcome.value
+                    if v.semantic else None,
+                }
+                for v in self.verdicts
+            ],
+        }
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "app": self.app_name,
+            "checks": self.checks,
+            "restrictions": len(self.restrictions),
+            "com_failures": len(self.commutativity_failures),
+            "sem_failures": len(self.semantic_failures),
+            "time_s": self.elapsed_s,
+        }

@@ -1,0 +1,133 @@
+"""The pairwise verification driver.
+
+For every unordered pair of *effectful* code paths (including a path with
+itself), runs the commutativity and semantic checks and aggregates the
+restriction set.  Fast paths keep the quadratic sweep tractable:
+
+* a pair involving a *conservative* path is restricted without solving
+  (paper §3.3);
+* a pair whose footprints (models + relations, including referential-action
+  spill-over) are disjoint cannot interact: both checks pass immediately.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..soir.path import AnalysisResult, CodePath
+from ..soir.schema import Schema
+from .enumcheck import CheckConfig, PairChecker
+from .restrictions import (
+    CheckResult,
+    Outcome,
+    PairVerdict,
+    VerificationReport,
+)
+
+
+def verify_pair(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    config: CheckConfig | None = None,
+    *,
+    engine: str = "enum",
+) -> PairVerdict:
+    """Run both checks for one pair.
+
+    ``engine`` selects the verification backend: ``"enum"`` (the bounded
+    model finder over concrete states — the default) or ``"smt"`` (the
+    symbolic engine: Table-2 encoding + finite-domain solver).  The two
+    are independent implementations of the same checking rules and agree
+    on the paper's benchmarks (see tests/test_smt_engine.py)."""
+    config = config or CheckConfig()
+    verdict = PairVerdict(p.name, q.name)
+    if p.conservative or q.conservative:
+        why = p.name if p.conservative else q.name
+        for kind in ("commutativity", "semantic"):
+            result = CheckResult(
+                p.name, q.name, kind, Outcome.CONSERVATIVE,
+                detail=f"{why} analyzed conservatively",
+            )
+            _attach(verdict, result)
+        return verdict
+    if not config.order_enabled and (p.uses_order() or q.uses_order()):
+        # Classic order-less array encoding: order-related semantics are
+        # unverifiable, so the pair is restricted without solving.
+        why = p.name if p.uses_order() else q.name
+        for kind in ("commutativity", "semantic"):
+            _attach(
+                verdict,
+                CheckResult(
+                    p.name, q.name, kind, Outcome.CONSERVATIVE,
+                    detail=f"{why} uses order primitives (order encoding off)",
+                ),
+            )
+        return verdict
+    if (
+        not (p.models_touched(schema) & q.models_touched(schema))
+        and not (p.relations_touched(schema) & q.relations_touched(schema))
+    ):
+        for kind in ("commutativity", "semantic"):
+            _attach(
+                verdict,
+                CheckResult(
+                    p.name, q.name, kind, Outcome.PASS,
+                    detail="disjoint footprint",
+                ),
+            )
+        return verdict
+    if engine == "smt":
+        from .smtcheck import SmtPairChecker
+
+        checker = SmtPairChecker(p, q, schema, config)
+    else:
+        checker = PairChecker(p, q, schema, config)
+    _attach(verdict, checker.check_commutativity())
+    _attach(verdict, checker.check_semantic())
+    return verdict
+
+
+def _attach(verdict: PairVerdict, result: CheckResult) -> None:
+    if result.kind == "commutativity":
+        verdict.commutativity = result
+    else:
+        verdict.semantic = result
+
+
+def verify_application(
+    analysis: AnalysisResult,
+    config: CheckConfig | None = None,
+    *,
+    engine: str = "enum",
+) -> VerificationReport:
+    """Verify every pair of effectful paths of an analyzed application."""
+    config = config or CheckConfig()
+    report = VerificationReport(analysis.app_name)
+    start = time.perf_counter()
+    effectful = analysis.effectful_paths
+    for i, p in enumerate(effectful):
+        for q in effectful[i:]:
+            verdict = verify_pair(p, q, analysis.schema, config, engine=engine)
+            report.verdicts.append(verdict)
+            if verdict.commutativity is not None:
+                report.time_commutativity_s += verdict.commutativity.elapsed_s
+            if verdict.semantic is not None:
+                report.time_semantic_s += verdict.semantic.elapsed_s
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+def operation_conflict_table(report: VerificationReport) -> set[frozenset[str]]:
+    """Lift path-level restrictions to view-level (operation) conflicts.
+
+    Two *operations* (HTTP endpoints) conflict if any pair of their code
+    paths is restricted.  This is the table a PoR coordination service
+    consumes (paper §6.5 coordinates on endpoints + parameters).
+    """
+    conflicts: set[frozenset[str]] = set()
+    for verdict in report.restrictions:
+        left_view = verdict.left.split("[")[0]
+        right_view = verdict.right.split("[")[0]
+        conflicts.add(frozenset((left_view, right_view)))
+    return conflicts

@@ -1,0 +1,519 @@
+"""Finite scopes for the bounded model finder.
+
+The verifier proves facts by *failing to find counterexamples* (paper §5.2
+runs Z3 the same way).  This module derives, for a pair of code paths, a
+finite search space of well-formed database states and argument vectors:
+
+* the *footprint* (models/relations either path can touch) bounds which
+  state components vary at all;
+* per-field value domains are seeded with the constants the paths mention
+  (plus boundary neighbours for integers), so guard boundaries are hit;
+* fields irrelevant to the pair are pinned to a single value;
+* generated states satisfy the schema's well-formedness axioms (pk
+  consistency, unique fields, non-null FKs) — the same axioms the paper
+  asserts on symbolic states (§5.2).
+
+State/argument candidates are produced as a deterministic stream: a small
+canonical suite first (empty and fully-populated states with exhaustive
+argument products), then seeded pseudo-random sampling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from ..soir import expr as E
+from ..soir.path import Argument, CodePath
+from ..soir.schema import Schema
+from ..soir.state import DBState
+from ..soir.types import (
+    BOOL,
+    DATETIME,
+    FLOAT,
+    INT,
+    STRING,
+    SoirType,
+)
+
+
+@dataclass
+class Scope:
+    """The finite search space for one pair of code paths."""
+
+    schema: Schema
+    models: frozenset[str]
+    relations: frozenset[str]
+    ids: dict[str, list]              # model -> candidate row pks
+    fresh_ids: dict[str, list]        # model -> pks for fresh-id arguments
+    field_domains: dict[tuple[str, str], list]  # (model, field) -> values
+    type_domains: dict[SoirType, list]          # scalar domains for args
+    #: types at which either path declares a unique (fresh-ID) argument;
+    #: plain arguments of these types may collide with a fresh ID
+    fresh_arg_types: frozenset[SoirType] = frozenset()
+    #: models into which either path inserts fresh-ID rows; only these
+    #: need fresh-pool slots in a symbolic universe
+    fresh_models: frozenset[str] = frozenset()
+
+
+def _int_domain(constants: set[int]) -> list[int]:
+    values: set[int] = {0, 1, -1}
+    for c in constants:
+        values.update((c - 1, c, c + 1))
+    return sorted(values)[:9]
+
+
+def _collect_constants(paths: list[CodePath]) -> dict[SoirType, set]:
+    out: dict[SoirType, set] = {INT: set(), STRING: set(), FLOAT: set(),
+                                DATETIME: set(), BOOL: set()}
+    for path in paths:
+        for cmd in path.commands:
+            for node in cmd.walk_exprs():
+                if isinstance(node, E.Lit) and node.lit_type in out:
+                    if isinstance(node.value, (list, tuple)):
+                        out[node.lit_type].update(
+                            v for v in node.value
+                            if isinstance(v, (int, float, str, bool))
+                        )
+                    else:
+                        out[node.lit_type].add(node.value)
+    return out
+
+
+def _relevant_fields(paths: list[CodePath], schema: Schema) -> set[tuple[str, str]]:
+    """(model, field) pairs whose values can influence either path."""
+    relevant: set[tuple[str, str]] = set()
+    for path in paths:
+        for cmd in path.commands:
+            for node in cmd.walk_exprs():
+                fname = getattr(node, "field", None)
+                if fname is None:
+                    continue
+                if isinstance(node, (E.Filter, E.OrderBy, E.Aggregate, E.MapSet)):
+                    qs_model = node.qs.type.model
+                    if isinstance(node, E.Filter) and node.relpath:
+                        qs_model = _terminal(schema, qs_model, node.relpath)
+                    relevant.add((qs_model, fname))
+                elif isinstance(node, (E.FieldGet, E.SetField)):
+                    relevant.add((node.obj.type.model, fname))
+    # Unique fields always matter (they carry implicit preconditions).
+    for mname in schema.models:
+        model = schema.model(mname)
+        for f in model.fields:
+            if f.unique:
+                relevant.add((mname, f.name))
+        for group in model.unique_together:
+            for f in group:
+                relevant.add((mname, f))
+    return relevant
+
+
+def _terminal(schema: Schema, start: str, relpath) -> str:
+    from ..soir.types import Direction
+
+    current = start
+    for hop in relpath:
+        rel = schema.relation(hop.relation)
+        current = rel.target if hop.direction == Direction.FORWARD else rel.source
+    return current
+
+
+def build_scope(
+    schema: Schema,
+    paths: list[CodePath],
+    *,
+    ids_per_model: int = 2,
+) -> Scope:
+    models: set[str] = set()
+    relations: set[str] = set()
+    for path in paths:
+        models |= path.models_touched(schema)
+        relations |= path.relations_touched(schema)
+    # Relations drag both endpoints in.
+    for rname in relations:
+        rel = schema.relation(rname)
+        models.add(rel.source)
+        models.add(rel.target)
+
+    constants = _collect_constants(paths)
+    relevant = _relevant_fields(paths, schema)
+
+    ids: dict[str, list] = {}
+    fresh_ids: dict[str, list] = {}
+    for mname in models:
+        model = schema.model(mname)
+        pk_type = model.pk_field.type
+        if pk_type == STRING:
+            ids[mname] = [f"{mname[:2].lower()}{i}" for i in range(ids_per_model)]
+            fresh_ids[mname] = [f"{mname[:2].lower()}F{i}" for i in range(2)]
+        else:
+            ids[mname] = list(range(1, ids_per_model + 1))
+            fresh_ids[mname] = [101, 102]
+
+    string_constants = {v for v in constants[STRING] if isinstance(v, str)}
+    type_domains: dict[SoirType, list] = {
+        INT: _int_domain({v for v in constants[INT] if isinstance(v, int)}),
+        FLOAT: sorted({0.0, 1.0, -1.0} | set(constants[FLOAT]))[:6],
+        BOOL: [True, False],
+        DATETIME: [0, 1],
+        # Two fillers so string-valued writes can differ (a single value
+        # would hide last-writer divergence between two inserts).
+        STRING: sorted(string_constants)[:6] + ["zz", "yy"],
+    }
+    # Argument strings must be able to hit existing string pks.
+    arg_strings = list(type_domains[STRING])
+    for mname in models:
+        if schema.model(mname).pk_field.type == STRING:
+            arg_strings = ids[mname] + arg_strings
+    type_domains[STRING] = arg_strings[:8]
+
+    field_domains: dict[tuple[str, str], list] = {}
+    for mname in models:
+        model = schema.model(mname)
+        for f in model.fields:
+            if f.name == model.pk:
+                continue
+            if (mname, f.name) in relevant:
+                domain = list(type_domains.get(f.type, [None]))
+                if f.min_value is not None:
+                    domain = [v for v in domain if v >= f.min_value] or [f.min_value]
+                if f.choices is not None:
+                    domain = list(f.choices)
+            else:
+                domain = [_pinned_value(f.type)]
+            if f.nullable:
+                domain = domain + [None]
+            field_domains[(mname, f.name)] = domain
+
+    fresh_arg_types = frozenset(
+        arg.type for path in paths for arg in path.args if arg.unique_id
+    )
+    fresh_models = set()
+    unique_arg_names = {
+        arg.name for path in paths for arg in path.args if arg.unique_id
+    }
+    for path in paths:
+        for cmd in path.commands:
+            for node in cmd.walk_exprs():
+                if isinstance(node, E.MakeObj):
+                    model = schema.model(node.model)
+                    try:
+                        pk_expr = node.field_expr(model.pk)
+                    except KeyError:
+                        continue
+                    if isinstance(pk_expr, E.Var) and pk_expr.name in unique_arg_names:
+                        fresh_models.add(node.model)
+    return Scope(
+        schema=schema,
+        models=frozenset(models),
+        relations=frozenset(relations),
+        ids=ids,
+        fresh_ids=fresh_ids,
+        field_domains=field_domains,
+        type_domains=type_domains,
+        fresh_arg_types=fresh_arg_types,
+        fresh_models=frozenset(fresh_models),
+    )
+
+
+def _synthesize_unique(domain: list, index: int):
+    """A value guaranteed distinct from the domain and from other indices,
+    matching the domain's type."""
+    sample = next((v for v in domain if v is not None), "u")
+    if isinstance(sample, bool) or not isinstance(sample, (int, float, str)):
+        return f"u{index}"
+    if isinstance(sample, (int, float)):
+        return max(v for v in domain if v is not None) + 1 + index
+    return f"u{index}!"
+
+
+def _pinned_value(t: SoirType):
+    if t == BOOL:
+        return False
+    if t == INT or t == DATETIME:
+        return 0
+    if t == FLOAT:
+        return 0.0
+    return "p"
+
+
+# ---------------------------------------------------------------------------
+# State generation
+# ---------------------------------------------------------------------------
+
+
+class StateGenerator:
+    """Produces well-formed states within a scope."""
+
+    def __init__(self, scope: Scope):
+        self.scope = scope
+        self.schema = scope.schema
+
+    def canonical_states(self) -> list[DBState]:
+        """The deterministic suite: varied full tables first (preconditions
+        are most often satisfiable there, so truncated budgets still search
+        fertile ground), then shrinking tables down to the empty state."""
+        states = []
+        k = max(len(v) for v in self.scope.ids.values()) if self.scope.ids else 0
+        if k >= 2:
+            states.append(self._populated(k, vary=True))
+        for rows in range(k, -1, -1):
+            states.append(self._populated(rows))
+        return [s for s in states if s is not None]
+
+    def _empty(self) -> DBState:
+        """A state carrying only the scope's footprint — checks clone
+        states on every execution, so keeping them minimal matters."""
+        state = DBState()
+        for mname in self.scope.models:
+            state.tables[mname] = {}
+            state.order[mname] = {}
+            state.next_order[mname] = 0
+        for rname in self.scope.relations:
+            state.assocs[rname] = set()
+        return state
+
+    def _populated(self, rows: int, *, vary: bool = False) -> DBState:
+        state = self._empty()
+        for mname in sorted(self.scope.models):
+            model = self.schema.model(mname)
+            pks = self.scope.ids[mname][:rows]
+            for idx, pk in enumerate(pks):
+                row = {model.pk: pk}
+                for f in model.fields:
+                    if f.name == model.pk:
+                        continue
+                    domain = self.scope.field_domains[(mname, f.name)]
+                    if f.unique and idx >= len(domain):
+                        # More rows than distinct domain values: synthesize
+                        # fresh values so the state stays well-formed.
+                        row[f.name] = _synthesize_unique(domain, idx)
+                        continue
+                    offset = idx if (vary or f.unique) else 0
+                    row[f.name] = domain[offset % len(domain)]
+                state.insert_row(mname, pk, row)
+        self._fix_unique_together(state)
+        for rname in sorted(self.scope.relations):
+            rel = self.schema.relation(rname)
+            sources = list(state.table(rel.source))
+            targets = list(state.table(rel.target))
+            if not targets:
+                if rel.kind == "fk" and not rel.nullable:
+                    # Non-null FK with no targets forces an empty source.
+                    for pk in sources:
+                        state.delete_row(rel.source, pk)
+                continue
+            for idx, src in enumerate(sources):
+                dst = targets[idx % len(targets)] if vary else targets[0]
+                state.relation(rname).add((src, dst))
+        self._prune_dangling(state)
+        return state
+
+    def _prune_dangling(self, state: DBState) -> None:
+        """Drop association pairs whose endpoint rows were removed while
+        satisfying a *different* relation's non-null constraint."""
+        for rname in self.scope.relations:
+            rel = self.schema.relation(rname)
+            sources = state.table(rel.source)
+            targets = state.table(rel.target)
+            pairs = state.relation(rname)
+            state.assocs[rname] = {
+                (s, t) for s, t in pairs if s in sources and t in targets
+            }
+
+    def _fix_unique_together(self, state: DBState) -> None:
+        """Drop rows violating unique_together in generated states."""
+        for mname in sorted(self.scope.models):
+            model = self.schema.model(mname)
+            for group in model.unique_together:
+                seen: set[tuple] = set()
+                for pk, row in list(state.table(mname).items()):
+                    key = tuple(row.get(f) for f in group)
+                    if key in seen:
+                        state.delete_row(mname, pk)
+                    else:
+                        seen.add(key)
+
+    def random_state(self, rng: random.Random) -> DBState | None:
+        """One sampled well-formed state, or None if sampling failed."""
+        state = self._empty()
+        for mname in sorted(self.scope.models):
+            model = self.schema.model(mname)
+            all_pks = self.scope.ids[mname]
+            nrows = rng.randint(0, len(all_pks))
+            pks = all_pks[:nrows]
+            used_unique: dict[str, set] = {}
+            for pk in pks:
+                row = {model.pk: pk}
+                for f in model.fields:
+                    if f.name == model.pk:
+                        continue
+                    domain = self.scope.field_domains[(mname, f.name)]
+                    value = rng.choice(domain)
+                    if f.unique:
+                        taken = used_unique.setdefault(f.name, set())
+                        free = [v for v in domain if v not in taken]
+                        if not free:
+                            value = _synthesize_unique(domain, len(taken))
+                        else:
+                            value = rng.choice(free)
+                        taken.add(value)
+                    row[f.name] = value
+                state.insert_row(mname, pk, row)
+        self._fix_unique_together(state)
+        for rname in sorted(self.scope.relations):
+            rel = self.schema.relation(rname)
+            sources = list(state.table(rel.source))
+            targets = list(state.table(rel.target))
+            pairs = state.relation(rname)
+            if rel.kind == "fk":
+                for src in sources:
+                    if not targets:
+                        if not rel.nullable:
+                            state.delete_row(rel.source, src)
+                        continue
+                    if rel.nullable and rng.random() < 0.34:
+                        continue
+                    pairs.add((src, rng.choice(targets)))
+            else:
+                for src in sources:
+                    for dst in targets:
+                        if rng.random() < 0.5:
+                            pairs.add((src, dst))
+        self._prune_dangling(state)
+        # Occasionally shuffle insertion order so order-sensitive reads vary.
+        if rng.random() < 0.5:
+            for mname in sorted(self.scope.models):
+                order = state.order.get(mname, {})
+                pks = list(order)
+                rng.shuffle(pks)
+                for rank, pk in enumerate(pks):
+                    order[pk] = rank
+        return state
+
+
+# ---------------------------------------------------------------------------
+# Argument generation
+# ---------------------------------------------------------------------------
+
+
+def collect_args(path: CodePath) -> list[Argument]:
+    """Declared arguments plus any Opaque placeholders in the commands."""
+    args = list(path.args)
+    seen = {a.name for a in args}
+    for cmd in path.commands:
+        for node in cmd.walk_exprs():
+            if isinstance(node, E.Opaque) and node.name not in seen:
+                args.append(Argument(node.name, node.opaque_type, source="opaque"))
+                seen.add(node.name)
+    return args
+
+
+def fresh_pool_for(t: SoirType) -> list:
+    """Candidate storage-generated fresh IDs, by SOIR type."""
+    if t == STRING:
+        return ["F0", "F1", "F2", "F3"]
+    return [101, 102, 103, 104]
+
+
+def arg_domain(arg: Argument, scope: Scope) -> list:
+    if arg.unique_id:
+        return list(fresh_pool_for(arg.type))
+    domain = scope.type_domains.get(arg.type)
+    if domain is None:
+        # Model-typed arguments are not produced by the analyzer today;
+        # fall back to a single placeholder.
+        return [None]
+    domain = list(domain)
+    # A plain argument can name a storage-generated fresh ID (a client may
+    # reference an object another operation is creating concurrently —
+    # the 'AddCourse/DeleteCourse can carry the same ID' case, paper §6.2),
+    # but only when a fresh-ID argument of this type is actually in play.
+    if arg.type in scope.fresh_arg_types:
+        domain += fresh_pool_for(arg.type)[:1]
+    return domain
+
+
+def env_products(
+    args_p: list[Argument],
+    args_q: list[Argument],
+    scope: Scope,
+    *,
+    unique_ids_distinct: bool,
+    cap: int,
+):
+    """Exhaustive product of argument assignments (capped)."""
+    specs: list[tuple[str, str, list]] = []  # (side, name, domain)
+    fresh_counter = 0
+    for side, args in (("p", args_p), ("q", args_q)):
+        for arg in args:
+            if arg.unique_id:
+                pool = fresh_pool_for(arg.type)
+                if unique_ids_distinct:
+                    # The storage tier guarantees global distinctness
+                    # (paper §5.2): pin each fresh argument to its own ID.
+                    pool = [pool[fresh_counter % len(pool)]]
+                    fresh_counter += 1
+                else:
+                    pool = pool[:2]
+            else:
+                pool = arg_domain(arg, scope)
+            specs.append((side, arg.name, pool))
+    total = 1
+    for _, _, pool in specs:
+        total *= max(1, len(pool))
+        if total > cap:
+            break
+    if total > cap:
+        return None  # caller falls back to sampling
+    out = []
+    for combo in itertools.product(*(pool for _, _, pool in specs)):
+        env_p: dict[str, object] = {}
+        env_q: dict[str, object] = {}
+        for (side, name, _), value in zip(specs, combo):
+            (env_p if side == "p" else env_q)[name] = value
+        out.append((env_p, env_q))
+    return out
+
+
+def random_envs(
+    args_p: list[Argument],
+    args_q: list[Argument],
+    scope: Scope,
+    rng: random.Random,
+    *,
+    unique_ids_distinct: bool,
+) -> tuple[dict, dict]:
+    env_p: dict[str, object] = {}
+    env_q: dict[str, object] = {}
+    fresh_used: list = []
+    used_by_type: dict[SoirType, list] = {}
+
+    def assign(env: dict, arg: Argument) -> None:
+        if arg.unique_id:
+            pool = fresh_pool_for(arg.type)
+            if unique_ids_distinct:
+                pool = [v for v in pool if v not in fresh_used] or pool
+            else:
+                pool = pool[:2]
+            value = rng.choice(pool)
+            fresh_used.append(value)
+            env[arg.name] = value
+            return
+        # Collision bias: conflicts almost always require two arguments to
+        # name the same object/value, so reuse a previously drawn value of
+        # the same type half of the time.
+        used = used_by_type.setdefault(arg.type, [])
+        if used and rng.random() < 0.5:
+            value = rng.choice(used)
+        else:
+            value = rng.choice(arg_domain(arg, scope))
+        used.append(value)
+        env[arg.name] = value
+
+    for arg in args_p:
+        assign(env_p, arg)
+    for arg in args_q:
+        assign(env_q, arg)
+    return env_p, env_q

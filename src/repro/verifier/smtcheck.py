@@ -1,0 +1,282 @@
+"""The symbolic verification engine: checks as solver queries.
+
+Mirrors the paper's VERIFIER (§5.2): for a pair of SOIR paths, the
+checking rule is instantiated as a *counterexample query* over encoded
+states — no quantified formula ever reaches the solver; ``S + P(x)`` is
+computed by symbolic execution and the values plugged in.
+
+* **Commutativity** (rule 1): fresh state ``S0`` (axioms asserted), fresh
+  feasibility states ``S_P``/``S_Q`` on which each operation's
+  precondition must hold (the paper's "asserting its precondition to be
+  true on another fresh system state"), the two application orders
+  executed over copies of ``S0`` in replication mode; ask the solver for a
+  model where the results differ.
+* **Semantic** (rule 2): one state ``S``; assert ``g_P(x,S) ∧ g_Q(y,S)``;
+  compute ``S + Q(y)``; ask for a model where ``g_P(x, S+Q(y))`` fails
+  (and symmetrically).
+
+The unique-ID optimisation asserts ``distinct`` over fresh-ID arguments
+(§5.2); the order component is materialized per ``CheckConfig.order_enabled``
+and the decoupling rule (only when a path of the pair uses order).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..smt import terms as T
+from ..smt.solver import Solver, SolverTimeout
+from ..soir.path import CodePath
+from ..soir.schema import Schema
+from .encoding import (
+    Encoder,
+    EncodingUnsupported,
+    StateBundle,
+    fresh_state,
+    states_equal_parts,
+    term_sort,
+)
+from .enumcheck import CheckConfig
+from .restrictions import CheckResult, Counterexample, Outcome
+from .scopes import Scope, build_scope, collect_args, fresh_pool_for
+
+
+class SmtPairChecker:
+    """Solver-backed counterpart of :class:`PairChecker`."""
+
+    def __init__(
+        self,
+        p: CodePath,
+        q: CodePath,
+        schema: Schema,
+        config: CheckConfig | None = None,
+        scope: Scope | None = None,
+    ):
+        self.p = p
+        self.q = q
+        self.schema = schema
+        self.config = config or CheckConfig()
+        self.scope = scope or build_scope(
+            schema, [p, q], ids_per_model=self.config.ids_per_model
+        )
+        self.with_order = self.config.order_enabled and (
+            p.uses_order() or q.uses_order()
+        )
+
+    # ------------------------------------------------------------------
+
+    def _arg_terms(
+        self, path: CodePath, suffix: str, solver: Solver,
+        fresh_taken: list,
+    ) -> dict[str, T.Term]:
+        env: dict[str, T.Term] = {}
+        for arg in collect_args(path):
+            if arg.unique_id and self.config.unique_ids:
+                # Pin each fresh ID to its own constant: `distinct(...)`.
+                pool = fresh_pool_for(arg.type)
+                value = next(v for v in pool if v not in fresh_taken)
+                fresh_taken.append(value)
+                env[arg.name] = T.const(value)
+                continue
+            var = T.var(f"arg{suffix}.{arg.name}", term_sort(arg.type))
+            env[arg.name] = var
+            if arg.unique_id:
+                solver.declare(var.name, fresh_pool_for(arg.type)[:2])
+            else:
+                domain = self.scope.type_domains.get(arg.type, [None])
+                domain = list(domain)
+                if arg.type in self.scope.fresh_arg_types:
+                    domain += fresh_pool_for(arg.type)[:1]
+                solver.declare(var.name, domain)
+        return env
+
+    def _install(self, solver: Solver, bundle: StateBundle) -> None:
+        for name, domain in bundle.domains.items():
+            solver.declare(name, domain)
+        for axiom in bundle.axioms:
+            solver.add(axiom)
+
+    def _encode_run(
+        self, path: CodePath, bundle_state, env, solver: Solver
+    ) -> Encoder:
+        encoder = Encoder(
+            self.schema, self.scope, bundle_state, env,
+            mode="run", uses_order=self.with_order,
+        )
+        encoder.exec_path(path)
+        for name, domain in encoder.extra_domains.items():
+            solver.declare(name, domain)
+        return encoder
+
+    # ------------------------------------------------------------------
+
+    def check_commutativity(self) -> CheckResult:
+        start = time.perf_counter()
+        try:
+            solver = Solver()
+            s0 = fresh_state("S0", self.schema, self.scope,
+                             with_order=self.with_order)
+            sp = fresh_state("SP", self.schema, self.scope,
+                             with_order=self.with_order)
+            sq = fresh_state("SQ", self.schema, self.scope,
+                             with_order=self.with_order)
+            for bundle in (s0, sp, sq):
+                self._install(solver, bundle)
+            fresh_taken: list = []
+            env_p = self._arg_terms(self.p, "P", solver, fresh_taken)
+            env_q = self._arg_terms(self.q, "Q", solver, fresh_taken)
+
+            # Feasibility: preconditions hold on independent fresh states.
+            pre_p = self._encode_run(self.p, sp.state, env_p, solver).pre
+            pre_q = self._encode_run(self.q, sq.state, env_q, solver).pre
+            for g in pre_p + pre_q:
+                solver.add(g)
+
+            # Both application orders over S0.
+            state_pq = s0.state.copy()
+            enc1 = Encoder(self.schema, self.scope, state_pq, env_p,
+                           mode="apply", uses_order=self.with_order)
+            enc1.exec_path(self.p)
+            enc1.env = env_q
+            enc1.exec_path(self.q)
+            state_qp = s0.state.copy()
+            enc2 = Encoder(self.schema, self.scope, state_qp, env_q,
+                           mode="apply", uses_order=self.with_order)
+            enc2.exec_path(self.q)
+            enc2.env = env_p
+            enc2.exec_path(self.p)
+            for enc in (enc1, enc2):
+                for name, domain in enc.extra_domains.items():
+                    solver.declare(name, domain)
+
+            # One focused query per touched state component: components
+            # untouched by both orders fold away structurally, and each
+            # query prunes as soon as its component is forced equal.
+            arg_priority = [
+                t.name for t in (*env_p.values(), *env_q.values())
+                if isinstance(t, T.Var)
+            ]
+            deadline = start + self.config.timeout_s
+            model = None
+            for part in states_equal_parts(
+                state_pq, state_qp, self.schema, self.scope
+            ):
+                goal = T.not_(part)
+                if goal == T.FALSE:
+                    continue
+                query = Solver()
+                query.assertions = list(solver.assertions) + [goal]
+                query.domains = solver.domains
+                budget = deadline - time.perf_counter()
+                if budget <= 0:
+                    raise SolverTimeout()
+                priority = arg_priority + sorted(goal.free_vars())
+                model = query.check(timeout_s=budget, priority=priority)
+                if model is not None:
+                    break
+        except EncodingUnsupported as exc:
+            return CheckResult(
+                self.p.name, self.q.name, "commutativity",
+                Outcome.CONSERVATIVE, time.perf_counter() - start,
+                detail=f"unencodable: {exc}",
+            )
+        except SolverTimeout:
+            return CheckResult(
+                self.p.name, self.q.name, "commutativity",
+                Outcome.TIMEOUT, time.perf_counter() - start,
+            )
+        elapsed = time.perf_counter() - start
+        if model is None:
+            return CheckResult(self.p.name, self.q.name, "commutativity",
+                               Outcome.PASS, elapsed)
+        return CheckResult(
+            self.p.name, self.q.name, "commutativity", Outcome.FAIL, elapsed,
+            witness=Counterexample(
+                description="application orders diverge (symbolic model)",
+                args_p=_model_args(model, "P"),
+                args_q=_model_args(model, "Q"),
+            ),
+        )
+
+    def check_semantic(self) -> CheckResult:
+        start = time.perf_counter()
+        try:
+            first = self._not_invalidate(self.p, self.q, "P", "Q")
+            if first.outcome != Outcome.PASS:
+                return CheckResult(
+                    self.p.name, self.q.name, "semantic", first.outcome,
+                    time.perf_counter() - start, witness=first.witness,
+                    detail=first.detail,
+                )
+            second = self._not_invalidate(self.q, self.p, "Q", "P")
+            return CheckResult(
+                self.p.name, self.q.name, "semantic", second.outcome,
+                time.perf_counter() - start, witness=second.witness,
+                detail=second.detail,
+            )
+        except EncodingUnsupported as exc:
+            return CheckResult(
+                self.p.name, self.q.name, "semantic", Outcome.CONSERVATIVE,
+                time.perf_counter() - start, detail=f"unencodable: {exc}",
+            )
+        except SolverTimeout:
+            return CheckResult(
+                self.p.name, self.q.name, "semantic", Outcome.TIMEOUT,
+                time.perf_counter() - start,
+            )
+
+    def _not_invalidate(self, p, q, sp_suffix, sq_suffix) -> CheckResult:
+        """Search for ``g_p(x,S) ∧ g_q(y,S) ∧ ¬g_p(x, S+q(y))``."""
+        solver = Solver()
+        s0 = fresh_state("S", self.schema, self.scope,
+                         with_order=self.with_order)
+        self._install(solver, s0)
+        fresh_taken: list = []
+        env_p = self._arg_terms(p, sp_suffix, solver, fresh_taken)
+        env_q = self._arg_terms(q, sq_suffix, solver, fresh_taken)
+
+        # Run-mode execution applies effects too; encode g_p on a copy so
+        # the shared state S stays pristine.
+        for g in self._encode_run(p, s0.state.copy(), env_p, solver).pre:
+            solver.add(g)
+        # Run q with precondition AND effects on a copy -> S + q(y).
+        after_q = s0.state.copy()
+        enc_q = Encoder(self.schema, self.scope, after_q, env_q,
+                        mode="run", uses_order=self.with_order)
+        enc_q.exec_path(q)
+        for name, domain in enc_q.extra_domains.items():
+            solver.declare(name, domain)
+        for g in enc_q.pre:
+            solver.add(g)
+        # p's precondition evaluated on the post state must fail.
+        enc_p2 = Encoder(self.schema, self.scope, after_q.copy(), env_p,
+                         mode="run", uses_order=self.with_order)
+        enc_p2.exec_path(p)
+        for name, domain in enc_p2.extra_domains.items():
+            solver.declare(name, domain)
+        solver.add(T.not_(T.and_(*enc_p2.pre)))
+
+        priority = [t.name for t in (*env_p.values(), *env_q.values())
+                    if isinstance(t, T.Var)]
+        model = solver.check(
+            timeout_s=self.config.timeout_s, priority=priority
+        )
+        if model is None:
+            return CheckResult(p.name, q.name, "semantic", Outcome.PASS)
+        return CheckResult(
+            p.name, q.name, "semantic", Outcome.FAIL,
+            witness=Counterexample(
+                description=f"{q.name} invalidates {p.name} (symbolic model)",
+                args_p=_model_args(model, sp_suffix),
+                args_q=_model_args(model, sq_suffix),
+            ),
+        )
+
+
+def _model_args(model, suffix: str) -> str:
+    prefix = f"arg{suffix}."
+    return repr({
+        k[len(prefix):]: v
+        for k, v in model.assignment.items()
+        if k.startswith(prefix)
+    })

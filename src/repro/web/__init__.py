@@ -1,0 +1,55 @@
+"""A from-scratch Django-like web framework (substrate for the reproduction).
+
+Routing with Django ``path()`` converters, function and class-based views,
+dynamically-constructed viewsets (the DRF-style pattern that defeats static
+analysis), transactional request dispatch, and a test client.
+"""
+
+from .app import Application, Client
+from .http import (
+    BadRequest,
+    Http404,
+    HttpRequest,
+    HttpResponse,
+    JsonResponse,
+    QueryDict,
+    get_object_or_404,
+)
+from .urls import Resolver, RoutingError, URLPattern, include, path
+from .views import (
+    CreateMixin,
+    DestroyMixin,
+    GenericViewSet,
+    ListMixin,
+    ModelViewSet,
+    ReadOnlyViewSet,
+    RetrieveMixin,
+    UpdateMixin,
+    View,
+)
+
+__all__ = [
+    "Application",
+    "BadRequest",
+    "Client",
+    "CreateMixin",
+    "DestroyMixin",
+    "GenericViewSet",
+    "Http404",
+    "HttpRequest",
+    "HttpResponse",
+    "JsonResponse",
+    "ListMixin",
+    "ModelViewSet",
+    "QueryDict",
+    "ReadOnlyViewSet",
+    "Resolver",
+    "RetrieveMixin",
+    "RoutingError",
+    "URLPattern",
+    "UpdateMixin",
+    "View",
+    "get_object_or_404",
+    "include",
+    "path",
+]

@@ -1,0 +1,84 @@
+"""HTTP request/response primitives (Django-shaped)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class Http404(Exception):
+    """Raised by views to produce a 404 response."""
+
+
+class BadRequest(Exception):
+    """Raised by views to produce a 400 response."""
+
+
+class QueryDict(dict):
+    """Request parameters.  ``[]`` raises ``KeyError`` like Django's
+    ``MultiValueDict``; ``get`` returns a default."""
+
+    def __missing__(self, key):
+        raise KeyError(key)
+
+
+class HttpRequest:
+    """One HTTP request.
+
+    ``GET`` and ``POST`` hold the query-string and form parameters.  The
+    analyzer substitutes a symbolic subclass whose parameter accesses are
+    recorded as code-path arguments (paper §4.1: "whenever a new POST
+    parameter is accessed, it is automatically recorded as an additional
+    argument").
+    """
+
+    def __init__(
+        self,
+        method: str = "GET",
+        path: str = "/",
+        GET: Mapping[str, Any] | None = None,
+        POST: Mapping[str, Any] | None = None,
+        user: Any = None,
+    ):
+        self.method = method.upper()
+        self.path = path
+        self.GET = QueryDict(GET or {})
+        self.POST = QueryDict(POST or {})
+        self.user = user
+
+    def post_int(self, key: str) -> int:
+        """Typed access to a POST parameter (form-style coercion)."""
+        return int(self.POST[key])
+
+    def get_int(self, key: str) -> int:
+        return int(self.GET[key])
+
+    def __repr__(self) -> str:
+        return f"<HttpRequest {self.method} {self.path}>"
+
+
+class HttpResponse:
+    """One HTTP response."""
+
+    def __init__(self, content: Any = "", status: int = 200):
+        self.content = content
+        self.status = status
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:
+        return f"<HttpResponse {self.status}>"
+
+
+class JsonResponse(HttpResponse):
+    def __init__(self, data: Any, status: int = 200):
+        super().__init__(content=data, status=status)
+
+
+def get_object_or_404(model: type, **lookups):
+    """Django's shortcut: ``get`` or raise :class:`Http404`."""
+    try:
+        return model.objects.get(**lookups)
+    except model.DoesNotExist:
+        raise Http404(f"{model.__name__} not found") from None

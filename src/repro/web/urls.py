@@ -1,0 +1,98 @@
+"""URL routing.
+
+Patterns use Django's ``path()`` syntax with ``<name>`` / ``<int:name>``
+converters::
+
+    path("articles/<int:pk>/delete", delete_article, name="delete-article")
+
+Every pattern can report its parameter specification
+(:meth:`URLPattern.param_specs`) so the analyzer can build symbolic URL
+arguments without parsing source code.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+_CONVERTERS = {
+    "str": (r"[^/]+", str),
+    "int": (r"[0-9]+", int),
+    "slug": (r"[-a-zA-Z0-9_]+", str),
+}
+
+_PARAM_RE = re.compile(r"<(?:(?P<conv>\w+):)?(?P<name>\w+)>")
+
+
+class RoutingError(Exception):
+    """Bad pattern syntax or unresolvable path."""
+
+
+@dataclass
+class URLPattern:
+    """One route: pattern string, view callable, optional name."""
+
+    pattern: str
+    view: Callable
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        regex_parts: list[str] = []
+        self._params: list[tuple[str, type]] = []
+        rest = self.pattern
+        pos = 0
+        for m in _PARAM_RE.finditer(rest):
+            conv = m.group("conv") or "str"
+            if conv not in _CONVERTERS:
+                raise RoutingError(f"unknown converter {conv!r} in {self.pattern!r}")
+            regex, py_type = _CONVERTERS[conv]
+            regex_parts.append(re.escape(rest[pos:m.start()]))
+            regex_parts.append(f"(?P<{m.group('name')}>{regex})")
+            self._params.append((m.group("name"), py_type))
+            pos = m.end()
+        regex_parts.append(re.escape(rest[pos:]))
+        self._regex = re.compile("^" + "".join(regex_parts) + "$")
+
+    def match(self, path: str) -> dict | None:
+        m = self._regex.match(path.strip("/"))
+        if m is None:
+            return None
+        out = {}
+        for name, py_type in self._params:
+            out[name] = py_type(m.group(name))
+        return out
+
+    def param_specs(self) -> list[tuple[str, type]]:
+        """``[(name, python_type)]`` of the URL parameters, for the analyzer."""
+        return list(self._params)
+
+    @property
+    def view_name(self) -> str:
+        return self.name or getattr(self.view, "__name__", "view")
+
+
+def path(pattern: str, view: Callable, name: str = "") -> URLPattern:
+    return URLPattern(pattern.strip("/"), view, name)
+
+
+def include(prefix: str, patterns: list[URLPattern]) -> list[URLPattern]:
+    """Mount a list of patterns under a prefix."""
+    prefix = prefix.strip("/")
+    out = []
+    for p in patterns:
+        joined = f"{prefix}/{p.pattern}".strip("/")
+        out.append(URLPattern(joined, p.view, p.name))
+    return out
+
+
+class Resolver:
+    def __init__(self, patterns: list[URLPattern]):
+        self.patterns = list(patterns)
+
+    def resolve(self, request_path: str) -> tuple[URLPattern, dict]:
+        for p in self.patterns:
+            params = p.match(request_path)
+            if params is not None:
+                return p, params
+        raise RoutingError(f"no route matches {request_path!r}")

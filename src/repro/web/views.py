@@ -1,0 +1,162 @@
+"""Class-based views, mixins and viewsets.
+
+These exist to reproduce the dynamic-construction patterns (closures built
+at runtime from mixin method resolution) that make real Django/DRF
+codebases *statically unanalyzable* — the paper's challenge (C1) and the
+reason for the embedded, runtime-integrated analyzer (§4.1, §5.1 "Entry
+discovery: it is impossible to find entries statically by just looking at
+the source code").
+
+``ModelViewSet.urls()`` manufactures view *functions* (closures) at
+runtime, one per action, exactly like DRF routers do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .http import Http404, HttpRequest, HttpResponse, JsonResponse
+from .urls import URLPattern, path
+
+
+class View:
+    """Minimal class-based view: dispatch by HTTP method."""
+
+    @classmethod
+    def as_view(cls, **initkwargs) -> Callable:
+        # The returned closure is created at runtime; its body is invisible
+        # to static analysis of the call site.
+        def view(request: HttpRequest, **kwargs):
+            instance = cls(**initkwargs)
+            handler = getattr(instance, request.method.lower(), None)
+            if handler is None:
+                return HttpResponse(status=405)
+            return handler(request, **kwargs)
+
+        view.__name__ = cls.__name__
+        return view
+
+    def __init__(self, **initkwargs):
+        for key, value in initkwargs.items():
+            setattr(self, key, value)
+
+
+class GenericViewSet:
+    """Base viewset bound to a model; subclasses mix in actions."""
+
+    model: type | None = None
+    #: fields accepted from POST data by create/update actions
+    fields: tuple[str, ...] = ()
+    #: url prefix used by :meth:`urls`
+    basename: str = ""
+
+    def get_queryset(self):
+        assert self.model is not None
+        return self.model.objects.all()
+
+    def get_object(self, pk):
+        try:
+            return self.get_queryset().get(pk=pk)
+        except self.model.DoesNotExist:
+            raise Http404(f"{self.model.__name__} not found") from None
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def urls(cls) -> list[URLPattern]:
+        """Manufacture one view function per supported action, at runtime.
+
+        Mirrors DRF's router: the set of routes depends on which action
+        mixins the concrete class inherits — pure MRO introspection.
+        """
+        base = cls.basename or (cls.model.__name__.lower() if cls.model else "obj")
+        patterns: list[URLPattern] = []
+
+        def make_action(action_name: str) -> Callable:
+            def view(request: HttpRequest, **kwargs):
+                instance = cls()
+                return getattr(instance, action_name)(request, **kwargs)
+
+            view.__name__ = f"{base}_{action_name}"
+            return view
+
+        if hasattr(cls, "list"):
+            patterns.append(path(f"{base}/", make_action("list"), f"{base}-list"))
+        if hasattr(cls, "create"):
+            patterns.append(
+                path(f"{base}/create", make_action("create"), f"{base}-create")
+            )
+        if hasattr(cls, "retrieve"):
+            patterns.append(
+                path(f"{base}/<int:pk>/", make_action("retrieve"), f"{base}-detail")
+            )
+        if hasattr(cls, "update"):
+            patterns.append(
+                path(f"{base}/<int:pk>/update", make_action("update"), f"{base}-update")
+            )
+        if hasattr(cls, "destroy"):
+            patterns.append(
+                path(f"{base}/<int:pk>/delete", make_action("destroy"), f"{base}-delete")
+            )
+        return patterns
+
+
+def _typed_param(model: type, field_name: str, request: HttpRequest):
+    """Read a POST parameter coerced to the field's type (form-style)."""
+    from ..orm.fields import BooleanField, DateTimeField, IntegerField
+
+    column = model._meta.column(field_name)
+    if isinstance(column, (IntegerField, DateTimeField)):
+        return request.post_int(field_name)
+    if isinstance(column, BooleanField):
+        return bool(request.POST[field_name])
+    return request.POST[field_name]
+
+
+class ListMixin:
+    def list(self, request: HttpRequest) -> HttpResponse:
+        return JsonResponse(self.get_queryset().count())
+
+
+class RetrieveMixin:
+    def retrieve(self, request: HttpRequest, pk) -> HttpResponse:
+        obj = self.get_object(pk)
+        return JsonResponse({f: getattr(obj, f) for f in self.fields})
+
+
+class CreateMixin:
+    def create(self, request: HttpRequest) -> HttpResponse:
+        kwargs = {
+            f: _typed_param(self.model, f, request)
+            for f in self.fields
+            if f in request.POST
+        }
+        obj = self.model.objects.create(**kwargs)
+        return JsonResponse({"pk": obj.pk}, status=201)
+
+
+class UpdateMixin:
+    def update(self, request: HttpRequest, pk) -> HttpResponse:
+        obj = self.get_object(pk)
+        for f in self.fields:
+            if f in request.POST:
+                setattr(obj, f, _typed_param(self.model, f, request))
+        obj.save()
+        return JsonResponse({"pk": obj.pk})
+
+
+class DestroyMixin:
+    def destroy(self, request: HttpRequest, pk) -> HttpResponse:
+        obj = self.get_object(pk)
+        obj.delete()
+        return HttpResponse(status=204)
+
+
+class ModelViewSet(
+    ListMixin, RetrieveMixin, CreateMixin, UpdateMixin, DestroyMixin, GenericViewSet
+):
+    """Full CRUD viewset (list/retrieve/create/update/destroy)."""
+
+
+class ReadOnlyViewSet(ListMixin, RetrieveMixin, GenericViewSet):
+    """List/retrieve only."""

@@ -1,0 +1,302 @@
+"""Tests for the symbolic analyzer (path discovery + SOIR translation)."""
+
+import pytest
+
+from repro.analyzer import analyze_application, PathFinder
+from repro.analyzer.pathfinder import LoopLimitExceeded
+from repro.orm import (
+    CASCADE,
+    DateTimeField,
+    ForeignKey,
+    IntegerField,
+    Model,
+    PositiveIntegerField,
+    Registry,
+    SET_NULL,
+    TextField,
+)
+from repro.soir import commands as C, expr as E, pp_command, pp_path
+from repro.web import Application, HttpResponse, path
+from repro.web.views import ModelViewSet
+
+
+@pytest.fixture(scope="module")
+def blog():
+    reg = Registry("blog-analyzer")
+    with reg.use():
+        class User(Model):
+            name = TextField(primary_key=True)
+
+        class Article(Model):
+            url = TextField(unique=True)
+            author = ForeignKey(User, on_delete=SET_NULL, null=True)
+            title = TextField(default="")
+            follows = PositiveIntegerField(default=0)
+            created = DateTimeField(auto_now_add=True)
+
+        class Follow(Model):
+            user = ForeignKey(User, on_delete=CASCADE)
+            article = ForeignKey(Article, on_delete=CASCADE)
+
+            class Meta:
+                unique_together = ("user_key", "article_key")
+
+            user_key = TextField(default="")
+            article_key = TextField(default="")
+
+    def batch_update(request, username):
+        user = User.objects.get(name=username)
+        articles = Article.objects.filter(author=user)
+        if request.POST["action"] == "delete":
+            articles.delete()
+        elif request.POST["action"] == "transfer":
+            to_user = User.objects.get(name=request.POST["to_user"])
+            articles.update(author=to_user)
+        else:
+            raise RuntimeError()
+
+    def create_article(request):
+        author = User.objects.get(name=request.POST["author"])
+        Article.objects.create(url=request.POST["url"], author=author)
+        return HttpResponse(status=201)
+
+    def follow_article(request, pk):
+        article = Article.objects.get(pk=pk)
+        user = User.objects.get(name=request.POST["user"])
+        Follow.objects.create(
+            user=user,
+            article=article,
+            user_key=request.POST["user"],
+            article_key=request.POST["url"],
+        )
+        article.follows = article.follows + 1
+        article.save()
+        return HttpResponse(status=201)
+
+    def read_only(request):
+        return HttpResponse(Article.objects.count())
+
+    def iterate_badly(request):
+        total = 0
+        for article in Article.objects.all():
+            total += 1
+        return HttpResponse(total)
+
+    def optional_param(request):
+        if "tag" in request.POST:
+            Article.objects.filter(title=request.POST["tag"]).delete()
+        return HttpResponse()
+
+    class ArticleViewSet(ModelViewSet):
+        model = Article
+        fields = ("title",)
+
+    patterns = [
+        path("batch_update/<username>", batch_update, name="batch_update"),
+        path("articles/new", create_article, name="create_article"),
+        path("articles/<int:pk>/follow", follow_article, name="follow_article"),
+        path("stats", read_only, name="read_only"),
+        path("bad", iterate_badly, name="iterate_badly"),
+        path("optional", optional_param, name="optional_param"),
+        *ArticleViewSet.urls(),
+    ]
+    app = Application("blog", reg, patterns)
+    return analyze_application(app)
+
+
+def by_view(result, view_name):
+    return [p for p in result.paths if p.view == view_name]
+
+
+class TestPathDiscovery:
+    def test_batch_update_paths(self, blog):
+        paths = by_view(blog, "batch_update")
+        assert len(paths) == 5
+        ok = [p for p in paths if not p.aborted and not p.conservative]
+        assert len(ok) == 2  # BU_delete and BU_transfer
+
+    def test_batch_update_delete_path(self, blog):
+        delete = by_view(blog, "batch_update")[0]
+        text = pp_path(delete)
+        assert "guard(exists<User>(arg_url_username))" in text
+        assert "guard((arg_POST_action == 'delete'))" in text
+        assert "delete(filter(Article.author+" in text
+
+    def test_batch_update_transfer_path(self, blog):
+        transfer = by_view(blog, "batch_update")[1]
+        text = pp_path(transfer)
+        assert "rlink<Article.author>" in text
+        assert "guard(not((arg_POST_action == 'delete')))" in text
+        assert "guard(exists<User>(arg_POST_to_user))" in text
+
+    def test_arguments_discovered_not_declared(self, blog):
+        transfer = by_view(blog, "batch_update")[1]
+        names = {a.name for a in transfer.args}
+        assert names == {"arg_url_username", "arg_POST_action", "arg_POST_to_user"}
+        # The delete path never touches to_user.
+        delete = by_view(blog, "batch_update")[0]
+        assert "arg_POST_to_user" not in {a.name for a in delete.args}
+
+    def test_aborted_paths_recorded_not_effectful(self, blog):
+        paths = by_view(blog, "batch_update")
+        aborted = [p for p in paths if p.aborted]
+        assert len(aborted) == 3
+        assert all(not p.is_effectful() for p in aborted)
+        reasons = {p.abort_reason.split(":")[0] for p in aborted}
+        assert "RuntimeError" in reasons
+        assert "DoesNotExist" in reasons
+
+    def test_read_only_view_not_effectful(self, blog):
+        paths = by_view(blog, "read_only")
+        assert len(paths) == 1
+        assert not paths[0].is_effectful()
+
+    def test_branch_trace_provenance(self, blog):
+        delete = by_view(blog, "batch_update")[0]
+        assert delete.branch_trace
+        assert delete.branch_trace[-1][1] is True  # 'delete' branch taken
+
+
+class TestInsertTranslation:
+    def test_create_emits_fresh_unique_id(self, blog):
+        created = [
+            p for p in by_view(blog, "create_article") if p.is_effectful()
+        ][0]
+        fresh = [a for a in created.args if a.unique_id]
+        assert len(fresh) == 1
+        assert fresh[0].name.startswith("new_Article_id")
+
+    def test_create_emits_nonexistence_and_unique_guards(self, blog):
+        created = [
+            p for p in by_view(blog, "create_article") if p.is_effectful()
+        ][0]
+        text = pp_path(created)
+        assert "guard(not(exists<Article>(new_Article_id" in text
+        # unique url field:
+        assert "guard(empty(filter(url == arg_POST_url, all<Article>)))" in text
+        assert "update(singleton(new<Article>(" in text
+        assert "link<Article.author>" in text
+
+    def test_callable_default_becomes_argument(self, blog):
+        created = [
+            p for p in by_view(blog, "create_article") if p.is_effectful()
+        ][0]
+        defaults = [a for a in created.args if a.name.startswith("default_Article_created")]
+        assert len(defaults) == 1
+        assert not defaults[0].unique_id
+
+    def test_constant_default_is_literal(self, blog):
+        created = [
+            p for p in by_view(blog, "create_article") if p.is_effectful()
+        ][0]
+        text = pp_path(created)
+        assert "follows=0" in text
+
+    def test_unique_together_guard(self, blog):
+        follow = [
+            p for p in by_view(blog, "follow_article") if p.is_effectful()
+        ][0]
+        text = pp_path(follow)
+        assert (
+            "guard(empty(filter(article_key == arg_POST_url, "
+            "filter(user_key == arg_POST_user, all<Follow>))))" in text
+        )
+
+    def test_counter_increment(self, blog):
+        follow = [
+            p for p in by_view(blog, "follow_article") if p.is_effectful()
+        ][0]
+        text = pp_path(follow)
+        assert "setf(follows, (deref<Article>(arg_url_pk).follows + 1)" in text
+
+
+class TestFallbacks:
+    def test_iteration_is_conservative(self, blog):
+        paths = by_view(blog, "iterate_badly")
+        assert len(paths) == 1
+        assert paths[0].conservative
+        assert paths[0].is_effectful()  # conservatively assumed effectful
+        assert "iteration" in paths[0].abort_reason
+
+    def test_optional_param_presence_branch(self, blog):
+        paths = by_view(blog, "optional_param")
+        assert len(paths) == 2
+        with_tag = [p for p in paths if any(a.name == "arg_POST_tag" for a in p.args)]
+        assert len(with_tag) == 1
+        assert "has_POST_tag" in {a.name for a in paths[0].args}
+
+    def test_viewset_closures_analyzed(self, blog):
+        # The runtime-constructed viewset views are analyzable endpoints.
+        destroy = by_view(blog, "article-delete")
+        assert destroy
+        effectful = [p for p in destroy if p.is_effectful()]
+        assert len(effectful) == 1
+        assert "delete(singleton(deref<Article>(arg_url_pk)))" in pp_path(effectful[0])
+
+
+class TestPathFinder:
+    def test_single_run_no_decisions(self):
+        pf = PathFinder()
+        pf.begin_run()
+        assert not pf.advance()
+
+    def test_dfs_enumeration(self):
+        """Two independent conditions -> four paths, DFS order."""
+        pf = PathFinder()
+        seen = []
+        while True:
+            pf.begin_run()
+            a = pf.decide("a")
+            b = pf.decide("b")
+            seen.append((a, b))
+            if not pf.advance():
+                break
+        assert seen == [(True, True), (True, False), (False, True), (False, False)]
+
+    def test_dependent_branches_pruned(self):
+        """A condition only consulted on one side is dropped with it."""
+        pf = PathFinder()
+        seen = []
+        while True:
+            pf.begin_run()
+            if pf.decide("a"):
+                seen.append(("a", pf.decide("b")))
+            else:
+                seen.append(("!a", None))
+            if not pf.advance():
+                break
+        assert seen == [("a", True), ("a", False), ("!a", None)]
+
+    def test_consistent_within_run(self):
+        pf = PathFinder()
+        pf.begin_run()
+        assert pf.decide("x") == pf.decide("x")
+
+    def test_loop_limit(self):
+        pf = PathFinder(loop_limit=3)
+        pf.begin_run()
+        with pytest.raises(LoopLimitExceeded):
+            for _ in range(10):
+                pf.decide("cond")
+
+    def test_trace(self):
+        pf = PathFinder()
+        pf.begin_run()
+        pf.decide("a")
+        pf.decide("b")
+        pf.advance()
+        pf.begin_run()
+        pf.decide("a")
+        pf.decide("b")
+        assert pf.trace() == (("a", True), ("b", False))
+
+
+class TestStats:
+    def test_result_stats_shape(self, blog):
+        stats = blog.stats()
+        assert stats["app"] == "blog"
+        assert stats["models"] == 3
+        assert stats["relations"] == 3
+        assert stats["code_paths"] == len(blog.paths)
+        assert stats["effectful_paths"] == len(blog.effectful_paths)
+        assert stats["analysis_time_s"] > 0

@@ -1,0 +1,186 @@
+"""Focused tests for symbolic values: operators, string predicates,
+request-shape branching, and translation of arithmetic through effects."""
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.orm import (
+    BooleanField,
+    IntegerField,
+    Model,
+    Registry,
+    TextField,
+)
+from repro.soir import pp_path
+from repro.web import Application, HttpResponse, path
+
+
+def build(view, route="go", registry_label=None, model_fields=None):
+    registry = Registry(registry_label or f"sym-{id(view)}")
+    with registry.use():
+
+        class Item(Model):
+            name = TextField(default="")
+            score = IntegerField(default=0)
+            flagged = BooleanField(default=False)
+
+    app = Application("sym", registry, [path(route, view(Item), name="V")])
+    return analyze_application(app)
+
+
+class TestStringPredicates:
+    def test_startswith_branches(self):
+        def view(Item):
+            def v(request):
+                name = request.POST["name"]
+                if name.startswith("tmp-"):
+                    Item.objects.filter(name=name).delete()
+                return HttpResponse()
+            return v
+
+        analysis = build(view)
+        effectful = [p for p in analysis.effectful_paths]
+        assert len(effectful) == 1
+        text = pp_path(effectful[0])
+        assert "guard((arg_POST_name startswith 'tmp-'))" in text
+
+    def test_contains_coerces_to_branch(self):
+        def view(Item):
+            def v(request):
+                if "x" in request.POST["name"]:
+                    Item.objects.filter(flagged=True).delete()
+                return HttpResponse()
+            return v
+
+        analysis = build(view)
+        effectful = analysis.effectful_paths
+        assert len(effectful) == 1
+        assert "contains 'x'" in pp_path(effectful[0])
+
+    def test_membership_in_concrete_tuple(self):
+        def view(Item):
+            def v(request):
+                if request.POST["mode"] in ("purge", "wipe"):
+                    Item.objects.all().delete()
+                return HttpResponse()
+            return v
+
+        analysis = build(view)
+        # 'mode' == purge, 'mode' == wipe (via tuple __contains__ -> two
+        # branches), plus the no-op path.
+        effectful = analysis.effectful_paths
+        assert len(effectful) == 2
+        assert len(analysis.paths) == 3
+
+
+class TestArithmetic:
+    def test_expression_flows_into_effect(self):
+        def view(Item):
+            def v(request, pk):
+                item = Item.objects.get(pk=pk)
+                item.score = item.score * 2 + request.post_int("bonus") - 1
+                item.save()
+                return HttpResponse()
+            return v
+
+        analysis = build(lambda Item: view(Item), route="go/<int:pk>")
+        text = pp_path(analysis.effectful_paths[0])
+        assert (
+            "setf(score, (((deref<Item>(arg_url_pk).score * 2) + "
+            "arg_POST_bonus) - 1)" in text
+        )
+
+    def test_comparison_guard(self):
+        def view(Item):
+            def v(request, pk):
+                item = Item.objects.get(pk=pk)
+                if item.score >= 10:
+                    item.flagged = True
+                    item.save()
+                return HttpResponse()
+            return v
+
+        analysis = build(lambda Item: view(Item), route="go/<int:pk>")
+        text = pp_path(analysis.effectful_paths[0])
+        assert "guard((deref<Item>(arg_url_pk).score >= 10))" in text
+
+    def test_reflected_operators(self):
+        def view(Item):
+            def v(request, pk):
+                item = Item.objects.get(pk=pk)
+                item.score = 100 - item.score
+                item.save()
+                return HttpResponse()
+            return v
+
+        analysis = build(lambda Item: view(Item), route="go/<int:pk>")
+        text = pp_path(analysis.effectful_paths[0])
+        assert "setf(score, (100 - deref<Item>(arg_url_pk).score)" in text
+
+
+class TestRequestShape:
+    def test_get_with_default(self):
+        def view(Item):
+            def v(request):
+                label = request.POST.get("label", "untitled")
+                Item.objects.create(name=label)
+                return HttpResponse(status=201)
+            return v
+
+        analysis = build(view)
+        effectful = analysis.effectful_paths
+        assert len(effectful) == 2  # present / absent fan-out
+        texts = [pp_path(p) for p in effectful]
+        assert any("name=arg_POST_label" in t for t in texts)
+        assert any("name='untitled'" in t for t in texts)
+        present_args = {a.name for p in effectful for a in p.args}
+        assert "has_POST_label" in present_args
+
+    def test_method_branching(self):
+        def view(Item):
+            def v(request):
+                if request.method == "POST":
+                    Item.objects.create(name="posted")
+                return HttpResponse()
+            return v
+
+        analysis = build(view)
+        assert len(analysis.paths) == 2
+        assert len(analysis.effectful_paths) == 1
+        guard_text = pp_path(analysis.effectful_paths[0])
+        assert "guard((arg_method == 'POST'))" in guard_text
+
+
+class TestObjectIdentity:
+    def test_object_equality_compares_refs(self):
+        def view(Item):
+            def v(request, a, b):
+                first = Item.objects.get(pk=a)
+                second = Item.objects.get(pk=b)
+                if first == second:
+                    first.flagged = True
+                    first.save()
+                return HttpResponse()
+            return v
+
+        analysis = build(lambda Item: view(Item), route="go/<int:a>/<int:b>")
+        text = pp_path(analysis.effectful_paths[0])
+        assert (
+            "guard((refof(deref<Item>(arg_url_a)) == "
+            "refof(deref<Item>(arg_url_b))))" in text
+        )
+
+    def test_truthiness_of_first_uses_existence(self):
+        def view(Item):
+            def v(request):
+                top = Item.objects.order_by("-score").first()
+                if top:
+                    top.flagged = True
+                    top.save()
+                return HttpResponse()
+            return v
+
+        analysis = build(view)
+        text = pp_path(analysis.effectful_paths[0])
+        assert "guard(not(empty(orderby(score, desc, all<Item>))))" in text
+        assert "first(orderby(score, desc, all<Item>))" in text

@@ -1,0 +1,75 @@
+"""Tests for the ``noctua`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestApps:
+    def test_lists_all_six(self, capsys):
+        code, out = run_cli(capsys, "apps")
+        assert code == 0
+        for name in ("todo", "postgraduation", "zhihu", "ownphotos",
+                     "smallbank", "courseware"):
+            assert name in out
+
+
+class TestAnalyze:
+    def test_stats(self, capsys):
+        code, out = run_cli(capsys, "analyze", "smallbank")
+        assert code == 0
+        assert "models           : 1" in out
+        assert "effectful paths  : 4" in out
+
+    def test_paths_dump(self, capsys):
+        code, out = run_cli(capsys, "analyze", "courseware", "--paths")
+        assert code == 0
+        assert "path Enroll[0]:" in out
+        assert "guard(exists<Student>" in out
+        assert "ABORTED" in out  # aborted paths are labelled
+
+    def test_json_export(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        code, out = run_cli(capsys, "analyze", "smallbank", "--json", str(target))
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["app"] == "smallbank"
+        assert len(data["paths"]) == 15
+
+    def test_unknown_app(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "doesnotexist"])
+
+
+class TestVerify:
+    def test_courseware_quick(self, capsys):
+        code, out = run_cli(capsys, "verify", "courseware", "--quick",
+                            "--conflict-table")
+        assert code == 0
+        assert "com. failures : 1" in out
+        assert "sem. failures : 1" in out
+        assert "('AddCourse', 'DeleteCourse')" in out
+
+    def test_smallbank(self, capsys):
+        code, out = run_cli(capsys, "verify", "smallbank")
+        assert code == 0
+        assert "com. failures : 0" in out
+        assert "sem. failures : 4" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_simulate_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "todo"])

@@ -1,0 +1,203 @@
+"""Failure injection: every layer degrades the way it documents —
+analyzer gaps go conservative (never silently wrong), the verifier treats
+timeouts as restrictions, dispatch rolls back on crashes, and the solver
+surfaces budget exhaustion."""
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.orm import Database, IntegerField, Model, Registry, TextField
+from repro.soir import commands as C, expr as E
+from repro.soir.path import CodePath
+from repro.soir.types import INT, Comparator
+from repro.verifier import CheckConfig, Outcome, verify_pair
+from repro.verifier.enumcheck import PairChecker
+from repro.web import Application, Client, HttpResponse, path
+
+
+def tiny_app(view_factory, route="go"):
+    registry = Registry(f"fi-{id(view_factory)}")
+    with registry.use():
+
+        class Thing(Model):
+            label = TextField(default="")
+            n = IntegerField(default=0)
+
+    app = Application("fi", registry, [path(route, view_factory(Thing), name="V")])
+    return app, Thing
+
+
+class TestAnalyzerDegradation:
+    def test_invalid_field_value_aborts(self):
+        """A dict where a string belongs fails field validation — exactly
+        what would happen concretely (HTTP 400), so the path aborts."""
+        def factory(Thing):
+            def view(request):
+                Thing.objects.create(label={"not": "a string"})
+                return HttpResponse()
+            return view
+
+        app, _ = tiny_app(factory)
+        analysis = analyze_application(app)
+        assert analysis.paths[0].aborted
+
+    def test_unliftable_filter_value_goes_conservative(self):
+        def factory(Thing):
+            def view(request):
+                Thing.objects.filter(label=(lambda: 1)).delete()
+                return HttpResponse()
+            return view
+
+        app, _ = tiny_app(factory)
+        analysis = analyze_application(app)
+        assert analysis.paths[0].conservative
+
+    def test_python_level_crash_on_symbolic_goes_conservative(self):
+        def factory(Thing):
+            def view(request):
+                # len() of a symbolic string cannot be intercepted.
+                n = len(request.POST["label"])
+                Thing.objects.create(label="x", n=n)
+                return HttpResponse()
+            return view
+
+        app, _ = tiny_app(factory)
+        analysis = analyze_application(app)
+        assert analysis.paths[0].conservative
+        assert "analyzer gap" in analysis.paths[0].abort_reason
+
+    def test_symbolic_while_loop_goes_conservative(self):
+        def factory(Thing):
+            def view(request, pk):
+                thing = Thing.objects.get(pk=pk)
+                while thing.n > 0:  # symbolic loop condition, never ends
+                    thing.n = thing.n - 1
+                thing.save()
+                return HttpResponse()
+            return view
+
+        app, _ = tiny_app(factory, route="go/<int:pk>")
+        analysis = analyze_application(app)
+        conservative = [p for p in analysis.paths if p.conservative]
+        assert conservative
+
+    def test_conservative_path_restricted_against_everything(self):
+        def factory(Thing):
+            def view(request):
+                for thing in Thing.objects.all():  # iteration: unsupported
+                    thing.delete()
+                return HttpResponse()
+            return view
+
+        app, _ = tiny_app(factory)
+        analysis = analyze_application(app)
+        bad = analysis.effectful_paths[0]
+        verdict = verify_pair(bad, bad, analysis.schema)
+        assert verdict.commutativity.outcome == Outcome.CONSERVATIVE
+        assert verdict.restricted
+
+
+class TestVerifierDegradation:
+    def test_timeout_counts_as_restriction(self):
+        registry = Registry("fi-timeout")
+        with registry.use():
+
+            class Row(Model):
+                a = IntegerField(default=0)
+
+        def bump(request, pk):
+            row = Row.objects.get(pk=pk)
+            row.a = row.a + 1
+            row.save()
+            return HttpResponse()
+
+        app = Application("fi", registry, [path("b/<int:pk>", bump, name="B")])
+        analysis = analyze_application(app)
+        p = analysis.effectful_paths[0]
+        # A zero-second budget forces TIMEOUT on the first candidate.
+        config = CheckConfig(timeout_s=0.0)
+        checker = PairChecker(p, p, analysis.schema, config)
+        result = checker.check_commutativity()
+        assert result.outcome == Outcome.TIMEOUT
+        assert result.outcome.restricts
+
+    def test_interp_error_is_not_swallowed(self):
+        """A malformed path (analyzer-contract violation) raises loudly
+        instead of producing a bogus verdict."""
+        from repro.soir import Schema, make_model
+        from repro.soir.interp import InterpError, run_path
+        from repro.soir.state import DBState
+
+        schema = Schema()
+        schema.add_model(make_model("M", {}))
+        bad = CodePath(
+            "bad", (),
+            (C.Guard(E.Exists("M", E.Var("never_bound", INT))),),
+        )
+        with pytest.raises(InterpError):
+            run_path(bad, DBState.empty(schema), {}, schema)
+
+
+class TestDispatchResilience:
+    def test_crash_mid_request_rolls_back(self):
+        def factory(Thing):
+            def view(request):
+                Thing.objects.create(label="partial")
+                raise KeyError("boom")
+            return view
+
+        app, Thing = tiny_app(factory)
+        client = Client(app, Database(app.registry))
+        assert client.get("/go").status == 400
+        with client.db.activate():
+            assert Thing.objects.count() == 0
+
+    def test_unroutable_is_404_not_crash(self):
+        def factory(Thing):
+            def view(request):
+                return HttpResponse()
+            return view
+
+        app, _ = tiny_app(factory)
+        client = Client(app, Database(app.registry))
+        assert client.get("/definitely/not/there").status == 404
+
+
+class TestReplicationResilience:
+    def test_rejected_operations_do_not_propagate(self):
+        from repro.georep.replication import PoRReplicatedSystem
+        from repro.soir import Schema, make_model
+        from repro.soir.state import DBState
+
+        schema = Schema()
+        schema.add_model(make_model("Counter", {"v": INT}))
+        state = DBState.empty(schema)
+        state.insert_row("Counter", 1, {"id": 1, "v": 0})
+
+        decrement = CodePath(
+            "Dec", (),
+            (
+                C.Guard(E.Cmp(
+                    Comparator.GT,
+                    E.FieldGet(E.Deref(E.intlit(1), "Counter"), "v", INT),
+                    E.intlit(0),
+                )),
+                C.Update(E.Singleton(E.SetField(
+                    "v",
+                    E.BinOp("-", E.FieldGet(E.Deref(E.intlit(1), "Counter"),
+                                            "v", INT), E.intlit(1)),
+                    E.Deref(E.intlit(1), "Counter"),
+                ))),
+            ),
+        )
+        system = PoRReplicatedSystem(schema, set(), initial=state)
+        # v == 0 everywhere: every decrement is rejected at generation.
+        for i in range(6):
+            assert not system.submit(decrement, {}, i % 3)
+        system.drain()
+        assert system.rejected == 6
+        assert system.converged()
+        assert all(
+            replica.table("Counter")[1]["v"] == 0
+            for replica in system.replicas
+        )

@@ -1,0 +1,204 @@
+"""Tests for the geo-replication simulation substrate."""
+
+import pytest
+
+from repro.apps.postgraduation import build_app as build_pg
+from repro.apps.zhihu import build_app as build_zhihu
+from repro.georep import (
+    CoordinationService,
+    Deployment,
+    DeploymentConfig,
+    Metrics,
+    RequestSpec,
+    Simulator,
+    postgraduation_workload,
+    run_modes,
+    zhihu_workload,
+)
+from repro.orm import Database
+
+
+class TestSimulator:
+    def test_event_ordering(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, lambda: log.append("b"))
+        sim.schedule(1, lambda: log.append("a"))
+        sim.schedule(9, lambda: log.append("c"))
+        sim.run_until(10)
+        assert log == ["a", "b", "c"]
+        assert sim.now == 10
+
+    def test_fifo_at_same_time(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, lambda: log.append(1))
+        sim.schedule(1, lambda: log.append(2))
+        sim.run_until(2)
+        assert log == [1, 2]
+
+    def test_run_until_stops(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, lambda: log.append("late"))
+        sim.run_until(3)
+        assert log == []
+        assert sim.pending() == 1
+        sim.run_until(10)
+        assert log == ["late"]
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        log = []
+
+        def step(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule(1, lambda: step(n + 1))
+
+        sim.schedule(0, lambda: step(0))
+        sim.run_until(10)
+        assert log == [0, 1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+
+class TestCoordination:
+    TABLE = {frozenset(("W",)), frozenset(("W", "X"))}
+
+    def test_non_conflicting_run_concurrently(self):
+        service = CoordinationService(self.TABLE)
+        granted = []
+        service.request("R", {}, lambda t: granted.append(t))
+        service.request("R", {}, lambda t: granted.append(t))
+        assert len(granted) == 2
+        assert service.active_count == 2
+
+    def test_conflicting_same_params_queue(self):
+        service = CoordinationService(self.TABLE)
+        granted = []
+        t1 = service.request("W", {"k": 1}, lambda t: granted.append(t))
+        service.request("W", {"k": 1}, lambda t: granted.append(t))
+        assert len(granted) == 1
+        assert service.queue_length == 1
+        service.release(t1)
+        assert len(granted) == 2
+        assert service.queue_length == 0
+
+    def test_conflicting_disjoint_params_proceed(self):
+        service = CoordinationService(self.TABLE)
+        granted = []
+        service.request("W", {"k": 1}, lambda t: granted.append(t))
+        service.request("W", {"k": 2}, lambda t: granted.append(t))
+        assert len(granted) == 2
+
+    def test_endpoint_granularity(self):
+        service = CoordinationService(self.TABLE, by_endpoint=True)
+        granted = []
+        service.request("W", {"k": 1}, lambda t: granted.append(t))
+        service.request("W", {"k": 2}, lambda t: granted.append(t))
+        assert len(granted) == 1
+
+    def test_cross_endpoint_conflict(self):
+        service = CoordinationService(self.TABLE)
+        granted = []
+        t1 = service.request("W", {"k": 1}, lambda t: granted.append(t))
+        service.request("X", {"k": 1}, lambda t: granted.append(t))
+        assert len(granted) == 1
+        service.release(t1)
+        assert len(granted) == 2
+
+    def test_release_unknown_ticket_is_noop(self):
+        service = CoordinationService(self.TABLE)
+        service.release(999)  # no raise
+
+
+class TestMetrics:
+    def test_throughput_and_latency(self):
+        metrics = Metrics(warmup_ms=100)
+        metrics.record(50, 1.0, False, True)  # warmup, excluded
+        metrics.record(200, 2.0, True, True)
+        metrics.record(300, 4.0, False, True)
+        assert metrics.throughput(1100) == pytest.approx(2 / 1.0)
+        assert metrics.avg_latency_ms() == pytest.approx(3.0)
+        assert metrics.write_fraction() == pytest.approx(0.5)
+        assert metrics.error_fraction() == 0.0
+
+    def test_percentile(self):
+        metrics = Metrics()
+        for latency in (1.0, 2.0, 3.0, 4.0, 100.0):
+            metrics.record(10, latency, False, True)
+        assert metrics.percentile_latency_ms(0.5) == 3.0
+        assert metrics.percentile_latency_ms(0.95) == 100.0
+
+    def test_empty(self):
+        metrics = Metrics()
+        assert metrics.avg_latency_ms() == 0.0
+        assert metrics.percentile_latency_ms(0.9) == 0.0
+
+
+class TestRequestSpec:
+    def test_lock_params_include_url_ids(self):
+        spec = RequestSpec("/u/7/upvote/12", "POST", {"x": 1}, True)
+        params = spec.lock_params()
+        assert params["x"] == 1
+        assert "url1" in params and params["url1"] == "7"
+        assert "url3" in params and params["url3"] == "12"
+
+
+FAST = DeploymentConfig(duration_ms=120.0, warmup_ms=20.0, clients_per_site=2)
+
+
+class TestDeployment:
+    def test_zhihu_run_completes_requests(self):
+        app = build_zhihu()
+        db = Database(app.registry)
+        workload = zhihu_workload(app, db, 0.3)
+        deployment = Deployment(app, db, workload, set(), config=FAST)
+        summary = deployment.run()
+        assert summary.requests > 50
+        assert summary.throughput_rps > 0
+        assert summary.avg_latency_ms > 0
+        assert deployment.replication_events > 0
+
+    def test_write_ratio_reflected(self):
+        app = build_zhihu()
+        db = Database(app.registry)
+        workload = zhihu_workload(app, db, 0.5)
+        deployment = Deployment(app, db, workload, set(), config=FAST)
+        deployment.run()
+        assert deployment.metrics.write_fraction() == pytest.approx(0.5, abs=0.15)
+
+    def test_sc_slower_than_relaxed(self):
+        conflicts = {frozenset(("FollowQuestion",))}
+        rows = run_modes(
+            build_zhihu, zhihu_workload, conflicts,
+            write_ratios=(0.15,), config=FAST,
+        )
+        sc, relaxed = rows
+        assert sc.mode == "SC" and relaxed.mode == "15%"
+        assert relaxed.throughput_rps > sc.throughput_rps
+        assert relaxed.avg_latency_ms < sc.avg_latency_ms
+
+    def test_throughput_rises_as_writes_fall(self):
+        rows = run_modes(
+            build_pg, postgraduation_workload, set(),
+            write_ratios=(0.5, 0.15), config=FAST,
+        )
+        _, w50, w15 = rows
+        assert w15.throughput_rps > w50.throughput_rps
+
+    def test_deterministic(self):
+        conflicts = {frozenset(("FollowQuestion",))}
+        runs = []
+        for _ in range(2):
+            app = build_zhihu()
+            db = Database(app.registry)
+            workload = zhihu_workload(app, db, 0.3, seed=11)
+            runs.append(
+                Deployment(app, db, workload, conflicts, config=FAST).run()
+            )
+        assert runs[0] == runs[1]

@@ -1,0 +1,140 @@
+"""Tests for the Django-idiom conveniences: earliest/latest, bulk_create,
+update_or_create — concretely and under analysis."""
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.orm import (
+    Database,
+    IntegerField,
+    Model,
+    Registry,
+    TextField,
+)
+from repro.soir import pp_path
+from repro.web import Application, HttpResponse, JsonResponse, path
+
+
+@pytest.fixture(scope="module")
+def env():
+    registry = Registry("extras")
+    with registry.use():
+
+        class Event(Model):
+            name = TextField(default="")
+            at = IntegerField(default=0)
+
+        class Setting(Model):
+            key = TextField(unique=True)
+            value = TextField(default="")
+
+    def prune_oldest(request):
+        oldest = Event.objects.all().earliest("at")
+        oldest.delete()
+        return HttpResponse(status=200)
+
+    def set_setting(request):
+        setting, created = Setting.objects.update_or_create(
+            key=request.POST["key"], defaults={"value": request.POST["value"]}
+        )
+        return JsonResponse({"created": created}, status=201 if created else 200)
+
+    def seed_events(request):
+        Event.objects.bulk_create([
+            Event(name="a", at=1),
+            Event(name="b", at=2),
+            Event(name="c", at=3),
+        ])
+        return HttpResponse(status=201)
+
+    app = Application("extras", registry, [
+        path("prune", prune_oldest, name="PruneOldest"),
+        path("settings/set", set_setting, name="SetSetting"),
+        path("seed", seed_events, name="SeedEvents"),
+    ])
+
+    class NS:
+        pass
+
+    ns = NS()
+    ns.app, ns.registry, ns.Event, ns.Setting = app, registry, Event, Setting
+    return ns
+
+
+class TestConcrete:
+    def test_earliest_latest(self, env):
+        db = Database(env.registry)
+        with db.activate():
+            env.Event.objects.create(name="x", at=5)
+            env.Event.objects.create(name="y", at=1)
+            assert env.Event.objects.all().earliest("at").name == "y"
+            assert env.Event.objects.all().latest("at").name == "x"
+
+    def test_earliest_empty_raises(self, env):
+        db = Database(env.registry)
+        with db.activate():
+            with pytest.raises(env.Event.DoesNotExist):
+                env.Event.objects.all().earliest("at")
+
+    def test_bulk_create(self, env):
+        db = Database(env.registry)
+        with db.activate():
+            created = env.Event.objects.bulk_create(
+                [env.Event(name="a", at=1), env.Event(name="b", at=2)]
+            )
+            assert len(created) == 2
+            assert all(e.pk is not None for e in created)
+            assert env.Event.objects.count() == 2
+
+    def test_update_or_create(self, env):
+        db = Database(env.registry)
+        with db.activate():
+            first, created = env.Setting.objects.update_or_create(
+                key="theme", defaults={"value": "dark"}
+            )
+            assert created and first.value == "dark"
+            second, created = env.Setting.objects.update_or_create(
+                key="theme", defaults={"value": "light"}
+            )
+            assert not created
+            assert second.pk == first.pk
+            assert env.Setting.objects.get(key="theme").value == "light"
+            assert env.Setting.objects.count() == 1
+
+
+class TestSymbolic:
+    @pytest.fixture(scope="class")
+    def analysis(self, env):
+        return analyze_application(env.app)
+
+    def test_earliest_emits_order_primitive(self, analysis):
+        pruned = [p for p in analysis.effectful_paths if p.view == "PruneOldest"]
+        assert pruned
+        text = pp_path(pruned[0])
+        assert "first(orderby(at, asc, all<Event>))" in text
+        assert pruned[0].uses_order()
+        # The emptiness branch yields a second, non-effectful path.
+        by_view = [p for p in analysis.paths if p.view == "PruneOldest"]
+        assert len(by_view) == 2
+
+    def test_update_or_create_fans_out(self, analysis):
+        paths = [p for p in analysis.paths if p.view == "SetSetting"]
+        effectful = [p for p in paths if p.is_effectful()]
+        # One path updates the existing row, one creates a fresh one.
+        assert len(effectful) == 2
+        texts = [pp_path(p) for p in effectful]
+        assert any("setf(value" in t for t in texts)            # update arm
+        assert any("new<Setting>" in t for t in texts)          # create arm
+        create_arm = [t for t in texts if "new<Setting>" in t][0]
+        assert "guard(empty(filter(key == arg_POST_key" in create_arm
+
+    def test_bulk_create_emits_three_inserts(self, analysis):
+        seeded = [p for p in analysis.effectful_paths if p.view == "SeedEvents"]
+        assert seeded
+        text = pp_path(seeded[0])
+        assert text.count("update(singleton(new<Event>") == 3
+        fresh = [a for a in seeded[0].args if a.unique_id]
+        assert len(fresh) == 3
+
+    def test_no_conservative_paths(self, analysis):
+        assert not [p for p in analysis.paths if p.conservative]

@@ -1,0 +1,292 @@
+"""Tests for model declaration, fields and the metaclass."""
+
+import pytest
+
+from repro.orm import (
+    AutoField,
+    BooleanField,
+    CASCADE,
+    CharField,
+    Database,
+    DateTimeField,
+    EmailField,
+    FieldError,
+    FloatField,
+    ForeignKey,
+    IntegerField,
+    ManyToManyField,
+    Model,
+    PositiveIntegerField,
+    Registry,
+    SET_NULL,
+    TextField,
+    ValidationError,
+)
+from repro.orm.fields import NOT_PROVIDED
+from repro.soir.types import BOOL, DATETIME, FLOAT, INT, STRING
+
+
+@pytest.fixture()
+def registry():
+    return Registry("test")
+
+
+class TestFieldValidation:
+    def test_integer_type_check(self):
+        f = IntegerField()
+        f.name = "n"
+        f.validate(3)
+        with pytest.raises(ValidationError):
+            f.validate("x")
+        with pytest.raises(ValidationError):
+            f.validate(True)  # bools are not ints here
+
+    def test_positive_integer(self):
+        f = PositiveIntegerField()
+        f.name = "n"
+        f.validate(0)
+        f.validate(10)
+        with pytest.raises(ValidationError):
+            f.validate(-1)
+
+    def test_null_handling(self):
+        f = IntegerField()
+        f.name = "n"
+        with pytest.raises(ValidationError):
+            f.validate(None)
+        f2 = IntegerField(null=True)
+        f2.name = "n"
+        f2.validate(None)
+
+    def test_choices(self):
+        f = CharField(choices=[("a", "Alpha"), ("b", "Beta")])
+        f.name = "c"
+        f.validate("a")
+        with pytest.raises(ValidationError):
+            f.validate("z")
+
+    def test_plain_choices(self):
+        f = IntegerField(choices=[1, 2, 3])
+        f.name = "c"
+        f.validate(2)
+        with pytest.raises(ValidationError):
+            f.validate(9)
+
+    def test_charfield_max_length(self):
+        f = CharField(max_length=3)
+        f.name = "c"
+        f.validate("abc")
+        with pytest.raises(ValidationError):
+            f.validate("abcd")
+
+    def test_email(self):
+        f = EmailField()
+        f.name = "e"
+        f.validate("a@b.c")
+        with pytest.raises(ValidationError):
+            f.validate("nope")
+
+    def test_boolean(self):
+        f = BooleanField()
+        f.name = "b"
+        f.validate(True)
+        with pytest.raises(ValidationError):
+            f.validate(1)
+
+    def test_float_accepts_int(self):
+        f = FloatField()
+        f.name = "f"
+        f.validate(1)
+        f.validate(1.5)
+        with pytest.raises(ValidationError):
+            f.validate("1.5")
+
+    def test_defaults(self):
+        f = IntegerField(default=7)
+        assert f.has_default() and f.get_default() == 7
+        g = IntegerField(default=lambda: 9)
+        assert g.get_default() == 9
+        h = IntegerField()
+        assert not h.has_default()
+        assert h.default is NOT_PROVIDED
+
+    def test_soir_types(self):
+        assert IntegerField().soir_type == INT
+        assert TextField().soir_type == STRING
+        assert BooleanField().soir_type == BOOL
+        assert FloatField().soir_type == FLOAT
+        assert DateTimeField().soir_type == DATETIME
+
+
+class TestModelMeta:
+    def test_auto_pk_added(self, registry):
+        with registry.use():
+            class Thing(Model):
+                name = TextField(default="")
+
+        assert Thing._meta.pk.name == "id"
+        assert isinstance(Thing._meta.pk, AutoField)
+
+    def test_explicit_pk(self, registry):
+        with registry.use():
+            class User(Model):
+                name = TextField(primary_key=True)
+
+        assert User._meta.pk.name == "name"
+        assert not isinstance(User._meta.pk, AutoField)
+
+    def test_double_pk_rejected(self, registry):
+        with pytest.raises(FieldError), registry.use():
+            class Bad(Model):
+                a = TextField(primary_key=True)
+                b = TextField(primary_key=True)
+
+    def test_mixin_field_inheritance(self, registry):
+        """Fields arrive through abstract bases / mixins — the dynamic
+        feature (C1) static analyzers cannot see."""
+        with registry.use():
+            class Timestamped(Model):
+                class Meta:
+                    abstract = True
+                created = DateTimeField(auto_now_add=True)
+
+            class Owned(Model):
+                class Meta:
+                    abstract = True
+                owner = TextField(default="")
+
+            class Doc(Timestamped, Owned):
+                body = TextField(default="")
+
+        names = [f.name for f in Doc._meta.columns]
+        assert "created" in names and "owner" in names and "body" in names
+        assert "Doc" in registry.models
+        assert "Timestamped" not in registry.models  # abstract not registered
+
+    def test_per_class_exceptions(self, registry):
+        with registry.use():
+            class A(Model):
+                pass
+
+            class B(Model):
+                pass
+
+        assert A.DoesNotExist is not B.DoesNotExist
+        assert issubclass(A.DoesNotExist, Exception)
+
+    def test_duplicate_registration_rejected(self, registry):
+        with registry.use():
+            class A(Model):
+                pass
+        with pytest.raises(FieldError), registry.use():
+            class A(Model):  # noqa: F811
+                pass
+
+    def test_unique_together_normalization(self, registry):
+        with registry.use():
+            class P(Model):
+                a = TextField(default="")
+                b = TextField(default="")
+                class Meta:
+                    unique_together = ("a", "b")
+
+            class Q(Model):
+                a = TextField(default="")
+                b = TextField(default="")
+                class Meta:
+                    unique_together = (("a", "b"),)
+
+        assert P._meta.unique_together == (("a", "b"),)
+        assert Q._meta.unique_together == (("a", "b"),)
+
+    def test_init_kwargs(self, registry):
+        with registry.use():
+            class T(Model):
+                name = TextField(default="anon")
+                score = IntegerField(default=0)
+
+        t = T(name="x")
+        assert t.name == "x" and t.score == 0
+        with pytest.raises(FieldError):
+            T(bogus=1)
+
+    def test_init_pk_alias(self, registry):
+        with registry.use():
+            class T(Model):
+                pass
+
+        t = T(pk=5)
+        assert t.id == 5 and t.pk == 5
+
+    def test_equality_and_hash(self, registry):
+        with registry.use():
+            class T(Model):
+                pass
+
+        a, b = T(pk=1), T(pk=1)
+        c = T(pk=2)
+        assert a == b and a != c
+        assert hash(a) == hash(b)
+        unsaved1, unsaved2 = T(), T()
+        assert unsaved1 != unsaved2  # identity equality when pk unset
+        assert repr(a) == "<T pk=1>"
+
+
+class TestRelationsMeta:
+    def test_reverse_accessor_installed(self, registry):
+        with registry.use():
+            class User(Model):
+                name = TextField(primary_key=True)
+
+            class Post(Model):
+                author = ForeignKey(User, on_delete=CASCADE)
+
+        assert "post_set" in User._meta.reverse_relations
+
+    def test_related_name(self, registry):
+        with registry.use():
+            class User(Model):
+                name = TextField(primary_key=True)
+
+            class Post(Model):
+                author = ForeignKey(User, on_delete=CASCADE, related_name="posts")
+
+        assert "posts" in User._meta.reverse_relations
+
+    def test_string_forward_reference(self, registry):
+        """FK can name its target before the target exists (Django allows
+        this); the reverse accessor is installed on late registration."""
+        with registry.use():
+            class Post(Model):
+                author = ForeignKey("User", on_delete=CASCADE)
+
+            class User(Model):
+                name = TextField(primary_key=True)
+
+        assert "post_set" in User._meta.reverse_relations
+
+    def test_schema_derivation(self, registry):
+        with registry.use():
+            class User(Model):
+                name = TextField(primary_key=True)
+
+            class Post(Model):
+                title = TextField(default="")
+                views = PositiveIntegerField(default=0)
+                author = ForeignKey(User, on_delete=SET_NULL, null=True)
+                tags = ManyToManyField("Tag")
+
+            class Tag(Model):
+                label = TextField(unique=True)
+
+        schema = registry.to_soir_schema()
+        assert set(schema.models) == {"User", "Post", "Tag"}
+        assert schema.model("Post").field("views").min_value == 0
+        assert schema.model("Tag").field("label").unique
+        rel = schema.relation("Post.author")
+        assert rel.kind == "fk" and rel.on_delete == "set_null" and rel.nullable
+        m2m = schema.relation("Post.tags")
+        assert m2m.kind == "m2m"
+        assert schema.model("User").pk == "name"
+        assert not schema.model("User").auto_pk
+        assert schema.model("Post").auto_pk

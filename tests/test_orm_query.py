@@ -1,0 +1,393 @@
+"""Tests for query sets, lookups, managers and database execution."""
+
+import pytest
+
+from repro.orm import (
+    CASCADE,
+    Database,
+    FieldError,
+    ForeignKey,
+    IntegerField,
+    IntegrityError,
+    ManyToManyField,
+    Model,
+    PROTECT,
+    ProtectedError,
+    Registry,
+    SET_NULL,
+    TextField,
+    TransactionError,
+    ValidationError,
+)
+from repro.orm.query import parse_lookup
+from repro.soir.types import Comparator, Direction
+
+
+@pytest.fixture(scope="module")
+def models():
+    reg = Registry("qtest")
+    with reg.use():
+        class User(Model):
+            name = TextField(primary_key=True)
+            age = IntegerField(default=0)
+
+        class Article(Model):
+            url = TextField(unique=True)
+            title = TextField(default="")
+            views = IntegerField(default=0)
+            author = ForeignKey(User, on_delete=SET_NULL, null=True)
+            tags = ManyToManyField("Tag")
+
+        class Tag(Model):
+            label = TextField(unique=True)
+
+        class Comment(Model):
+            text = TextField(default="")
+            user = ForeignKey(User, on_delete=CASCADE)
+            article = ForeignKey(Article, on_delete=CASCADE)
+
+        class Invoice(Model):
+            number = TextField(unique=True)
+            customer = ForeignKey(User, on_delete=PROTECT)
+
+    class NS:
+        pass
+
+    ns = NS()
+    ns.registry = reg
+    ns.User, ns.Article, ns.Tag, ns.Comment, ns.Invoice = (
+        User, Article, Tag, Comment, Invoice,
+    )
+    return ns
+
+
+@pytest.fixture()
+def db(models):
+    database = Database(models.registry)
+    with database.activate():
+        yield database
+
+
+@pytest.fixture()
+def populated(db, models):
+    john = models.User.objects.create(name="john", age=30)
+    mary = models.User.objects.create(name="mary", age=25)
+    a1 = models.Article.objects.create(url="a/1", title="Alpha", views=10, author=john)
+    a2 = models.Article.objects.create(url="a/2", title="Beta", views=20, author=john)
+    a3 = models.Article.objects.create(url="a/3", title="Gamma", views=30, author=mary)
+    models.Comment.objects.create(text="nice", user=mary, article=a1)
+    models.Comment.objects.create(text="hmm", user=john, article=a3)
+    return db
+
+
+class TestParseLookup:
+    def test_plain_field(self, models):
+        lk = parse_lookup(models.Article, "title", "x")
+        assert lk.relpath == () and lk.field == "title"
+        assert lk.op == Comparator.EQ and lk.value == "x"
+
+    def test_op_suffix(self, models):
+        lk = parse_lookup(models.Article, "views__gte", 5)
+        assert lk.op == Comparator.GE
+
+    def test_pk_alias(self, models):
+        lk = parse_lookup(models.Article, "pk", 3)
+        assert lk.field == "id"
+
+    def test_fk_by_instance(self, models):
+        user = models.User(name="z")
+        lk = parse_lookup(models.Article, "author", user)
+        assert len(lk.relpath) == 1
+        assert lk.relpath[0].relation == "Article.author"
+        assert lk.relpath[0].direction == Direction.FORWARD
+        assert lk.field == "name" and lk.value == "z"
+
+    def test_fk_id_shortcut(self, models):
+        lk = parse_lookup(models.Article, "author_id", "z")
+        assert lk.relpath[0].relation == "Article.author"
+        assert lk.field == "name"
+
+    def test_chained_relations(self, models):
+        lk = parse_lookup(models.Comment, "article__author__name", "j")
+        assert [h.relation for h in lk.relpath] == [
+            "Comment.article",
+            "Article.author",
+        ]
+        assert lk.field == "name"
+
+    def test_reverse_accessor_lookup(self, models):
+        # Users who authored an article with a given title.
+        lk = parse_lookup(models.User, "article_set__title", "Alpha")
+        assert lk.relpath[0].direction == Direction.BACKWARD
+        assert lk.field == "title"
+
+    def test_none_becomes_isnull(self, models):
+        lk = parse_lookup(models.Article, "author", None)
+        assert lk.op == Comparator.ISNULL and lk.value is True
+
+    def test_isnull_on_relation(self, models):
+        lk = parse_lookup(models.Article, "author__isnull", False)
+        assert lk.op == Comparator.ISNULL and lk.value is False
+
+    def test_in_with_instances(self, models):
+        u1, u2 = models.User(name="a"), models.User(name="b")
+        lk = parse_lookup(models.Article, "author__in", [u1, u2])
+        assert lk.op == Comparator.IN and lk.value == ("a", "b")
+
+    def test_unknown_field(self, models):
+        with pytest.raises(FieldError):
+            parse_lookup(models.Article, "bogus", 1)
+
+    def test_field_after_field_rejected(self, models):
+        with pytest.raises(FieldError):
+            parse_lookup(models.Article, "title__views", 1)
+
+
+class TestQueryExecution:
+    def test_all_and_count(self, populated, models):
+        assert models.Article.objects.count() == 3
+        assert len(list(models.Article.objects.all())) == 3
+
+    def test_filter_chains_are_lazy(self, populated, models):
+        qs = models.Article.objects.filter(views__gte=15)
+        qs2 = qs.filter(author__name="john")
+        assert [a.title for a in qs2] == ["Beta"]
+        # Original queryset unaffected (immutability).
+        assert {a.title for a in qs} == {"Beta", "Gamma"}
+
+    def test_exclude(self, populated, models):
+        qs = models.Article.objects.exclude(title="Beta")
+        assert {a.title for a in qs} == {"Alpha", "Gamma"}
+
+    def test_exclude_relation_rejected(self, populated, models):
+        with pytest.raises(FieldError):
+            models.Article.objects.exclude(author__name="john")
+
+    def test_exclude_isnull_flip(self, populated, models):
+        models.Article.objects.create(url="a/4", title="NoAuthor")
+        qs = models.Article.objects.exclude(author=None)
+        assert {a.title for a in qs} == {"Alpha", "Beta", "Gamma"}
+
+    def test_get_ok(self, populated, models):
+        a = models.Article.objects.get(url="a/2")
+        assert a.title == "Beta"
+
+    def test_get_missing(self, populated, models):
+        with pytest.raises(models.Article.DoesNotExist):
+            models.Article.objects.get(url="nope")
+
+    def test_get_multiple(self, populated, models):
+        with pytest.raises(models.Article.MultipleObjectsReturned):
+            models.Article.objects.get(author__name="john")
+
+    def test_order_by_and_first_last(self, populated, models):
+        qs = models.Article.objects.order_by("-views")
+        assert [a.views for a in qs] == [30, 20, 10]
+        assert qs.first().views == 30
+        assert qs.last().views == 10
+        assert models.Article.objects.order_by("views").reverse().first().views == 30
+
+    def test_first_on_empty(self, populated, models):
+        assert models.Article.objects.filter(views__gt=999).first() is None
+
+    def test_getitem_len_bool(self, populated, models):
+        qs = models.Article.objects.order_by("url")
+        assert qs[0].url == "a/1"
+        assert len(qs) == 3
+        assert bool(qs)
+        assert not models.Article.objects.filter(views__gt=999)
+
+    def test_aggregates(self, populated, models):
+        qs = models.Article.objects.all()
+        assert qs.sum("views") == 60
+        assert qs.max("views") == 30
+        assert qs.min("views") == 10
+        assert qs.avg("views") == 20
+        assert models.Article.objects.filter(views__gt=999).sum("views") == 0
+        assert models.Article.objects.filter(views__gt=999).max("views") is None
+
+    def test_values_list(self, populated, models):
+        titles = models.Article.objects.order_by("url").values_list("title")
+        assert titles == ["Alpha", "Beta", "Gamma"]
+
+    def test_nested_relation_filter(self, populated, models):
+        # Comments on articles authored by mary (paper §2.3's nested filter).
+        qs = models.Comment.objects.filter(article__author__name="mary")
+        assert [c.text for c in qs] == ["hmm"]
+
+    def test_in_lookup(self, populated, models):
+        qs = models.Article.objects.filter(title__in=["Alpha", "Gamma"])
+        assert {a.title for a in qs} == {"Alpha", "Gamma"}
+
+    def test_contains_startswith(self, populated, models):
+        assert models.Article.objects.filter(title__contains="et").count() == 1
+        assert models.Article.objects.filter(title__startswith="Ga").count() == 1
+
+    def test_get_or_create(self, populated, models):
+        tag, created = models.Tag.objects.get_or_create(label="x")
+        assert created
+        tag2, created2 = models.Tag.objects.get_or_create(label="x")
+        assert not created2 and tag2.pk == tag.pk
+
+
+class TestWrites:
+    def test_save_update(self, populated, models):
+        a = models.Article.objects.get(url="a/1")
+        a.title = "Alpha2"
+        a.save()
+        assert models.Article.objects.get(url="a/1").title == "Alpha2"
+
+    def test_unique_violation(self, populated, models):
+        with pytest.raises(IntegrityError):
+            models.Article.objects.create(url="a/1", title="Dup")
+
+    def test_field_validation_on_save(self, populated, models):
+        with pytest.raises(ValidationError):
+            models.Article.objects.create(url="a/9", title="X", views="many")
+
+    def test_fk_must_exist(self, populated, models):
+        ghost = models.User(name="ghost")  # never saved
+        with pytest.raises(IntegrityError):
+            models.Article.objects.create(url="a/9", author=ghost)
+
+    def test_non_nullable_fk(self, populated, models):
+        with pytest.raises(IntegrityError):
+            models.Comment.objects.create(text="orphan")
+
+    def test_bulk_update(self, populated, models):
+        models.Article.objects.filter(author__name="john").update(views=0)
+        assert models.Article.objects.filter(views=0).count() == 2
+
+    def test_bulk_update_fk(self, populated, models):
+        mary = models.User.objects.get(name="mary")
+        models.Article.objects.filter(author__name="john").update(author=mary)
+        assert models.Article.objects.filter(author=mary).count() == 3
+
+    def test_bulk_delete_cascade(self, populated, models):
+        models.Article.objects.filter(url="a/1").delete()
+        assert models.Comment.objects.filter(text="nice").count() == 0
+
+    def test_instance_delete(self, populated, models):
+        a = models.Article.objects.get(url="a/2")
+        a.delete()
+        assert models.Article.objects.count() == 2
+
+    def test_delete_set_null(self, populated, models):
+        models.User.objects.get(name="john").delete()
+        # Articles survive with author nulled; john's comment cascades.
+        assert models.Article.objects.count() == 3
+        assert models.Article.objects.filter(author=None).count() == 2
+        assert models.Comment.objects.count() == 1
+
+    def test_delete_protect(self, populated, models):
+        john = models.User.objects.get(name="john")
+        models.Invoice.objects.create(number="i/1", customer=john)
+        with pytest.raises(ProtectedError):
+            john.delete()
+
+    def test_refresh_from_db(self, populated, models):
+        a = models.Article.objects.get(url="a/1")
+        models.Article.objects.filter(url="a/1").update(title="Fresh")
+        a.refresh_from_db()
+        assert a.title == "Fresh"
+
+    def test_auto_id_allocation_unique(self, db, models):
+        t1 = models.Tag.objects.create(label="a")
+        t2 = models.Tag.objects.create(label="b")
+        assert t1.pk != t2.pk
+
+    def test_striped_id_allocation(self, models):
+        db_a = Database(models.registry, site_id=0, sites=3)
+        db_b = Database(models.registry, site_id=1, sites=3)
+        with db_a.activate():
+            ids_a = [models.Tag.objects.create(label=f"a{i}").pk for i in range(5)]
+        with db_b.activate():
+            ids_b = [models.Tag.objects.create(label=f"b{i}").pk for i in range(5)]
+        assert not set(ids_a) & set(ids_b)
+
+
+class TestRelationsRuntime:
+    def test_fk_attribute_deref(self, populated, models):
+        a = models.Article.objects.get(url="a/1")
+        assert a.author.name == "john"
+        assert a.author_id == "john"
+
+    def test_fk_set_none(self, populated, models):
+        a = models.Article.objects.get(url="a/1")
+        a.author = None
+        a.save()
+        assert models.Article.objects.get(url="a/1").author is None
+
+    def test_reverse_manager(self, populated, models):
+        john = models.User.objects.get(name="john")
+        assert john.article_set.count() == 2
+        assert {a.title for a in john.article_set.filter(views__gte=15)} == {"Beta"}
+        assert john.article_set.exists()
+
+    def test_reverse_create(self, populated, models):
+        john = models.User.objects.get(name="john")
+        a = john.article_set.create(url="a/10", title="New")
+        assert a.author.name == "john"
+
+    def test_reverse_add_and_clear(self, populated, models):
+        mary = models.User.objects.get(name="mary")
+        a1 = models.Article.objects.get(url="a/1")
+        mary.article_set.add(a1)
+        assert a1.pk in [a.pk for a in mary.article_set.all()]
+        mary.article_set.clear()
+        assert mary.article_set.count() == 0
+
+    def test_m2m_add_remove(self, populated, models):
+        a1 = models.Article.objects.get(url="a/1")
+        t1 = models.Tag.objects.create(label="news")
+        t2 = models.Tag.objects.create(label="tech")
+        a1.tags.add(t1, t2)
+        assert {t.label for t in a1.tags.all()} == {"news", "tech"}
+        a1.tags.remove(t1)
+        assert {t.label for t in a1.tags.all()} == {"tech"}
+
+    def test_m2m_set_and_reverse(self, populated, models):
+        a1 = models.Article.objects.get(url="a/1")
+        a2 = models.Article.objects.get(url="a/2")
+        t = models.Tag.objects.create(label="shared")
+        a1.tags.set([t])
+        a2.tags.add(t)
+        assert {a.url for a in t.article_set.all()} == {"a/1", "a/2"}
+        t.article_set.remove(a1)
+        assert {a.url for a in t.article_set.all()} == {"a/2"}
+
+    def test_m2m_clear(self, populated, models):
+        a1 = models.Article.objects.get(url="a/1")
+        t = models.Tag.objects.create(label="x")
+        a1.tags.add(t)
+        a1.tags.clear()
+        assert a1.tags.count() == 0
+
+
+class TestTransactions:
+    def test_rollback_on_exception(self, populated, models, db):
+        with pytest.raises(RuntimeError):
+            with db.atomic():
+                models.Article.objects.all().delete()
+                raise RuntimeError("boom")
+        assert models.Article.objects.count() == 3
+
+    def test_commit(self, populated, models, db):
+        with db.atomic():
+            models.Article.objects.filter(url="a/1").update(title="T")
+        assert models.Article.objects.get(url="a/1").title == "T"
+
+    def test_nested_joins_outer(self, populated, models, db):
+        with pytest.raises(RuntimeError):
+            with db.atomic():
+                models.Article.objects.filter(url="a/1").update(title="T")
+                with db.atomic():
+                    models.Article.objects.filter(url="a/2").update(title="U")
+                raise RuntimeError("boom")
+        assert models.Article.objects.get(url="a/1").title == "Alpha"
+        assert models.Article.objects.get(url="a/2").title == "Beta"
+
+    def test_flush_inside_tx_rejected(self, populated, db):
+        with pytest.raises(TransactionError):
+            with db.atomic():
+                db.flush()

@@ -1,0 +1,290 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants: SOIR interpretation, the path finder, scope generation, the
+ORM's constraint enforcement, and the coordination service."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analyzer.pathfinder import PathFinder
+from repro.georep import CoordinationService, Simulator
+from repro.soir import (
+    Argument,
+    CodePath,
+    commands as C,
+    expr as E,
+    run_path,
+)
+from repro.soir.interp import apply_path
+from repro.soir.types import INT, STRING, Comparator
+from repro.verifier.scopes import StateGenerator, build_scope
+
+from helpers import blog_schema, blog_state
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# SOIR expressions
+# ---------------------------------------------------------------------------
+
+scalar_expr = st.recursive(
+    st.one_of(
+        st.integers(-5, 5).map(E.intlit),
+        st.sampled_from([E.Var("a", INT), E.Var("b", INT)]),
+    ),
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(["+", "-", "*"]), children, children).map(
+            lambda t: E.BinOp(*t)
+        ),
+        children.map(E.Neg),
+    ),
+    max_leaves=8,
+)
+
+
+class TestExprProperties:
+    @SETTINGS
+    @given(scalar_expr)
+    def test_with_children_roundtrip(self, expr):
+        assert expr.with_children(expr.children()) == expr
+
+    @SETTINGS
+    @given(scalar_expr)
+    def test_pretty_stable_for_equal_terms(self, expr):
+        from repro.soir.pretty import pp_expr
+
+        rebuilt = expr.with_children(expr.children())
+        assert pp_expr(expr) == pp_expr(rebuilt)
+
+    @SETTINGS
+    @given(scalar_expr, st.integers(-3, 3), st.integers(-3, 3))
+    def test_evaluation_matches_python(self, expr, a, b):
+        """The interpreter agrees with a direct Python evaluation."""
+        from repro.soir.interp import Interpreter
+        from repro.soir.state import DBState
+
+        schema = blog_schema()
+        interp = Interpreter(schema, DBState(), {"a": a, "b": b})
+
+        def pyeval(e):
+            if isinstance(e, E.Lit):
+                return e.value
+            if isinstance(e, E.Var):
+                return {"a": a, "b": b}[e.name]
+            if isinstance(e, E.Neg):
+                return -pyeval(e.operand)
+            ops = {"+": lambda x, y: x + y, "-": lambda x, y: x - y,
+                   "*": lambda x, y: x * y}
+            return ops[e.op](pyeval(e.left), pyeval(e.right))
+
+        assert interp.eval(expr) == pyeval(expr)
+
+
+# ---------------------------------------------------------------------------
+# SOIR execution
+# ---------------------------------------------------------------------------
+
+def _delete_path(title: str) -> CodePath:
+    return CodePath(
+        "del", (),
+        (C.Delete(E.Filter(E.All("Article"), (), "title", Comparator.EQ,
+                           E.strlit(title))),),
+    )
+
+
+class TestInterpProperties:
+    @SETTINGS
+    @given(st.sampled_from(["Alpha", "Beta", "Gamma", "nope"]))
+    def test_run_never_mutates_input(self, title):
+        schema = blog_schema()
+        state = blog_state(schema)
+        snapshot = state.canonical(with_order=True)
+        run_path(_delete_path(title), state, {}, schema)
+        apply_path(_delete_path(title), state, {}, schema)
+        assert state.canonical(with_order=True) == snapshot
+
+    @SETTINGS
+    @given(st.sampled_from(["Alpha", "Beta", "nope"]))
+    def test_delete_idempotent(self, title):
+        """Applying the same delete effect twice equals applying it once."""
+        schema = blog_schema()
+        state = blog_state(schema)
+        once = apply_path(_delete_path(title), state, {}, schema)
+        twice = apply_path(_delete_path(title), once, {}, schema)
+        assert once.same_state(twice)
+
+    @SETTINGS
+    @given(st.sampled_from(["Alpha", "Beta"]), st.sampled_from(["X", "Y"]))
+    def test_merge_idempotent(self, title, new_title):
+        schema = blog_schema()
+        state = blog_state(schema)
+        update = CodePath(
+            "upd", (),
+            (C.Update(E.MapSet(
+                E.Filter(E.All("Article"), (), "title", Comparator.EQ,
+                         E.strlit(title)),
+                "title", E.strlit(new_title))),),
+        )
+        once = apply_path(update, state, {}, schema)
+        twice = apply_path(update, once, {}, schema)
+        assert once.same_state(twice)
+
+    @SETTINGS
+    @given(st.integers(0, 2**32 - 1))
+    def test_random_states_well_formed(self, seed):
+        """Every generated state satisfies the schema axioms."""
+        schema = blog_schema()
+        path = _delete_path("x")
+        scope = build_scope(schema, [path])
+        state = StateGenerator(scope).random_state(random.Random(seed))
+        if state is None:
+            return
+        for mname in scope.models:
+            model = schema.model(mname)
+            rows = state.table(mname)
+            for fschema in model.fields:
+                if fschema.unique:
+                    values = [r[fschema.name] for r in rows.values()]
+                    assert len(values) == len(set(values))
+                if not fschema.nullable:
+                    assert all(r[fschema.name] is not None for r in rows.values())
+        for rname in scope.relations:
+            rel = schema.relation(rname)
+            pairs = state.relation(rname)
+            sources = set(state.table(rel.source))
+            targets = set(state.table(rel.target))
+            for s, t in pairs:
+                assert s in sources and t in targets
+            if rel.kind == "fk":
+                assert len({s for s, _ in pairs}) == len(pairs)
+                if not rel.nullable:
+                    assert {s for s, _ in pairs} == sources
+
+
+# ---------------------------------------------------------------------------
+# Path finder: full, duplicate-free tree enumeration
+# ---------------------------------------------------------------------------
+
+@st.composite
+def decision_trees(draw):
+    """A random finite binary decision tree as nested dicts; leaves are
+    ints."""
+    def tree(depth):
+        if depth == 0 or draw(st.booleans()):
+            return draw(st.integers(0, 99))
+        key = draw(st.sampled_from("abcdef")) + str(depth)
+        return {"key": key,
+                "true": tree(depth - 1),
+                "false": tree(depth - 1)}
+
+    return tree(draw(st.integers(1, 4)))
+
+
+def _leaves(tree) -> list:
+    if not isinstance(tree, dict):
+        return [tree]
+    return _leaves(tree["true"]) + _leaves(tree["false"])
+
+
+class TestPathFinderProperties:
+    @SETTINGS
+    @given(decision_trees())
+    def test_enumerates_every_leaf_exactly_once(self, tree):
+        finder = PathFinder()
+        visited = []
+        while True:
+            finder.begin_run()
+            node = tree
+            while isinstance(node, dict):
+                node = node["true"] if finder.decide(node["key"]) else node["false"]
+            visited.append((node, finder.trace()))
+            if not finder.advance():
+                break
+        # Exactly the tree's leaves, in DFS (true-first) order.
+        assert [v[0] for v in visited] == _leaves(tree)
+        # Each path's trace is unique.
+        traces = [v[1] for v in visited]
+        assert len(set(traces)) == len(traces)
+
+
+# ---------------------------------------------------------------------------
+# ORM constraint enforcement under random operation sequences
+# ---------------------------------------------------------------------------
+
+class TestOrmProperties:
+    @SETTINGS
+    @given(st.lists(
+        st.tuples(st.sampled_from(["create", "delete", "rename"]),
+                  st.integers(0, 3), st.sampled_from(["u0", "u1", "u2"])),
+        max_size=12,
+    ))
+    def test_unique_constraint_always_holds(self, operations):
+        from repro.orm import Database, IntegrityError, Model, Registry, TextField
+
+        registry = Registry(f"prop-{random.random()}")
+        with registry.use():
+            class Tagged(Model):
+                label = TextField(unique=True)
+
+        db = Database(registry)
+        with db.activate():
+            pks = []
+            for action, idx, label in operations:
+                try:
+                    if action == "create":
+                        pks.append(Tagged.objects.create(label=label).pk)
+                    elif action == "delete" and pks:
+                        Tagged.objects.filter(pk=pks[idx % len(pks)]).delete()
+                    elif action == "rename" and pks:
+                        Tagged.objects.filter(pk=pks[idx % len(pks)]).update(
+                            label=label
+                        )
+                except IntegrityError:
+                    pass
+                labels = [t.label for t in Tagged.objects.all()]
+                assert len(labels) == len(set(labels))
+
+
+# ---------------------------------------------------------------------------
+# Simulator and coordination service
+# ---------------------------------------------------------------------------
+
+class TestSimulatorProperties:
+    @SETTINGS
+    @given(st.lists(st.floats(0, 100, allow_nan=False), max_size=25))
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, (lambda d=delay: fired.append(sim.now)))
+        sim.run_until(1000)
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestCoordinationProperties:
+    @SETTINGS
+    @given(st.lists(
+        st.tuples(st.sampled_from(["W", "X", "R"]), st.integers(0, 2)),
+        min_size=1, max_size=20,
+    ))
+    def test_no_conflicting_pair_ever_active(self, requests):
+        table = {frozenset(("W",)), frozenset(("W", "X"))}
+        service = CoordinationService(table)
+        tickets = []
+        for endpoint, key in requests:
+            tickets.append(
+                service.request(endpoint, {"k": key}, lambda t: None)
+            )
+            active = list(service._active.values())
+            for i, a in enumerate(active):
+                for b in active[i + 1:]:
+                    assert not service.conflicts(a, b)
+        # Releasing everything drains the queue completely.
+        for ticket in tickets:
+            service.release(ticket)
+        assert service.queue_length == 0
+        assert service.active_count + service.queue_length <= len(requests)

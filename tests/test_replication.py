@@ -1,0 +1,188 @@
+"""End-to-end PoR replication: the verifier's restriction set is exactly
+what keeps replicas convergent and invariants intact.
+
+Three demonstrations per the paper's two properties (§2.2.1):
+
+* **sufficiency** — with the verifier's restrictions, conflicting
+  workloads converge and preserve invariants;
+* **necessity (convergence)** — dropping the restrictions lets a
+  commutativity-failing pair diverge replicas;
+* **necessity (invariants)** — dropping them lets a semantic-failing pair
+  drive a balance negative, even though state still converges.
+"""
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.apps.smallbank import build_app as build_smallbank
+from repro.apps.todo import build_app as build_todo
+from repro.georep.replication import PoRReplicatedSystem, run_workload
+from repro.soir.state import DBState
+from repro.verifier import CheckConfig, verify_application
+
+
+@pytest.fixture(scope="module")
+def smallbank():
+    analysis = analyze_application(build_smallbank())
+    report = verify_application(analysis, CheckConfig())
+    return analysis, report.restriction_pairs()
+
+
+@pytest.fixture(scope="module")
+def todo():
+    analysis = analyze_application(build_todo())
+    report = verify_application(
+        analysis, CheckConfig(timeout_s=1.0)
+    )
+    return analysis, report.restriction_pairs()
+
+
+def smallbank_state(analysis) -> DBState:
+    state = DBState.empty(analysis.schema)
+    for name in ("alice", "bob"):
+        state.insert_row(
+            "Account", name, {"name": name, "checking": 10, "savings": 5}
+        )
+    return state
+
+
+def path_by_view(analysis, view):
+    return [p for p in analysis.effectful_paths if p.view == view][0]
+
+
+def non_negative(state: DBState) -> bool:
+    return all(
+        row["checking"] >= 0 and row["savings"] >= 0
+        for row in state.table("Account").values()
+    )
+
+
+class TestSmallBankReplication:
+    def make_ops(self, analysis, n=60, seed=5):
+        import random
+
+        rng = random.Random(seed)
+        transact = path_by_view(analysis, "TransactSavings")
+        pay = path_by_view(analysis, "SendPayment")
+        deposit = path_by_view(analysis, "DepositChecking")
+        ops = []
+        for _ in range(n):
+            kind = rng.choice(["transact", "pay", "deposit"])
+            if kind == "transact":
+                ops.append((transact, {
+                    "arg_url_name": rng.choice(["alice", "bob"]),
+                    "arg_POST_amount": rng.choice([-5, -3, 2, 4]),
+                }))
+            elif kind == "pay":
+                ops.append((pay, {
+                    "arg_url_src": "alice", "arg_url_dst": "bob",
+                    "arg_POST_amount": rng.choice([3, 8]),
+                }))
+            else:
+                ops.append((deposit, {
+                    "arg_url_name": rng.choice(["alice", "bob"]),
+                    "arg_POST_amount": rng.choice([1, 2]),
+                }))
+        return ops
+
+    def test_with_restrictions_invariant_holds(self, smallbank):
+        analysis, restrictions = smallbank
+        system = PoRReplicatedSystem(
+            analysis.schema, restrictions, initial=smallbank_state(analysis)
+        )
+        accepted = run_workload(system, self.make_ops(analysis))
+        assert accepted > 10
+        assert system.converged()
+        assert system.check_invariant(non_negative)
+
+    def test_without_restrictions_invariant_breaks(self, smallbank):
+        """The semantic failures are *necessary*: un-coordinated overdrafts
+        slip through when generated against stale replicas."""
+        analysis, _ = smallbank
+        broke = False
+        for seed in range(12):
+            system = PoRReplicatedSystem(
+                analysis.schema, set(), seed=seed,
+                initial=smallbank_state(analysis),
+            )
+            run_workload(system, self.make_ops(analysis, seed=seed))
+            if not system.check_invariant(non_negative):
+                broke = True
+                break
+        assert broke, "expected at least one overdraft without coordination"
+
+    def test_effects_converge_even_without_restrictions(self, smallbank):
+        """SmallBank has no commutativity failures (Table 5): state still
+        converges without coordination — only the invariant is at risk."""
+        analysis, _ = smallbank
+        system = PoRReplicatedSystem(
+            analysis.schema, set(), initial=smallbank_state(analysis)
+        )
+        run_workload(system, self.make_ops(analysis))
+        assert system.converged()
+
+
+class TestTodoReplication:
+    def make_ops(self, analysis, n=40, seed=9):
+        import random
+
+        rng = random.Random(seed)
+        add = path_by_view(analysis, "AddTask")
+        complete = path_by_view(analysis, "CompleteTask")
+        reopen = path_by_view(analysis, "ReopenTask")
+        clear = path_by_view(analysis, "ClearCompleted")
+        ops = []
+        next_id = 1000
+        for _ in range(n):
+            kind = rng.choice(["add", "complete", "reopen", "clear"])
+            if kind == "add":
+                ops.append((add, {
+                    "arg_POST_title": rng.choice(["a", "b"]),
+                    "new_Task_id$1": next_id,
+                    "default_Task_created$2": 1,
+                }))
+                next_id += 1
+            elif kind == "complete":
+                ops.append((complete, {"arg_url_pk": rng.choice([1, 2])}))
+            elif kind == "reopen":
+                ops.append((reopen, {"arg_url_pk": rng.choice([1, 2])}))
+            else:
+                ops.append((clear, {}))
+        return ops
+
+    def initial(self, analysis) -> DBState:
+        state = DBState.empty(analysis.schema)
+        for pk in (1, 2):
+            state.insert_row("Task", pk, {
+                "id": pk, "title": f"t{pk}", "note": "", "done": False,
+                "starred": False, "priority": 0, "created": 0,
+            })
+        return state
+
+    def test_with_restrictions_converges(self, todo):
+        analysis, restrictions = todo
+        system = PoRReplicatedSystem(
+            analysis.schema, restrictions, initial=self.initial(analysis)
+        )
+        run_workload(system, self.make_ops(analysis))
+        assert system.converged()
+
+    def test_without_restrictions_diverges(self, todo):
+        """Complete/Reopen on the same task is a commutativity failure:
+        uncoordinated replicas end with different `done` bits."""
+        analysis, _ = todo
+        diverged = False
+        for seed in range(15):
+            system = PoRReplicatedSystem(
+                analysis.schema, set(), seed=seed,
+                initial=self.initial(analysis),
+            )
+            run_workload(system, self.make_ops(analysis, seed=seed))
+            if not system.converged():
+                diverged = True
+                break
+        assert diverged, "expected divergence without coordination"
+
+    def test_restriction_set_from_verifier_includes_complete_reopen(self, todo):
+        _, restrictions = todo
+        assert frozenset(("CompleteTask[0]", "ReopenTask[0]")) in restrictions

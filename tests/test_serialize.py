@@ -1,0 +1,97 @@
+"""Round-trip tests for SOIR JSON serialization, over every bundled app."""
+
+import json
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.apps.courseware import build_app as build_courseware
+from repro.apps.ownphotos import build_app as build_ownphotos
+from repro.apps.postgraduation import build_app as build_postgraduation
+from repro.apps.smallbank import build_app as build_smallbank
+from repro.apps.todo import build_app as build_todo
+from repro.apps.zhihu import build_app as build_zhihu
+from repro.soir import expr as E, pp_path
+from repro.soir.serialize import (
+    SerializationError,
+    dumps,
+    expr_from_obj,
+    expr_to_obj,
+    loads,
+    type_from_obj,
+    type_to_obj,
+)
+from repro.soir.types import (
+    INT,
+    STRING,
+    Comparator,
+    DRelation,
+    ListType,
+    ObjType,
+    Order,
+    SetType,
+)
+from repro.verifier import CheckConfig, verify_application
+
+BUILDERS = [
+    build_todo,
+    build_postgraduation,
+    build_zhihu,
+    build_ownphotos,
+    build_smallbank,
+    build_courseware,
+]
+
+
+class TestTypeRoundTrip:
+    @pytest.mark.parametrize("t", [
+        INT, STRING, ObjType("User"), SetType("Article"), ListType(INT),
+        ListType(ListType(STRING)),
+    ])
+    def test_roundtrip(self, t):
+        assert type_from_obj(type_to_obj(t)) == t
+
+    def test_bad_scalar(self):
+        with pytest.raises(SerializationError):
+            type_from_obj("Quaternion")
+
+
+class TestExprRoundTrip:
+    def test_nested_expr(self):
+        e = E.Filter(
+            E.OrderBy(E.All("Article"), "created", Order.DESC),
+            (DRelation("Article.author"),),
+            "name",
+            Comparator.EQ,
+            E.BinOp("concat", E.strlit("j"), E.Var("x", STRING)),
+        )
+        assert expr_from_obj(expr_to_obj(e)) == e
+
+    def test_tuple_literal(self):
+        e = E.Lit((1, 2, 3), ListType(INT))
+        obj = json.loads(json.dumps(expr_to_obj(e)))
+        assert expr_from_obj(obj) == e
+
+
+@pytest.mark.parametrize("builder", BUILDERS)
+def test_full_analysis_roundtrip(builder):
+    """Every path of every application serializes and round-trips."""
+    result = analyze_application(builder())
+    text = dumps(result)
+    restored = loads(text)
+    assert restored.app_name == result.app_name
+    assert len(restored.paths) == len(result.paths)
+    for original, loaded in zip(result.paths, restored.paths):
+        assert loaded == original
+        assert pp_path(loaded) == pp_path(original)
+    assert set(restored.schema.models) == set(result.schema.models)
+    assert set(restored.schema.relations) == set(result.schema.relations)
+
+
+def test_verification_on_deserialized_result():
+    """Analysis and verification genuinely decouple across serialization."""
+    result = analyze_application(build_smallbank())
+    restored = loads(dumps(result))
+    report = verify_application(restored, CheckConfig())
+    assert len(report.semantic_failures) == 4
+    assert len(report.commutativity_failures) == 0

@@ -1,0 +1,210 @@
+"""Tests for the symbolic verification engine: Table-2 encoding, order
+semantics, and agreement with the enumerative engine (two independent
+backends, one set of verdicts)."""
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.apps.courseware import build_app as build_courseware
+from repro.apps.smallbank import build_app as build_smallbank
+from repro.orm import (
+    IntegerField,
+    Model,
+    PositiveIntegerField,
+    Registry,
+    TextField,
+)
+from repro.verifier import (
+    CheckConfig,
+    Outcome,
+    PairChecker,
+    SmtPairChecker,
+    build_scope,
+    verify_application,
+)
+from repro.verifier.encoding import fresh_state, universe_of
+from repro.web import Application, HttpResponse, path
+
+
+CFG = CheckConfig(timeout_s=10.0)
+
+
+def build_ring_app():
+    """Append / evict-oldest / swap-order: effectful order semantics."""
+    registry = Registry(f"ring-{id(object())}")
+    with registry.use():
+
+        class Entry(Model):
+            body = TextField(default="")
+            rank = IntegerField(default=0)
+
+    def append_entry(request):
+        Entry.objects.create(body=request.POST["body"],
+                             rank=request.post_int("rank"))
+        return HttpResponse(status=201)
+
+    def evict_lowest(request):
+        victim = Entry.objects.order_by("rank").first()
+        if victim:
+            victim.delete()
+        return HttpResponse(status=200)
+
+    def evict_highest(request):
+        victim = Entry.objects.order_by("rank").last()
+        if victim:
+            victim.delete()
+        return HttpResponse(status=200)
+
+    def promote(request, pk):
+        entry = Entry.objects.get(pk=pk)
+        entry.rank = entry.rank + 1
+        entry.save()
+        return HttpResponse(status=200)
+
+    return Application("ring", registry, [
+        path("append", append_entry, name="Append"),
+        path("evict-low", evict_lowest, name="EvictLowest"),
+        path("evict-high", evict_highest, name="EvictHighest"),
+        path("promote/<int:pk>", promote, name="Promote"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return analyze_application(build_ring_app())
+
+
+def eff(analysis, view):
+    return [p for p in analysis.effectful_paths if p.view == view][0]
+
+
+class TestEncoding:
+    def test_universe_gates_fresh_pool(self):
+        analysis = analyze_application(build_smallbank())
+        paths = analysis.effectful_paths[:2]
+        scope = build_scope(analysis.schema, paths)
+        universe = universe_of(scope)
+        # SmallBank never inserts: no fresh slots materialize.
+        assert universe["Account"] == scope.ids["Account"]
+
+    def test_fresh_state_axioms_and_domains(self):
+        analysis = analyze_application(build_courseware())
+        paths = [p for p in analysis.effectful_paths]
+        scope = build_scope(analysis.schema, paths)
+        bundle = fresh_state("S", analysis.schema, scope, with_order=False)
+        # Every declared variable has a non-empty domain.
+        assert bundle.domains
+        assert all(bundle.domains.values())
+        # FK axioms exist (Enrolment has two fks).
+        assert bundle.axioms
+        # No order component materialized.
+        assert all(v is None for v in bundle.state.order.values())
+
+    def test_order_component_materializes_on_demand(self):
+        analysis = analyze_application(build_courseware())
+        paths = [p for p in analysis.effectful_paths]
+        scope = build_scope(analysis.schema, paths)
+        bundle = fresh_state("S", analysis.schema, scope, with_order=True)
+        assert any(v for v in bundle.state.order.values())
+        order_vars = [n for n in bundle.domains if ".order[" in n]
+        assert order_vars
+
+
+class TestSmtBenchmarks:
+    """Table 5 on the symbolic engine."""
+
+    def test_smallbank_exact(self):
+        analysis = analyze_application(build_smallbank())
+        report = verify_application(analysis, CFG, engine="smt")
+        assert len(report.commutativity_failures) == 0
+        sem = {
+            frozenset((v.left.split("[")[0], v.right.split("[")[0]))
+            for v in report.semantic_failures
+        }
+        assert sem == {
+            frozenset(("TransactSavings",)),
+            frozenset(("SendPayment",)),
+            frozenset(("Amalgamate",)),
+            frozenset(("Amalgamate", "SendPayment")),
+        }
+
+    def test_courseware_exact(self):
+        analysis = analyze_application(build_courseware())
+        report = verify_application(analysis, CFG, engine="smt")
+        com = {
+            frozenset((v.left.split("[")[0], v.right.split("[")[0]))
+            for v in report.commutativity_failures
+        }
+        sem = {
+            frozenset((v.left.split("[")[0], v.right.split("[")[0]))
+            for v in report.semantic_failures
+        }
+        assert com == {frozenset(("AddCourse", "DeleteCourse"))}
+        assert sem == {frozenset(("Enroll", "DeleteCourse"))}
+
+
+class TestEngineAgreement:
+    """The two backends are independent implementations of the same rules;
+    they must agree pair by pair on the synthetic benchmarks."""
+
+    @pytest.mark.parametrize("builder", [build_smallbank, build_courseware])
+    def test_agreement(self, builder):
+        analysis = analyze_application(builder())
+        effectful = analysis.effectful_paths
+        for i, p in enumerate(effectful):
+            for q in effectful[i:]:
+                enum_checker = PairChecker(p, q, analysis.schema, CFG)
+                smt_checker = SmtPairChecker(p, q, analysis.schema, CFG)
+                assert (
+                    enum_checker.check_commutativity().outcome
+                    == smt_checker.check_commutativity().outcome
+                ), (p.name, q.name, "commutativity")
+                assert (
+                    enum_checker.check_semantic().outcome
+                    == smt_checker.check_semantic().outcome
+                ), (p.name, q.name, "semantic")
+
+
+class TestOrderSemantics:
+    """Order-sensitive pairs on the symbolic engine (the §4.2 encoding)."""
+
+    def test_promote_vs_evict_conflicts(self, ring):
+        """Bumping an entry's rank can change which entry is the eviction
+        victim: the pair must not commute."""
+        checker = SmtPairChecker(
+            eff(ring, "Promote"), eff(ring, "EvictLowest"), ring.schema, CFG
+        )
+        assert checker.check_commutativity().outcome == Outcome.FAIL
+
+    def test_evict_low_vs_high_commute_check_runs(self, ring):
+        """Evicting the two ends touches the same table; the engine must
+        produce a definite verdict (no conservative fallback) with the
+        order component materialized."""
+        checker = SmtPairChecker(
+            eff(ring, "EvictLowest"), eff(ring, "EvictHighest"), ring.schema,
+            CFG,
+        )
+        assert checker.with_order
+        outcome = checker.check_commutativity().outcome
+        assert outcome in (Outcome.PASS, Outcome.FAIL)
+
+    def test_append_vs_evict(self, ring):
+        """A fresh append can become the eviction victim in one order but
+        not the other: non-commutative."""
+        checker = SmtPairChecker(
+            eff(ring, "Append"), eff(ring, "EvictLowest"), ring.schema, CFG
+        )
+        assert checker.check_commutativity().outcome == Outcome.FAIL
+
+    def test_enum_agrees_on_order_pairs(self, ring):
+        smt = SmtPairChecker(
+            eff(ring, "Promote"), eff(ring, "EvictLowest"), ring.schema, CFG
+        )
+        enum = PairChecker(
+            eff(ring, "Promote"), eff(ring, "EvictLowest"), ring.schema, CFG
+        )
+        assert (
+            smt.check_commutativity().outcome
+            == enum.check_commutativity().outcome
+            == Outcome.FAIL
+        )

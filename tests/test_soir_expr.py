@@ -1,0 +1,166 @@
+"""Unit tests for SOIR expression construction and traversal."""
+
+import pytest
+
+from repro.soir import expr as E
+from repro.soir.pretty import pp_expr
+from repro.soir.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    Aggregation,
+    Comparator,
+    Direction,
+    DRelation,
+    ObjType,
+    Order,
+    RefType,
+    SetType,
+)
+
+
+def test_literal_types():
+    assert E.intlit(5).type == INT
+    assert E.strlit("x").type == STRING
+    assert E.floatlit(1.5).type == FLOAT
+    assert E.true().type == BOOL
+    assert E.NoneLit(INT).type == INT
+
+
+def test_binop_type_promotion():
+    i = E.Var("i", INT)
+    f = E.Var("f", FLOAT)
+    assert E.BinOp("+", i, i).type == INT
+    assert E.BinOp("+", i, f).type == FLOAT
+    assert E.BinOp("concat", E.strlit("a"), E.strlit("b")).type == STRING
+
+
+def test_binop_rejects_unknown_op():
+    with pytest.raises(E.SoirTypeError):
+        E.BinOp("xor", E.intlit(1), E.intlit(2))
+
+
+def test_children_roundtrip():
+    a, b = E.Var("a", INT), E.intlit(2)
+    e = E.BinOp("+", a, b)
+    assert e.children() == (a, b)
+    swapped = e.with_children((b, a))
+    assert swapped.left == b and swapped.right == a
+
+
+def test_with_children_arity_check():
+    e = E.BinOp("+", E.intlit(1), E.intlit(2))
+    with pytest.raises(ValueError):
+        e.with_children((E.intlit(1),))
+
+
+def test_and_or_children():
+    parts = (E.true(), E.false(), E.Var("b", BOOL))
+    e = E.And(parts)
+    assert e.children() == parts
+    e2 = e.with_children(tuple(reversed(parts)))
+    assert isinstance(e2, E.And)
+    assert e2.args == tuple(reversed(parts))
+
+
+def test_walk_preorder():
+    a = E.Var("a", INT)
+    e = E.Not(E.eq(a, E.intlit(1)))
+    kinds = [type(n).__name__ for n in e.walk()]
+    assert kinds == ["Not", "Cmp", "Var", "Lit"]
+
+
+def test_conj_flattening():
+    a, b = E.Var("a", BOOL), E.Var("b", BOOL)
+    assert E.conj() == E.true()
+    assert E.conj(a) == a
+    assert E.conj(E.true(), a) == a
+    got = E.conj(E.And((a, b)), a)
+    assert isinstance(got, E.And)
+    assert got.args == (a, b, a)
+
+
+def test_disj_flattening():
+    a = E.Var("a", BOOL)
+    assert E.disj() == E.false()
+    assert E.disj(E.false(), a) == a
+
+
+def test_model_conversions_types():
+    o = E.Var("o", ObjType("User"))
+    assert E.Singleton(o).type == SetType("User")
+    assert E.RefOf(o).type == RefType("User")
+    qs = E.All("User")
+    assert qs.type == SetType("User")
+    assert E.AnyOf(qs).type == ObjType("User")
+    assert E.FirstOf(qs).type == ObjType("User")
+    assert E.LastOf(qs).type == ObjType("User")
+    assert E.Deref(E.Var("r", RefType("User")), "User").type == ObjType("User")
+
+
+def test_conversion_type_errors():
+    i = E.Var("i", INT)
+    with pytest.raises(E.SoirTypeError):
+        _ = E.Singleton(i).type
+    with pytest.raises(E.SoirTypeError):
+        _ = E.RefOf(i).type
+
+
+def test_filter_preserves_set_type():
+    qs = E.All("Article")
+    flt = E.Filter(
+        qs,
+        (DRelation("Article.author", Direction.FORWARD),),
+        "name",
+        Comparator.EQ,
+        E.strlit("John"),
+    )
+    assert flt.type == SetType("Article")
+    assert flt.children() == (qs, E.strlit("John"))
+
+
+def test_follow_annotated_target():
+    f = E.Follow(E.All("Article"), (DRelation("Article.author"),), "User")
+    assert f.type == SetType("User")
+
+
+def test_orderby_first_aggregate_types():
+    qs = E.All("Article")
+    assert E.OrderBy(qs, "created", Order.ASC).type == SetType("Article")
+    assert E.ReverseSet(qs).type == SetType("Article")
+    agg = E.Aggregate(qs, Aggregation.CNT, "id", INT)
+    assert agg.type == INT
+
+
+def test_makeobj_accessors():
+    mo = E.MakeObj("User", (("name", E.strlit("j")),))
+    assert mo.type == ObjType("User")
+    assert mo.field_expr("name") == E.strlit("j")
+    with pytest.raises(KeyError):
+        mo.field_expr("missing")
+    replaced = mo.with_children((E.strlit("k"),))
+    assert replaced.field_expr("name") == E.strlit("k")
+
+
+def test_opaque_children():
+    dep = E.Var("x", INT)
+    o = E.Opaque("ext", INT, (dep,))
+    assert o.children() == (dep,)
+    o2 = o.with_children((E.intlit(1),))
+    assert o2.deps == (E.intlit(1),)
+    assert o2.name == "ext"
+
+
+def test_structural_equality_and_hash():
+    e1 = E.eq(E.Var("a", INT), E.intlit(3))
+    e2 = E.eq(E.Var("a", INT), E.intlit(3))
+    assert e1 == e2
+    assert hash(e1) == hash(e2)
+    assert len({e1, e2}) == 1
+
+
+def test_pretty_is_stable_key():
+    e1 = E.eq(E.Var("a", INT), E.intlit(3))
+    e2 = E.eq(E.Var("a", INT), E.intlit(3))
+    assert pp_expr(e1) == pp_expr(e2) == "(a == 3)"

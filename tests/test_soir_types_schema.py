@@ -1,0 +1,132 @@
+"""Unit tests for the SOIR type system and schema metadata."""
+
+import pytest
+
+from repro.soir import FieldSchema, ModelSchema, RelationSchema, Schema, SchemaError, make_model
+from repro.soir.types import (
+    BOOL,
+    DATETIME,
+    FLOAT,
+    INT,
+    STRING,
+    Comparator,
+    Direction,
+    DRelation,
+    ListType,
+    ObjType,
+    Order,
+    RefType,
+    SetType,
+    obj,
+    qset,
+    ref,
+    scalar_types,
+)
+
+
+class TestTypes:
+    def test_scalar_strs(self):
+        assert str(BOOL) == "Bool"
+        assert str(INT) == "Int"
+        assert str(FLOAT) == "Float"
+        assert str(STRING) == "String"
+        assert str(DATETIME) == "Datetime"
+
+    def test_model_types(self):
+        assert str(obj("User")) == "Obj<User>"
+        assert str(qset("User")) == "Set<User>"
+        assert str(ref("User")) == "Ref<User>"
+        assert obj("User").model == "User"
+        assert qset("User").is_model_type()
+        assert not INT.is_model_type()
+
+    def test_model_property_rejects_scalars(self):
+        with pytest.raises(TypeError):
+            _ = INT.model
+
+    def test_structural_equality(self):
+        assert obj("A") == ObjType("A")
+        assert obj("A") != obj("B")
+        assert qset("A") != obj("A")
+        assert ListType(INT) == ListType(INT)
+        assert hash(ref("X")) == hash(RefType("X"))
+
+    def test_types_usable_as_dict_keys(self):
+        d = {obj("A"): 1, qset("A"): 2, INT: 3}
+        assert d[ObjType("A")] == 1
+        assert d[SetType("A")] == 2
+
+    def test_scalar_types_listing(self):
+        assert INT in scalar_types()
+        assert len(scalar_types()) == 5
+
+    def test_drelation_str(self):
+        assert str(DRelation("author", Direction.FORWARD)) == "author+"
+        assert str(DRelation("author", Direction.BACKWARD)) == "author-"
+
+    def test_enum_strs(self):
+        assert str(Comparator.LE) == "<="
+        assert str(Order.ASC) == "asc"
+
+
+class TestSchema:
+    def test_make_model_adds_pk(self):
+        m = make_model("T", {"x": INT})
+        assert m.pk == "id"
+        assert m.has_field("id")
+        assert m.pk_field.unique
+
+    def test_make_model_custom_pk(self):
+        m = make_model("U", {"name": STRING}, pk="name", auto_pk=False)
+        assert m.pk == "name"
+        assert not m.auto_pk
+        assert m.field("name").unique
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError):
+            ModelSchema("T", (FieldSchema("x", INT), FieldSchema("x", INT)), pk="x")
+
+    def test_missing_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            ModelSchema("T", (FieldSchema("x", INT),), pk="id")
+
+    def test_unique_together_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            make_model("T", {"x": INT}, unique_together=(("x", "nope"),))
+
+    def test_field_lookup_error(self):
+        m = make_model("T", {"x": INT})
+        with pytest.raises(SchemaError):
+            m.field("missing")
+
+    def test_relation_kind_validation(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", "A", "B", kind="weird")
+        with pytest.raises(SchemaError):
+            RelationSchema("r", "A", "B", on_delete="explode")
+
+    def test_schema_cross_validation(self):
+        s = Schema()
+        s.add_model(make_model("A", {}))
+        s.add_relation(RelationSchema("r", "A", "Missing"))
+        with pytest.raises(SchemaError):
+            s.validate()
+
+    def test_duplicate_model_rejected(self):
+        s = Schema()
+        s.add_model(make_model("A", {}))
+        with pytest.raises(SchemaError):
+            s.add_model(make_model("A", {}))
+
+    def test_relations_of(self):
+        s = Schema()
+        s.add_model(make_model("A", {}))
+        s.add_model(make_model("B", {}))
+        s.add_relation(RelationSchema("r", "A", "B"))
+        assert [r.name for r in s.relations_of("A")] == ["r"]
+        assert [r.name for r in s.relations_of("B")] == ["r"]
+
+    def test_stats(self):
+        s = Schema()
+        s.add_model(make_model("A", {}))
+        assert s.stats() == {"models": 1, "relations": 0}

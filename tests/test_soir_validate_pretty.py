@@ -1,0 +1,164 @@
+"""Tests for SOIR validation and pretty-printing."""
+
+import pytest
+
+from repro.soir import (
+    Argument,
+    CodePath,
+    commands as C,
+    expr as E,
+    pp_command,
+    pp_expr,
+    pp_path,
+    validate_path,
+    ValidationError,
+)
+from repro.soir.types import (
+    INT,
+    STRING,
+    Aggregation,
+    Comparator,
+    Direction,
+    DRelation,
+    ObjType,
+    Order,
+    RefType,
+)
+
+from helpers import blog_schema
+
+AUTHOR = DRelation("Article.author", Direction.FORWARD)
+
+
+@pytest.fixture()
+def schema():
+    return blog_schema()
+
+
+def path_of(*cmds, args=()):
+    return CodePath("p", tuple(args), tuple(cmds))
+
+
+class TestValidate:
+    def test_valid_path_passes(self, schema):
+        arg = Argument("username", STRING, source="url")
+        p = path_of(
+            C.Guard(E.Exists("User", E.Var("username", STRING))),
+            C.Delete(
+                E.Filter(E.All("Article"), (AUTHOR,), "name", Comparator.EQ,
+                         E.Var("username", STRING))
+            ),
+            args=[arg],
+        )
+        validate_path(p, schema)  # no raise
+
+    def test_undeclared_variable(self, schema):
+        p = path_of(C.Guard(E.Exists("User", E.Var("nope", STRING))))
+        with pytest.raises(ValidationError, match="undeclared"):
+            validate_path(p, schema)
+
+    def test_variable_type_mismatch(self, schema):
+        arg = Argument("x", INT)
+        p = path_of(C.Guard(E.Exists("User", E.Var("x", STRING))), args=[arg])
+        with pytest.raises(ValidationError, match="used at type"):
+            validate_path(p, schema)
+
+    def test_unknown_model(self, schema):
+        p = path_of(C.Delete(E.All("Ghost")))
+        with pytest.raises(ValidationError, match="unknown model"):
+            validate_path(p, schema)
+
+    def test_unknown_field_in_filter(self, schema):
+        p = path_of(
+            C.Delete(E.Filter(E.All("Article"), (), "nope", Comparator.EQ, E.intlit(1)))
+        )
+        with pytest.raises(ValidationError, match="no field"):
+            validate_path(p, schema)
+
+    def test_bad_relation_chain(self, schema):
+        # Article.author goes Article -> User; starting from User is wrong.
+        p = path_of(
+            C.Delete(E.Filter(E.All("User"), (AUTHOR,), "name", Comparator.EQ,
+                              E.strlit("x")))
+        )
+        with pytest.raises(ValidationError, match="hop"):
+            validate_path(p, schema)
+
+    def test_follow_wrong_annotation(self, schema):
+        p = path_of(C.Delete(E.Follow(E.All("Article"), (AUTHOR,), "Comment")))
+        with pytest.raises(ValidationError, match="ends at"):
+            validate_path(p, schema)
+
+    def test_makeobj_missing_field(self, schema):
+        mo = E.MakeObj("User", ())
+        p = path_of(C.Update(E.Singleton(mo)))
+        with pytest.raises(ValidationError, match="missing fields"):
+            validate_path(p, schema)
+
+    def test_makeobj_unknown_field(self, schema):
+        mo = E.MakeObj("User", (("name", E.strlit("a")), ("age", E.intlit(1))))
+        p = path_of(C.Update(E.Singleton(mo)))
+        with pytest.raises(ValidationError, match="unknown fields"):
+            validate_path(p, schema)
+
+    def test_guard_must_be_bool(self, schema):
+        p = path_of(C.Guard(E.intlit(1)))
+        with pytest.raises(ValidationError, match="guard condition"):
+            validate_path(p, schema)
+
+    def test_link_model_mismatch(self, schema):
+        art = E.Deref(E.intlit(1), "Article")
+        p = path_of(C.Link("Article.author", art, art))
+        with pytest.raises(ValidationError, match="link target"):
+            validate_path(p, schema)
+
+    def test_unknown_relation(self, schema):
+        art = E.Deref(E.intlit(1), "Article")
+        usr = E.Deref(E.strlit("j"), "User")
+        p = path_of(C.Link("nope", art, usr))
+        with pytest.raises(ValidationError, match="unknown relation"):
+            validate_path(p, schema)
+
+    def test_clearlinks_end_check(self, schema):
+        usr = E.Deref(E.strlit("j"), "User")
+        p = path_of(C.ClearLinks("Article.author", usr, "source"))
+        with pytest.raises(ValidationError, match="clearlinks"):
+            validate_path(p, schema)
+        # Correct end validates.
+        validate_path(path_of(C.ClearLinks("Article.author", usr, "target")), schema)
+
+
+class TestPretty:
+    def test_expr_forms(self):
+        assert pp_expr(E.strlit("x")) == "'x'"
+        assert pp_expr(E.NoneLit(INT)) == "none:Int"
+        assert pp_expr(E.Not(E.true())) == "not(True)"
+        assert pp_expr(E.All("User")) == "all<User>"
+        assert pp_expr(E.Deref(E.strlit("j"), "User")) == "deref<User>('j')"
+        flt = E.Filter(E.All("Article"), (AUTHOR,), "name", Comparator.EQ, E.strlit("j"))
+        assert pp_expr(flt) == "filter(Article.author+.name == 'j', all<Article>)"
+        ob = E.OrderBy(E.All("Article"), "created", Order.DESC)
+        assert pp_expr(ob) == "orderby(created, desc, all<Article>)"
+        agg = E.Aggregate(E.All("Article"), Aggregation.CNT, "id", INT)
+        assert pp_expr(agg) == "aggregate(cnt, id, all<Article>)"
+
+    def test_command_forms(self):
+        assert pp_command(C.Guard(E.true())) == "guard(True)"
+        assert pp_command(C.Delete(E.All("User"))) == "delete(all<User>)"
+        art = E.Deref(E.intlit(1), "Article")
+        usr = E.Deref(E.strlit("j"), "User")
+        assert (
+            pp_command(C.Link("Article.author", art, usr))
+            == "link<Article.author>(deref<Article>(1), deref<User>('j'))"
+        )
+
+    def test_path_form(self):
+        p = CodePath(
+            "op",
+            (Argument("n", STRING, unique_id=True),),
+            (C.Guard(E.Exists("User", E.Var("n", STRING))),),
+        )
+        text = pp_path(p)
+        assert "path op:" in text
+        assert "args(n: String!)" in text
+        assert "guard(exists<User>(n));" in text

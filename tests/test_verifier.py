@@ -1,0 +1,341 @@
+"""Tests for the verifier: scopes, checks, runner and the paper's
+correctness results (Table 5) and case studies (§6.4)."""
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.apps.courseware import build_app as build_courseware
+from repro.apps.smallbank import build_app as build_smallbank
+from repro.orm import (
+    ForeignKey,
+    Model,
+    PositiveIntegerField,
+    Registry,
+    SET_NULL,
+    TextField,
+)
+from repro.soir import Argument, CodePath, commands as C, expr as E
+from repro.soir.types import INT, STRING, Comparator
+from repro.verifier import (
+    CheckConfig,
+    Outcome,
+    PairChecker,
+    build_scope,
+    operation_conflict_table,
+    verify_application,
+    verify_pair,
+)
+from repro.verifier.scopes import StateGenerator, collect_args
+from repro.web import Application, HttpResponse, path
+
+from helpers import blog_schema
+
+
+# ---------------------------------------------------------------------------
+# Correctness (paper Table 5)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def smallbank_report():
+    analysis = analyze_application(build_smallbank())
+    return analysis, verify_application(analysis)
+
+
+@pytest.fixture(scope="module")
+def courseware_report():
+    analysis = analyze_application(build_courseware())
+    return analysis, verify_application(analysis)
+
+
+class TestSmallBank:
+    def test_effectful_operations(self, smallbank_report):
+        analysis, _ = smallbank_report
+        views = {p.view for p in analysis.effectful_paths}
+        assert views == {
+            "DepositChecking",
+            "TransactSavings",
+            "SendPayment",
+            "Amalgamate",
+        }
+
+    def test_balance_is_read_only(self, smallbank_report):
+        analysis, _ = smallbank_report
+        assert all(
+            not p.is_effectful() for p in analysis.paths if p.view == "Balance"
+        )
+
+    def test_table5_counts(self, smallbank_report):
+        _, report = smallbank_report
+        assert len(report.commutativity_failures) == 0
+        assert len(report.semantic_failures) == 4
+
+    def test_table5_failing_pairs(self, smallbank_report):
+        _, report = smallbank_report
+        failing = {
+            frozenset((v.left.split("[")[0], v.right.split("[")[0]))
+            for v in report.semantic_failures
+        }
+        assert failing == {
+            frozenset(("TransactSavings",)),
+            frozenset(("SendPayment",)),
+            frozenset(("Amalgamate",)),
+            frozenset(("Amalgamate", "SendPayment")),
+        }
+
+    def test_deposit_never_conflicts(self, smallbank_report):
+        _, report = smallbank_report
+        for v in report.restrictions:
+            assert "DepositChecking" not in (v.left + v.right)
+
+
+class TestCourseware:
+    def test_table5_counts(self, courseware_report):
+        _, report = courseware_report
+        assert len(report.commutativity_failures) == 1
+        assert len(report.semantic_failures) == 1
+
+    def test_table5_failing_pairs(self, courseware_report):
+        _, report = courseware_report
+        com = report.commutativity_failures[0]
+        assert {com.left.split("[")[0], com.right.split("[")[0]} == {
+            "AddCourse",
+            "DeleteCourse",
+        }
+        sem = report.semantic_failures[0]
+        assert {sem.left.split("[")[0], sem.right.split("[")[0]} == {
+            "Enroll",
+            "DeleteCourse",
+        }
+
+    def test_conflict_table(self, courseware_report):
+        _, report = courseware_report
+        table = operation_conflict_table(report)
+        assert frozenset(("AddCourse", "DeleteCourse")) in table
+        assert frozenset(("Enroll", "DeleteCourse")) in table
+        assert len(table) == 2
+
+
+# ---------------------------------------------------------------------------
+# Case study (paper §6.4): CreateQuestion / FollowQuestion
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def question_analysis():
+    registry = Registry("casestudy")
+    with registry.use():
+
+        class QUser(Model):
+            name = TextField(primary_key=True)
+
+        class Question(Model):
+            title = TextField(default="")
+            follow = PositiveIntegerField(default=0)
+
+        class FollowQuestion(Model):
+            user_key = TextField(default="")
+            question_key = TextField(default="")
+
+            class Meta:
+                unique_together = ("user_key", "question_key")
+
+    def create_question(request):
+        Question.objects.create(title=request.POST["title"])
+        return HttpResponse(status=201)
+
+    def follow_question(request, pk):
+        question = Question.objects.get(pk=pk)
+        FollowQuestion.objects.create(
+            user_key=request.POST["user"],
+            question_key=request.POST["question"],
+        )
+        question.follow = question.follow + 1
+        question.save()
+        return HttpResponse(status=200)
+
+    app = Application(
+        "casestudy",
+        registry,
+        [
+            path("questions/new", create_question, name="CreateQuestion"),
+            path("questions/<int:pk>/follow", follow_question, name="FollowQuestion"),
+        ],
+    )
+    return analyze_application(app)
+
+
+def effectful(analysis, view):
+    return [p for p in analysis.effectful_paths if p.view == view][0]
+
+
+class TestCaseStudy:
+    def test_create_create_with_unique_ids(self, question_analysis):
+        """CreateQuestion does not conflict with itself thanks to the
+        unique-ID optimisation (paper §6.4)."""
+        cq = effectful(question_analysis, "CreateQuestion")
+        checker = PairChecker(cq, cq, question_analysis.schema,
+                              CheckConfig(unique_ids=True))
+        assert checker.check_commutativity().outcome == Outcome.PASS
+        assert checker.check_semantic().outcome == Outcome.PASS
+
+    def test_create_create_without_unique_ids(self, question_analysis):
+        """Without the assertion, CreateQuestion conflicts with itself:
+        two inserts can carry the same ID (semantic: the non-existence
+        guard; commutativity: different titles on the same object)."""
+        cq = effectful(question_analysis, "CreateQuestion")
+        checker = PairChecker(cq, cq, question_analysis.schema,
+                              CheckConfig(unique_ids=False))
+        assert checker.check_commutativity().outcome == Outcome.FAIL
+        assert checker.check_semantic().outcome == Outcome.FAIL
+
+    def test_create_follow_commutativity_conflict(self, question_analysis):
+        """FollowQuestion increments the follow count the concurrent
+        CreateQuestion initializes to zero (paper §6.4)."""
+        cq = effectful(question_analysis, "CreateQuestion")
+        fq = effectful(question_analysis, "FollowQuestion")
+        checker = PairChecker(cq, fq, question_analysis.schema)
+        assert checker.check_commutativity().outcome == Outcome.FAIL
+
+    def test_follow_follow_semantic_conflict(self, question_analysis):
+        """(user, question) is unique-together: a preceding follow
+        invalidates the precondition of a later one (paper §6.4)."""
+        fq = effectful(question_analysis, "FollowQuestion")
+        checker = PairChecker(fq, fq, question_analysis.schema)
+        assert checker.check_semantic().outcome == Outcome.FAIL
+        witness = checker.check_semantic().witness
+        assert witness is not None
+
+
+# ---------------------------------------------------------------------------
+# Runner fast paths and plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_disjoint_footprint_passes_fast(self):
+        from repro.soir import Schema, make_model
+        from repro.soir.types import STRING as S
+
+        schema = Schema()
+        schema.add_model(make_model("Log", {"line": S}))
+        schema.add_model(make_model("Cache", {"blob": S}))
+        p = CodePath("p", (), (C.Delete(E.All("Log")),))
+        q = CodePath("q", (), (C.Delete(E.All("Cache")),))
+        verdict = verify_pair(p, q, schema)
+        assert not verdict.restricted
+        assert verdict.commutativity.detail == "disjoint footprint"
+
+    def test_delete_touches_source_side_relations(self):
+        """Deleting comments removes their associations, so the footprint
+        includes the comment relations and their endpoint models."""
+        schema = blog_schema()
+        p = CodePath("p", (), (C.Delete(E.All("Comment")),))
+        assert "Comment.user" in p.relations_touched(schema)
+        assert "User" in p.models_touched(schema)
+
+    def test_conservative_path_restricts_everything(self):
+        schema = blog_schema()
+        conservative = CodePath("c", (), (), conservative=True)
+        other = CodePath("o", (), (C.Delete(E.All("Comment")),))
+        verdict = verify_pair(conservative, other, schema)
+        assert verdict.restricted
+        assert verdict.commutativity.outcome == Outcome.CONSERVATIVE
+        assert verdict.semantic.outcome == Outcome.CONSERVATIVE
+
+    def test_report_counts(self, smallbank_report):
+        _, report = smallbank_report
+        # 4 effectful paths -> 10 unordered pairs including self-pairs.
+        assert report.checks == 10
+        summary = report.summary()
+        assert summary["checks"] == 10
+        assert summary["restrictions"] == 4
+        assert report.time_commutativity_s >= 0
+        assert report.time_semantic_s > 0
+
+
+# ---------------------------------------------------------------------------
+# Scopes and state generation
+# ---------------------------------------------------------------------------
+
+
+class TestScopes:
+    def make_path(self):
+        args = (Argument("v", INT),)
+        return CodePath(
+            "p",
+            args,
+            (
+                C.Guard(E.Cmp(Comparator.GE, E.Var("v", INT), E.intlit(5))),
+                C.Delete(
+                    E.Filter(E.All("Article"), (), "created", Comparator.EQ,
+                             E.Var("v", INT))
+                ),
+            ),
+        )
+
+    def test_constants_seed_domains(self):
+        schema = blog_schema()
+        scope = build_scope(schema, [self.make_path()])
+        int_domain = scope.type_domains[INT]
+        assert {4, 5, 6} <= set(int_domain)  # boundary neighbours of 5
+
+    def test_footprint(self):
+        schema = blog_schema()
+        scope = build_scope(schema, [self.make_path()])
+        assert "Article" in scope.models
+        # Deleting articles cascades into Comment via Comment.article.
+        assert "Comment" in scope.models
+        assert "Comment.article" in scope.relations
+
+    def test_irrelevant_fields_pinned(self):
+        schema = blog_schema()
+        scope = build_scope(schema, [self.make_path()])
+        assert len(scope.field_domains[("Article", "content")]) == 1
+        assert len(scope.field_domains[("Article", "created")]) > 1
+
+    def test_unique_fields_always_relevant(self):
+        schema = blog_schema()
+        scope = build_scope(schema, [self.make_path()])
+        assert len(scope.field_domains[("Article", "url")]) > 1
+
+    def test_canonical_states_are_well_formed(self):
+        schema = blog_schema()
+        scope = build_scope(schema, [self.make_path()])
+        gen = StateGenerator(scope)
+        states = gen.canonical_states()
+        assert len(states) >= 3
+        for state in states:
+            for mname in scope.models:
+                model = schema.model(mname)
+                rows = state.table(mname)
+                for fschema in model.fields:
+                    if not fschema.unique:
+                        continue
+                    values = [r[fschema.name] for r in rows.values()]
+                    assert len(values) == len(set(values))
+
+    def test_random_states_respect_fk_nullability(self):
+        import random
+
+        schema = blog_schema()
+        scope = build_scope(schema, [self.make_path()])
+        gen = StateGenerator(scope)
+        rng = random.Random(7)
+        for _ in range(30):
+            state = gen.random_state(rng)
+            if state is None:
+                continue
+            # Comment.user is non-nullable: every comment has a user pair.
+            comments = set(state.table("Comment"))
+            linked = {s for s, _ in state.relation("Comment.user")}
+            assert comments == linked
+
+    def test_collect_args_includes_opaque(self):
+        p = CodePath(
+            "p", (),
+            (C.Guard(E.Cmp(Comparator.GE, E.Opaque("ext", INT), E.intlit(0))),),
+        )
+        args = collect_args(p)
+        assert [a.name for a in args] == ["ext"]
+        assert args[0].source == "opaque"

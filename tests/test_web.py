@@ -1,0 +1,215 @@
+"""Tests for the web framework: routing, dispatch, viewsets, client."""
+
+import pytest
+
+from repro.orm import (
+    Database,
+    ForeignKey,
+    IntegerField,
+    Model,
+    Registry,
+    SET_NULL,
+    TextField,
+)
+from repro.web import (
+    Application,
+    Client,
+    Http404,
+    HttpRequest,
+    HttpResponse,
+    JsonResponse,
+    ModelViewSet,
+    ReadOnlyViewSet,
+    RoutingError,
+    View,
+    get_object_or_404,
+    include,
+    path,
+)
+from repro.web.urls import Resolver, URLPattern
+
+
+@pytest.fixture(scope="module")
+def appenv():
+    reg = Registry("webtest")
+    with reg.use():
+        class Author(Model):
+            name = TextField(primary_key=True)
+
+        class Post(Model):
+            title = TextField(default="")
+            score = IntegerField(default=0)
+            author = ForeignKey(Author, on_delete=SET_NULL, null=True)
+
+    def create_post(request):
+        author = get_object_or_404(Author, name=request.POST["author"])
+        post = Post.objects.create(title=request.POST["title"], author=author)
+        return JsonResponse({"pk": post.pk}, status=201)
+
+    def delete_posts(request, username):
+        Post.objects.filter(author__name=username).delete()
+        return HttpResponse(status=204)
+
+    def fail_midway(request):
+        Post.objects.all().delete()
+        raise KeyError("boom")  # request data missing -> 400, rolled back
+
+    class Ping(View):
+        def get(self, request):
+            return HttpResponse("pong")
+
+    class PostViewSet(ModelViewSet):
+        model = Post
+        fields = ("title", "score")
+
+    patterns = [
+        path("posts/new", create_post),
+        path("users/<username>/posts/delete", delete_posts),
+        path("broken", fail_midway),
+        path("ping", Ping.as_view()),
+        *PostViewSet.urls(),
+        *include("api/v2", [path("ping2", Ping.as_view())]),
+    ]
+    app = Application("webtest", reg, patterns)
+
+    class NS:
+        pass
+
+    ns = NS()
+    ns.app, ns.registry, ns.Author, ns.Post = app, reg, Author, Post
+    return ns
+
+
+@pytest.fixture()
+def client(appenv):
+    db = Database(appenv.registry)
+    with db.activate():
+        appenv.Author.objects.create(name="john")
+    return Client(appenv.app, db)
+
+
+class TestRouting:
+    def test_static_pattern(self):
+        p = path("a/b", lambda r: None)
+        assert p.match("a/b") == {}
+        assert p.match("a/c") is None
+
+    def test_param_extraction(self):
+        p = path("users/<username>/posts/<int:pk>", lambda r: None)
+        assert p.match("users/jo/posts/3") == {"username": "jo", "pk": 3}
+        assert p.param_specs() == [("username", str), ("pk", int)]
+
+    def test_slug_converter(self):
+        p = path("t/<slug:s>", lambda r: None)
+        assert p.match("t/a-b_c") == {"s": "a-b_c"}
+        assert p.match("t/a b") is None
+
+    def test_unknown_converter(self):
+        with pytest.raises(RoutingError):
+            path("x/<uuid:u>", lambda r: None)
+
+    def test_resolver_order_and_miss(self):
+        v1, v2 = (lambda r: 1), (lambda r: 2)
+        r = Resolver([path("a/<x>", v1), path("a/b", v2)])
+        pattern, params = r.resolve("/a/b/")
+        assert pattern.view is v1  # first match wins
+        with pytest.raises(RoutingError):
+            r.resolve("/nope")
+
+    def test_include_prefix(self):
+        inner = [path("x", lambda r: None, name="x")]
+        mounted = include("api", inner)
+        assert mounted[0].pattern == "api/x"
+        assert mounted[0].name == "x"
+
+    def test_view_name(self):
+        def myview(request):
+            return None
+
+        assert path("a", myview).view_name == "myview"
+        assert path("a", myview, name="custom").view_name == "custom"
+
+
+class TestDispatch:
+    def test_post_creates(self, client, appenv):
+        resp = client.post("/posts/new", {"author": "john", "title": "Hi"})
+        assert resp.status == 201
+        with client.db.activate():
+            assert appenv.Post.objects.count() == 1
+
+    def test_404_from_get_object(self, client):
+        resp = client.post("/posts/new", {"author": "ghost", "title": "Hi"})
+        assert resp.status == 404
+
+    def test_unknown_route_404(self, client):
+        assert client.get("/none/such").status == 404
+
+    def test_url_param_passed(self, client, appenv):
+        client.post("/posts/new", {"author": "john", "title": "Hi"})
+        resp = client.delete("/users/john/posts/delete")
+        assert resp.status == 204
+        with client.db.activate():
+            assert appenv.Post.objects.count() == 0
+
+    def test_missing_post_param_is_400(self, client):
+        resp = client.post("/posts/new", {"title": "no author"})
+        assert resp.status == 400
+
+    def test_transaction_rollback_on_error(self, client, appenv):
+        client.post("/posts/new", {"author": "john", "title": "Hi"})
+        resp = client.get("/broken")
+        assert resp.status == 400
+        with client.db.activate():
+            # the delete inside the failed request was rolled back
+            assert appenv.Post.objects.count() == 1
+
+    def test_class_based_view(self, client):
+        resp = client.get("/ping")
+        assert resp.ok and resp.content == "pong"
+        assert client.post("/ping").status == 405
+
+    def test_included_routes(self, client):
+        assert client.get("/api/v2/ping2").ok
+
+
+class TestViewSets:
+    def test_generated_routes(self, appenv):
+        names = [p.view_name for p in appenv.app.endpoints()]
+        for expected in (
+            "post-list",
+            "post-create",
+            "post-detail",
+            "post-update",
+            "post-delete",
+        ):
+            assert expected in names
+
+    def test_crud_cycle(self, client, appenv):
+        created = client.post("/post/create", {"title": "A", "score": 1})
+        assert created.status == 201
+        pk = created.content["pk"]
+        assert client.get("/post/").content == 1
+        detail = client.get(f"/post/{pk}/")
+        assert detail.content["title"] == "A"
+        client.post(f"/post/{pk}/update", {"title": "B"})
+        assert client.get(f"/post/{pk}/").content["title"] == "B"
+        assert client.post(f"/post/{pk}/delete").status == 204
+        assert client.get(f"/post/{pk}/").status == 404
+
+    def test_readonly_viewset_has_no_writes(self):
+        class RO(ReadOnlyViewSet):
+            model = None
+            basename = "ro"
+
+        names = [p.view_name for p in RO.urls()]
+        assert names == ["ro-list", "ro-detail"]
+        assert [p.view.__name__ for p in RO.urls()] == ["ro_list", "ro_retrieve"]
+
+    def test_endpoints_reports_closures(self, appenv):
+        """The viewset's views are runtime-made closures, not module-level
+        functions — endpoint discovery must go through the live app."""
+        detail = next(
+            p for p in appenv.app.endpoints() if p.view_name == "post-detail"
+        )
+        assert detail.view.__name__ == "post_retrieve"
+        assert detail.view.__qualname__.endswith("<locals>.view")

@@ -1,0 +1,82 @@
+"""Typed-parameter coercion in the viewset mixins, concrete and symbolic."""
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.orm import (
+    BooleanField,
+    Database,
+    IntegerField,
+    Model,
+    Registry,
+    TextField,
+)
+from repro.web import Application, Client, ModelViewSet
+
+
+@pytest.fixture(scope="module")
+def env():
+    registry = Registry("mixins")
+    with registry.use():
+
+        class Gadget(Model):
+            label = TextField(default="")
+            weight = IntegerField(default=0)
+            enabled = BooleanField(default=False)
+
+    class GadgetViewSet(ModelViewSet):
+        model = Gadget
+        fields = ("label", "weight", "enabled")
+
+    app = Application("mixins", registry, GadgetViewSet.urls())
+
+    class NS:
+        pass
+
+    ns = NS()
+    ns.app, ns.registry, ns.Gadget = app, registry, Gadget
+    return ns
+
+
+class TestConcreteCoercion:
+    def test_create_coerces_int_and_bool(self, env):
+        client = Client(env.app, Database(env.registry))
+        created = client.post(
+            "/gadget/create",
+            {"label": "probe", "weight": "42", "enabled": "yes"},
+        )
+        assert created.status == 201
+        with client.db.activate():
+            gadget = env.Gadget.objects.get(pk=created.content["pk"])
+            assert gadget.weight == 42          # str -> int
+            assert gadget.enabled is True       # truthy -> bool
+            assert gadget.label == "probe"
+
+    def test_update_coerces(self, env):
+        client = Client(env.app, Database(env.registry))
+        pk = client.post("/gadget/create", {"label": "a"}).content["pk"]
+        assert client.post(f"/gadget/{pk}/update", {"weight": "7"}).ok
+        with client.db.activate():
+            assert env.Gadget.objects.get(pk=pk).weight == 7
+
+    def test_bad_int_rejected(self, env):
+        client = Client(env.app, Database(env.registry))
+        resp = client.post("/gadget/create", {"weight": "heavy"})
+        assert resp.status == 400
+
+
+class TestSymbolicCoercion:
+    def test_int_field_gets_int_argument(self, env):
+        analysis = analyze_application(env.app)
+        creates = [
+            p for p in analysis.effectful_paths if p.view == "gadget-create"
+        ]
+        assert creates
+        arg_types = {
+            a.name: str(a.type)
+            for p in creates
+            for a in p.args
+        }
+        assert arg_types.get("arg_POST_weight") == "Int"
+        assert arg_types.get("arg_POST_label") == "String"
+        assert not [p for p in analysis.paths if p.conservative]
