@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full examples chaos clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,10 @@ bench:
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+chaos:
+	$(PYTHON) -m repro chaos postgraduation --seed 3 --ops 200
+	$(PYTHON) -m repro chaos smallbank --seed 1 --ops 120 --faults all
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -8,7 +8,10 @@ Subcommands:
 * ``noctua verify <app> [--quick]`` — analyze + verify, print the Table-6
   row and the restriction set;
 * ``noctua simulate <zhihu|postgraduation>`` — run the Figure-10/11
-  throughput/latency sweep.
+  throughput/latency sweep;
+* ``noctua chaos <app> [--seed N] [--faults SPEC]`` — run a generated
+  workload under a seeded fault schedule and check convergence +
+  invariants after heal and drain.
 """
 
 from __future__ import annotations
@@ -17,7 +20,13 @@ import argparse
 import sys
 
 from .analyzer import analyze_application
-from .georep import postgraduation_workload, run_modes, zhihu_workload
+from .georep import (
+    FaultConfig,
+    postgraduation_workload,
+    run_chaos,
+    run_modes,
+    zhihu_workload,
+)
 from .soir.pretty import pp_path
 from .verifier import CheckConfig, operation_conflict_table, verify_application
 
@@ -144,13 +153,58 @@ def cmd_simulate(args) -> int:
     analysis = analyze_application(builder())
     conflicts = operation_conflict_table(verify_application(analysis, config))
     rows = run_modes(builder, workloads[args.app], conflicts)
-    print(f"{'mode':>5} {'throughput (req/s)':>20} {'avg latency (ms)':>18}")
+    print(f"{'mode':>5} {'throughput (req/s)':>20} {'avg latency (ms)':>18} "
+          f"{'errors':>7}")
     for row in rows:
-        print(f"{row.mode:>5} {row.throughput_rps:20.1f} {row.avg_latency_ms:18.3f}")
+        print(f"{row.mode:>5} {row.throughput_rps:20.1f} "
+              f"{row.avg_latency_ms:18.3f} {row.error_fraction:6.1%}")
     base = rows[0].throughput_rps
     best = max(r.throughput_rps for r in rows[1:])
     print(f"speedup over SC: up to {best / base:.2f}x")
     return 0
+
+
+def cmd_chaos(args) -> int:
+    app = _build(args.app)
+    analysis = analyze_application(app)
+    restrictions: set[frozenset[str]] = set()
+    if not args.no_restrictions:
+        config = CheckConfig(timeout_s=0.5, max_samples=200, max_exhaustive=2000)
+        restrictions = verify_application(analysis, config).restriction_pairs()
+    span = float(args.ops)
+    if args.faults is None:
+        faults = FaultConfig.chaos(args.seed, span=span, sites=args.sites,
+                                   outages=1)
+    else:
+        try:
+            faults = FaultConfig.parse(args.faults, seed=args.seed, span=span,
+                                       sites=args.sites)
+        except ValueError as exc:
+            sys.exit(f"bad --faults spec: {exc}")
+    report = run_chaos(
+        analysis, restrictions,
+        seed=args.seed, operations=args.ops, sites=args.sites, faults=faults,
+    )
+    result = report.result
+    print(f"application   : {report.app}")
+    print(f"seed / sites  : {report.seed} / {report.sites}")
+    print(f"operations    : {result.submitted} submitted, "
+          f"{result.accepted} accepted, {result.rejected} rejected, "
+          f"{result.coord_rejected} refused (coordination)")
+    print(f"restrictions  : {report.restrictions}")
+    print("fault counters:")
+    for name, value in report.counters.as_dict().items():
+        if value:
+            print(f"  {name:16s} {value}")
+    if report.refusals:
+        print(f"refusals      : {len(report.refusals)} "
+              f"(first: {report.refusals[0]})")
+    print(f"converged     : {report.converged}")
+    print(f"invariants ok : {report.invariant_ok}")
+    if args.no_restrictions:
+        # Demonstration mode: anomalies are the expected outcome.
+        return 0
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -182,12 +236,29 @@ def main(argv: list[str] | None = None) -> int:
     p_sim = sub.add_parser("simulate", help="geo-replication performance sweep")
     p_sim.add_argument("app")
 
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection run over the replicated runtime"
+    )
+    p_chaos.add_argument("app")
+    p_chaos.add_argument("--seed", type=int, default=3)
+    p_chaos.add_argument("--ops", type=int, default=200)
+    p_chaos.add_argument("--sites", type=int, default=3)
+    p_chaos.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="comma-separated fault spec, e.g. "
+             "'loss=0.1,dup=0.05,partition,crash,outage' or 'all' "
+             "(default: the full chaos schedule)")
+    p_chaos.add_argument(
+        "--no-restrictions", action="store_true",
+        help="run with the empty restriction set (reproduces anomalies)")
+
     args = parser.parse_args(argv)
     handlers = {
         "apps": cmd_apps,
         "analyze": cmd_analyze,
         "verify": cmd_verify,
         "simulate": cmd_simulate,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

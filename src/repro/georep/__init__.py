@@ -1,27 +1,62 @@
-"""Geo-replication performance substrate (paper §6.5, Figures 10-11).
+"""Geo-replication substrate (paper §6.5, Figures 10-11) plus chaos layer.
 
 A deterministic discrete-event simulation of a 3-site deployment with a
 centralized coordination service honouring the verifier's restriction set;
-workload generators with a write-ratio knob; throughput/latency metrics.
+workload generators with a write-ratio knob; throughput/latency metrics;
+and a seeded fault-injection/chaos layer exercising the runtime's durable
+at-least-once delivery under loss, duplication, delay, partitions, site
+crashes and coordination outages.
 """
 
+from .chaos import ChaosReport, ChaosRunner, run_chaos, schema_invariant
 from .coordination import ActiveOp, CoordinationService
 from .deployment import Deployment, DeploymentConfig, run_modes
-from .metrics import Metrics, RunSummary
+from .faults import (
+    CrashWindow,
+    FaultConfig,
+    FaultInjector,
+    OutageWindow,
+    PartitionWindow,
+    PerfectTransport,
+)
+from .metrics import FaultCounters, Metrics, RunSummary
+from .replication import (
+    DeliveryLog,
+    Effect,
+    PoRReplicatedSystem,
+    WorkloadResult,
+    run_workload,
+)
 from .simulator import Simulator
 from .workload import RequestSpec, Workload, postgraduation_workload, zhihu_workload
 
 __all__ = [
     "ActiveOp",
+    "ChaosReport",
+    "ChaosRunner",
     "CoordinationService",
+    "CrashWindow",
+    "DeliveryLog",
     "Deployment",
     "DeploymentConfig",
+    "Effect",
+    "FaultConfig",
+    "FaultCounters",
+    "FaultInjector",
     "Metrics",
+    "OutageWindow",
+    "PartitionWindow",
+    "PerfectTransport",
+    "PoRReplicatedSystem",
     "RequestSpec",
     "RunSummary",
     "Simulator",
     "Workload",
+    "WorkloadResult",
     "postgraduation_workload",
+    "run_chaos",
     "run_modes",
+    "run_workload",
+    "schema_invariant",
     "zhihu_workload",
 ]

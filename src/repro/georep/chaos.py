@@ -1,0 +1,251 @@
+"""The chaos harness: generated workloads under seeded fault schedules.
+
+This closes the robustness loop around the verifier: the restriction set
+it computes is supposed to be *sufficient* — replicas converge and
+schema invariants hold — not just on a perfect network but under message
+loss, duplication, delay, partitions, site crashes and coordination
+outages.  The harness runs a generated workload over the hardened
+:class:`~repro.georep.replication.PoRReplicatedSystem` behind a
+:class:`~repro.georep.faults.FaultInjector`, heals all faults, drains the
+delivery log, and checks:
+
+* **convergence** — all replicas reach the same state;
+* **invariants** — every replica satisfies the schema-derived invariant
+  (unique fields are unique, bounded fields respect their bounds);
+
+and, run again with the *empty* restriction set on the same seed, that
+the flagged anomalies really appear — the necessity direction.
+
+Everything is deterministic per seed: the workload, the fault schedule
+and the resulting :class:`~repro.georep.metrics.FaultCounters` are pure
+functions of ``(app, seed, knobs)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..soir.state import DBState
+from ..soir.types import BOOL, DATETIME, FLOAT, INT, STRING
+from .faults import FaultConfig, FaultInjector
+from .metrics import FaultCounters
+from .replication import PoRReplicatedSystem, WorkloadResult, run_workload
+from ..verifier.scopes import StateGenerator, build_scope, collect_args
+
+#: pk range of the generically seeded initial state
+SEED_IDS_PER_MODEL = 4
+
+
+# ---------------------------------------------------------------------------
+# Generic workload / state / invariant derivation
+# ---------------------------------------------------------------------------
+
+
+def initial_state(analysis, *, ids_per_model: int = SEED_IDS_PER_MODEL) -> DBState:
+    """A well-formed populated state for the app, derived from its schema
+    via the verifier's own scope machinery (so every app the verifier can
+    check, the chaos harness can seed)."""
+    paths = usable_paths(analysis)
+    scope = build_scope(analysis.schema, paths, ids_per_model=ids_per_model)
+    return StateGenerator(scope).canonical_states()[0]
+
+
+def usable_paths(analysis) -> list:
+    """Effectful paths the reference interpreter can execute faithfully."""
+    paths = [
+        p for p in analysis.effectful_paths
+        if not getattr(p, "aborted", False)
+        and not getattr(p, "conservative", False)
+    ]
+    return paths or list(analysis.effectful_paths)
+
+
+def generate_operations(
+    analysis,
+    *,
+    count: int,
+    seed: int,
+    ids_per_model: int = SEED_IDS_PER_MODEL,
+) -> list[tuple[object, dict]]:
+    """``count`` seeded (path, env) operations over the app's effectful
+    paths.  Argument values are drawn collision-biased from the scope's
+    type domains plus the seeded pk range — conflicts need two operations
+    naming the same row — while fresh-ID arguments get globally distinct
+    storage-style values."""
+    paths = usable_paths(analysis)
+    scope = build_scope(analysis.schema, paths, ids_per_model=ids_per_model)
+    rng = random.Random(seed ^ 0xC4A05)
+    fresh = 0
+
+    int_pool = list(range(1, ids_per_model + 1)) + [
+        v for v in scope.type_domains.get(INT, []) if v > 0
+    ]
+    string_pool = (list(scope.type_domains.get(STRING, [])) or ["aa"])[:6]
+
+    def value_for(arg) -> object:
+        nonlocal fresh
+        if arg.unique_id:
+            fresh += 1
+            return f"cf{fresh}" if arg.type == STRING else 10_000 + fresh
+        if arg.type == INT:
+            return rng.choice(int_pool)
+        if arg.type == STRING:
+            return rng.choice(string_pool)
+        if arg.type == BOOL:
+            return rng.choice([True, False])
+        if arg.type == DATETIME:
+            return rng.choice([0, 1, 2])
+        if arg.type == FLOAT:
+            return rng.choice([0.0, 1.0, 2.0])
+        return None
+
+    ops = []
+    for _ in range(count):
+        path = rng.choice(paths)
+        env = {arg.name: value_for(arg) for arg in collect_args(path)}
+        ops.append((path, env))
+    return ops
+
+
+def schema_invariant(schema):
+    """The schema-derived invariant predicate: unique fields hold distinct
+    values and bounded fields respect ``min_value`` — exactly the
+    integrity the guards enforce at generation time and replication is
+    expected to preserve."""
+
+    def check(state: DBState) -> bool:
+        for mname in schema.models:
+            model = schema.model(mname)
+            rows = list(state.table(mname).values())
+            for f in model.fields:
+                if f.unique:
+                    values = [
+                        row.get(f.name) for row in rows
+                        if row.get(f.name) is not None
+                    ]
+                    if len(values) != len(set(values)):
+                        return False
+                if f.min_value is not None:
+                    if any(
+                        row.get(f.name) is not None
+                        and row[f.name] < f.min_value
+                        for row in rows
+                    ):
+                        return False
+            for group in model.unique_together:
+                keys = [tuple(row.get(g) for g in group) for row in rows]
+                if len(keys) != len(set(keys)):
+                    return False
+        return True
+
+    return check
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    app: str
+    seed: int
+    sites: int
+    operations: int
+    restrictions: int
+    result: WorkloadResult
+    converged: bool
+    invariant_ok: bool
+    counters: FaultCounters
+    #: fail-fast reasons recorded during coordination outages
+    refusals: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and self.invariant_ok
+
+
+@dataclass
+class ChaosRunner:
+    """Runs one generated workload under one seeded fault schedule."""
+
+    analysis: object
+    restrictions: set[frozenset[str]]
+    faults: FaultConfig
+    sites: int = 3
+    initial: DBState | None = None
+
+    def run(self, operations: list[tuple[object, dict]]) -> ChaosReport:
+        injector = FaultInjector(self.faults)
+        base = (
+            self.initial if self.initial is not None
+            else initial_state(self.analysis)
+        )
+        system = PoRReplicatedSystem(
+            self.analysis.schema,
+            set(self.restrictions),
+            sites=self.sites,
+            seed=self.faults.seed,
+            initial=base,
+            transport=injector,
+        )
+        for i, (path, env) in enumerate(operations):
+            # The injector's logical clock is the operation index, so the
+            # schedule is a pure function of the seed and the op count.
+            injector.clock = float(i)
+            for site, start in injector.crashed_sites():
+                system.crash(site)
+                injector.mark_crashed(site, start)
+            injector.advance(system)
+            system.submit(path, env, i % self.sites)
+        # Heal: move past every scheduled window, flush held messages,
+        # then drain the delivery log to full acknowledgement.
+        injector.clock = max(float(len(operations)), self.faults.horizon())
+        injector.heal(system)
+        system.drain()
+
+        counters = injector.counters
+        counters.redelivered = system.redelivered
+        counters.deduplicated = system.deduplicated
+        counters.coord_failures = system.coord_rejected
+        result = WorkloadResult(
+            submitted=len(operations),
+            accepted=len(system.accepted),
+            rejected=system.rejected,
+            coord_rejected=system.coord_rejected,
+        )
+        return ChaosReport(
+            app=getattr(self.analysis, "app_name", "?"),
+            seed=self.faults.seed,
+            sites=self.sites,
+            operations=len(operations),
+            restrictions=len(self.restrictions),
+            result=result,
+            converged=system.converged(),
+            invariant_ok=system.check_invariant(
+                schema_invariant(self.analysis.schema)
+            ),
+            counters=counters,
+            refusals=list(system.refusals),
+        )
+
+
+def run_chaos(
+    analysis,
+    restrictions: set[frozenset[str]],
+    *,
+    seed: int,
+    operations: int = 200,
+    sites: int = 3,
+    faults: FaultConfig | None = None,
+) -> ChaosReport:
+    """One-call entry: generate the workload, run it under the fault
+    schedule (defaulting to the full chaos mix), report the outcome."""
+    if faults is None:
+        faults = FaultConfig.chaos(seed, span=float(operations), sites=sites)
+    ops = generate_operations(analysis, count=operations, seed=seed)
+    runner = ChaosRunner(analysis, restrictions, faults, sites=sites)
+    return runner.run(ops)

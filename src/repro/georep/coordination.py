@@ -24,10 +24,19 @@ serialize exactly as under PoR.  Relaxed mode differs in that read-only
 requests skip coordination entirely and execute against the local replica
 (paper §6.5: "read-only transactions are executed locally immediately
 without any coordination").
+
+Grants are **leases**: with a nonzero ``lease_ms`` a grant expires
+``lease_ms`` after it was issued, so a crashed holder cannot wedge every
+conflicting request forever — :meth:`expire` reclaims overdue grants and
+promotes waiters, which is how the chaos layer keeps the service live
+across site crashes.  During an **outage** (:meth:`set_available`) the
+service fails requests fast with a recorded reason instead of queueing
+them into a dead service.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -37,6 +46,8 @@ class ActiveOp:
     ticket: int
     endpoint: str
     params: frozenset
+    #: lease deadline; grants without leases never expire
+    expires_at: float = math.inf
 
 
 @dataclass
@@ -46,10 +57,18 @@ class CoordinationService:
     conflict_table: set[frozenset[str]]
     strong: bool = False
     by_endpoint: bool = False
+    #: lease duration for grants; 0 disables leasing (grants live until
+    #: released, the pre-fault-tolerance behavior)
+    lease_ms: float = 0.0
 
     _active: dict[int, ActiveOp] = field(default_factory=dict)
     _waiting: list[tuple[ActiveOp, Callable[[], None]]] = field(default_factory=list)
     _tickets: int = 0
+    _available: bool = True
+    #: reasons for fail-fast refusals, newest last
+    failures: list[str] = field(default_factory=list)
+    #: grants reclaimed because their lease timed out
+    lease_expiries: int = 0
 
     def conflicts(self, a: ActiveOp, b: ActiveOp) -> bool:
         if frozenset((a.endpoint, b.endpoint)) not in self.conflict_table:
@@ -58,11 +77,33 @@ class CoordinationService:
             return True
         return bool(a.params & b.params)
 
+    # ------------------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    def set_available(self, up: bool) -> None:
+        """Toggle an outage window: while down, requests fail fast."""
+        self._available = up
+
     def request(
-        self, endpoint: str, params: dict, granted: Callable[[int], None]
-    ) -> int:
+        self,
+        endpoint: str,
+        params: dict,
+        granted: Callable[[int], None],
+        *,
+        now: float = 0.0,
+    ) -> int | None:
         """Ask for a slot; ``granted(ticket)`` fires (possibly immediately)
-        when no conflicting operation is active.  Returns the ticket."""
+        when no conflicting operation is active.  Returns the ticket, or
+        ``None`` — with the reason recorded — when the service is down
+        (callers must degrade rather than block on a dead service)."""
+        if not self._available:
+            self.failures.append(
+                f"coordination unavailable: refused {endpoint} fast"
+            )
+            return None
         self._tickets += 1
         op = ActiveOp(
             self._tickets,
@@ -70,25 +111,47 @@ class CoordinationService:
             frozenset(f"{k}={v}" for k, v in params.items()),
         )
         if self._clear_to_run(op):
-            self._active[op.ticket] = op
-            granted(op.ticket)
+            self._grant(op, granted, now)
         else:
             self._waiting.append((op, granted))
         return op.ticket
 
+    def _grant(self, op: ActiveOp, granted: Callable[[int], None], now: float) -> None:
+        # The lease clock starts at grant time, not request time: a long
+        # queue wait must not eat into the holder's execution window.
+        op.expires_at = now + self.lease_ms if self.lease_ms else math.inf
+        self._active[op.ticket] = op
+        granted(op.ticket)
+
     def _clear_to_run(self, op: ActiveOp) -> bool:
         return all(not self.conflicts(op, other) for other in self._active.values())
 
-    def release(self, ticket: int) -> None:
+    def release(self, ticket: int, *, now: float = 0.0) -> None:
         self._active.pop(ticket, None)
         # Releasing a still-queued ticket cancels the request.
         self._waiting = [(op, g) for op, g in self._waiting if op.ticket != ticket]
+        self._promote_waiters(now)
+
+    def expire(self, now: float) -> list[int]:
+        """Reclaim grants whose lease has lapsed (the holder is presumed
+        crashed) and promote waiters.  Returns the expired tickets."""
+        expired = [
+            ticket for ticket, op in self._active.items()
+            if op.expires_at <= now
+        ]
+        for ticket in expired:
+            self._active.pop(ticket)
+            self.lease_expiries += 1
+        if expired:
+            self._promote_waiters(now)
+        return expired
+
+    def _promote_waiters(self, now: float) -> None:
         # Grant as many waiters as have become unblocked, FIFO.
         still_waiting = []
         for op, granted in self._waiting:
             if self._clear_to_run(op):
-                self._active[op.ticket] = op
-                granted(op.ticket)
+                self._grant(op, granted, now)
             else:
                 still_waiting.append((op, granted))
         self._waiting = still_waiting

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..orm import Database
 from ..web import Application
 from .coordination import CoordinationService
+from .faults import FaultConfig
 from .metrics import Metrics, RunSummary
 from .simulator import Simulator
 from .workload import Workload
@@ -45,6 +46,10 @@ class DeploymentConfig:
     #: site index hosting the coordination service, or ``None`` for a
     #: dedicated coordination node one WAN hop from every site
     coordinator_site: int | None = None
+    #: coordination lease duration, ms; 0 disables leasing.  With leases
+    #: on, a grant held past this deadline is reclaimed so a crashed
+    #: holder cannot block its conflict class indefinitely.
+    lease_ms: float = 0.0
 
 
 class Deployment:
@@ -59,12 +64,16 @@ class Deployment:
         *,
         strong: bool = False,
         config: DeploymentConfig | None = None,
+        faults: FaultConfig | None = None,
     ):
         self.app = app
         self.db = db
         self.workload = workload
         self.config = config or DeploymentConfig()
-        self.coordinator = CoordinationService(conflict_table, strong=strong)
+        self.faults = faults
+        self.coordinator = CoordinationService(
+            conflict_table, strong=strong, lease_ms=self.config.lease_ms
+        )
         self.sim = Simulator()
         self.metrics = Metrics(warmup_ms=self.config.warmup_ms)
         self.replication_events = 0
@@ -79,11 +88,37 @@ class Deployment:
     def _needs_coordination(self, is_write: bool) -> bool:
         return self.coordinator.strong or is_write
 
+    def _coordinator_node(self) -> int:
+        # A dedicated coordination node shares site 0's partition side for
+        # reachability purposes (partition windows only name real sites).
+        site = self.config.coordinator_site
+        return site if site is not None else 0
+
+    def _partitioned_from_coordinator(self, site: int) -> bool:
+        if self.faults is None or site == self._coordinator_node():
+            return False
+        return self.faults.partitioned(site, self._coordinator_node(), self.sim.now)
+
+    def _lease_tick(self) -> None:
+        self.coordinator.expire(self.sim.now)
+        if self.sim.now < self.config.duration_ms:
+            self.sim.schedule(max(self.coordinator.lease_ms / 2, 0.5), self._lease_tick)
+
     def run(self) -> RunSummary:
+        if self.faults is not None:
+            for w in self.faults.coord_outages:
+                self.sim.schedule(w.start, lambda: self.coordinator.set_available(False))
+                self.sim.schedule(w.end, lambda: self.coordinator.set_available(True))
+            for w in self.faults.partitions:
+                overlap = min(w.end, self.config.duration_ms) - min(w.start, self.config.duration_ms)
+                self.metrics.faults.partition_ms += max(0.0, overlap)
+        if self.coordinator.lease_ms:
+            self.sim.schedule(self.coordinator.lease_ms, self._lease_tick)
         for site in range(self.config.sites):
             for _ in range(self.config.clients_per_site):
                 self._next_client_request(site)
         self.sim.run_until(self.config.duration_ms)
+        self.metrics.faults.lease_expiries = self.coordinator.lease_expiries
         mode = "SC" if self.coordinator.strong else f"{int(self.workload.write_ratio * 100)}%"
         return RunSummary(
             app=self.app.name,
@@ -92,6 +127,8 @@ class Deployment:
             avg_latency_ms=self.metrics.avg_latency_ms(),
             p95_latency_ms=self.metrics.percentile_latency_ms(0.95),
             requests=len(self.metrics.completions),
+            error_fraction=self.metrics.error_fraction(),
+            faults=self.metrics.faults,
         )
 
     # ------------------------------------------------------------------
@@ -117,20 +154,42 @@ class Deployment:
 
         lat = self._coord_latency(site)
 
+        if self._partitioned_from_coordinator(site):
+            # Conservative degradation: a restricted write whose site
+            # cannot reach the coordinator fails fast (after a detection
+            # round trip) rather than executing unordered.
+            self.metrics.faults.coord_failures += 1
+            self.sim.schedule(
+                2 * self.config.wan_latency_ms,
+                lambda: self._complete(site, start, spec.is_write, False),
+            )
+            return
+
         def on_grant(ticket: int) -> None:
             # The grant travels back to the originating site, the request
             # executes there, then the slot is released at the coordinator.
             def release() -> None:
-                self.sim.schedule(lat, lambda: self.coordinator.release(ticket))
+                self.sim.schedule(
+                    lat,
+                    lambda: self.coordinator.release(ticket, now=self.sim.now),
+                )
 
             execute_and_complete(lat, release)
 
         def ask() -> None:
-            self.coordinator.request(
+            ticket = self.coordinator.request(
                 _endpoint_of(self.app, spec),
                 spec.lock_params(),
                 on_grant,
+                now=self.sim.now,
             )
+            if ticket is None:
+                # Coordination outage: refuse fast, with the reason
+                # recorded by the service, instead of queueing forever.
+                self.metrics.faults.coord_failures += 1
+                self.sim.schedule(
+                    lat, lambda: self._complete(site, start, spec.is_write, False)
+                )
 
         self.sim.schedule(lat, ask)
 

@@ -1,0 +1,341 @@
+"""Deterministic, seeded fault injection for the replication substrate.
+
+The perfect network of :mod:`repro.georep.replication` is wrapped by a
+:class:`FaultInjector` transport that can, per message and per fault seed,
+
+* **lose** the message (the delivery log redelivers it later),
+* **duplicate** it (effect-id deduplication absorbs the extra copy),
+* **delay** it by a few delivery rounds (reordering beyond the window),
+* refuse it while a **partition** separates origin and destination,
+
+and, against the system as a whole, schedule **site crashes** (un-applied
+pending effects are lost and must be redelivered), and **coordination
+outages** (restricted operations fail fast instead of executing
+unordered).
+
+Determinism contract: every decision is drawn from one ``random.Random``
+seeded from :attr:`FaultConfig.seed`, and schedules are expressed on a
+logical clock (operation index for the state model, simulated ms for the
+timing model).  Identical configs therefore produce identical fault
+schedules and identical :class:`~repro.georep.metrics.FaultCounters`.
+
+After :meth:`FaultInjector.heal` the transport is perfect again: held and
+refused messages flush, nothing new is dropped, and a drain converges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from .metrics import FaultCounters
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Sites split into groups between ``start`` and ``end`` (half-open,
+    on the injector's logical clock); messages cross groups only after the
+    window heals."""
+
+    start: float
+    end: float
+    groups: tuple[frozenset[int], ...]
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def separated(self, a: int, b: int) -> bool:
+        ga = next((g for g in self.groups if a in g), None)
+        gb = next((g for g in self.groups if b in g), None)
+        # Sites not named by any group are unreachable from everyone —
+        # a site-set split covers the whole cluster by construction, so
+        # this only triggers for deliberately isolated sites.
+        return ga is None or gb is None or ga is not gb
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """``site`` is down between ``start`` and ``end``: its un-applied
+    pending effects are lost at ``start`` and nothing is delivered to it
+    until ``end``."""
+
+    site: int
+    start: float
+    end: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """The coordination service is unreachable between ``start`` and
+    ``end``: restricted operations fail fast with a recorded reason."""
+
+    start: float
+    end: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One seeded fault schedule.
+
+    Probabilities apply per send *attempt* (so a lost message may be lost
+    again on redelivery); windows are on the logical clock of whichever
+    harness interprets the config.
+    """
+
+    seed: int = 0
+    loss_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    #: maximum hold time for a delayed message, in clock units
+    max_delay: float = 6.0
+    partitions: tuple[PartitionWindow, ...] = ()
+    crashes: tuple[CrashWindow, ...] = ()
+    coord_outages: tuple[OutageWindow, ...] = ()
+
+    # ------------------------------------------------------------------
+
+    def partitioned(self, a: int, b: int, now: float) -> bool:
+        return any(w.active(now) and w.separated(a, b) for w in self.partitions)
+
+    def crashed(self, site: int, now: float) -> bool:
+        return any(w.active(now) and w.site == site for w in self.crashes)
+
+    def coordination_down(self, now: float) -> bool:
+        return any(w.active(now) for w in self.coord_outages)
+
+    def horizon(self) -> float:
+        """The clock time after which every scheduled window has healed."""
+        ends = [w.end for w in self.partitions]
+        ends += [w.end for w in self.crashes]
+        ends += [w.end for w in self.coord_outages]
+        return max(ends, default=0.0)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        *,
+        span: float,
+        sites: int = 3,
+        loss: float = 0.08,
+        dup: float = 0.08,
+        delay: float = 0.15,
+        partitions: int = 1,
+        crashes: int = 1,
+        outages: int = 0,
+    ) -> "FaultConfig":
+        """A randomized-but-seeded schedule covering ``span`` clock units:
+        ``partitions`` site-set splits, ``crashes`` site crashes and
+        ``outages`` coordination outages, each healing before ``span``."""
+        rng = random.Random(seed)
+        parts = []
+        for _ in range(partitions):
+            start = rng.uniform(0.1, 0.5) * span
+            length = rng.uniform(0.1, 0.3) * span
+            cut = rng.randrange(1, sites)
+            members = list(range(sites))
+            rng.shuffle(members)
+            groups = (frozenset(members[:cut]), frozenset(members[cut:]))
+            parts.append(PartitionWindow(start, min(start + length, 0.9 * span), groups))
+        crash_list = []
+        for _ in range(crashes):
+            site = rng.randrange(sites)
+            start = rng.uniform(0.1, 0.6) * span
+            length = rng.uniform(0.05, 0.2) * span
+            crash_list.append(CrashWindow(site, start, min(start + length, 0.9 * span)))
+        outage_list = []
+        for _ in range(outages):
+            start = rng.uniform(0.1, 0.7) * span
+            length = rng.uniform(0.05, 0.15) * span
+            outage_list.append(OutageWindow(start, min(start + length, 0.9 * span)))
+        return cls(
+            seed=seed,
+            loss_prob=loss,
+            dup_prob=dup,
+            delay_prob=delay,
+            max_delay=max(2.0, 0.03 * span),
+            partitions=tuple(parts),
+            crashes=tuple(crash_list),
+            coord_outages=tuple(outage_list),
+        )
+
+    @classmethod
+    def parse(cls, spec: str, *, seed: int, span: float, sites: int = 3) -> "FaultConfig":
+        """Parse a CLI fault spec: comma-separated ``name`` flags and
+        ``name=value`` probabilities, e.g. ``loss=0.1,dup=0.05,partition,
+        crash,outage``.  ``all`` enables the full chaos schedule."""
+        config = cls(seed=seed)
+        if not spec:
+            return config
+        partitions = crashes = outages = 0
+        loss = dup = delay = 0.0
+        for raw in spec.split(","):
+            item = raw.strip()
+            if not item:
+                continue
+            name, _, value = item.partition("=")
+            name = name.strip()
+            if name == "all":
+                return cls.chaos(seed, span=span, sites=sites, outages=1)
+            if name == "loss":
+                loss = float(value) if value else 0.08
+            elif name in ("dup", "duplication"):
+                dup = float(value) if value else 0.08
+            elif name == "delay":
+                delay = float(value) if value else 0.15
+            elif name in ("partition", "partitions"):
+                partitions = int(value) if value else 1
+            elif name in ("crash", "crashes"):
+                crashes = int(value) if value else 1
+            elif name in ("outage", "outages"):
+                outages = int(value) if value else 1
+            else:
+                raise ValueError(f"unknown fault {name!r}")
+        config = cls.chaos(
+            seed, span=span, sites=sites,
+            loss=loss, dup=dup, delay=delay,
+            partitions=partitions, crashes=crashes, outages=outages,
+        )
+        if not partitions:
+            config = replace(config, partitions=())
+        if not crashes:
+            config = replace(config, crashes=())
+        if not outages:
+            config = replace(config, coord_outages=())
+        return config
+
+
+class FaultInjector:
+    """A faulty transport for :class:`PoRReplicatedSystem`.
+
+    The replicated system calls :meth:`send` for every (re)delivery
+    attempt; the injector decides the message's fate from its seeded RNG
+    and the configured windows, holding delayed messages in an in-flight
+    buffer released by :meth:`advance`.  The injector's ``clock`` is set
+    by the harness (operation index)."""
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self.rng = random.Random(config.seed ^ 0xFA017)
+        self.counters = FaultCounters()
+        self.clock: float = 0.0
+        self.healed = False
+        #: (release_at, sequence, effect, dest) — sequence keeps release
+        #: order deterministic for equal release times
+        self._in_flight: list[tuple[float, int, object, int]] = []
+        self._seq = 0
+        self._crashed_started: set[tuple[int, float]] = set()
+
+    # ------------------------------------------------------------------
+
+    def coordination_down(self) -> bool:
+        return not self.healed and self.config.coordination_down(self.clock)
+
+    def crashed_sites(self) -> list[int]:
+        """Sites whose crash window starts at or before the current clock
+        and has not yet been acknowledged via :meth:`mark_crashed`."""
+        out = []
+        for w in self.config.crashes:
+            if self.healed:
+                continue
+            if w.active(self.clock) and (w.site, w.start) not in self._crashed_started:
+                out.append((w.site, w.start))
+        return out
+
+    def mark_crashed(self, site: int, start: float) -> None:
+        self._crashed_started.add((site, start))
+        self.counters.crashes += 1
+
+    # ------------------------------------------------------------------
+
+    def send(self, system, effect, dest: int) -> None:
+        """One delivery attempt of ``effect`` to ``dest``."""
+        if self.healed:
+            system.receive(effect, dest)
+            return
+        now = self.clock
+        if self.config.crashed(dest, now):
+            # A downed site accepts nothing; the delivery log retries.
+            self.counters.dropped += 1
+            return
+        if self.config.partitioned(effect.origin, dest, now):
+            self.counters.partition_drops += 1
+            return
+        roll = self.rng.random()
+        if roll < self.config.loss_prob:
+            self.counters.dropped += 1
+            return
+        if roll < self.config.loss_prob + self.config.dup_prob:
+            self.counters.duplicated += 1
+            system.receive(effect, dest)
+            system.receive(effect, dest)
+            return
+        if roll < (self.config.loss_prob + self.config.dup_prob
+                   + self.config.delay_prob):
+            self.counters.delayed += 1
+            hold = self.rng.uniform(1.0, self.config.max_delay)
+            self._seq += 1
+            self._in_flight.append((now + hold, self._seq, effect, dest))
+            return
+        system.receive(effect, dest)
+
+    def advance(self, system) -> bool:
+        """Release matured in-flight messages; returns whether any message
+        remains held."""
+        still: list[tuple[float, int, object, int]] = []
+        for release_at, seq, effect, dest in sorted(self._in_flight):
+            if self.healed or release_at <= self.clock:
+                system.receive(effect, dest)
+            else:
+                still.append((release_at, seq, effect, dest))
+        self._in_flight = still
+        return bool(still)
+
+    def quiescent(self) -> bool:
+        return not self._in_flight
+
+    def tick(self) -> None:
+        """Advance the logical clock one unit (called between drain
+        rounds, so held messages mature and windows eventually heal even
+        when no new operations arrive)."""
+        self.clock += 1.0
+
+    def heal(self, system=None) -> None:
+        """End all faults: flush held messages, deliver everything from
+        now on.  After healing, a drain converges deterministically."""
+        self.healed = True
+        if system is not None:
+            self.advance(system)
+
+
+class PerfectTransport:
+    """The default transport: immediate, exactly-once, in-order handoff
+    to the destination's pending queue."""
+
+    counters = None
+
+    def send(self, system, effect, dest: int) -> None:
+        system.receive(effect, dest)
+
+    def advance(self, system) -> bool:
+        return False
+
+    def quiescent(self) -> bool:
+        return True
+
+    def heal(self, system=None) -> None:
+        pass
+
+    def coordination_down(self) -> bool:
+        return False
+
+    def crashed_sites(self) -> list:
+        return []

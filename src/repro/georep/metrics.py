@@ -6,12 +6,44 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class FaultCounters:
+    """What the fault layer did to a run — every counter is deterministic
+    for a fixed fault seed (the chaos determinism contract)."""
+
+    dropped: int = 0            #: messages lost in transit
+    duplicated: int = 0         #: extra copies injected
+    delayed: int = 0            #: messages held back by a delay spike
+    partition_drops: int = 0    #: sends refused by an active partition
+    partition_ms: float = 0.0   #: total simulated time spent partitioned
+    redelivered: int = 0        #: retry sends issued from the delivery log
+    deduplicated: int = 0       #: duplicate deliveries discarded at apply
+    crashes: int = 0            #: site crash events
+    lease_expiries: int = 0     #: coordination leases reclaimed by timeout
+    coord_failures: int = 0     #: requests failed fast (outage / partition)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "partition_drops": self.partition_drops,
+            "partition_ms": self.partition_ms,
+            "redelivered": self.redelivered,
+            "deduplicated": self.deduplicated,
+            "crashes": self.crashes,
+            "lease_expiries": self.lease_expiries,
+            "coord_failures": self.coord_failures,
+        }
+
+
+@dataclass
 class Metrics:
     """Per-run measurement sink."""
 
     #: (completion_time_ms, latency_ms, is_write, ok)
     completions: list[tuple[float, float, bool, bool]] = field(default_factory=list)
     warmup_ms: float = 0.0
+    faults: FaultCounters = field(default_factory=FaultCounters)
 
     def record(self, now: float, latency: float, is_write: bool, ok: bool) -> None:
         self.completions.append((now, latency, is_write, ok))
@@ -60,3 +92,7 @@ class RunSummary:
     avg_latency_ms: float
     p95_latency_ms: float
     requests: int
+    #: fraction of steady-state requests that failed (4xx/5xx or degraded
+    #: fail-fast responses) — makes degraded runs visible in sweeps
+    error_fraction: float = 0.0
+    faults: FaultCounters | None = None

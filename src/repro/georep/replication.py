@@ -12,14 +12,26 @@ SOIR code paths with genuine PoR semantics —
   restriction set preserve their global (coordinated) order — exactly the
   partial order ``O = (U, ≺)`` of PoR consistency.
 
+Delivery is **durable at-least-once**: every accepted effect is recorded
+in a :class:`DeliveryLog` with per-site acknowledgements, unacknowledged
+effects are redelivered with exponential backoff, and replicas
+deduplicate by effect id before applying — so the end-to-end guarantees
+survive the faulty transports of :mod:`repro.georep.faults` (message
+loss, duplication, delay, partitions, site crashes).  Restricted pairs
+are ordered against the *log*, not the local queue: an effect whose
+restricted predecessor has not yet been applied at a site waits for the
+redelivery machinery rather than applying out of order.
+
 This turns the verifier's output into something testable end-to-end: with
-the verifier's restriction set, replicas converge and invariants hold; with
-an empty restriction set, the conflicting workloads the verifier flagged
-really do diverge or violate invariants (tests/test_replication.py).
+the verifier's restriction set, replicas converge and invariants hold —
+under faults, once they heal and the system drains — while an empty
+restriction set lets the flagged workloads really diverge
+(tests/test_replication.py, tests/test_chaos.py).
 """
 
 from __future__ import annotations
 
+import copy
 import random
 from dataclasses import dataclass, field
 
@@ -27,6 +39,7 @@ from ..soir.interp import apply_path, run_path
 from ..soir.path import CodePath
 from ..soir.schema import Schema
 from ..soir.state import DBState
+from .faults import PerfectTransport
 
 
 @dataclass(frozen=True)
@@ -36,9 +49,66 @@ class Effect:
     index: int
     path: CodePath
     env: dict
+    origin: int = 0
 
     def op_pair_key(self, other: "Effect") -> frozenset[str]:
         return frozenset((self.path.name, other.path.name))
+
+
+@dataclass
+class DeliveryLog:
+    """The durable replication log: accepted effects, per-site acks and
+    retry state.  An effect leaves the redelivery loop only once every
+    site has acknowledged applying it (at-least-once delivery)."""
+
+    sites: int
+    effects: dict[int, Effect] = field(default_factory=dict)
+    acks: dict[int, set[int]] = field(default_factory=dict)
+    #: (effect index, site) -> retry attempts so far
+    attempts: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: (effect index, site) -> earliest redelivery round for the next retry
+    next_retry: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, effect: Effect) -> None:
+        self.effects[effect.index] = effect
+        self.acks[effect.index] = {effect.origin}
+
+    def ack(self, index: int, site: int) -> None:
+        self.acks[index].add(site)
+        self.attempts.pop((index, site), None)
+        self.next_retry.pop((index, site), None)
+
+    def acked(self, index: int, site: int) -> bool:
+        return site in self.acks[index]
+
+    def unacked_pairs(self) -> list[tuple[Effect, int]]:
+        """Every (effect, site) still awaiting acknowledgement."""
+        out = []
+        for index, effect in self.effects.items():
+            missing = [s for s in range(self.sites) if s not in self.acks[index]]
+            out.extend((effect, s) for s in missing)
+        return out
+
+    def fully_acked(self) -> bool:
+        return all(
+            len(self.acks[index]) == self.sites for index in self.effects
+        )
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome breakdown of a replicated workload run."""
+
+    submitted: int = 0
+    accepted: int = 0
+    #: guard violations at generation time (stale-state aborts included)
+    rejected: int = 0
+    #: restricted operations refused fast during a coordination outage
+    coord_rejected: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.submitted if self.submitted else 0.0
 
 
 @dataclass
@@ -53,89 +123,224 @@ class PoRReplicatedSystem:
     #: how many operations may be in flight (un-replicated) per replica —
     #: the concurrency window during which effects can interleave
     window: int = 8
+    #: replica-to-replica transport; swap in a
+    #: :class:`~repro.georep.faults.FaultInjector` for chaos runs
+    transport: object = None
 
     replicas: list[DBState] = field(init=False)
-    #: effects each replica has not applied yet
+    #: effects each replica has received but not applied yet
     pending: list[list[Effect]] = field(init=False)
+    #: effect ids each replica has applied (the idempotence filter)
+    applied: list[set[int]] = field(init=False)
+    log: DeliveryLog = field(init=False)
     accepted: list[Effect] = field(init=False)
     rejected: int = field(init=False, default=0)
+    coord_rejected: int = field(init=False, default=0)
+    #: reasons recorded for fail-fast refusals, newest last
+    refusals: list[str] = field(init=False)
+    redelivered: int = field(init=False, default=0)
+    deduplicated: int = field(init=False, default=0)
     _counter: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         base = self.initial if self.initial is not None else DBState()
         self.replicas = [base.clone() for _ in range(self.sites)]
         self.pending = [[] for _ in range(self.sites)]
+        self.applied = [set() for _ in range(self.sites)]
+        self.log = DeliveryLog(self.sites)
         self.accepted = []
+        self.refusals = []
         self.rng = random.Random(self.seed)
+        if self.transport is None:
+            self.transport = PerfectTransport()
 
     # ------------------------------------------------------------------
+
+    def _needs_coordination(self, path: CodePath) -> bool:
+        return any(path.name in pair for pair in self.restrictions)
 
     def submit(self, path: CodePath, env: dict, origin: int) -> bool:
         """Generate one operation at ``origin``; returns acceptance.
 
         Coordination first: a PoR runtime may not *accept* an operation
-        while a restricted predecessor is still in flight, so any pending
-        effect at the origin that conflicts with the new operation (and
-        everything ordered before it) is delivered before generation."""
-        conflicting = [
-            e for e in self.pending[origin]
-            if frozenset((e.path.name, path.name)) in self.restrictions
-        ]
-        if conflicting:
-            horizon = max(e.index for e in conflicting)
-            for effect in sorted(self.pending[origin], key=lambda e: e.index):
-                if effect.index > horizon:
-                    break
-                self.pending[origin].remove(effect)
-                self.replicas[origin] = apply_path(
-                    effect.path, self.replicas[origin], effect.env, self.schema
+        while a restricted predecessor is still in flight, so every logged
+        effect ordered at or before the newest conflicting one is applied
+        at the origin before generation.  During a coordination outage a
+        restricted operation fails fast instead (conservative
+        degradation: it never executes unordered)."""
+        if self._needs_coordination(path):
+            if self.transport.coordination_down():
+                self.coord_rejected += 1
+                self.refusals.append(
+                    f"coordination unavailable for restricted {path.name}"
                 )
+                return False
+            conflicting = [
+                e for e in self.log.effects.values()
+                if e.index not in self.applied[origin]
+                and frozenset((e.path.name, path.name)) in self.restrictions
+            ]
+            if conflicting:
+                horizon = max(e.index for e in conflicting)
+                for effect in sorted(
+                    self.log.effects.values(), key=lambda e: e.index
+                ):
+                    if effect.index > horizon:
+                        break
+                    if effect.index in self.applied[origin]:
+                        continue
+                    self._apply_at(origin, effect)
         outcome = run_path(path, self.replicas[origin], env, self.schema)
         if not outcome.committed:
             self.rejected += 1
             return False
-        effect = Effect(self._counter, path, env)
+        # Deep-copy the environment: it is shared workload data, and a
+        # mutating apply_path at one replica must not leak into another's
+        # pending copy of the same effect.
+        effect = Effect(self._counter, path, copy.deepcopy(dict(env)), origin)
         self._counter += 1
         self.accepted.append(effect)
+        self.log.record(effect)
         self.replicas[origin] = outcome.state
+        self.applied[origin].add(effect.index)
         for site in range(self.sites):
             if site != origin:
-                self.pending[site].append(effect)
+                self.transport.send(self, effect, site)
         self._maybe_deliver()
+        return True
+
+    # ------------------------------------------------------------------
+
+    def receive(self, effect: Effect, site: int) -> None:
+        """Transport handoff: enqueue one delivered copy at ``site``.
+
+        A copy of an effect the site already applied is discarded here —
+        the effect-id deduplication that makes at-least-once delivery
+        safe.  Duplicates still in the queue are kept and absorbed at
+        apply time instead, so both dedup points stay exercised."""
+        if effect.index in self.applied[site]:
+            self.deduplicated += 1
+            return
+        self.pending[site].append(effect)
+
+    def _apply_at(self, site: int, effect: Effect) -> None:
+        """Idempotently apply ``effect`` at ``site`` and acknowledge it."""
+        before = len(self.pending[site])
+        self.pending[site] = [
+            e for e in self.pending[site] if e.index != effect.index
+        ]
+        copies = before - len(self.pending[site])
+        if effect.index in self.applied[site]:
+            self.deduplicated += max(1, copies)
+            return
+        # All queue copies beyond the one being applied are duplicates.
+        if copies > 1:
+            self.deduplicated += copies - 1
+        self.replicas[site] = apply_path(
+            effect.path, self.replicas[site], effect.env, self.schema
+        )
+        self.applied[site].add(effect.index)
+        self.log.ack(effect.index, site)
+
+    def _blocked(self, site: int, effect: Effect) -> bool:
+        """Whether ``effect`` must wait at ``site``: some effect ordered
+        before it in the global log is restricted against it and has not
+        been applied there yet (it may be in flight, lost, or awaiting
+        redelivery — applying now would violate the coordinated order)."""
+        return any(
+            other.index < effect.index
+            and other.index not in self.applied[site]
+            and effect.op_pair_key(other) in self.restrictions
+            for other in self.log.effects.values()
+        )
+
+    def _deliver_one(self, site: int) -> bool:
+        """Apply one pending effect at ``site``; returns progress.
+
+        Any pending effect may be chosen (replication is asynchronous),
+        except that an effect restricted against an *earlier* logged one
+        must wait — restricted pairs apply in their coordinated order."""
+        queue = self.pending[site]
+        candidates = [
+            i for i, effect in enumerate(queue)
+            if not self._blocked(site, effect)
+        ]
+        if not candidates:
+            return False
+        choice = self.rng.choice(candidates)
+        effect = queue[choice]
+        self._apply_at(site, effect)
         return True
 
     def _maybe_deliver(self) -> None:
         for site in range(self.sites):
             while len(self.pending[site]) > self.window:
-                self._deliver_one(site)
+                if not self._deliver_one(site):
+                    # Everything deliverable is blocked on a missing
+                    # restricted predecessor; the window softens until
+                    # redelivery fills the gap.
+                    break
 
-    def _deliver_one(self, site: int) -> None:
-        """Apply one pending effect at ``site``.
+    # ------------------------------------------------------------------
 
-        Any pending effect may be chosen (replication is asynchronous),
-        except that an effect restricted against an *earlier* pending one
-        must wait — restricted pairs apply in their coordinated order."""
-        queue = self.pending[site]
-        candidates = []
-        for i, effect in enumerate(queue):
-            blocked = any(
-                earlier.index < effect.index
-                and effect.op_pair_key(earlier) in self.restrictions
-                for earlier in queue[:i] + queue[i + 1:]
-            )
-            if not blocked:
-                candidates.append(i)
-        choice = self.rng.choice(candidates) if candidates else 0
-        effect = queue.pop(choice)
-        self.replicas[site] = apply_path(
-            effect.path, self.replicas[site], effect.env, self.schema
-        )
+    def crash(self, site: int) -> None:
+        """Site failure: the volatile pending queue is lost.  The replica
+        database, the applied-set and the delivery log are durable, so
+        redelivery restores exactly the missing effects."""
+        self.pending[site].clear()
 
-    def drain(self) -> None:
-        """Deliver every outstanding effect everywhere."""
-        for site in range(self.sites):
-            while self.pending[site]:
-                self._deliver_one(site)
+    def redeliver(self, round_no: int = 0) -> int:
+        """One redelivery sweep: re-send every unacknowledged effect whose
+        backoff window has elapsed and which is not already queued at its
+        destination.  Returns how many unacked (effect, site) pairs
+        remain."""
+        outstanding = 0
+        for effect, site in self.log.unacked_pairs():
+            outstanding += 1
+            if any(e.index == effect.index for e in self.pending[site]):
+                continue  # delivered, just not applied yet
+            key = (effect.index, site)
+            if round_no < self.log.next_retry.get(key, 0):
+                continue
+            attempts = self.log.attempts.get(key, 0) + 1
+            self.log.attempts[key] = attempts
+            # Exponential backoff in drain rounds, capped so a long
+            # partition cannot push retries past the heal horizon forever.
+            self.log.next_retry[key] = round_no + min(2 ** attempts, 16)
+            self.redelivered += 1
+            self.transport.send(self, effect, site)
+        return outstanding
+
+    def drain(self, max_rounds: int = 100_000) -> None:
+        """Deliver every outstanding effect everywhere.
+
+        Under a faulty transport this loops delivery, transport release
+        and log redelivery until the log is fully acknowledged; after
+        ``transport.heal()`` it terminates deterministically, and with
+        sub-certain loss probabilities it terminates with probability 1
+        (``max_rounds`` guards the pathological rest)."""
+        round_no = 0
+        while True:
+            for site in range(self.sites):
+                while self.pending[site]:
+                    if not self._deliver_one(site):
+                        break
+            in_flight = self.transport.advance(self)
+            outstanding = self.redeliver(round_no)
+            if (
+                not outstanding
+                and not in_flight
+                and all(not q for q in self.pending)
+            ):
+                return
+            round_no += 1
+            if hasattr(self.transport, "tick"):
+                self.transport.tick()
+            if round_no > max_rounds:
+                raise RuntimeError(
+                    f"drain did not converge after {max_rounds} rounds: "
+                    f"{outstanding} unacked deliveries outstanding"
+                )
 
     # ------------------------------------------------------------------
 
@@ -152,11 +357,17 @@ class PoRReplicatedSystem:
 def run_workload(
     system: PoRReplicatedSystem,
     operations: list[tuple[CodePath, dict]],
-) -> int:
-    """Submit operations round-robin across sites; returns #accepted."""
-    accepted = 0
+) -> WorkloadResult:
+    """Submit operations round-robin across sites; returns the breakdown."""
+    result = WorkloadResult()
     for i, (path, env) in enumerate(operations):
+        before = system.coord_rejected
+        result.submitted += 1
         if system.submit(path, env, i % system.sites):
-            accepted += 1
+            result.accepted += 1
+        elif system.coord_rejected > before:
+            result.coord_rejected += 1
+        else:
+            result.rejected += 1
     system.drain()
-    return accepted
+    return result

@@ -76,7 +76,10 @@ class Solver:
                         raise ValueError(f"no domain declared for {node.name!r}")
                     free.append(node.name)
         if priority:
-            ranked = [n for n in priority if n in seen]
+            # Dedupe while keeping order: a name listed twice would be
+            # re-bound mid-search after assertions mentioning it were
+            # already dropped as satisfied, yielding unsound models.
+            ranked = list(dict.fromkeys(n for n in priority if n in seen))
             rest = [n for n in free if n not in set(ranked)]
             free = ranked + rest
         deadline = time.perf_counter() + timeout_s

@@ -142,6 +142,18 @@ class PairChecker:
         }
         extended = StateGenerator(dataclasses.replace(self.scope, ids=extended_ids))
         states.extend(extended.canonical_states())
+        # States over *only* the fresh-pool ids: the populated suites above
+        # always fill base ids first, so a fresh-pool row never appears
+        # without the base rows already holding every unique field value —
+        # which would mask preconditions that need one of those values free.
+        fresh_only_ids = {
+            m: self.scope.fresh_ids.get(m) or pks
+            for m, pks in self.scope.ids.items()
+        }
+        fresh_only = StateGenerator(
+            dataclasses.replace(self.scope, ids=fresh_only_ids)
+        )
+        states.extend(fresh_only.canonical_states())
         rng = random.Random(self.config.seed ^ 0xFEA51B1E)
         for _ in range(12):
             sampled = extended.random_state(rng)

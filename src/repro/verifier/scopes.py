@@ -139,6 +139,13 @@ def build_scope(
     constants = _collect_constants(paths)
     relevant = _relevant_fields(paths, schema)
 
+    # The symbolic universe needs one fresh-pool slot per fresh-ID argument
+    # the pair can pin (each occupies its own pool constant) — with only
+    # two slots, a pair of double-insert paths writes rows the encoded
+    # state cannot see, hiding guard invalidations.
+    n_fresh = max(
+        2, sum(1 for path in paths for arg in path.args if arg.unique_id)
+    )
     ids: dict[str, list] = {}
     fresh_ids: dict[str, list] = {}
     for mname in models:
@@ -146,10 +153,10 @@ def build_scope(
         pk_type = model.pk_field.type
         if pk_type == STRING:
             ids[mname] = [f"{mname[:2].lower()}{i}" for i in range(ids_per_model)]
-            fresh_ids[mname] = [f"{mname[:2].lower()}F{i}" for i in range(2)]
+            fresh_ids[mname] = [f"{mname[:2].lower()}F{i}" for i in range(n_fresh)]
         else:
             ids[mname] = list(range(1, ids_per_model + 1))
-            fresh_ids[mname] = [101, 102]
+            fresh_ids[mname] = list(range(101, 101 + n_fresh))
 
     string_constants = {v for v in constants[STRING] if isinstance(v, str)}
     type_domains: dict[SoirType, list] = {

@@ -86,7 +86,16 @@ class SmtPairChecker:
                 domain = self.scope.type_domains.get(arg.type, [None])
                 domain = list(domain)
                 if arg.type in self.scope.fresh_arg_types:
-                    domain += fresh_pool_for(arg.type)[:1]
+                    # With unique-ID pinning, each fresh argument occupies
+                    # its own pool constant — a plain argument must be able
+                    # to collide with *any* of them, not just the first
+                    # (a client may name an ID either operation is minting).
+                    n_fresh = sum(
+                        1 for p in (self.p, self.q)
+                        for a in collect_args(p)
+                        if a.unique_id and a.type == arg.type
+                    )
+                    domain += fresh_pool_for(arg.type)[:max(1, n_fresh)]
                 solver.declare(var.name, domain)
         return env
 

@@ -1,0 +1,309 @@
+"""Chaos layer: seeded fault schedules over the replicated runtime.
+
+Four batteries:
+
+* the **acceptance scenario** — a full chaos mix (loss + duplication +
+  delay + partition + crash) over postgraduation, ≥200 ops on 3 sites:
+  with the verifier's restriction set the system heals, drains, converges
+  and preserves the schema invariants; the same seed with the empty
+  restriction set reproduces divergence;
+* **determinism** — identical seeds produce identical fault schedules,
+  identical workloads and identical fault counters;
+* **idempotent apply** — duplicated and redelivered effects change
+  nothing: effect-id deduplication absorbs every extra copy;
+* **healing convergence** — a seed sweep of chaos runs that all converge
+  after heal + drain.
+"""
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.apps.postgraduation import build_app as build_postgraduation
+from repro.apps.todo import build_app as build_todo
+from repro.georep import (
+    FaultConfig,
+    FaultInjector,
+    PoRReplicatedSystem,
+    run_chaos,
+    run_workload,
+)
+from repro.georep.chaos import generate_operations, initial_state
+from repro.georep.faults import CrashWindow, OutageWindow, PartitionWindow
+from repro.soir import Schema, make_model
+from repro.soir import commands as C, expr as E
+from repro.soir.path import CodePath
+from repro.soir.state import DBState
+from repro.soir.types import INT
+from repro.verifier import CheckConfig, verify_application
+
+QUICK = CheckConfig(timeout_s=0.5, max_samples=200, max_exhaustive=2000)
+
+
+@pytest.fixture(scope="module")
+def postgraduation():
+    analysis = analyze_application(build_postgraduation())
+    return analysis, verify_application(analysis, QUICK).restriction_pairs()
+
+
+@pytest.fixture(scope="module")
+def todo():
+    analysis = analyze_application(build_todo())
+    return analysis, verify_application(analysis, QUICK).restriction_pairs()
+
+
+class TestAcceptanceScenario:
+    """The headline property: the verifier's restriction set is exactly
+    what survives chaos."""
+
+    def test_chaos_with_restrictions_converges_and_preserves_invariants(
+        self, postgraduation
+    ):
+        analysis, restrictions = postgraduation
+        faults = FaultConfig.chaos(3, span=200.0, sites=3)
+        report = run_chaos(
+            analysis, restrictions,
+            seed=3, operations=200, sites=3, faults=faults,
+        )
+        assert report.converged
+        assert report.invariant_ok
+        assert report.result.accepted >= 50
+        # The run really went through the fire: every configured fault
+        # class fired.
+        c = report.counters
+        assert c.dropped > 0
+        assert c.duplicated > 0
+        assert c.delayed > 0
+        assert c.partition_drops > 0
+        assert c.crashes >= 1
+        assert c.deduplicated > 0
+
+    def test_same_seed_without_restrictions_reproduces_divergence(
+        self, postgraduation
+    ):
+        analysis, _ = postgraduation
+        faults = FaultConfig.chaos(3, span=200.0, sites=3)
+        report = run_chaos(
+            analysis, set(),
+            seed=3, operations=200, sites=3, faults=faults,
+        )
+        assert not report.converged
+        assert not report.invariant_ok
+
+    def test_outage_refusals_are_recorded_and_harmless(self, postgraduation):
+        analysis, restrictions = postgraduation
+        faults = FaultConfig.chaos(3, span=200.0, sites=3, outages=1)
+        report = run_chaos(
+            analysis, restrictions,
+            seed=3, operations=200, sites=3, faults=faults,
+        )
+        assert report.result.coord_rejected > 0
+        assert report.refusals
+        assert "coordination unavailable" in report.refusals[0]
+        assert report.converged and report.invariant_ok
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_schedules(self):
+        assert FaultConfig.chaos(7, span=100.0) == FaultConfig.chaos(7, span=100.0)
+        assert FaultConfig.chaos(7, span=100.0) != FaultConfig.chaos(8, span=100.0)
+
+    def test_identical_seeds_identical_workloads(self, todo):
+        analysis, _ = todo
+        a = generate_operations(analysis, count=50, seed=13)
+        b = generate_operations(analysis, count=50, seed=13)
+        assert [(p.name, env) for p, env in a] == [(p.name, env) for p, env in b]
+
+    @pytest.mark.parametrize("seed", [2, 11])
+    def test_identical_seeds_identical_counters(self, todo, seed):
+        analysis, restrictions = todo
+        a = run_chaos(analysis, restrictions, seed=seed, operations=120)
+        b = run_chaos(analysis, restrictions, seed=seed, operations=120)
+        assert a.counters.as_dict() == b.counters.as_dict()
+        assert a.result == b.result
+        assert a.converged == b.converged
+        assert a.invariant_ok == b.invariant_ok
+
+    def test_parse_round_trips_the_chaos_knobs(self):
+        fc = FaultConfig.parse(
+            "loss=0.1,dup,partition,crash", seed=9, span=100.0
+        )
+        assert fc.loss_prob == 0.1
+        assert fc.dup_prob == 0.08
+        assert fc.delay_prob == 0.0
+        assert fc.partitions and fc.crashes and not fc.coord_outages
+        assert FaultConfig.parse("all", seed=9, span=100.0).coord_outages
+        with pytest.raises(ValueError):
+            FaultConfig.parse("gremlins", seed=9, span=100.0)
+
+
+def counter_fixture():
+    """A minimal replicated counter: one incrementing path over one row."""
+    schema = Schema()
+    schema.add_model(make_model("Counter", {"v": INT}))
+    state = DBState.empty(schema)
+    state.insert_row("Counter", 1, {"id": 1, "v": 0})
+    bump = CodePath(
+        "Bump", (),
+        (C.Update(E.Singleton(E.SetField(
+            "v",
+            E.BinOp("+", E.FieldGet(E.Deref(E.intlit(1), "Counter"),
+                                    "v", INT), E.intlit(1)),
+            E.Deref(E.intlit(1), "Counter"),
+        ))),),
+    )
+    return schema, state, bump
+
+
+class TestIdempotentApply:
+    """At-least-once delivery is safe because applies deduplicate by
+    effect id — extra copies, late redeliveries and crash-recovery
+    replays are all invisible in the final state."""
+
+    def test_double_delivery_applies_once(self):
+        schema, state, bump = counter_fixture()
+        system = PoRReplicatedSystem(schema, set(), initial=state)
+        assert system.submit(bump, {}, 0)
+        effect = system.accepted[0]
+        # The transport delivered one copy to each remote queue; inject
+        # two more duplicates at site 1 before anything applies.
+        system.receive(effect, 1)
+        system.receive(effect, 1)
+        assert len(system.pending[1]) == 3
+        system.drain()
+        assert all(r.table("Counter")[1]["v"] == 1 for r in system.replicas)
+        assert system.deduplicated == 2
+        # A late redelivery after the apply is absorbed at receive time.
+        system.receive(effect, 1)
+        assert system.pending[1] == []
+        assert system.deduplicated == 3
+
+    def test_crash_loses_pending_but_log_redelivers(self):
+        schema, state, bump = counter_fixture()
+        system = PoRReplicatedSystem(schema, set(), initial=state)
+        for _ in range(3):
+            assert system.submit(bump, {}, 0)
+        assert len(system.pending[1]) == 3
+        system.crash(1)  # the volatile queue is gone...
+        assert system.pending[1] == []
+        system.drain()   # ...but the durable log redelivers everything
+        assert system.redelivered >= 3
+        assert system.converged()
+        assert all(r.table("Counter")[1]["v"] == 3 for r in system.replicas)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_duplication_storm_changes_nothing_observable(self, todo, seed):
+        """Property (fixed seeds): under heavy duplication the system
+        still converges to an invariant-preserving state, with the extra
+        copies visibly absorbed by deduplication."""
+        analysis, restrictions = todo
+        ops = generate_operations(analysis, count=80, seed=seed)
+        base = initial_state(analysis)
+        noisy = PoRReplicatedSystem(
+            analysis.schema, set(restrictions), seed=seed,
+            initial=base.clone(),
+            transport=FaultInjector(FaultConfig(seed=seed, dup_prob=0.6)),
+        )
+        result = run_workload(noisy, ops)
+        assert noisy.converged()
+        assert noisy.transport.counters.duplicated > 0
+        assert noisy.deduplicated > 0
+        assert result.submitted == 80
+
+
+class TestHealingConvergence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_full_chaos_heals_and_converges(self, todo, seed):
+        """Property (fixed seeds): any seeded chaos schedule, once healed
+        and drained, leaves all replicas identical."""
+        analysis, restrictions = todo
+        report = run_chaos(analysis, restrictions, seed=seed, operations=120)
+        assert report.converged
+        assert report.invariant_ok
+
+    def test_partition_heals_and_both_sides_merge(self):
+        """Writes accepted on both sides of a partition cross over after
+        the heal: nothing accepted during the split is lost."""
+        schema, state, bump = counter_fixture()
+        faults = FaultConfig(
+            seed=0,
+            partitions=(PartitionWindow(
+                0.0, 50.0, (frozenset({0}), frozenset({1, 2})),
+            ),),
+        )
+        injector = FaultInjector(faults)
+        system = PoRReplicatedSystem(
+            schema, set(), initial=state, transport=injector
+        )
+        for i in range(6):
+            injector.clock = float(i)
+            assert system.submit(bump, {}, i % 3)
+        assert injector.counters.partition_drops > 0
+        injector.clock = 50.0
+        injector.heal(system)
+        system.drain()
+        assert system.converged()
+        assert all(r.table("Counter")[1]["v"] == 6 for r in system.replicas)
+
+    def test_crash_window_recovers_via_redelivery(self):
+        schema, state, bump = counter_fixture()
+        faults = FaultConfig(seed=0, crashes=(CrashWindow(1, 2.0, 5.0),))
+        injector = FaultInjector(faults)
+        system = PoRReplicatedSystem(
+            schema, set(), initial=state, transport=injector
+        )
+        for i in range(8):
+            injector.clock = float(i)
+            for site, start in injector.crashed_sites():
+                system.crash(site)
+                injector.mark_crashed(site, start)
+            system.submit(bump, {}, 0)
+        injector.clock = 10.0
+        injector.heal(system)
+        system.drain()
+        assert injector.counters.crashes == 1
+        assert system.converged()
+        assert all(r.table("Counter")[1]["v"] == 8 for r in system.replicas)
+
+    def test_restricted_pair_waits_for_lost_predecessor(self):
+        """A restricted successor must not apply ahead of its lost
+        predecessor: the log blocks it until redelivery fills the gap."""
+        schema, state, bump = counter_fixture()
+        # Lose everything initially: remote sites see nothing.
+        injector = FaultInjector(FaultConfig(seed=1, loss_prob=1.0))
+        system = PoRReplicatedSystem(
+            schema, {frozenset(("Bump",))}, initial=state, transport=injector,
+        )
+        assert system.submit(bump, {}, 0)
+        assert system.submit(bump, {}, 0)
+        assert system.pending[1] == [] and system.pending[2] == []
+        # Hand-deliver only the *second* effect: it stays blocked.
+        system.receive(system.accepted[1], 1)
+        assert not system._deliver_one(1)
+        assert system.replicas[1].table("Counter")[1]["v"] == 0
+        # Once faults stop, drain redelivers the predecessor and both
+        # apply in coordinated order.
+        injector.heal(system)
+        system.drain()
+        assert system.converged()
+        assert all(r.table("Counter")[1]["v"] == 2 for r in system.replicas)
+
+
+class TestCoordinationOutageWindow:
+    def test_submits_during_outage_fail_fast_and_recover(self):
+        schema, state, bump = counter_fixture()
+        injector = FaultInjector(
+            FaultConfig(seed=0, coord_outages=(OutageWindow(2.0, 4.0),))
+        )
+        system = PoRReplicatedSystem(
+            schema, {frozenset(("Bump",))}, initial=state, transport=injector,
+        )
+        accepted = 0
+        for i in range(6):
+            injector.clock = float(i)
+            if system.submit(bump, {}, i % 3):
+                accepted += 1
+        assert system.coord_rejected == 2  # clocks 2 and 3
+        assert accepted == 4
+        system.drain()
+        assert system.converged()
+        assert all(r.table("Counter")[1]["v"] == 4 for r in system.replicas)

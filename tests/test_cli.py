@@ -65,6 +65,20 @@ class TestVerify:
         assert "sem. failures : 4" in out
 
 
+class TestChaos:
+    def test_smallbank_chaos_smoke(self, capsys):
+        code, out = run_cli(capsys, "chaos", "smallbank", "--seed", "1",
+                            "--ops", "60", "--faults", "loss=0.2,dup=0.2,crash")
+        assert code == 0
+        assert "converged     : True" in out
+        assert "invariants ok : True" in out
+
+    def test_unknown_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "smallbank", "--faults", "gremlins"])
+        assert "gremlins" in str(exc.value)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

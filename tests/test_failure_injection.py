@@ -201,3 +201,138 @@ class TestReplicationResilience:
             replica.table("Counter")[1]["v"] == 0
             for replica in system.replicas
         )
+
+
+class TestCoordinationOutage:
+    """Lease-based grants and outage fail-fast in the coordination
+    service, and their surfacing through the deployment and the
+    replicated system."""
+
+    def _service(self, lease_ms=0.0):
+        from repro.georep.coordination import CoordinationService
+
+        return CoordinationService(
+            {frozenset(("A", "B")), frozenset(("A",))}, lease_ms=lease_ms
+        )
+
+    def test_crashed_lease_holder_releases_within_timeout(self):
+        svc = self._service(lease_ms=10.0)
+        grants: list[int] = []
+        first = svc.request("A", {"k": 1}, grants.append, now=0.0)
+        assert grants == [first]
+        # Conflicting request queues behind the (about-to-crash) holder.
+        second = svc.request("B", {"k": 1}, grants.append, now=2.0)
+        assert grants == [first] and svc.queue_length == 1
+        # The holder never releases; before the lease lapses nothing moves,
+        # at the deadline the grant is reclaimed and the waiter promoted.
+        assert svc.expire(9.9) == []
+        assert svc.expire(10.0) == [first]
+        assert grants == [first, second]
+        assert svc.lease_expiries == 1
+
+    def test_waiter_lease_starts_at_grant_not_request(self):
+        svc = self._service(lease_ms=10.0)
+        grants: list[int] = []
+        svc.request("A", {"k": 1}, grants.append, now=0.0)
+        svc.request("B", {"k": 1}, grants.append, now=1.0)
+        svc.expire(10.0)  # waiter granted at t=10
+        assert len(grants) == 2
+        # The waiter's lease runs from its grant (10), not its request (1).
+        assert svc.expire(19.0) == []
+        assert svc.expire(20.0) == [grants[1]]
+
+    def test_requests_during_outage_fail_fast_with_reason(self):
+        svc = self._service()
+        grants: list[int] = []
+        svc.set_available(False)
+        assert svc.request("A", {"k": 1}, grants.append, now=0.0) is None
+        assert grants == [] and svc.active_count == 0
+        assert svc.failures and "unavailable" in svc.failures[0]
+        assert "A" in svc.failures[0]
+        # Recovery: the same request succeeds once the service is back.
+        svc.set_available(True)
+        ticket = svc.request("A", {"k": 1}, grants.append, now=1.0)
+        assert grants == [ticket]
+
+    def test_release_of_expired_ticket_is_harmless(self):
+        svc = self._service(lease_ms=5.0)
+        grants: list[int] = []
+        ticket = svc.request("A", {"k": 1}, grants.append, now=0.0)
+        svc.expire(5.0)
+        svc.release(ticket, now=6.0)  # the slow holder finally releases
+        assert svc.active_count == 0 and svc.lease_expiries == 1
+
+    def test_replicated_system_refuses_restricted_ops_during_outage(self):
+        from repro.georep.faults import FaultConfig, FaultInjector, OutageWindow
+        from repro.georep.replication import PoRReplicatedSystem
+        from repro.soir import Schema, make_model
+        from repro.soir.state import DBState
+
+        schema = Schema()
+        schema.add_model(make_model("Counter", {"v": INT}))
+        state = DBState.empty(schema)
+        state.insert_row("Counter", 1, {"id": 1, "v": 5})
+        state.insert_row("Counter", 2, {"id": 2, "v": 0})
+
+        bump = CodePath(
+            "Bump", (),
+            (C.Update(E.Singleton(E.SetField(
+                "v",
+                E.BinOp("+", E.FieldGet(E.Deref(E.intlit(1), "Counter"),
+                                        "v", INT), E.intlit(1)),
+                E.Deref(E.intlit(1), "Counter"),
+            ))),),
+        )
+        # Writes a different row, so it commutes with Bump and needs no
+        # restriction.
+        free = CodePath(
+            "Free", (),
+            (C.Update(E.Singleton(E.SetField(
+                "v", E.intlit(9), E.Deref(E.intlit(2), "Counter"),
+            ))),),
+        )
+        injector = FaultInjector(
+            FaultConfig(seed=0, coord_outages=(OutageWindow(0.0, 10.0),))
+        )
+        system = PoRReplicatedSystem(
+            schema, {frozenset(("Bump",))}, initial=state, transport=injector
+        )
+        injector.clock = 1.0
+        # The restricted operation fails fast, with the reason recorded...
+        assert not system.submit(bump, {}, 0)
+        assert system.coord_rejected == 1
+        assert system.refusals and "Bump" in system.refusals[0]
+        # ...an unrestricted one proceeds, and after the outage heals the
+        # restricted operation is accepted again.
+        assert system.submit(free, {}, 1)
+        injector.clock = 10.0
+        assert system.submit(bump, {}, 0)
+        system.drain()
+        assert system.converged()
+
+    def test_deployment_degrades_during_outage(self):
+        from repro.georep.deployment import Deployment, DeploymentConfig
+        from repro.georep.faults import FaultConfig, OutageWindow
+        from repro.georep.workload import RequestSpec, Workload
+
+        def factory(Thing):
+            def view(request):
+                return HttpResponse()
+            return view
+
+        app, _ = tiny_app(factory)
+        db = Database(app.registry)
+        wl = Workload(app, db, write_ratio=1.0, seed=1)
+        wl.writes = [lambda rng: RequestSpec("/go", "POST", {}, True)]
+        wl.reads = [lambda rng: RequestSpec("/go", "GET", {}, False)]
+        deployment = Deployment(
+            app, db, wl, {frozenset(("V", "V"))},
+            config=DeploymentConfig(duration_ms=100.0, warmup_ms=0.0),
+            faults=FaultConfig(seed=0, coord_outages=(OutageWindow(0.0, 50.0),)),
+        )
+        summary = deployment.run()
+        # Writes during the outage fail fast instead of hanging...
+        assert summary.faults.coord_failures > 0
+        assert summary.error_fraction > 0
+        # ...and the deployment keeps completing requests throughout.
+        assert summary.requests > summary.faults.coord_failures

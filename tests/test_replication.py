@@ -90,8 +90,9 @@ class TestSmallBankReplication:
         system = PoRReplicatedSystem(
             analysis.schema, restrictions, initial=smallbank_state(analysis)
         )
-        accepted = run_workload(system, self.make_ops(analysis))
-        assert accepted > 10
+        result = run_workload(system, self.make_ops(analysis))
+        assert result.accepted > 10
+        assert result.submitted == result.accepted + result.rejected
         assert system.converged()
         assert system.check_invariant(non_negative)
 
