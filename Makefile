@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-full examples chaos clean
+.PHONY: install test bench bench-full bench-sweep examples chaos clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ bench:
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-sweep:
+	$(PYTHON) benchmarks/bench_pair_sweep.py --jobs 4
 
 chaos:
 	$(PYTHON) -m repro chaos postgraduation --seed 3 --ops 200

@@ -1,0 +1,167 @@
+"""Pair-sweep benchmark: cold vs. warm vs. parallel verification.
+
+Measures the scheduling engine (``repro.engine``) over the bundled
+applications and writes ``BENCH_pair_sweep.json`` at the repo root — the
+start of the perf trajectory for the verifier hot path:
+
+* **cold**   — serial sweep into an empty cache (the baseline every run
+  used to pay);
+* **warm**   — the same sweep again: every pair must replay from the
+  cache with zero solver calls;
+* **parallel** — cold sweep with ``--jobs`` workers into a fresh cache.
+
+Runs standalone (``python benchmarks/bench_pair_sweep.py``) so CI can
+invoke it without the pytest-benchmark harness.  ``--smoke`` shrinks the
+search budgets and the app set for a fast correctness-oriented pass; it
+also *asserts* that warm runs solve zero pairs and that all three modes
+agree on the restriction set.
+
+Budget note: the solver budget is sample-bounded, not time-bounded
+(``timeout_s`` is set high) so verdicts are deterministic under CPU
+contention — see docs/ENGINE.md on timeouts vs. determinism.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_pair_sweep.json"
+
+DEFAULT_APPS = ["smallbank", "courseware", "todo", "postgraduation"]
+SMOKE_APPS = ["smallbank", "courseware"]
+
+
+def _build(name: str):
+    import importlib
+
+    module = importlib.import_module(f"repro.apps.{name}")
+    return module.build_app()
+
+
+def _config(smoke: bool):
+    from repro.verifier import CheckConfig
+
+    if smoke:
+        return CheckConfig(timeout_s=30.0, max_samples=60,
+                           max_exhaustive=800)
+    return CheckConfig(timeout_s=30.0, max_samples=400,
+                       max_exhaustive=6000)
+
+
+def sweep_app(name: str, jobs: int, smoke: bool) -> dict:
+    from repro.analyzer import analyze_application
+    from repro.verifier import verify_application
+
+    analysis = analyze_application(_build(name))
+    config = _config(smoke)
+    row: dict = {
+        "app": name,
+        "effectful_paths": len(analysis.effectful_paths),
+        "modes": {},
+    }
+    restriction_sets = {}
+    with tempfile.TemporaryDirectory(prefix="noctua-bench-") as tmp:
+        serial_dir = pathlib.Path(tmp) / "serial"
+        parallel_dir = pathlib.Path(tmp) / "parallel"
+        runs = [
+            ("cold", dict(jobs=1, cache_dir=str(serial_dir))),
+            ("warm", dict(jobs=1, cache_dir=str(serial_dir))),
+            ("parallel", dict(jobs=jobs, cache_dir=str(parallel_dir))),
+        ]
+        for mode, kwargs in runs:
+            started = time.perf_counter()
+            report = verify_application(analysis, config, use_cache=True,
+                                        **kwargs)
+            wall = time.perf_counter() - started
+            metrics = report.metrics
+            row["modes"][mode] = {
+                "wall_s": round(wall, 4),
+                "solve_s": round(report.time_solve_s, 4),
+                "checks": report.checks,
+                "restrictions": len(report.restrictions),
+                "solver_calls": metrics["solver_calls"],
+                "pruned": metrics["pruned"],
+                "cache_hits": metrics["cache_hits"],
+                "cache_misses": metrics["cache_misses"],
+                "engine_mode": metrics["mode"],
+                "jobs": metrics["jobs_used"],
+                "worker_utilization": round(
+                    metrics["worker_utilization"], 3),
+            }
+            restriction_sets[mode] = sorted(
+                sorted(pair) for pair in report.restriction_pairs()
+            )
+    row["restrictions_agree"] = (
+        restriction_sets["cold"] == restriction_sets["warm"]
+        == restriction_sets["parallel"]
+    )
+    row["warm_solved_zero"] = (
+        row["modes"]["warm"]["solver_calls"] == 0
+        and row["modes"]["warm"]["cache_misses"] == 0
+    )
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", nargs="*", default=None,
+                        help="applications to sweep (default: "
+                             f"{' '.join(DEFAULT_APPS)})")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel mode")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small budgets + small app set; assert "
+                             "warm-cache runs solve zero pairs")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    apps = args.apps or (SMOKE_APPS if args.smoke else DEFAULT_APPS)
+    rows = []
+    for name in apps:
+        print(f"sweeping {name} ...", flush=True)
+        row = sweep_app(name, args.jobs, args.smoke)
+        rows.append(row)
+        cold = row["modes"]["cold"]
+        warm = row["modes"]["warm"]
+        par = row["modes"]["parallel"]
+        print(f"  cold     {cold['wall_s']:8.3f} s wall  "
+              f"{cold['solver_calls']:4d} solved")
+        print(f"  warm     {warm['wall_s']:8.3f} s wall  "
+              f"{warm['solver_calls']:4d} solved  "
+              f"{warm['cache_hits']:4d} cache hits")
+        print(f"  parallel {par['wall_s']:8.3f} s wall  "
+              f"{par['solver_calls']:4d} solved  "
+              f"x{par['jobs']} {par['engine_mode']}  "
+              f"util {par['worker_utilization']:.0%}")
+        print(f"  restriction sets agree: {row['restrictions_agree']}")
+
+    result = {
+        "benchmark": "pair_sweep",
+        "smoke": args.smoke,
+        "jobs": args.jobs,
+        "apps": rows,
+    }
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    failures = []
+    for row in rows:
+        if not row["restrictions_agree"]:
+            failures.append(f"{row['app']}: modes disagree on restrictions")
+        if args.smoke and not row["warm_solved_zero"]:
+            failures.append(f"{row['app']}: warm run performed solver calls")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

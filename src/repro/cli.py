@@ -5,7 +5,9 @@ Subcommands:
 * ``noctua apps`` — list the bundled applications;
 * ``noctua analyze <app> [--paths]`` — run the analyzer, print the
   Table-4 statistics (optionally dumping every SOIR code path);
-* ``noctua verify <app> [--quick]`` — analyze + verify, print the Table-6
+* ``noctua verify <app> [--quick] [--jobs N] [--cache/--no-cache]
+  [--cache-dir DIR]`` — analyze + verify through the scheduling engine
+  (parallel pair sweep + persistent verdict cache), print the Table-6
   row and the restriction set;
 * ``noctua simulate <zhihu|postgraduation>`` — run the Figure-10/11
   throughput/latency sweep;
@@ -109,14 +111,30 @@ def cmd_verify(args) -> int:
         config = CheckConfig(
             timeout_s=0.5, max_samples=300, max_exhaustive=4000
         )
-    report = verify_application(result, config)
+    report = verify_application(
+        result, config, jobs=args.jobs, use_cache=args.cache,
+        cache_dir=args.cache_dir,
+    )
     summary = report.summary()
+    metrics = report.metrics
     print(f"application   : {summary['app']}")
     print(f"checks        : {summary['checks']}")
     print(f"restrictions  : {summary['restrictions']}")
     print(f"com. failures : {summary['com_failures']}")
     print(f"sem. failures : {summary['sem_failures']}")
-    print(f"verify time   : {summary['time_s']:.2f} s")
+    print(f"verify time   : {summary['time_s']:.2f} s wall, "
+          f"{summary['solve_time_s']:.2f} s solve")
+    mode = metrics.get("mode", "serial")
+    workers = f", {metrics['jobs_used']} workers" if mode == "parallel" else ""
+    if metrics.get("fallback_reason"):
+        mode += f" (fallback: {metrics['fallback_reason']})"
+    print(f"engine        : {mode}{workers}")
+    print(f"solver calls  : {metrics.get('solver_calls', 0)} "
+          f"(pruned {metrics.get('pruned', 0)})")
+    if args.cache:
+        print(f"cache         : {metrics.get('cache_hits', 0)} hits, "
+              f"{metrics.get('cache_misses', 0)} misses "
+              f"({metrics.get('cache_saved_s', 0.0):.2f} s saved)")
     print("restricted pairs:")
     for verdict in report.restrictions:
         kinds = []
@@ -228,6 +246,16 @@ def main(argv: list[str] | None = None) -> int:
     p_verify.add_argument("app")
     p_verify.add_argument("--quick", action="store_true",
                           help="reduced search budget")
+    p_verify.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="solve pairs on N worker processes "
+                               "(default: 1, serial)")
+    p_verify.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="memoize pair verdicts on disk so unchanged "
+                               "pairs are not re-solved (--no-cache to "
+                               "disable)")
+    p_verify.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="cache location (default: .noctua-cache/)")
     p_verify.add_argument("--conflict-table", action="store_true",
                           help="print the endpoint-level conflict table")
     p_verify.add_argument("--json", metavar="FILE", default=None,

@@ -1,0 +1,34 @@
+"""The verification ENGINE: scheduling layer between analysis and
+verification.
+
+``verify_application`` routes every whole-application sweep through this
+package.  The scheduler prunes pairs via the solver-free fast layers,
+memoizes solved verdicts in a content-addressed on-disk cache
+(``.noctua-cache/`` by default), dispatches the remainder across a
+``multiprocessing`` worker pool, and reports what happened on
+``VerificationReport.metrics``.  See docs/ENGINE.md.
+"""
+
+from .cache import CACHE_FORMAT, DEFAULT_CACHE_DIR, ResultCache
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    FingerprintContext,
+    fingerprint_config,
+    fingerprint_path,
+    fingerprint_schema,
+)
+from .metrics import EngineMetrics
+from .scheduler import run_pair_sweep
+
+__all__ = [
+    "CACHE_FORMAT",
+    "DEFAULT_CACHE_DIR",
+    "EngineMetrics",
+    "FINGERPRINT_VERSION",
+    "FingerprintContext",
+    "ResultCache",
+    "fingerprint_config",
+    "fingerprint_path",
+    "fingerprint_schema",
+    "run_pair_sweep",
+]

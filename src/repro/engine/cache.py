@@ -1,0 +1,113 @@
+"""The persistent pair-verdict cache.
+
+One JSON file per application under the cache root (default
+``.noctua-cache/``): ``<root>/<app>.json`` holding a format version and a
+map ``pair fingerprint -> entry``.  Entries are content-addressed — the
+fingerprint already covers the paths, schema, config, engine backend and
+scheme version (see :mod:`repro.engine.fingerprint`) — so *invalidation
+is free*: an edited path simply misses, and its stale entry is left
+behind as garbage.  ``prune()`` drops entries not referenced by the
+current sweep for callers that want a tight file.
+
+Writes are atomic (tmp file + ``os.replace``) and only happen when the
+entry map changed, so a fully warm sweep performs no writes at all.
+A corrupt, unreadable or version-mismatched file is treated as an empty
+cache, never an error: the cache is an accelerator, not a correctness
+dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..verifier.restrictions import (
+    PairVerdict,
+    verdict_from_obj,
+    verdict_to_obj,
+)
+
+#: default cache root, relative to the working directory
+DEFAULT_CACHE_DIR = ".noctua-cache"
+
+#: bump on incompatible changes to the cache file layout
+CACHE_FORMAT = 1
+
+
+class ResultCache:
+    """On-disk memo of solved pair verdicts for one application."""
+
+    def __init__(self, root: str | os.PathLike, app_name: str):
+        self.root = Path(root)
+        self.app_name = app_name
+        self.path = self.root / f"{_safe_name(app_name)}.json"
+        self._entries: dict[str, dict] = self._load()
+        self._dirty = False
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            obj = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(obj, dict) or obj.get("format") != CACHE_FORMAT:
+            return {}
+        entries = obj.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str) -> tuple[PairVerdict, float] | None:
+        """The cached verdict and its original solve time, or ``None``.
+
+        The replayed verdict's per-check ``elapsed_s`` is zeroed: the
+        report's aggregate solve time measures work done *this* run, and
+        a cache hit did none.  The original cost is returned separately
+        so the scheduler can report time saved."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return None
+        try:
+            verdict = verdict_from_obj(entry["verdict"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        solve_s = 0.0
+        for check in (verdict.commutativity, verdict.semantic):
+            if check is not None:
+                solve_s += check.elapsed_s
+                check.elapsed_s = 0.0
+        return verdict, solve_s
+
+    def put(self, fingerprint: str, verdict: PairVerdict) -> None:
+        self._entries[fingerprint] = {"verdict": verdict_to_obj(verdict)}
+        self._dirty = True
+
+    def prune(self, live: set[str]) -> int:
+        """Drop entries whose fingerprint is not in ``live``; returns the
+        number removed."""
+        stale = [fp for fp in self._entries if fp not in live]
+        for fp in stale:
+            del self._entries[fp]
+        if stale:
+            self._dirty = True
+        return len(stale)
+
+    def flush(self) -> None:
+        """Persist the entry map if it changed since load."""
+        if not self._dirty:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "app": self.app_name,
+            "entries": self._entries,
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+
+def _safe_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)

@@ -1,0 +1,93 @@
+"""Scheduler observability: what the sweep did and where the time went.
+
+Attached to ``VerificationReport.metrics`` as a plain dict so the report
+layer stays decoupled from the engine, serializes into the deployment
+JSON artifact unchanged, and is printable by the CLI and the benchmark
+harness without imports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineMetrics:
+    """Counters and timings for one pair sweep."""
+
+    #: requested worker count and what actually ran
+    jobs_requested: int = 1
+    jobs_used: int = 1
+    mode: str = "serial"  # "serial" | "parallel"
+    fallback_reason: str = ""
+
+    pairs_total: int = 0
+    #: fast-path pruning counts (no solver, no cache involved)
+    pruned_conservative: int = 0
+    pruned_order: int = 0
+    pruned_disjoint: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: pairs actually handed to a checker this run
+    solver_calls: int = 0
+
+    #: wall clock of the solve phase only (dispatch to last result)
+    solve_wall_s: float = 0.0
+    #: sum of per-pair solve times across workers (the "work done")
+    solve_cpu_s: float = 0.0
+    #: original solve time of verdicts replayed from the cache
+    cache_saved_s: float = 0.0
+
+    #: busy seconds per worker (keyed by worker pid as a string so the
+    #: dict survives a JSON round-trip unchanged)
+    worker_busy_s: dict[str, float] = field(default_factory=dict)
+
+    #: the slowest solved pairs this run: (left, right, seconds)
+    slowest_pairs: list[tuple[str, str, float]] = field(default_factory=list)
+
+    @property
+    def pruned(self) -> int:
+        return (self.pruned_conservative + self.pruned_order
+                + self.pruned_disjoint)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Mean fraction of the solve phase each worker spent solving.
+
+        1.0 means every worker was busy for the whole solve phase; low
+        values flag stragglers or dispatch overhead dominating."""
+        if not self.worker_busy_s or self.solve_wall_s <= 0.0:
+            return 0.0
+        capacity = len(self.worker_busy_s) * self.solve_wall_s
+        return min(1.0, sum(self.worker_busy_s.values()) / capacity)
+
+    def record_solve(self, pid: int, left: str, right: str,
+                     elapsed_s: float, *, keep_slowest: int = 5) -> None:
+        self.solver_calls += 1
+        self.solve_cpu_s += elapsed_s
+        key = str(pid)
+        self.worker_busy_s[key] = self.worker_busy_s.get(key, 0.0) + elapsed_s
+        self.slowest_pairs.append((left, right, elapsed_s))
+        self.slowest_pairs.sort(key=lambda t: t[2], reverse=True)
+        del self.slowest_pairs[keep_slowest:]
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs_requested": self.jobs_requested,
+            "jobs_used": self.jobs_used,
+            "mode": self.mode,
+            "fallback_reason": self.fallback_reason,
+            "pairs_total": self.pairs_total,
+            "pruned": self.pruned,
+            "pruned_conservative": self.pruned_conservative,
+            "pruned_order": self.pruned_order,
+            "pruned_disjoint": self.pruned_disjoint,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "solver_calls": self.solver_calls,
+            "solve_wall_s": self.solve_wall_s,
+            "solve_cpu_s": self.solve_cpu_s,
+            "cache_saved_s": self.cache_saved_s,
+            "worker_utilization": self.worker_utilization,
+            "worker_busy_s": dict(self.worker_busy_s),
+            "slowest_pairs": [list(t) for t in self.slowest_pairs],
+        }

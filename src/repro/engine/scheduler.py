@@ -1,0 +1,224 @@
+"""The verification scheduler: incremental, parallel pair sweeps.
+
+Sits between the analyzer and the pair checkers (paper Figure 1 gains a
+box): ``run_pair_sweep`` drives the quadratic sweep over effectful code
+paths that ``verify_application`` used to run inline, adding three layers
+while preserving result equality with the plain serial loop:
+
+1. **pruning** — the solver-free fast layers (``classify_pair``) resolve
+   conservative, order-disabled and disjoint-footprint pairs in the
+   parent process;
+2. **memoization** — remaining pairs are looked up in a content-addressed
+   on-disk cache (:mod:`repro.engine.cache`) keyed by the pair fingerprint
+   (:mod:`repro.engine.fingerprint`); after an edit, only pairs whose
+   fingerprints changed are re-solved;
+3. **parallelism** — cache misses are dispatched across a
+   ``multiprocessing`` pool (``jobs > 1``), falling back to serial
+   execution if a pool cannot be created or dies mid-sweep.
+
+Determinism: verdicts are assembled into the report in sweep order
+(``i <= j`` over the effectful-path list) regardless of worker completion
+order, and the checkers themselves are process-independent (seeded
+sampling, no builtin ``hash``), so serial, parallel and cached sweeps
+produce identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+from ..soir.path import AnalysisResult
+from ..soir.serialize import path_to_obj, path_from_obj, schema_from_obj, schema_to_obj
+from ..verifier.enumcheck import CheckConfig
+from ..verifier.restrictions import (
+    VerificationReport,
+    verdict_from_obj,
+    verdict_to_obj,
+)
+from ..verifier.runner import classify_pair, solve_pair
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .fingerprint import FingerprintContext
+from .metrics import EngineMetrics
+
+# ---------------------------------------------------------------------------
+# Worker side.  Each pool worker deserializes the sweep inputs once (in the
+# initializer) and then solves pairs by index; passing SOIR JSON instead of
+# pickled objects keeps the protocol spawn-safe and version-checkable.
+# ---------------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _worker_init(schema_json: str, paths_json: str, config_args: dict,
+                 engine: str) -> None:
+    _WORKER["schema"] = schema_from_obj(json.loads(schema_json))
+    _WORKER["paths"] = [path_from_obj(o) for o in json.loads(paths_json)]
+    _WORKER["config"] = CheckConfig(**config_args)
+    _WORKER["engine"] = engine
+
+
+def _worker_solve(task: tuple[int, int, int]) -> tuple[int, dict, int, float]:
+    slot, i, j = task
+    paths = _WORKER["paths"]
+    started = time.perf_counter()
+    verdict = solve_pair(
+        paths[i], paths[j], _WORKER["schema"], _WORKER["config"],
+        engine=_WORKER["engine"],
+    )
+    elapsed = time.perf_counter() - started
+    return slot, verdict_to_obj(verdict), os.getpid(), elapsed
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+
+def run_pair_sweep(
+    analysis: AnalysisResult,
+    config: CheckConfig | None = None,
+    *,
+    engine: str = "enum",
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: str | None = None,
+    prune_cache: bool = False,
+) -> VerificationReport:
+    """Verify every unordered pair of effectful paths of ``analysis``.
+
+    ``prune_cache`` additionally drops cache entries not referenced by
+    this sweep (stale fingerprints from earlier versions of the app)."""
+    config = config or CheckConfig()
+    wall_start = time.perf_counter()
+    effectful = analysis.effectful_paths
+    metrics = EngineMetrics(jobs_requested=jobs)
+
+    cache: ResultCache | None = None
+    fingerprints: FingerprintContext | None = None
+    if use_cache:
+        cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR, analysis.app_name)
+        fingerprints = FingerprintContext(analysis.schema, config, engine)
+
+    # Pass 1 — resolve every pair through pruning and the cache, queueing
+    # only genuine solver work.  ``verdicts`` is slot-addressed so results
+    # land in sweep order no matter how they were computed.
+    verdicts: list = []
+    queue: list[tuple[int, int, int]] = []  # (slot, i, j)
+    slot_fp: dict[int, str] = {}
+    live_fps: set[str] = set()
+    prune_counters = {
+        "conservative": 0,
+        "order": 0,
+        "disjoint": 0,
+    }
+    for i, p in enumerate(effectful):
+        for j in range(i, len(effectful)):
+            q = effectful[j]
+            slot = len(verdicts)
+            classified = classify_pair(p, q, analysis.schema, config)
+            if classified is not None:
+                verdict, tag = classified
+                prune_counters[tag] += 1
+                verdicts.append(verdict)
+                continue
+            if cache is not None and fingerprints is not None:
+                fp = fingerprints.pair(p, q)
+                live_fps.add(fp)
+                hit = cache.get(fp)
+                if hit is not None:
+                    verdict, saved_s = hit
+                    metrics.cache_hits += 1
+                    metrics.cache_saved_s += saved_s
+                    verdicts.append(verdict)
+                    continue
+                metrics.cache_misses += 1
+                slot_fp[slot] = fp
+            verdicts.append(None)
+            queue.append((slot, i, j))
+    metrics.pairs_total = len(verdicts)
+    metrics.pruned_conservative = prune_counters["conservative"]
+    metrics.pruned_order = prune_counters["order"]
+    metrics.pruned_disjoint = prune_counters["disjoint"]
+
+    # Pass 2 — solve the queue, in parallel when asked and worthwhile.
+    solve_start = time.perf_counter()
+    remaining = _solve_parallel(analysis, config, engine, jobs, queue,
+                                verdicts, metrics)
+    for slot, i, j in remaining:
+        started = time.perf_counter()
+        verdict = solve_pair(effectful[i], effectful[j], analysis.schema,
+                             config, engine=engine)
+        metrics.record_solve(os.getpid(), verdict.left, verdict.right,
+                             time.perf_counter() - started)
+        verdicts[slot] = verdict
+    metrics.solve_wall_s = time.perf_counter() - solve_start
+
+    if cache is not None:
+        for slot, fp in slot_fp.items():
+            if verdicts[slot] is not None:
+                cache.put(fp, verdicts[slot])
+        if prune_cache:
+            cache.prune(live_fps)
+        cache.flush()
+
+    report = VerificationReport(analysis.app_name)
+    for verdict in verdicts:
+        report.verdicts.append(verdict)
+        if verdict.commutativity is not None:
+            report.time_commutativity_s += verdict.commutativity.elapsed_s
+        if verdict.semantic is not None:
+            report.time_semantic_s += verdict.semantic.elapsed_s
+    report.elapsed_s = time.perf_counter() - wall_start
+    report.metrics = metrics.to_dict()
+    return report
+
+
+def _solve_parallel(
+    analysis: AnalysisResult,
+    config: CheckConfig,
+    engine: str,
+    jobs: int,
+    queue: list[tuple[int, int, int]],
+    verdicts: list,
+    metrics: EngineMetrics,
+) -> list[tuple[int, int, int]]:
+    """Try to drain ``queue`` with a worker pool, filling ``verdicts``.
+
+    Returns the tasks still unsolved — empty on success, the whole queue
+    when parallelism is unavailable, or the unfinished tail if the pool
+    died mid-sweep (the caller finishes serially; results stay exact)."""
+    if jobs <= 1 or len(queue) < 2:
+        return queue
+    import dataclasses
+
+    workers = min(jobs, len(queue))
+    done: set[int] = set()
+    try:
+        schema_json = json.dumps(schema_to_obj(analysis.schema))
+        paths_json = json.dumps(
+            [path_to_obj(p) for p in analysis.effectful_paths]
+        )
+        initargs = (schema_json, paths_json, dataclasses.asdict(config),
+                    engine)
+        with multiprocessing.Pool(
+            workers, initializer=_worker_init, initargs=initargs,
+        ) as pool:
+            for slot, obj, pid, elapsed in pool.imap_unordered(
+                _worker_solve, queue, chunksize=1,
+            ):
+                verdict = verdict_from_obj(obj)
+                verdicts[slot] = verdict
+                done.add(slot)
+                metrics.record_solve(pid, verdict.left, verdict.right,
+                                     elapsed)
+        metrics.mode = "parallel"
+        metrics.jobs_used = workers
+        return []
+    except Exception as exc:  # pool creation or a worker crash
+        metrics.mode = "serial"
+        metrics.jobs_used = 1
+        metrics.fallback_reason = f"{type(exc).__name__}: {exc}"
+        return [task for task in queue if task[0] not in done]

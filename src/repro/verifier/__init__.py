@@ -15,8 +15,16 @@ from .restrictions import (
     Outcome,
     PairVerdict,
     VerificationReport,
+    verdict_from_obj,
+    verdict_to_obj,
 )
-from .runner import operation_conflict_table, verify_application, verify_pair
+from .runner import (
+    classify_pair,
+    operation_conflict_table,
+    solve_pair,
+    verify_application,
+    verify_pair,
+)
 from .smtcheck import SmtPairChecker
 from .scopes import Scope, StateGenerator, build_scope
 
@@ -32,7 +40,11 @@ __all__ = [
     "StateGenerator",
     "VerificationReport",
     "build_scope",
+    "classify_pair",
     "operation_conflict_table",
+    "solve_pair",
+    "verdict_from_obj",
+    "verdict_to_obj",
     "verify_application",
     "verify_pair",
 ]

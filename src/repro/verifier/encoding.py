@@ -601,6 +601,12 @@ class Encoder:
         ids = self.state.ids[model]
         data = self.state.data[model]
         order = self.state.order.get(model)
+        if self.mode == "run":
+            # ``merge_objects`` aborts when a merged object's unique field
+            # collides with a *different* pre-merge row or with another
+            # object of the same merge (interp ``_check_unique``) — in run
+            # mode that abort is part of ``g_P``.
+            self._unique_preconditions(model, setv)
         for r in self.universe[model]:
             merged = setv.member[r]
             if order is not None:
@@ -616,6 +622,49 @@ class Encoder:
                 data[r][fname] = T.ite(merged, setv.data[r][fname],
                                        data[r][fname])
             ids[r] = T.or_(ids[r], merged)
+
+    def _unique_preconditions(self, model: str, setv) -> None:
+        """Preconditions mirroring the interpreter's merge-time unique
+        checks: each merged object, against the pre-merge table and
+        against the rest of the merge batch."""
+        mschema = self.schema.model(model)
+        ids = self.state.ids[model]
+        data = self.state.data[model]
+        univ = self.universe[model]
+        unique_fields = [
+            f.name for f in mschema.fields
+            if f.unique and f.name != mschema.pk
+        ]
+        groups = list(mschema.unique_together)
+        if not unique_fields and not groups:
+            return
+        for r1 in univ:
+            merged1 = setv.member[r1]
+            for fname in unique_fields:
+                new_v = setv.data[r1][fname]
+                clash = T.or_(*(
+                    T.and_(ids[r2], T.eq(new_v, data[r2][fname]))
+                    for r2 in univ if r2 != r1
+                ))
+                batch = T.or_(*(
+                    T.and_(setv.member[r2], T.eq(new_v, setv.data[r2][fname]))
+                    for r2 in univ if r2 != r1
+                ))
+                self.pre.append(T.not_(T.and_(
+                    merged1,
+                    T.not_(T.is_null(new_v)),
+                    T.or_(clash, batch),
+                )))
+            for group in groups:
+                for r2 in univ:
+                    if r2 == r1:
+                        continue
+                    same = T.and_(*(
+                        T.eq(setv.data[r1][g], data[r2][g]) for g in group
+                    ))
+                    self.pre.append(
+                        T.not_(T.and_(merged1, ids[r2], same))
+                    )
 
     def _exec_Delete(self, cmd: C.Delete) -> None:
         setv = self.eval(cmd.qs)

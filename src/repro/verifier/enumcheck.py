@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import random
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -106,9 +107,13 @@ class PairChecker:
                         break
                 if produced >= cfg.max_exhaustive:
                     break
-        rng = random.Random(
-            cfg.seed ^ hash((self.p.name, self.q.name)) & 0xFFFFFFFF
-        )
+        # The per-pair stream must not depend on the process: built-in
+        # ``hash()`` of strings is randomized per interpreter (PYTHONHASHSEED),
+        # which made verdicts differ between processes — fatal for the
+        # parallel engine and the result cache, where the same pair must
+        # solve identically everywhere.
+        pair_tag = zlib.crc32(f"{self.p.name}\x00{self.q.name}".encode())
+        rng = random.Random(cfg.seed ^ pair_tag)
         produced = 0
         while produced < cfg.max_samples:
             state = self.generator.random_state(rng)

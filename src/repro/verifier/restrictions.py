@@ -55,6 +55,11 @@ class PairVerdict:
     right: str
     commutativity: CheckResult | None = None
     semantic: CheckResult | None = None
+    #: the view (HTTP endpoint) each code path belongs to.  Empty on
+    #: verdicts deserialized from legacy reports, in which case consumers
+    #: fall back to parsing the ``view[index]`` path-name convention.
+    left_view: str = ""
+    right_view: str = ""
 
     @property
     def restricted(self) -> bool:
@@ -64,16 +69,102 @@ class PairVerdict:
         return False
 
 
+# ---------------------------------------------------------------------------
+# Verdict (de)serialization — used by the engine's result cache and by the
+# deployment JSON artifact.  Round-trips exactly; legacy objects without
+# view fields load with empty views.
+# ---------------------------------------------------------------------------
+
+
+def check_result_to_obj(result: CheckResult) -> dict:
+    obj: dict = {
+        "left": result.left,
+        "right": result.right,
+        "kind": result.kind,
+        "outcome": result.outcome.value,
+        "elapsed_s": result.elapsed_s,
+        "detail": result.detail,
+    }
+    if result.witness is not None:
+        obj["witness"] = {
+            "description": result.witness.description,
+            "state": result.witness.state,
+            "args_p": result.witness.args_p,
+            "args_q": result.witness.args_q,
+        }
+    return obj
+
+
+def check_result_from_obj(obj: dict) -> CheckResult:
+    witness = None
+    if obj.get("witness") is not None:
+        w = obj["witness"]
+        witness = Counterexample(
+            description=w.get("description", ""),
+            state=w.get("state", ""),
+            args_p=w.get("args_p", ""),
+            args_q=w.get("args_q", ""),
+        )
+    return CheckResult(
+        left=obj["left"],
+        right=obj["right"],
+        kind=obj["kind"],
+        outcome=Outcome(obj["outcome"]),
+        elapsed_s=obj.get("elapsed_s", 0.0),
+        witness=witness,
+        detail=obj.get("detail", ""),
+    )
+
+
+def verdict_to_obj(verdict: PairVerdict) -> dict:
+    return {
+        "left": verdict.left,
+        "right": verdict.right,
+        "left_view": verdict.left_view,
+        "right_view": verdict.right_view,
+        "commutativity": check_result_to_obj(verdict.commutativity)
+        if verdict.commutativity else None,
+        "semantic": check_result_to_obj(verdict.semantic)
+        if verdict.semantic else None,
+    }
+
+
+def verdict_from_obj(obj: dict) -> PairVerdict:
+    return PairVerdict(
+        left=obj["left"],
+        right=obj["right"],
+        commutativity=check_result_from_obj(obj["commutativity"])
+        if obj.get("commutativity") else None,
+        semantic=check_result_from_obj(obj["semantic"])
+        if obj.get("semantic") else None,
+        left_view=obj.get("left_view", ""),
+        right_view=obj.get("right_view", ""),
+    )
+
+
 @dataclass
 class VerificationReport:
     """Aggregate results for one application (the rows of Table 6)."""
 
     app_name: str
     verdicts: list[PairVerdict] = field(default_factory=list)
+    #: wall clock of the whole sweep (what the user waited for)
     elapsed_s: float = 0.0
-    #: wall-clock split by check kind (Figure 9's com/sem stacking)
+    #: aggregate per-pair solve time split by check kind (Figure 9's
+    #: com/sem stacking).  Sums of each check's own elapsed time, so the
+    #: split stays meaningful under parallel execution, where the wall
+    #: clock is smaller than the work performed.
     time_commutativity_s: float = 0.0
     time_semantic_s: float = 0.0
+    #: scheduler metrics (cache hits/misses, pruning counts, worker
+    #: utilization, ...) when the sweep ran through ``repro.engine``
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def time_solve_s(self) -> float:
+        """Aggregate solver time across all pairs (≥ wall clock when
+        serial, typically > wall clock when parallel)."""
+        return self.time_commutativity_s + self.time_semantic_s
 
     @property
     def checks(self) -> int:
@@ -134,6 +225,8 @@ class VerificationReport:
                 {
                     "left": v.left,
                     "right": v.right,
+                    "left_view": v.left_view,
+                    "right_view": v.right_view,
                     "commutativity": v.commutativity.outcome.value
                     if v.commutativity else None,
                     "semantic": v.semantic.outcome.value
@@ -141,14 +234,27 @@ class VerificationReport:
                 }
                 for v in self.verdicts
             ],
+            "timing": {
+                "wall_s": self.elapsed_s,
+                "solve_s": self.time_solve_s,
+                "commutativity_s": self.time_commutativity_s,
+                "semantic_s": self.time_semantic_s,
+            },
+            "metrics": self.metrics,
         }
 
     def summary(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "app": self.app_name,
             "checks": self.checks,
             "restrictions": len(self.restrictions),
             "com_failures": len(self.commutativity_failures),
             "sem_failures": len(self.semantic_failures),
             "time_s": self.elapsed_s,
+            "solve_time_s": self.time_solve_s,
         }
+        if self.metrics:
+            for key in ("cache_hits", "cache_misses", "solver_calls"):
+                if key in self.metrics:
+                    out[key] = self.metrics[key]
+        return out

@@ -6,13 +6,19 @@ restriction set.  Fast paths keep the quadratic sweep tractable:
 
 * a pair involving a *conservative* path is restricted without solving
   (paper §3.3);
+* with the order encoding disabled, a pair using order primitives is
+  restricted without solving (the classic order-less array encoding);
 * a pair whose footprints (models + relations, including referential-action
   spill-over) are disjoint cannot interact: both checks pass immediately.
+
+``classify_pair`` resolves the fast layers without touching a solver;
+``solve_pair`` runs the actual checkers.  ``verify_pair`` composes the two.
+The whole-application sweep (``verify_application``) is executed by the
+scheduler in :mod:`repro.engine`, which adds pair memoization and a
+multiprocessing worker pool on top of these primitives.
 """
 
 from __future__ import annotations
-
-import time
 
 from ..soir.path import AnalysisResult, CodePath
 from ..soir.schema import Schema
@@ -24,8 +30,63 @@ from .restrictions import (
     VerificationReport,
 )
 
+#: fast-path tags reported by :func:`classify_pair` (the scheduler's
+#: pruning counters are keyed by these)
+PRUNE_CONSERVATIVE = "conservative"
+PRUNE_ORDER = "order"
+PRUNE_DISJOINT = "disjoint"
 
-def verify_pair(
+
+def _new_verdict(p: CodePath, q: CodePath) -> PairVerdict:
+    return PairVerdict(p.name, q.name, left_view=p.view, right_view=q.view)
+
+
+def classify_pair(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    config: CheckConfig | None = None,
+) -> tuple[PairVerdict, str] | None:
+    """Resolve a pair through the solver-free fast layers.
+
+    Returns ``(verdict, prune_tag)`` when one of the fast paths decides
+    the pair, or ``None`` when the pair needs actual solving."""
+    config = config or CheckConfig()
+    if p.conservative or q.conservative:
+        why = p.name if p.conservative else q.name
+        verdict = _new_verdict(p, q)
+        for kind in ("commutativity", "semantic"):
+            _attach(verdict, CheckResult(
+                p.name, q.name, kind, Outcome.CONSERVATIVE,
+                detail=f"{why} analyzed conservatively",
+            ))
+        return verdict, PRUNE_CONSERVATIVE
+    if not config.order_enabled and (p.uses_order() or q.uses_order()):
+        # Classic order-less array encoding: order-related semantics are
+        # unverifiable, so the pair is restricted without solving.
+        why = p.name if p.uses_order() else q.name
+        verdict = _new_verdict(p, q)
+        for kind in ("commutativity", "semantic"):
+            _attach(verdict, CheckResult(
+                p.name, q.name, kind, Outcome.CONSERVATIVE,
+                detail=f"{why} uses order primitives (order encoding off)",
+            ))
+        return verdict, PRUNE_ORDER
+    if (
+        not (p.models_touched(schema) & q.models_touched(schema))
+        and not (p.relations_touched(schema) & q.relations_touched(schema))
+    ):
+        verdict = _new_verdict(p, q)
+        for kind in ("commutativity", "semantic"):
+            _attach(verdict, CheckResult(
+                p.name, q.name, kind, Outcome.PASS,
+                detail="disjoint footprint",
+            ))
+        return verdict, PRUNE_DISJOINT
+    return None
+
+
+def solve_pair(
     p: CodePath,
     q: CodePath,
     schema: Schema,
@@ -33,7 +94,7 @@ def verify_pair(
     *,
     engine: str = "enum",
 ) -> PairVerdict:
-    """Run both checks for one pair.
+    """Run both checkers for one pair, skipping the fast layers.
 
     ``engine`` selects the verification backend: ``"enum"`` (the bounded
     model finder over concrete states — the default) or ``"smt"`` (the
@@ -41,42 +102,7 @@ def verify_pair(
     are independent implementations of the same checking rules and agree
     on the paper's benchmarks (see tests/test_smt_engine.py)."""
     config = config or CheckConfig()
-    verdict = PairVerdict(p.name, q.name)
-    if p.conservative or q.conservative:
-        why = p.name if p.conservative else q.name
-        for kind in ("commutativity", "semantic"):
-            result = CheckResult(
-                p.name, q.name, kind, Outcome.CONSERVATIVE,
-                detail=f"{why} analyzed conservatively",
-            )
-            _attach(verdict, result)
-        return verdict
-    if not config.order_enabled and (p.uses_order() or q.uses_order()):
-        # Classic order-less array encoding: order-related semantics are
-        # unverifiable, so the pair is restricted without solving.
-        why = p.name if p.uses_order() else q.name
-        for kind in ("commutativity", "semantic"):
-            _attach(
-                verdict,
-                CheckResult(
-                    p.name, q.name, kind, Outcome.CONSERVATIVE,
-                    detail=f"{why} uses order primitives (order encoding off)",
-                ),
-            )
-        return verdict
-    if (
-        not (p.models_touched(schema) & q.models_touched(schema))
-        and not (p.relations_touched(schema) & q.relations_touched(schema))
-    ):
-        for kind in ("commutativity", "semantic"):
-            _attach(
-                verdict,
-                CheckResult(
-                    p.name, q.name, kind, Outcome.PASS,
-                    detail="disjoint footprint",
-                ),
-            )
-        return verdict
+    verdict = _new_verdict(p, q)
     if engine == "smt":
         from .smtcheck import SmtPairChecker
 
@@ -86,6 +112,22 @@ def verify_pair(
     _attach(verdict, checker.check_commutativity())
     _attach(verdict, checker.check_semantic())
     return verdict
+
+
+def verify_pair(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    config: CheckConfig | None = None,
+    *,
+    engine: str = "enum",
+) -> PairVerdict:
+    """Run both checks for one pair: fast layers first, then the solver."""
+    config = config or CheckConfig()
+    classified = classify_pair(p, q, schema, config)
+    if classified is not None:
+        return classified[0]
+    return solve_pair(p, q, schema, config, engine=engine)
 
 
 def _attach(verdict: PairVerdict, result: CheckResult) -> None:
@@ -100,22 +142,33 @@ def verify_application(
     config: CheckConfig | None = None,
     *,
     engine: str = "enum",
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: str | None = None,
 ) -> VerificationReport:
-    """Verify every pair of effectful paths of an analyzed application."""
-    config = config or CheckConfig()
-    report = VerificationReport(analysis.app_name)
-    start = time.perf_counter()
-    effectful = analysis.effectful_paths
-    for i, p in enumerate(effectful):
-        for q in effectful[i:]:
-            verdict = verify_pair(p, q, analysis.schema, config, engine=engine)
-            report.verdicts.append(verdict)
-            if verdict.commutativity is not None:
-                report.time_commutativity_s += verdict.commutativity.elapsed_s
-            if verdict.semantic is not None:
-                report.time_semantic_s += verdict.semantic.elapsed_s
-    report.elapsed_s = time.perf_counter() - start
-    return report
+    """Verify every pair of effectful paths of an analyzed application.
+
+    Execution is delegated to the :mod:`repro.engine` scheduler:
+    ``jobs > 1`` dispatches the pair sweep across a worker pool (with
+    graceful fallback to serial execution), ``use_cache=True`` memoizes
+    verdicts in a versioned on-disk cache under ``cache_dir`` (default
+    ``.noctua-cache/``) so re-verification only re-solves pairs whose
+    content fingerprints changed.  Results are deterministic and
+    identical across all execution modes."""
+    from ..engine.scheduler import run_pair_sweep
+
+    return run_pair_sweep(
+        analysis, config, engine=engine, jobs=jobs,
+        use_cache=use_cache, cache_dir=cache_dir,
+    )
+
+
+def verdict_views(verdict: PairVerdict) -> tuple[str, str]:
+    """The pair's views, falling back to the ``view[index]`` path-name
+    convention for verdicts deserialized from legacy reports."""
+    left = verdict.left_view or verdict.left.split("[")[0]
+    right = verdict.right_view or verdict.right.split("[")[0]
+    return left, right
 
 
 def operation_conflict_table(report: VerificationReport) -> set[frozenset[str]]:
@@ -127,7 +180,6 @@ def operation_conflict_table(report: VerificationReport) -> set[frozenset[str]]:
     """
     conflicts: set[frozenset[str]] = set()
     for verdict in report.restrictions:
-        left_view = verdict.left.split("[")[0]
-        right_view = verdict.right.split("[")[0]
+        left_view, right_view = verdict_views(verdict)
         conflicts.add(frozenset((left_view, right_view)))
     return conflicts

@@ -168,6 +168,36 @@ def build_scope(
         # would hide last-writer divergence between two inserts).
         STRING: sorted(string_constants)[:6] + ["zz", "yy"],
     }
+    # A unique field must never saturate its scalar domain: with
+    # ``ids_per_model`` rows alive, a well-formed state already holds that
+    # many distinct values, and an insert needs a free one to be
+    # generatable at all.  Too small a domain makes full states block
+    # every insert, hiding real guard invalidations from the bounded
+    # search (the scope must witness feasibility, not forbid it).
+    min_unique_domain = ids_per_model + 2
+    unique_value_types = set()
+    for mname in models:
+        model = schema.model(mname)
+        grouped = {f for group in model.unique_together for f in group}
+        for f in model.fields:
+            if f.name == model.pk or f.choices is not None:
+                continue
+            if f.unique or f.name in grouped:
+                unique_value_types.add(f.type)
+    if STRING in unique_value_types:
+        dom = type_domains[STRING]
+        for filler in ("xx", "ww", "vv", "uu", "tt", "ss"):
+            if len(dom) >= min_unique_domain:
+                break
+            if filler not in dom:
+                dom.append(filler)
+    if INT in unique_value_types:
+        dom = type_domains[INT]
+        value = max(dom) + 1
+        while len(dom) < min_unique_domain:
+            dom.append(value)
+            value += 1
+
     # Argument strings must be able to hit existing string pks.
     arg_strings = list(type_domains[STRING])
     for mname in models:
@@ -265,6 +295,18 @@ class StateGenerator:
         k = max(len(v) for v in self.scope.ids.values()) if self.scope.ids else 0
         if k >= 2:
             states.append(self._populated(k, vary=True))
+        # Rotated suites: the plain states above only ever exercise the
+        # *leading* values of each field domain, so a witness that needs a
+        # row holding a later value (e.g. a positive balance where the
+        # domain leads with boundary values) would never appear in a
+        # deterministic state.  Rotate the domains so every value shows up
+        # in some full state.
+        if k >= 1:
+            width = max(
+                (len(d) for d in self.scope.field_domains.values()), default=0
+            )
+            for shift in range(1, min(width, 4)):
+                states.append(self._populated(k, vary=True, shift=shift))
         for rows in range(k, -1, -1):
             states.append(self._populated(rows))
         return [s for s in states if s is not None]
@@ -281,7 +323,9 @@ class StateGenerator:
             state.assocs[rname] = set()
         return state
 
-    def _populated(self, rows: int, *, vary: bool = False) -> DBState:
+    def _populated(
+        self, rows: int, *, vary: bool = False, shift: int = 0
+    ) -> DBState:
         state = self._empty()
         for mname in sorted(self.scope.models):
             model = self.schema.model(mname)
@@ -297,7 +341,7 @@ class StateGenerator:
                         # fresh values so the state stays well-formed.
                         row[f.name] = _synthesize_unique(domain, idx)
                         continue
-                    offset = idx if (vary or f.unique) else 0
+                    offset = (idx if (vary or f.unique) else 0) + shift
                     row[f.name] = domain[offset % len(domain)]
                 state.insert_row(mname, pk, row)
         self._fix_unique_together(state)
@@ -470,10 +514,30 @@ def env_products(
     total = 1
     for _, _, pool in specs:
         total *= max(1, len(pool))
-        if total > cap:
-            break
     if total > cap:
-        return None  # caller falls back to sampling
+        # Don't abandon exhaustive coverage wholesale: shrink the widest
+        # domains until the product fits, shedding the least
+        # witness-relevant values first — scope ids are moved to the
+        # front before trimming because a value that names an existing
+        # row is what guards and derefs hinge on.  The sampling phase
+        # still explores the full domains.
+        id_values = {v for pks in scope.ids.values() for v in pks}
+        pools = [
+            [v for v in pool if v in id_values]
+            + [v for v in pool if v not in id_values]
+            for _, _, pool in specs
+        ]
+        while total > cap:
+            widest = max(range(len(pools)), key=lambda k: len(pools[k]))
+            if len(pools[widest]) <= 1:
+                return None  # cannot fit: caller falls back to sampling
+            total //= len(pools[widest])
+            pools[widest].pop()
+            total *= max(1, len(pools[widest]))
+        specs = [
+            (side, name, pool)
+            for (side, name, _), pool in zip(specs, pools)
+        ]
     out = []
     for combo in itertools.product(*(pool for _, _, pool in specs)):
         env_p: dict[str, object] = {}

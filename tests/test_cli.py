@@ -50,19 +50,31 @@ class TestAnalyze:
 
 
 class TestVerify:
-    def test_courseware_quick(self, capsys):
+    def test_courseware_quick(self, capsys, tmp_path):
         code, out = run_cli(capsys, "verify", "courseware", "--quick",
-                            "--conflict-table")
+                            "--conflict-table",
+                            "--cache-dir", str(tmp_path / "cache"))
         assert code == 0
         assert "com. failures : 1" in out
         assert "sem. failures : 1" in out
         assert "('AddCourse', 'DeleteCourse')" in out
 
     def test_smallbank(self, capsys):
-        code, out = run_cli(capsys, "verify", "smallbank")
+        code, out = run_cli(capsys, "verify", "smallbank", "--no-cache")
         assert code == 0
         assert "com. failures : 0" in out
         assert "sem. failures : 4" in out
+
+    def test_warm_cache_solves_nothing(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, _ = run_cli(capsys, "verify", "smallbank", "--quick",
+                          "--cache-dir", cache_dir)
+        assert code == 0
+        code, out = run_cli(capsys, "verify", "smallbank", "--quick",
+                            "--jobs", "2", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "solver calls  : 0 " in out
+        assert "cache         : 10 hits, 0 misses" in out
 
 
 class TestChaos:

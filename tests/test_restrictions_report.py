@@ -82,7 +82,9 @@ class TestJsonArtifact:
         assert parsed["coordination_free"] == ["D"]
         assert len(parsed["verdicts"]) == 8
         first = parsed["verdicts"][0]
-        assert set(first) == {"left", "right", "commutativity", "semantic"}
+        assert set(first) == {"left", "right", "left_view", "right_view",
+                              "commutativity", "semantic"}
+        assert parsed["timing"]["wall_s"] == pytest.approx(0.0)
 
     def test_verdict_values_are_strings(self, report):
         obj = report.to_json_obj()
