@@ -2,7 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-full bench-sweep examples chaos clean
+.PHONY: install test bench bench-full bench-sweep examples chaos \
+	trace-demo docs-lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +23,14 @@ bench-sweep:
 chaos:
 	$(PYTHON) -m repro chaos postgraduation --seed 3 --ops 200
 	$(PYTHON) -m repro chaos smallbank --seed 1 --ops 120 --faults all
+
+trace-demo:
+	$(PYTHON) -m repro trace courseware --quick --jobs 2 \
+		--out trace-demo.jsonl
+	$(PYTHON) tools/check_trace.py trace-demo.jsonl
+
+docs-lint:
+	$(PYTHON) tools/docs_lint.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 
+from ..obs import tracer as obs
 from ..orm import runtime
 from ..orm.exceptions import (
     IntegrityError,
@@ -71,64 +72,87 @@ def analyze_view(
     view_name = pattern.view_name
     paths: list[CodePath] = []
     index = 0
-    while True:
-        session.begin_run()
-        request = SymbolicRequest(session)
-        url_args = {}
-        for name, pytype in pattern.param_specs():
-            soir_type = INT if pytype is int else STRING
-            var = session.declare_arg(
-                f"arg_url_{name}", soir_type, source="url"
-            )
-            url_args[name] = sym_of(var, registry)
+    with obs.span(view_name, "endpoint") as endpoint_span:
+        while True:
+            decisions_before = session.finder.total_decisions
+            with obs.span(f"{view_name}[{index}]",
+                          "path-finding") as run_span:
+                session.begin_run()
+                request = SymbolicRequest(session)
+                url_args = {}
+                for name, pytype in pattern.param_specs():
+                    soir_type = INT if pytype is int else STRING
+                    var = session.declare_arg(
+                        f"arg_url_{name}", soir_type, source="url"
+                    )
+                    url_args[name] = sym_of(var, registry)
 
-        aborted = False
-        conservative = False
-        exhausted = False
-        reason = ""
-        with session.installed(), runtime.use_backend(SymbolicBackend(session)):
-            try:
-                pattern.view(request, **url_args)
-            except LoopLimitExceeded as exc:
-                # An unbounded symbolic loop: its branch tree is hopeless to
-                # enumerate, so stop exploring this view after recording the
-                # conservative path (which restricts it against everything).
-                conservative = True
-                exhausted = True
-                reason = str(exc)
-            except CONSERVATIVE_EXCEPTIONS as exc:
-                conservative = True
-                reason = str(exc)
-            except ABORT_EXCEPTIONS as exc:
-                aborted = True
-                reason = f"{type(exc).__name__}: {exc}"
-            except Exception as exc:  # analyzer gap: stay sound
-                conservative = True
-                reason = f"analyzer gap: {type(exc).__name__}: {exc}"
-                session.note(f"{view_name}: conservative fallback ({reason})")
+                aborted = False
+                conservative = False
+                exhausted = False
+                reason = ""
+                with session.installed(), \
+                        runtime.use_backend(SymbolicBackend(session)):
+                    try:
+                        pattern.view(request, **url_args)
+                    except LoopLimitExceeded as exc:
+                        # An unbounded symbolic loop: its branch tree is
+                        # hopeless to enumerate, so stop exploring this view
+                        # after recording the conservative path (which
+                        # restricts it against everything).
+                        conservative = True
+                        exhausted = True
+                        reason = str(exc)
+                    except CONSERVATIVE_EXCEPTIONS as exc:
+                        conservative = True
+                        reason = str(exc)
+                    except ABORT_EXCEPTIONS as exc:
+                        aborted = True
+                        reason = f"{type(exc).__name__}: {exc}"
+                    except Exception as exc:  # analyzer gap: stay sound
+                        conservative = True
+                        reason = f"analyzer gap: {type(exc).__name__}: {exc}"
+                        session.note(
+                            f"{view_name}: conservative fallback ({reason})"
+                        )
 
-        path = CodePath(
-            name=f"{view_name}[{index}]",
-            args=tuple(session.recorder.args.values()),
-            commands=tuple(session.recorder.commands),
-            view=view_name,
-            branch_trace=session.finder.trace(),
-            aborted=aborted,
-            conservative=conservative,
-            abort_reason=reason,
+                path = CodePath(
+                    name=f"{view_name}[{index}]",
+                    args=tuple(session.recorder.args.values()),
+                    commands=tuple(session.recorder.commands),
+                    view=view_name,
+                    branch_trace=session.finder.trace(),
+                    aborted=aborted,
+                    conservative=conservative,
+                    abort_reason=reason,
+                )
+                run_span.set(
+                    branch_decisions=(session.finder.total_decisions
+                                      - decisions_before),
+                    commands=len(path.commands),
+                    aborted=aborted,
+                    conservative=conservative,
+                )
+            paths.append(path)
+            index += 1
+            if exhausted:
+                session.note(
+                    f"{view_name}: unbounded symbolic loop; "
+                    f"exploration stopped"
+                )
+                break
+            if index >= max_paths:
+                session.note(
+                    f"{view_name}: path budget ({max_paths}) exhausted"
+                )
+                break
+            if not session.finder.advance():
+                break
+        endpoint_span.set(
+            paths=len(paths),
+            effectful=sum(1 for p in paths if p.is_effectful()),
+            branch_decisions=session.finder.total_decisions,
         )
-        paths.append(path)
-        index += 1
-        if exhausted:
-            session.note(
-                f"{view_name}: unbounded symbolic loop; exploration stopped"
-            )
-            break
-        if index >= max_paths:
-            session.note(f"{view_name}: path budget ({max_paths}) exhausted")
-            break
-        if not session.finder.advance():
-            break
     return paths, session.notes
 
 
@@ -141,36 +165,46 @@ def analyze_application(
     mounted) — endpoint discovery queries the live framework state, never
     the source text (paper §5.1).
     """
-    static_start = time.perf_counter()
-    schema = app.registry.to_soir_schema()
-    static_time = time.perf_counter() - static_start
+    with obs.span(app.name, "app-analysis", app=app.name) as app_span:
+        static_start = time.perf_counter()
+        with obs.span("schema", "soir-lowering",
+                      models=len(app.registry.models)):
+            schema = app.registry.to_soir_schema()
+        static_time = time.perf_counter() - static_start
 
-    result = AnalysisResult(app.name, schema)
-    result.timings["static_ms"] = static_time * 1e3
-    start = time.perf_counter()
-    for pattern in app.endpoints():
-        paths, notes = analyze_view(
-            pattern, app.registry, schema, max_paths=max_paths_per_view
+        result = AnalysisResult(app.name, schema)
+        result.timings["static_ms"] = static_time * 1e3
+        start = time.perf_counter()
+        for pattern in app.endpoints():
+            paths, notes = analyze_view(
+                pattern, app.registry, schema, max_paths=max_paths_per_view
+            )
+            for path in paths:
+                if not path.conservative:
+                    try:
+                        validate_path(path, schema)
+                    except SoirValidationError as exc:
+                        # An ill-formed path is an analyzer bug; degrade to
+                        # the conservative strategy rather than mis-verify.
+                        path = CodePath(
+                            name=path.name,
+                            args=path.args,
+                            commands=(),
+                            view=path.view,
+                            branch_trace=path.branch_trace,
+                            aborted=path.aborted,
+                            conservative=True,
+                            abort_reason=f"ill-formed SOIR: {exc}",
+                        )
+                        result.notes.append(
+                            f"{path.name}: ill-formed SOIR: {exc}"
+                        )
+                result.paths.append(path)
+            result.notes.extend(notes)
+        result.timings["analysis"] = time.perf_counter() - start
+        app_span.set(
+            code_paths=len(result.paths),
+            effectful=len(result.effectful_paths),
+            endpoints=len(list(app.endpoints())),
         )
-        for path in paths:
-            if not path.conservative:
-                try:
-                    validate_path(path, schema)
-                except SoirValidationError as exc:
-                    # An ill-formed path is an analyzer bug; degrade to the
-                    # conservative strategy rather than mis-verify.
-                    path = CodePath(
-                        name=path.name,
-                        args=path.args,
-                        commands=(),
-                        view=path.view,
-                        branch_trace=path.branch_trace,
-                        aborted=path.aborted,
-                        conservative=True,
-                        abort_reason=f"ill-formed SOIR: {exc}",
-                    )
-                    result.notes.append(f"{path.name}: ill-formed SOIR: {exc}")
-            result.paths.append(path)
-        result.notes.extend(notes)
-    result.timings["analysis"] = time.perf_counter() - start
     return result

@@ -41,6 +41,10 @@ class PathFinder:
         self.decision_budget = decision_budget
         self._run_total = 0
         self.runs = 0
+        #: branch-hook invocations across all runs of this finder — every
+        #: ``Sym.__bool__`` that reached :meth:`decide`.  Surfaced on the
+        #: analyzer's trace spans (docs/OBSERVABILITY.md).
+        self.total_decisions = 0
 
     def begin_run(self) -> None:
         self._run_order = []
@@ -50,6 +54,7 @@ class PathFinder:
 
     def decide(self, key: str) -> bool:
         """The truth value of the condition identified by ``key``."""
+        self.total_decisions += 1
         self._run_total += 1
         if self._run_total > self.decision_budget:
             raise LoopLimitExceeded(

@@ -9,6 +9,13 @@ Subcommands:
   [--cache-dir DIR]`` — analyze + verify through the scheduling engine
   (parallel pair sweep + persistent verdict cache), print the Table-6
   row and the restriction set;
+* ``noctua trace <app> [--quick] [--jobs N] [--out FILE.jsonl]
+  [--pair L R] [--explain-all]`` — run analysis + verification under the
+  observability layer (:mod:`repro.obs`): print the hierarchical span
+  tree, the per-phase time breakdown, the slowest solved pairs, and the
+  "why restricted?" explainer for restricted pairs (witness schedule,
+  diverging state, responsible SOIR operations); optionally stream the
+  trace to a JSONL file;
 * ``noctua simulate <zhihu|postgraduation>`` — run the Figure-10/11
   throughput/latency sweep;
 * ``noctua chaos <app> [--seed N] [--faults SPEC]`` — run a generated
@@ -158,6 +165,62 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .obs import (
+        JsonlSink,
+        Tracer,
+        activate,
+        render_phase_breakdown,
+        render_tree,
+        slowest_pairs_table,
+    )
+    from .obs.explain import ExplainError, explain_pair, explain_report
+
+    app = _build(args.app)
+    config = CheckConfig()
+    if args.quick:
+        config = CheckConfig(
+            timeout_s=0.5, max_samples=300, max_exhaustive=4000
+        )
+    sink = JsonlSink(args.out) if args.out else None
+    tracer = Tracer(sink=sink)
+    try:
+        with activate(tracer):
+            analysis = analyze_application(app)
+            report = verify_application(
+                analysis, config, jobs=args.jobs, use_cache=False,
+            )
+    finally:
+        tracer.close()
+
+    print("== span tree ==")
+    for line in render_tree(tracer.roots, max_depth=args.depth,
+                            min_wall_ms=args.min_ms):
+        print(line)
+    print()
+    print("== phase breakdown ==")
+    for line in render_phase_breakdown(tracer.roots):
+        print(line)
+    print()
+    print(f"== slowest pairs (top {args.top}) ==")
+    for line in slowest_pairs_table(tracer.roots, top=args.top):
+        print(line)
+    print()
+    print("== why restricted? ==")
+    if args.pair:
+        left, right = args.pair
+        try:
+            print(explain_pair(analysis, left, right, config))
+        except ExplainError as exc:
+            sys.exit(str(exc))
+    else:
+        limit = None if args.explain_all else 1
+        print(explain_report(analysis, report, config, limit=limit))
+    if args.out:
+        print(f"wrote trace to {args.out}")
+    return 0
+
+
 def cmd_simulate(args) -> int:
     workloads = {
         "zhihu": zhihu_workload,
@@ -261,6 +324,33 @@ def main(argv: list[str] | None = None) -> int:
     p_verify.add_argument("--json", metavar="FILE", default=None,
                           help="write the restriction set as JSON")
 
+    p_trace = sub.add_parser(
+        "trace", help="traced verification run: span tree, profile, "
+                      "and the restriction explainer"
+    )
+    p_trace.add_argument("app")
+    p_trace.add_argument("--quick", action="store_true",
+                         help="reduced search budget")
+    p_trace.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="solve pairs on N worker processes; worker "
+                              "spans are forwarded into the parent trace")
+    p_trace.add_argument("--out", metavar="FILE", default=None,
+                         help="also stream the trace as JSONL to FILE")
+    p_trace.add_argument("--pair", nargs=2, metavar=("LEFT", "RIGHT"),
+                         default=None,
+                         help="explain one specific pair of code paths "
+                              "(e.g. 'AddCourse[0]' 'DeleteCourse[0]')")
+    p_trace.add_argument("--explain-all", action="store_true",
+                         help="explain every restricted pair (default: "
+                              "the first one)")
+    p_trace.add_argument("--top", type=int, default=10, metavar="N",
+                         help="rows in the slowest-pairs table")
+    p_trace.add_argument("--depth", type=int, default=6, metavar="N",
+                         help="span-tree depth limit")
+    p_trace.add_argument("--min-ms", type=float, default=0.0, metavar="MS",
+                         help="elide leaf spans cheaper than MS "
+                              "milliseconds from the tree")
+
     p_sim = sub.add_parser("simulate", help="geo-replication performance sweep")
     p_sim.add_argument("app")
 
@@ -285,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         "apps": cmd_apps,
         "analyze": cmd_analyze,
         "verify": cmd_verify,
+        "trace": cmd_trace,
         "simulate": cmd_simulate,
         "chaos": cmd_chaos,
     }

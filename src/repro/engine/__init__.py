@@ -6,7 +6,10 @@ package.  The scheduler prunes pairs via the solver-free fast layers,
 memoizes solved verdicts in a content-addressed on-disk cache
 (``.noctua-cache/`` by default), dispatches the remainder across a
 ``multiprocessing`` worker pool, and reports what happened on
-``VerificationReport.metrics``.  See docs/ENGINE.md.
+``VerificationReport.metrics``.  Every sweep runs under a trace span
+(``repro.obs``) and the metrics are folded from that span tree, so the
+numbers in the report and the spans in ``noctua trace`` can never
+disagree.  See docs/ENGINE.md and docs/OBSERVABILITY.md.
 """
 
 from .cache import CACHE_FORMAT, DEFAULT_CACHE_DIR, ResultCache

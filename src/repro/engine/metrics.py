@@ -1,13 +1,24 @@
 """Scheduler observability: what the sweep did and where the time went.
 
+Since the observability layer landed, :class:`EngineMetrics` is a
+*projection of the trace*: the scheduler wraps every sweep in a
+``pair-sweep`` span with one ``pair`` child per pair (route, timings,
+worker pid — see docs/OBSERVABILITY.md for the span taxonomy), and
+:meth:`EngineMetrics.from_sweep` folds that span tree into the flat
+counter dict.  There is no second bookkeeping path: the numbers the CLI
+and the benchmarks print are, by construction, the numbers in the trace.
+
 Attached to ``VerificationReport.metrics`` as a plain dict so the report
 layer stays decoupled from the engine, serializes into the deployment
 JSON artifact unchanged, and is printable by the CLI and the benchmark
-harness without imports."""
+harness without imports.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..obs.tracer import Span
 
 
 @dataclass
@@ -44,6 +55,62 @@ class EngineMetrics:
     #: the slowest solved pairs this run: (left, right, seconds)
     slowest_pairs: list[tuple[str, str, float]] = field(default_factory=list)
 
+    @classmethod
+    def from_sweep(cls, sweep: Span, *, keep_slowest: int = 5
+                   ) -> "EngineMetrics":
+        """Fold a ``pair-sweep`` span (and its ``pair`` children) into
+        the flat metrics the report/CLI/benchmarks consume.
+
+        The sweep span's own attributes carry the execution-mode facts
+        (``jobs_requested``/``jobs_used``/``mode``/``fallback_reason``/
+        ``solve_wall_s``); each ``pair`` child carries its ``route``:
+
+        * ``pruned:<tag>`` — resolved by a solver-free fast layer;
+        * ``cached`` — replayed from the verdict cache (``saved_s``);
+        * ``solved`` — handed to a checker (``pid``, wall time, and
+          ``cache="miss"`` when a cache lookup preceded the solve).
+        """
+        metrics = cls(jobs_requested=sweep.attrs.get("jobs_requested", 1))
+        metrics.jobs_used = sweep.attrs.get("jobs_used", 1)
+        metrics.mode = sweep.attrs.get("mode", "serial")
+        metrics.fallback_reason = sweep.attrs.get("fallback_reason", "")
+        metrics.solve_wall_s = sweep.attrs.get("solve_wall_s", 0.0)
+        solved: list[tuple[str, str, float]] = []
+        for span in sweep.children:
+            if span.kind != "pair":
+                continue
+            metrics.pairs_total += 1
+            route = span.attrs.get("route", "")
+            if route.startswith("pruned:"):
+                tag = route.split(":", 1)[1]
+                if tag == "conservative":
+                    metrics.pruned_conservative += 1
+                elif tag == "order":
+                    metrics.pruned_order += 1
+                elif tag == "disjoint":
+                    metrics.pruned_disjoint += 1
+            elif route == "cached":
+                metrics.cache_hits += 1
+                metrics.cache_saved_s += span.attrs.get("saved_s", 0.0)
+            elif route == "solved":
+                metrics.solver_calls += 1
+                if span.attrs.get("cache") == "miss":
+                    metrics.cache_misses += 1
+                elapsed = span.wall_s
+                metrics.solve_cpu_s += elapsed
+                pid = str(span.attrs.get("pid", span.pid))
+                metrics.worker_busy_s[pid] = (
+                    metrics.worker_busy_s.get(pid, 0.0) + elapsed
+                )
+                solved.append((
+                    span.attrs.get("left", ""),
+                    span.attrs.get("right", ""),
+                    elapsed,
+                ))
+        solved.sort(key=lambda t: t[2], reverse=True)
+        metrics.slowest_pairs = solved[:keep_slowest]
+        return metrics
+
     @property
     def pruned(self) -> int:
         return (self.pruned_conservative + self.pruned_order
@@ -59,16 +126,6 @@ class EngineMetrics:
             return 0.0
         capacity = len(self.worker_busy_s) * self.solve_wall_s
         return min(1.0, sum(self.worker_busy_s.values()) / capacity)
-
-    def record_solve(self, pid: int, left: str, right: str,
-                     elapsed_s: float, *, keep_slowest: int = 5) -> None:
-        self.solver_calls += 1
-        self.solve_cpu_s += elapsed_s
-        key = str(pid)
-        self.worker_busy_s[key] = self.worker_busy_s.get(key, 0.0) + elapsed_s
-        self.slowest_pairs.append((left, right, elapsed_s))
-        self.slowest_pairs.sort(key=lambda t: t[2], reverse=True)
-        del self.slowest_pairs[keep_slowest:]
 
     def to_dict(self) -> dict:
         return {

@@ -1,4 +1,4 @@
-"""The verification scheduler: incremental, parallel pair sweeps.
+"""The verification scheduler: incremental, parallel, traced pair sweeps.
 
 Sits between the analyzer and the pair checkers (paper Figure 1 gains a
 box): ``run_pair_sweep`` drives the quadratic sweep over effectful code
@@ -16,6 +16,17 @@ while preserving result equality with the plain serial loop:
    ``multiprocessing`` pool (``jobs > 1``), falling back to serial
    execution if a pool cannot be created or dies mid-sweep.
 
+Observability: every sweep runs inside a ``pair-sweep`` span with one
+``pair`` child per pair (route = ``pruned:<tag>`` / ``cached`` /
+``solved``).  When the caller has a tracer active (:mod:`repro.obs`)
+those spans land in the caller's trace — including spans produced
+*inside worker processes*, which are serialized and grafted back onto
+the parent tree, so a parallel sweep yields one coherent trace.  With no
+tracer active, the scheduler still builds the span tree on a private
+tracer, because :class:`~repro.engine.metrics.EngineMetrics` is computed
+*from* the spans (``EngineMetrics.from_sweep``) rather than from ad-hoc
+counters.
+
 Determinism: verdicts are assembled into the report in sweep order
 (``i <= j`` over the effectful-path list) regardless of worker completion
 order, and the checkers themselves are process-independent (seeded
@@ -30,6 +41,7 @@ import multiprocessing
 import os
 import time
 
+from ..obs import tracer as obs
 from ..soir.path import AnalysisResult
 from ..soir.serialize import path_to_obj, path_from_obj, schema_from_obj, schema_to_obj
 from ..verifier.enumcheck import CheckConfig
@@ -53,23 +65,48 @@ _WORKER: dict = {}
 
 
 def _worker_init(schema_json: str, paths_json: str, config_args: dict,
-                 engine: str) -> None:
+                 engine: str, trace: bool) -> None:
     _WORKER["schema"] = schema_from_obj(json.loads(schema_json))
     _WORKER["paths"] = [path_from_obj(o) for o in json.loads(paths_json)]
     _WORKER["config"] = CheckConfig(**config_args)
     _WORKER["engine"] = engine
+    _WORKER["trace"] = trace
 
 
-def _worker_solve(task: tuple[int, int, int]) -> tuple[int, dict, int, float]:
+def _worker_solve(
+    task: tuple[int, int, int],
+) -> tuple[int, dict, int, float, dict | None]:
+    """Solve one pair; optionally under a worker-local tracer.
+
+    When the parent sweep is traced, the worker opens its own ``pair``
+    span (the check/solver spans nest under it), serializes the finished
+    span tree, and ships it back with the verdict — the parent grafts it
+    into the sweep span so the final trace covers worker-side work.
+    """
     slot, i, j = task
     paths = _WORKER["paths"]
+    p, q = paths[i], paths[j]
     started = time.perf_counter()
-    verdict = solve_pair(
-        paths[i], paths[j], _WORKER["schema"], _WORKER["config"],
-        engine=_WORKER["engine"],
-    )
+    span_obj: dict | None = None
+    if _WORKER["trace"]:
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            with tracer.span(f"{p.name} x {q.name}", "pair",
+                             left=p.name, right=q.name, route="solved",
+                             pid=os.getpid()) as pair_span:
+                verdict = solve_pair(
+                    p, q, _WORKER["schema"], _WORKER["config"],
+                    engine=_WORKER["engine"],
+                )
+                pair_span.set(restricted=verdict.restricted)
+        span_obj = obs.span_to_obj(tracer.roots[0])
+    else:
+        verdict = solve_pair(
+            p, q, _WORKER["schema"], _WORKER["config"],
+            engine=_WORKER["engine"],
+        )
     elapsed = time.perf_counter() - started
-    return slot, verdict_to_obj(verdict), os.getpid(), elapsed
+    return slot, verdict_to_obj(verdict), os.getpid(), elapsed, span_obj
 
 
 # ---------------------------------------------------------------------------
@@ -94,7 +131,12 @@ def run_pair_sweep(
     config = config or CheckConfig()
     wall_start = time.perf_counter()
     effectful = analysis.effectful_paths
-    metrics = EngineMetrics(jobs_requested=jobs)
+
+    # The sweep always runs under a tracer: the ambient one when the
+    # caller traces, otherwise a private tracer whose only job is to
+    # carry the pair spans EngineMetrics is derived from.
+    ambient = obs.current()
+    tracer = ambient if ambient is not None else obs.Tracer(max_records=1)
 
     cache: ResultCache | None = None
     fingerprints: FingerprintContext | None = None
@@ -102,67 +144,82 @@ def run_pair_sweep(
         cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR, analysis.app_name)
         fingerprints = FingerprintContext(analysis.schema, config, engine)
 
-    # Pass 1 — resolve every pair through pruning and the cache, queueing
-    # only genuine solver work.  ``verdicts`` is slot-addressed so results
-    # land in sweep order no matter how they were computed.
-    verdicts: list = []
-    queue: list[tuple[int, int, int]] = []  # (slot, i, j)
-    slot_fp: dict[int, str] = {}
-    live_fps: set[str] = set()
-    prune_counters = {
-        "conservative": 0,
-        "order": 0,
-        "disjoint": 0,
-    }
-    for i, p in enumerate(effectful):
-        for j in range(i, len(effectful)):
-            q = effectful[j]
-            slot = len(verdicts)
-            classified = classify_pair(p, q, analysis.schema, config)
-            if classified is not None:
-                verdict, tag = classified
-                prune_counters[tag] += 1
-                verdicts.append(verdict)
-                continue
-            if cache is not None and fingerprints is not None:
-                fp = fingerprints.pair(p, q)
-                live_fps.add(fp)
-                hit = cache.get(fp)
-                if hit is not None:
-                    verdict, saved_s = hit
-                    metrics.cache_hits += 1
-                    metrics.cache_saved_s += saved_s
+    with tracer.span(f"pair-sweep {analysis.app_name}", "pair-sweep",
+                     app=analysis.app_name, engine=engine,
+                     jobs_requested=jobs, mode="serial", jobs_used=1,
+                     fallback_reason="") as sweep_span:
+        # Pass 1 — resolve every pair through pruning and the cache,
+        # queueing only genuine solver work.  ``verdicts`` is
+        # slot-addressed so results land in sweep order no matter how
+        # they were computed.
+        verdicts: list = []
+        queue: list[tuple[int, int, int]] = []  # (slot, i, j)
+        slot_fp: dict[int, str] = {}
+        live_fps: set[str] = set()
+        for i, p in enumerate(effectful):
+            for j in range(i, len(effectful)):
+                q = effectful[j]
+                slot = len(verdicts)
+                classified = classify_pair(p, q, analysis.schema, config)
+                if classified is not None:
+                    verdict, tag = classified
+                    tracer.record(
+                        f"{p.name} x {q.name}", "pair",
+                        left=p.name, right=q.name,
+                        route=f"pruned:{tag}", restricted=verdict.restricted,
+                    )
                     verdicts.append(verdict)
                     continue
-                metrics.cache_misses += 1
-                slot_fp[slot] = fp
-            verdicts.append(None)
-            queue.append((slot, i, j))
-    metrics.pairs_total = len(verdicts)
-    metrics.pruned_conservative = prune_counters["conservative"]
-    metrics.pruned_order = prune_counters["order"]
-    metrics.pruned_disjoint = prune_counters["disjoint"]
+                if cache is not None and fingerprints is not None:
+                    fp = fingerprints.pair(p, q)
+                    live_fps.add(fp)
+                    hit = cache.get(fp)
+                    if hit is not None:
+                        verdict, saved_s = hit
+                        tracer.record(
+                            f"{p.name} x {q.name}", "pair",
+                            left=p.name, right=q.name, route="cached",
+                            saved_s=saved_s, restricted=verdict.restricted,
+                        )
+                        verdicts.append(verdict)
+                        continue
+                    slot_fp[slot] = fp
+                verdicts.append(None)
+                queue.append((slot, i, j))
 
-    # Pass 2 — solve the queue, in parallel when asked and worthwhile.
-    solve_start = time.perf_counter()
-    remaining = _solve_parallel(analysis, config, engine, jobs, queue,
-                                verdicts, metrics)
-    for slot, i, j in remaining:
-        started = time.perf_counter()
-        verdict = solve_pair(effectful[i], effectful[j], analysis.schema,
-                             config, engine=engine)
-        metrics.record_solve(os.getpid(), verdict.left, verdict.right,
-                             time.perf_counter() - started)
-        verdicts[slot] = verdict
-    metrics.solve_wall_s = time.perf_counter() - solve_start
+        # Pass 2 — solve the queue, in parallel when asked and worthwhile.
+        cache_attr = {"cache": "miss"} if cache is not None else {}
+        solve_start = time.perf_counter()
+        remaining = _solve_parallel(
+            analysis, config, engine, jobs, queue, verdicts, tracer,
+            sweep_span, traced=ambient is not None, cache_attr=cache_attr,
+        )
+        for slot, i, j in remaining:
+            p, q = effectful[i], effectful[j]
+            with tracer.span(f"{p.name} x {q.name}", "pair",
+                             left=p.name, right=q.name, route="solved",
+                             pid=os.getpid(), **cache_attr) as pair_span:
+                verdict = solve_pair(p, q, analysis.schema, config,
+                                     engine=engine)
+                pair_span.set(restricted=verdict.restricted)
+            verdicts[slot] = verdict
+        sweep_span.set(solve_wall_s=time.perf_counter() - solve_start)
 
-    if cache is not None:
-        for slot, fp in slot_fp.items():
-            if verdicts[slot] is not None:
-                cache.put(fp, verdicts[slot])
-        if prune_cache:
-            cache.prune(live_fps)
-        cache.flush()
+        if cache is not None:
+            for slot, fp in slot_fp.items():
+                if verdicts[slot] is not None:
+                    cache.put(fp, verdicts[slot])
+            if prune_cache:
+                cache.prune(live_fps)
+            cache.flush()
+
+        metrics = EngineMetrics.from_sweep(sweep_span)
+        sweep_span.set(
+            pairs=metrics.pairs_total, pruned=metrics.pruned,
+            solver_calls=metrics.solver_calls,
+            cache=f"{metrics.cache_hits}h/{metrics.cache_misses}m"
+            if cache is not None else "off",
+        )
 
     report = VerificationReport(analysis.app_name)
     for verdict in verdicts:
@@ -183,7 +240,11 @@ def _solve_parallel(
     jobs: int,
     queue: list[tuple[int, int, int]],
     verdicts: list,
-    metrics: EngineMetrics,
+    tracer: "obs.Tracer",
+    sweep_span: "obs.Span",
+    *,
+    traced: bool,
+    cache_attr: dict,
 ) -> list[tuple[int, int, int]]:
     """Try to drain ``queue`` with a worker pool, filling ``verdicts``.
 
@@ -202,23 +263,29 @@ def _solve_parallel(
             [path_to_obj(p) for p in analysis.effectful_paths]
         )
         initargs = (schema_json, paths_json, dataclasses.asdict(config),
-                    engine)
+                    engine, traced)
         with multiprocessing.Pool(
             workers, initializer=_worker_init, initargs=initargs,
         ) as pool:
-            for slot, obj, pid, elapsed in pool.imap_unordered(
+            for slot, obj, pid, elapsed, span_obj in pool.imap_unordered(
                 _worker_solve, queue, chunksize=1,
             ):
                 verdict = verdict_from_obj(obj)
                 verdicts[slot] = verdict
                 done.add(slot)
-                metrics.record_solve(pid, verdict.left, verdict.right,
-                                     elapsed)
-        metrics.mode = "parallel"
-        metrics.jobs_used = workers
+                if span_obj is not None:
+                    span_obj["attrs"].update(cache_attr)
+                    tracer.graft(span_obj, parent=sweep_span)
+                else:
+                    tracer.record(
+                        f"{verdict.left} x {verdict.right}", "pair",
+                        wall_s=elapsed, left=verdict.left,
+                        right=verdict.right, route="solved", pid=pid,
+                        restricted=verdict.restricted, **cache_attr,
+                    )
+        sweep_span.set(mode="parallel", jobs_used=workers)
         return []
     except Exception as exc:  # pool creation or a worker crash
-        metrics.mode = "serial"
-        metrics.jobs_used = 1
-        metrics.fallback_reason = f"{type(exc).__name__}: {exc}"
+        sweep_span.set(mode="serial", jobs_used=1,
+                       fallback_reason=f"{type(exc).__name__}: {exc}")
         return [task for task in queue if task[0] not in done]

@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..obs import tracer as obs
 from ..soir.state import DBState
 from ..soir.types import BOOL, DATETIME, FLOAT, INT, STRING
 from .faults import FaultConfig, FaultInjector
@@ -179,58 +180,79 @@ class ChaosRunner:
     initial: DBState | None = None
 
     def run(self, operations: list[tuple[object, dict]]) -> ChaosReport:
-        injector = FaultInjector(self.faults)
-        base = (
-            self.initial if self.initial is not None
-            else initial_state(self.analysis)
-        )
-        system = PoRReplicatedSystem(
-            self.analysis.schema,
-            set(self.restrictions),
-            sites=self.sites,
-            seed=self.faults.seed,
-            initial=base,
-            transport=injector,
-        )
-        for i, (path, env) in enumerate(operations):
-            # The injector's logical clock is the operation index, so the
-            # schedule is a pure function of the seed and the op count.
-            injector.clock = float(i)
-            for site, start in injector.crashed_sites():
-                system.crash(site)
-                injector.mark_crashed(site, start)
-            injector.advance(system)
-            system.submit(path, env, i % self.sites)
-        # Heal: move past every scheduled window, flush held messages,
-        # then drain the delivery log to full acknowledgement.
-        injector.clock = max(float(len(operations)), self.faults.horizon())
-        injector.heal(system)
-        system.drain()
+        app_name = getattr(self.analysis, "app_name", "?")
+        with obs.span(f"chaos {app_name}", "chaos-run", app=app_name,
+                      seed=self.faults.seed, sites=self.sites,
+                      operations=len(operations),
+                      restrictions=len(self.restrictions)) as run_span:
+            injector = FaultInjector(self.faults)
+            base = (
+                self.initial if self.initial is not None
+                else initial_state(self.analysis)
+            )
+            system = PoRReplicatedSystem(
+                self.analysis.schema,
+                set(self.restrictions),
+                sites=self.sites,
+                seed=self.faults.seed,
+                initial=base,
+                transport=injector,
+            )
+            with obs.span("workload", "chaos-phase"):
+                for i, (path, env) in enumerate(operations):
+                    # The injector's logical clock is the operation index,
+                    # so the schedule is a pure function of the seed and
+                    # the op count.
+                    injector.clock = float(i)
+                    for site, start in injector.crashed_sites():
+                        system.crash(site)
+                        injector.mark_crashed(site, start)
+                    injector.advance(system)
+                    system.submit(path, env, i % self.sites)
+            # Heal: move past every scheduled window, flush held messages,
+            # then drain the delivery log to full acknowledgement.
+            with obs.span("heal", "chaos-phase"):
+                injector.clock = max(
+                    float(len(operations)), self.faults.horizon()
+                )
+                injector.heal(system)
+            with obs.span("drain", "chaos-phase"):
+                system.drain()
 
-        counters = injector.counters
-        counters.redelivered = system.redelivered
-        counters.deduplicated = system.deduplicated
-        counters.coord_failures = system.coord_rejected
-        result = WorkloadResult(
-            submitted=len(operations),
-            accepted=len(system.accepted),
-            rejected=system.rejected,
-            coord_rejected=system.coord_rejected,
-        )
-        return ChaosReport(
-            app=getattr(self.analysis, "app_name", "?"),
-            seed=self.faults.seed,
-            sites=self.sites,
-            operations=len(operations),
-            restrictions=len(self.restrictions),
-            result=result,
-            converged=system.converged(),
-            invariant_ok=system.check_invariant(
-                schema_invariant(self.analysis.schema)
-            ),
-            counters=counters,
-            refusals=list(system.refusals),
-        )
+            counters = injector.counters
+            counters.redelivered = system.redelivered
+            counters.deduplicated = system.deduplicated
+            counters.coord_failures = system.coord_rejected
+            result = WorkloadResult(
+                submitted=len(operations),
+                accepted=len(system.accepted),
+                rejected=system.rejected,
+                coord_rejected=system.coord_rejected,
+            )
+            with obs.span("convergence", "chaos-phase") as check_span:
+                converged = system.converged()
+                invariant_ok = system.check_invariant(
+                    schema_invariant(self.analysis.schema)
+                )
+                check_span.set(converged=converged,
+                               invariant_ok=invariant_ok)
+            run_span.set(
+                accepted=result.accepted, rejected=result.rejected,
+                coord_rejected=result.coord_rejected,
+                converged=converged, invariant_ok=invariant_ok,
+            )
+            return ChaosReport(
+                app=app_name,
+                seed=self.faults.seed,
+                sites=self.sites,
+                operations=len(operations),
+                restrictions=len(self.restrictions),
+                result=result,
+                converged=converged,
+                invariant_ok=invariant_ok,
+                counters=counters,
+                refusals=list(system.refusals),
+            )
 
 
 def run_chaos(

@@ -1,0 +1,139 @@
+"""Human-readable views over a span forest.
+
+Three renderers, all pure functions from spans to lines of text:
+
+* :func:`render_tree` — the indented span tree with durations and the
+  most useful attributes inline;
+* :func:`phase_breakdown` — wall/CPU time aggregated by span *kind*
+  (both inclusive and self time, so nested phases don't double-count);
+* :func:`slowest_pairs_table` — the top-N most expensive solved pairs of
+  a verification sweep.
+
+The ``repro trace`` CLI composes these; they are equally usable from a
+notebook or a test against a deserialized trace.
+"""
+
+from __future__ import annotations
+
+from .tracer import Span
+
+#: attributes promoted into the tree view, in display order
+_INLINE_ATTRS = (
+    "route", "outcome", "paths", "effectful", "branch_decisions",
+    "candidates", "clauses", "model_size", "result", "restricted",
+    "solver_calls", "cache", "pruned", "mode",
+)
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _attr_suffix(span: Span) -> str:
+    shown = [
+        f"{key}={_fmt_value(span.attrs[key])}"
+        for key in _INLINE_ATTRS
+        if key in span.attrs
+    ]
+    return ("  [" + " ".join(shown) + "]") if shown else ""
+
+
+def render_tree(
+    roots: list[Span],
+    *,
+    max_depth: int = 6,
+    min_wall_ms: float = 0.0,
+) -> list[str]:
+    """The indented span tree, one line per span.
+
+    ``min_wall_ms`` elides subtrees cheaper than the threshold (a count
+    of elided children is shown instead), keeping big traces readable.
+    """
+    lines: list[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{span.name}  "
+            f"({span.kind}, {span.wall_s * 1e3:.1f} ms wall, "
+            f"{span.cpu_s * 1e3:.1f} ms cpu)"
+            f"{_attr_suffix(span)}"
+        )
+        if depth + 1 >= max_depth:
+            if span.children:
+                lines.append(f"{indent}  ... {len(span.children)} children "
+                             f"below depth limit")
+            return
+        shown = 0
+        for child in span.children:
+            if child.wall_s * 1e3 < min_wall_ms and not child.children:
+                continue
+            visit(child, depth + 1)
+            shown += 1
+        elided = len(span.children) - shown
+        if elided > 0:
+            lines.append(f"{indent}  ... {elided} spans under "
+                         f"{min_wall_ms:g} ms elided")
+
+    for root in roots:
+        visit(root, 0)
+    return lines
+
+
+def phase_breakdown(roots: list[Span]) -> list[dict]:
+    """Aggregate time per span kind.
+
+    Returns one row per kind, ordered by total self time descending:
+    ``{"kind", "count", "wall_s", "self_wall_s", "cpu_s"}``.  *Self* time
+    excludes child spans, so the column sums to (roughly) the traced wall
+    clock and nested kinds don't double-count.
+    """
+    rows: dict[str, dict] = {}
+    for root in roots:
+        for span in root.walk():
+            kind = span.kind or "(untyped)"
+            row = rows.setdefault(kind, {
+                "kind": kind, "count": 0, "wall_s": 0.0,
+                "self_wall_s": 0.0, "cpu_s": 0.0,
+            })
+            row["count"] += 1
+            row["wall_s"] += span.wall_s
+            row["self_wall_s"] += span.self_wall_s
+            row["cpu_s"] += span.cpu_s
+    return sorted(rows.values(), key=lambda r: -r["self_wall_s"])
+
+
+def render_phase_breakdown(roots: list[Span]) -> list[str]:
+    rows = phase_breakdown(roots)
+    if not rows:
+        return ["(no spans)"]
+    lines = [f"{'phase (kind)':<16} {'count':>6} {'wall s':>9} "
+             f"{'self s':>9} {'cpu s':>9}"]
+    for row in rows:
+        lines.append(
+            f"{row['kind']:<16} {row['count']:>6} {row['wall_s']:>9.3f} "
+            f"{row['self_wall_s']:>9.3f} {row['cpu_s']:>9.3f}"
+        )
+    return lines
+
+
+def slowest_pairs_table(roots: list[Span], *, top: int = 10) -> list[str]:
+    """The top-N solved pairs by wall time, from ``pair`` spans."""
+    pairs = [
+        span
+        for root in roots
+        for span in root.walk()
+        if span.kind == "pair" and span.attrs.get("route") == "solved"
+    ]
+    pairs.sort(key=lambda s: -s.wall_s)
+    if not pairs:
+        return ["(no solved pairs)"]
+    lines = [f"{'pair':<56} {'wall ms':>9} {'pid':>7}"]
+    for span in pairs[:top]:
+        lines.append(
+            f"{span.name:<56} {span.wall_s * 1e3:>9.1f} "
+            f"{span.attrs.get('pid', span.pid):>7}"
+        )
+    return lines

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs import tracer as obs
 from .terms import App, Const, Term, Var
 
 #: three-valued "unknown"
@@ -65,7 +66,33 @@ class Solver:
         ordering heuristic: the caller knows which variables drive the
         strongest constraints, e.g. operation arguments).
 
+        Each call is traced as a ``solver-call`` span (clause count, free
+        variable count, result, model size) when a tracer is active.
+
         Raises :class:`SolverTimeout` if the budget runs out."""
+        started = time.perf_counter()
+        try:
+            model = self._check(timeout_s=timeout_s, priority=priority)
+        except SolverTimeout:
+            obs.record(
+                "solver.check", "solver-call",
+                wall_s=time.perf_counter() - started, backend="smt",
+                clauses=len(self.assertions), variables=len(self.domains),
+                result="timeout",
+            )
+            raise
+        obs.record(
+            "solver.check", "solver-call",
+            wall_s=time.perf_counter() - started, backend="smt",
+            clauses=len(self.assertions), variables=len(self.domains),
+            result="sat" if model is not None else "unsat",
+            model_size=len(model.assignment) if model is not None else 0,
+        )
+        return model
+
+    def _check(
+        self, *, timeout_s: float = 5.0, priority: list[str] | None = None
+    ) -> Model | None:
         free: list[str] = []
         seen: set[str] = set()
         for assertion in self.assertions:

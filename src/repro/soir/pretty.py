@@ -112,3 +112,31 @@ def pp_path(p: CodePath) -> str:
     for cmd in p.commands:
         lines.append(f"  {pp_command(cmd)};")
     return "\n".join(lines)
+
+
+def pp_state(state) -> str:
+    """A stable, human-readable dump of a concrete :class:`DBState`.
+
+    Rows sorted by model then primary key, associations by relation then
+    pair; empty tables/relations elided.  Used by the restriction
+    explainer (``repro.obs.explain``) to print witness states, so two
+    equal states always print identically.
+    """
+    lines: list[str] = []
+    for model in sorted(state.tables):
+        rows = state.tables[model]
+        for pk in sorted(rows, key=repr):
+            fields = ", ".join(
+                f"{name}={value!r}"
+                for name, value in sorted(rows[pk].items())
+            )
+            lines.append(f"  {model}[{pk!r}]  {fields}")
+    for relation in sorted(state.assocs):
+        pairs = state.assocs[relation]
+        if not pairs:
+            continue
+        rendered = ", ".join(
+            f"({a!r}, {b!r})" for a, b in sorted(pairs, key=repr)
+        )
+        lines.append(f"  {relation}: {rendered}")
+    return "\n".join(lines) if lines else "  (empty)"

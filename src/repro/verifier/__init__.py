@@ -6,6 +6,10 @@ convergence, the semantic check guards invariant preservation (paper
 §2.2.1).  Facts are established by counterexample search over finite
 scopes (the offline substitution for Z3 documented in DESIGN.md); the
 restriction set is the union of failing pairs.
+
+When a tracer is active (``repro.obs``) each check emits a ``check``
+span with nested ``solver-call`` records; ``noctua trace --pair`` turns
+a failing check into a human-readable witness via ``repro.obs.explain``.
 """
 
 from .enumcheck import CheckConfig, PairChecker

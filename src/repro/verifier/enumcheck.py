@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 
+from ..obs import tracer as obs
 from ..soir.interp import apply_path, run_path
 from ..soir.path import CodePath
 from ..soir.schema import Schema
@@ -182,17 +183,17 @@ class PairChecker:
         cache[key] = ok
         return ok
 
-    def check_commutativity(self) -> CheckResult:
-        """Counterexample search for paper rule 1.
+    def search_commutativity(self, deadline: float) -> tuple[str, dict]:
+        """The commutativity witness search, structurally.
 
-        The two effects were generated concurrently, each at its *own*
-        originating site (the paper asserts each precondition on an
-        independent fresh state, §5.2); both are then applied to a common
-        state ``S`` in the two possible orders, with replication
-        semantics.  A divergence of the final states is a witness.
+        Returns ``(status, info)`` where ``status`` is ``"fail"`` /
+        ``"pass"`` / ``"timeout"``.  On ``"fail"``, ``info`` carries the
+        *live* witness — the :class:`~repro.soir.state.DBState` and both
+        argument environments plus the two diverging result states — which
+        is what the restriction explainer (:mod:`repro.obs.explain`)
+        replays.  ``info["candidates"]`` always counts the scenarios
+        examined (surfaced on the ``solver-call`` trace span).
         """
-        start = time.perf_counter()
-        deadline = start + self.config.timeout_s
         feasible_cache: dict = {}
         # The candidate stream is state-major over a product
         # state x env_p x env_q: the first-level application of each side
@@ -201,6 +202,7 @@ class PairChecker:
         # cutting the interpreter work for a full sweep roughly in half.
         first_level: dict = {}
         current_state = None
+        candidates = 0
 
         def applied(path, state, env) -> object:
             key = (
@@ -218,10 +220,8 @@ class PairChecker:
                 first_level.clear()
                 current_state = state
             if time.perf_counter() > deadline:
-                return CheckResult(
-                    self.p.name, self.q.name, "commutativity",
-                    Outcome.TIMEOUT, time.perf_counter() - start,
-                )
+                return "timeout", {"candidates": candidates}
+            candidates += 1
             s_pq = apply_path(
                 self.q, applied(self.p, state, env_p), env_q, self.schema
             )
@@ -235,33 +235,60 @@ class PairChecker:
                 continue
             if not self._feasible(self.q, env_q, feasible_cache):
                 continue
-            return CheckResult(
-                self.p.name, self.q.name, "commutativity", Outcome.FAIL,
-                time.perf_counter() - start,
-                witness=Counterexample(
-                    description="application orders diverge",
-                    state=repr(state.canonical()),
-                    args_p=repr(env_p),
-                    args_q=repr(env_q),
-                ),
-            )
-        return CheckResult(
-            self.p.name, self.q.name, "commutativity", Outcome.PASS,
-            time.perf_counter() - start,
-        )
+            return "fail", {
+                "candidates": candidates,
+                "state": state,
+                "env_p": env_p,
+                "env_q": env_q,
+                "s_pq": s_pq,
+                "s_qp": s_qp,
+            }
+        return "pass", {"candidates": candidates}
 
-    def check_semantic(self) -> CheckResult:
-        """``NotInvalidate(P,Q) ∧ NotInvalidate(Q,P)`` (paper rule 2).
+    def check_commutativity(self) -> CheckResult:
+        """Counterexample search for paper rule 1.
 
-        ``NotInvalidate(P,Q)`` fails on a witness ``S, x, y`` where both
-        preconditions hold at ``S`` (so both effects can be generated from
-        the common ancestor state of the concurrent execution) but ``g_P``
-        no longer holds once ``Q``'s effect lands.
+        The two effects were generated concurrently, each at its *own*
+        originating site (the paper asserts each precondition on an
+        independent fresh state, §5.2); both are then applied to a common
+        state ``S`` in the two possible orders, with replication
+        semantics.  A divergence of the final states is a witness.
         """
         start = time.perf_counter()
-        deadline = start + self.config.timeout_s
+        status, info = self.search_commutativity(start + self.config.timeout_s)
+        elapsed = time.perf_counter() - start
+        obs.record(
+            f"enum search {self.p.name} x {self.q.name}", "solver-call",
+            wall_s=elapsed, backend="enum", check="commutativity",
+            candidates=info["candidates"], result=status,
+        )
+        if status == "timeout":
+            return CheckResult(self.p.name, self.q.name, "commutativity",
+                               Outcome.TIMEOUT, elapsed)
+        if status == "pass":
+            return CheckResult(self.p.name, self.q.name, "commutativity",
+                               Outcome.PASS, elapsed)
+        return CheckResult(
+            self.p.name, self.q.name, "commutativity", Outcome.FAIL, elapsed,
+            witness=Counterexample(
+                description="application orders diverge",
+                state=repr(info["state"].canonical()),
+                args_p=repr(info["env_p"]),
+                args_q=repr(info["env_q"]),
+            ),
+        )
+
+    def search_semantic(self, deadline: float) -> tuple[str, dict]:
+        """The NotInvalidate witness search, structurally.
+
+        On ``"fail"``, ``info`` carries the common state, both argument
+        environments, the committed outcome of the invalidating side
+        (``after`` — the state on which the other precondition now fails)
+        and ``direction`` (``"Q invalidates P"`` / ``"P invalidates Q"``).
+        """
         generated: dict = {}
         current_state = None
+        candidates = 0
 
         def gen(path, state, env):
             key = (
@@ -279,35 +306,60 @@ class PairChecker:
                 generated.clear()
                 current_state = state
             if time.perf_counter() > deadline:
-                return CheckResult(
-                    self.p.name, self.q.name, "semantic",
-                    Outcome.TIMEOUT, time.perf_counter() - start,
-                )
+                return "timeout", {"candidates": candidates}
+            candidates += 1
             out_p = gen(self.p, state, env_p)
             out_q = gen(self.q, state, env_q)
             if not (out_p.committed and out_q.committed):
                 continue
             if not run_path(self.p, out_q.state, env_p, self.schema).committed:
-                return self._sem_fail(
-                    start, state, env_p, env_q, "Q invalidates P"
-                )
+                return "fail", {
+                    "candidates": candidates,
+                    "state": state,
+                    "env_p": env_p,
+                    "env_q": env_q,
+                    "after": out_q.state,
+                    "direction": "Q invalidates P",
+                }
             if not run_path(self.q, out_p.state, env_q, self.schema).committed:
-                return self._sem_fail(
-                    start, state, env_p, env_q, "P invalidates Q"
-                )
-        return CheckResult(
-            self.p.name, self.q.name, "semantic", Outcome.PASS,
-            time.perf_counter() - start,
-        )
+                return "fail", {
+                    "candidates": candidates,
+                    "state": state,
+                    "env_p": env_p,
+                    "env_q": env_q,
+                    "after": out_p.state,
+                    "direction": "P invalidates Q",
+                }
+        return "pass", {"candidates": candidates}
 
-    def _sem_fail(self, start, state, env_p, env_q, description) -> CheckResult:
+    def check_semantic(self) -> CheckResult:
+        """``NotInvalidate(P,Q) ∧ NotInvalidate(Q,P)`` (paper rule 2).
+
+        ``NotInvalidate(P,Q)`` fails on a witness ``S, x, y`` where both
+        preconditions hold at ``S`` (so both effects can be generated from
+        the common ancestor state of the concurrent execution) but ``g_P``
+        no longer holds once ``Q``'s effect lands.
+        """
+        start = time.perf_counter()
+        status, info = self.search_semantic(start + self.config.timeout_s)
+        elapsed = time.perf_counter() - start
+        obs.record(
+            f"enum search {self.p.name} x {self.q.name}", "solver-call",
+            wall_s=elapsed, backend="enum", check="semantic",
+            candidates=info["candidates"], result=status,
+        )
+        if status == "timeout":
+            return CheckResult(self.p.name, self.q.name, "semantic",
+                               Outcome.TIMEOUT, elapsed)
+        if status == "pass":
+            return CheckResult(self.p.name, self.q.name, "semantic",
+                               Outcome.PASS, elapsed)
         return CheckResult(
-            self.p.name, self.q.name, "semantic", Outcome.FAIL,
-            time.perf_counter() - start,
+            self.p.name, self.q.name, "semantic", Outcome.FAIL, elapsed,
             witness=Counterexample(
-                description=description,
-                state=repr(state.canonical()),
-                args_p=repr(env_p),
-                args_q=repr(env_q),
+                description=info["direction"],
+                state=repr(info["state"].canonical()),
+                args_p=repr(info["env_p"]),
+                args_q=repr(info["env_q"]),
             ),
         )

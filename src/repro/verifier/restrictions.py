@@ -231,6 +231,15 @@ class VerificationReport:
                     if v.commutativity else None,
                     "semantic": v.semantic.outcome.value
                     if v.semantic else None,
+                    # Per-pair solve timing.  Populated identically on the
+                    # parallel and the serial(-fallback) code paths: the
+                    # checkers stamp ``elapsed_s`` on each CheckResult and
+                    # the worker protocol round-trips it verbatim, so the
+                    # JSON artifact never loses the split on a fallback.
+                    "commutativity_s": v.commutativity.elapsed_s
+                    if v.commutativity else None,
+                    "semantic_s": v.semantic.elapsed_s
+                    if v.semantic else None,
                 }
                 for v in self.verdicts
             ],

@@ -20,6 +20,7 @@ multiprocessing worker pool on top of these primitives.
 
 from __future__ import annotations
 
+from ..obs import tracer as obs
 from ..soir.path import AnalysisResult, CodePath
 from ..soir.schema import Schema
 from .enumcheck import CheckConfig, PairChecker
@@ -109,8 +110,15 @@ def solve_pair(
         checker = SmtPairChecker(p, q, schema, config)
     else:
         checker = PairChecker(p, q, schema, config)
-    _attach(verdict, checker.check_commutativity())
-    _attach(verdict, checker.check_semantic())
+    for run_check, check_kind in (
+        (checker.check_commutativity, "commutativity"),
+        (checker.check_semantic, "semantic"),
+    ):
+        with obs.span(f"{p.name} x {q.name}", "check",
+                      check=check_kind, backend=engine) as sp:
+            result = run_check()
+            sp.set(outcome=result.outcome.value)
+        _attach(verdict, result)
     return verdict
 
 

@@ -77,6 +77,39 @@ class TestVerify:
         assert "cache         : 10 hits, 0 misses" in out
 
 
+class TestTrace:
+    def test_courseware_quick(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.jsonl"
+        code, out = run_cli(capsys, "trace", "courseware", "--quick",
+                            "--out", str(out_file))
+        assert code == 0
+        assert "== span tree ==" in out
+        assert "== phase breakdown ==" in out
+        assert "== slowest pairs" in out
+        assert "== why restricted? ==" in out
+        assert "pair-sweep" in out
+        # explainer covered at least one restricted pair end-to-end
+        assert "RESTRICTED" in out
+        records = [json.loads(line)
+                   for line in out_file.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert {"app-analysis", "pair-sweep", "pair",
+                "check", "solver-call"} <= kinds
+
+    def test_explicit_pair(self, capsys):
+        code, out = run_cli(capsys, "trace", "courseware", "--quick",
+                            "--pair", "AddCourse[0]", "DeleteCourse[0]")
+        assert code == 0
+        assert "pair: AddCourse[0] x DeleteCourse[0]" in out
+        assert "diverging state:" in out
+
+    def test_unknown_pair_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "courseware", "--quick",
+                  "--pair", "Nope", "AddCourse[0]"])
+        assert "Nope" in str(exc.value)
+
+
 class TestChaos:
     def test_smallbank_chaos_smoke(self, capsys):
         code, out = run_cli(capsys, "chaos", "smallbank", "--seed", "1",

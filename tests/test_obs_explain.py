@@ -1,0 +1,126 @@
+"""Tests for the 'why restricted?' explainer (``repro.obs.explain``).
+
+The explainer must be deterministic: seeded witness search, sorted
+rendering, and no timing figures in the output — running it twice on
+the same pair yields byte-identical text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer import analyze_application
+from repro.engine import run_pair_sweep
+from repro.obs.explain import ExplainError, explain_pair, explain_report
+from repro.verifier import CheckConfig
+
+#: deterministic budget: decided by sample exhaustion, never by the clock
+CFG = CheckConfig(timeout_s=60.0, max_samples=60, max_exhaustive=800)
+
+
+@pytest.fixture(scope="module")
+def courseware_analysis():
+    from repro.apps.courseware import build_app
+
+    return analyze_application(build_app())
+
+
+@pytest.fixture(scope="module")
+def smallbank_analysis():
+    from repro.apps.smallbank import build_app
+
+    return analyze_application(build_app())
+
+
+class TestResolution:
+    def test_unknown_name(self, courseware_analysis):
+        with pytest.raises(ExplainError, match="no code path named"):
+            explain_pair(courseware_analysis, "Nope[0]", "AddCourse[0]", CFG)
+
+    def test_view_name_resolves_to_single_effectful_path(
+        self, courseware_analysis
+    ):
+        by_view = explain_pair(
+            courseware_analysis, "AddCourse", "DeleteCourse", CFG
+        )
+        by_path = explain_pair(
+            courseware_analysis, "AddCourse[0]", "DeleteCourse[0]", CFG
+        )
+        assert by_view == by_path
+
+    def test_non_effectful_path_rejected(self, courseware_analysis):
+        # ListCourses is a read-only view: no effectful path to explain
+        with pytest.raises(ExplainError):
+            explain_pair(courseware_analysis, "ListCourses", "AddCourse", CFG)
+
+
+class TestCommutativityWitness:
+    def test_deterministic(self, courseware_analysis):
+        first = explain_pair(
+            courseware_analysis, "AddCourse[0]", "DeleteCourse[0]", CFG
+        )
+        second = explain_pair(
+            courseware_analysis, "AddCourse[0]", "DeleteCourse[0]", CFG
+        )
+        assert first == second
+
+    def test_witness_content(self, courseware_analysis):
+        text = explain_pair(
+            courseware_analysis, "AddCourse[0]", "DeleteCourse[0]", CFG
+        )
+        assert "RESTRICTED" in text
+        assert "commutativity: FAIL" in text
+        assert "witness arguments:" in text
+        assert "diverging state:" in text
+        assert "Course[" in text
+        assert "SOIR operations responsible:" in text
+        # no wall-clock numbers may leak into the deterministic output
+        assert "elapsed" not in text and " s)" not in text
+
+
+class TestSemanticWitness:
+    def test_invalidated_invariant(self, smallbank_analysis):
+        text = explain_pair(
+            smallbank_analysis, "TransactSavings", "TransactSavings", CFG
+        )
+        assert "RESTRICTED" in text
+        assert "invalidate" in text
+        # the failing guard is printed as the invalidated invariant
+        assert "invalidated invariant" in text or "failing operation" in text
+
+    def test_deterministic(self, smallbank_analysis):
+        first = explain_pair(
+            smallbank_analysis, "TransactSavings", "TransactSavings", CFG
+        )
+        second = explain_pair(
+            smallbank_analysis, "TransactSavings", "TransactSavings", CFG
+        )
+        assert first == second
+
+
+class TestUnrestrictedPair:
+    def test_reports_scope_examined(self, courseware_analysis):
+        text = explain_pair(
+            courseware_analysis, "Register[0]", "Register[0]", CFG
+        )
+        assert "NOT RESTRICTED" in text
+        assert "scenarios" in text
+
+
+class TestExplainReport:
+    def test_covers_every_restriction(self, courseware_analysis):
+        report = run_pair_sweep(
+            courseware_analysis, CFG, jobs=1, use_cache=False
+        )
+        assert len(report.restrictions) == 2
+        text = explain_report(courseware_analysis, report, CFG)
+        assert text.count("RESTRICTED") >= len(report.restrictions)
+        for verdict in report.restrictions:
+            assert verdict.left in text and verdict.right in text
+
+    def test_limit_annotates_remainder(self, courseware_analysis):
+        report = run_pair_sweep(
+            courseware_analysis, CFG, jobs=1, use_cache=False
+        )
+        text = explain_report(courseware_analysis, report, CFG, limit=1)
+        assert "1 further restricted pair" in text
+        assert "--explain-all" in text

@@ -83,7 +83,8 @@ class TestJsonArtifact:
         assert len(parsed["verdicts"]) == 8
         first = parsed["verdicts"][0]
         assert set(first) == {"left", "right", "left_view", "right_view",
-                              "commutativity", "semantic"}
+                              "commutativity", "semantic",
+                              "commutativity_s", "semantic_s"}
         assert parsed["timing"]["wall_s"] == pytest.approx(0.0)
 
     def test_verdict_values_are_strings(self, report):

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a JSONL trace file produced by ``noctua trace --out``.
+
+Checks (exits non-zero with a line per failure):
+
+1. every line parses as JSON with the required record fields
+   (``id``/``parent``/``name``/``kind``/``pid``/``wall_s``/``cpu_s``/
+   ``attrs``);
+2. every non-null ``parent`` refers to a span id present in the file
+   (children are written before their parents, so ids are collected
+   first);
+3. the trace covers the whole pipeline: all of ``--require``'s span
+   kinds appear (default: the analysis and verification phases).
+
+Used by the CI trace-smoke step::
+
+    noctua trace courseware --quick --jobs 2 --out trace.jsonl
+    python tools/check_trace.py trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = (
+    "id", "parent", "name", "kind", "pid", "wall_s", "cpu_s", "attrs",
+)
+DEFAULT_KINDS = (
+    "app-analysis", "soir-lowering", "endpoint", "path-finding",
+    "pair-sweep", "pair", "check", "solver-call",
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file")
+    parser.add_argument(
+        "--require", default=",".join(DEFAULT_KINDS), metavar="KINDS",
+        help="comma-separated span kinds that must appear "
+             f"(default: {','.join(DEFAULT_KINDS)})")
+    args = parser.parse_args()
+
+    problems: list[str] = []
+    records: list[tuple[int, dict]] = []
+    with open(args.trace, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            missing = [k for k in REQUIRED_FIELDS if k not in obj]
+            if missing:
+                problems.append(
+                    f"line {lineno}: missing fields {missing}")
+                continue
+            records.append((lineno, obj))
+
+    ids = {obj["id"] for _, obj in records}
+    for lineno, obj in records:
+        parent = obj["parent"]
+        if parent is not None and parent not in ids:
+            problems.append(
+                f"line {lineno}: span {obj['id']} has dangling "
+                f"parent {parent}")
+
+    kinds = {obj["kind"] for _, obj in records}
+    for kind in filter(None, args.require.split(",")):
+        if kind not in kinds:
+            problems.append(f"required span kind never emitted: {kind}")
+
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_trace: {len(problems)} problem(s) in {args.trace}",
+              file=sys.stderr)
+        return 1
+    print(f"check_trace: {len(records)} spans, {len(kinds)} kinds, "
+          f"all parent links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Documentation linter: dead links and stale CLI flags.
+
+Two checks over the repository's Markdown (README.md + docs/*.md):
+
+1. **Dead relative links** — every ``[text](target)`` whose target is
+   not an URL/anchor must resolve to a file or directory relative to
+   the document.
+2. **Stale CLI flags** — every ``noctua <subcommand> ...`` invocation
+   found in docs (inline code or fenced blocks) is checked against the
+   real argparse parser in ``repro.cli``: the subcommand must exist and
+   each ``--flag`` must be accepted by that subcommand.  Docs drift is
+   caught the moment a flag is renamed.
+
+Run directly (``python tools/docs_lint.py``) or via ``make docs-lint``;
+exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: `noctua <sub> ...` up to a shell metachar/comment; docs wrap long
+#: invocations, so flags are also collected line-by-line after a match.
+CLI_RE = re.compile(r"\bnoctua\s+([a-z-]+)([^`\n#|)]*)")
+FLAG_RE = re.compile(r"(--[a-z][a-z-]*)")
+
+
+def doc_files() -> list[str]:
+    files = [os.path.join(REPO, "README.md")]
+    docs = os.path.join(REPO, "docs")
+    for name in sorted(os.listdir(docs)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs, name))
+    return files
+
+
+def check_links(path: str, text: str) -> list[str]:
+    problems = []
+    base = os.path.dirname(path)
+    fenced = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        # Inline code spans aren't links (`opaque[f](x)` is SOIR syntax).
+        line = re.sub(r"`[^`]*`", "", line)
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            if not os.path.exists(os.path.join(base, target)):
+                problems.append(
+                    f"{os.path.relpath(path, REPO)}:{lineno}: "
+                    f"dead link -> {target}"
+                )
+    return problems
+
+
+def cli_flag_table() -> dict[str, set[str]]:
+    """Subcommand -> accepted long options, introspected from the real
+    parser (never a hand-maintained list)."""
+    root = build_parser()
+    table: dict[str, set[str]] = {}
+    for action in root._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                flags = set()
+                for sub_action in sub._actions:
+                    flags.update(
+                        s for s in sub_action.option_strings
+                        if s.startswith("--")
+                    )
+                table[name] = flags
+    return table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The real CLI parser, captured from ``repro.cli.main`` by
+    intercepting ``parse_args``."""
+    from repro import cli
+
+    captured: list[argparse.ArgumentParser] = []
+    original = argparse.ArgumentParser.parse_args
+
+    def capture(self, *args, **kwargs):
+        captured.append(self)
+        raise SystemExit(0)
+
+    argparse.ArgumentParser.parse_args = capture
+    try:
+        cli.main([])
+    except SystemExit:
+        pass
+    finally:
+        argparse.ArgumentParser.parse_args = original
+    if not captured:
+        raise RuntimeError("could not capture the CLI parser")
+    return captured[0]
+
+
+def check_cli(path: str, text: str, table: dict[str, set[str]]) -> list[str]:
+    problems = []
+    rel = os.path.relpath(path, REPO)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for match in CLI_RE.finditer(line):
+            sub, rest = match.group(1), match.group(2)
+            if sub not in table:
+                problems.append(
+                    f"{rel}:{lineno}: unknown subcommand "
+                    f"'noctua {sub}'"
+                )
+                continue
+            for flag in FLAG_RE.findall(rest):
+                if not any(
+                    known == flag or known.startswith(flag)
+                    for known in table[sub]
+                ):
+                    problems.append(
+                        f"{rel}:{lineno}: 'noctua {sub}' does not "
+                        f"accept {flag}"
+                    )
+    return problems
+
+
+def main() -> int:
+    table = cli_flag_table()
+    problems: list[str] = []
+    for path in doc_files():
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        problems += check_links(path, text)
+        problems += check_cli(path, text, table)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"docs-lint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs-lint: {len(doc_files())} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
