@@ -2,14 +2,24 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-full bench-sweep examples chaos \
-	trace-demo docs-lint clean
+.PHONY: install test test-fast coverage bench bench-full bench-sweep \
+	examples chaos difftest trace-demo docs-lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+coverage:
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing
+
+difftest:
+	$(PYTHON) -m repro difftest --seeds 50 --timeout 4
+	$(PYTHON) -m repro difftest --replay
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

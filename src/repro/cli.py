@@ -20,7 +20,14 @@ Subcommands:
   throughput/latency sweep;
 * ``noctua chaos <app> [--seed N] [--faults SPEC]`` — run a generated
   workload under a seeded fault schedule and check convergence +
-  invariants after heal and drain.
+  invariants after heal and drain;
+* ``noctua difftest [--seeds N] [--start K] [--shrink] [--corpus DIR]
+  [--replay]`` — differential testing of the verifier stack: generate
+  seeded random schema/path pairs, decide each one with the enumerative
+  checker, the symbolic engine *and* a concrete interleaving oracle, and
+  flag any forbidden disagreement; ``--shrink`` minimizes mismatches and
+  pins them under ``--corpus``; ``--replay`` re-verifies every pinned
+  corpus case instead of generating.
 """
 
 from __future__ import annotations
@@ -288,6 +295,69 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_difftest(args) -> int:
+    from .difftest import (
+        load_corpus,
+        replay_case,
+        run_difftest,
+        save_corpus_case,
+        shrink_case,
+    )
+    from .difftest.corpus import CorpusCase
+    from .difftest.crosscheck import mismatch_keys
+
+    if args.replay:
+        cases = load_corpus(args.corpus)
+        if not cases:
+            sys.exit(f"no corpus cases under {args.corpus}")
+        failures: list[str] = []
+        for case in cases:
+            errors = replay_case(case)
+            status = "FAIL" if errors else "ok"
+            print(f"  {case.name:40s} [{case.kind}] {status}")
+            failures.extend(errors)
+        for line in failures:
+            print(f"  ! {line}")
+        print(f"{len(cases)} corpus case(s), {len(failures)} failure(s)")
+        return 1 if failures else 0
+
+    config = CheckConfig(timeout_s=args.timeout)
+    report = run_difftest(
+        args.seeds, start=args.start, check_config=config, log=print,
+    )
+    print(f"{report.stats['cases']} case(s) in {report.elapsed_s:.1f} s, "
+          f"{len(report.mismatches)} mismatch(es)")
+    for key in ("unconfirmed_fail", "invariant_on_restricted_pair"):
+        if report.stats.get(key):
+            print(f"  {key}: {report.stats[key]}")
+    if not report.mismatches:
+        return 0
+    if args.shrink:
+        seen: set = set()
+        for m in report.mismatches:
+            if (m.seed, m.key) in seen:
+                continue
+            seen.add((m.seed, m.key))
+            print(f"shrinking seed {m.seed} ({m.kind}/{m.check}) ...")
+
+            def pred(schema, p, q, _key=m.key):
+                return _key in mismatch_keys(p, q, schema,
+                                             check_config=config)
+
+            schema, p, q = shrink_case(m.schema, m.p, m.q, pred)
+            case = CorpusCase(
+                name=f"difftest-seed{m.seed}-{m.check}",
+                schema=schema, p=p, q=q,
+                origin=f"noctua difftest seed {m.seed}, shrunk",
+                description=f"{m.kind}: {m.detail}",
+            )
+            out = save_corpus_case(case, args.corpus)
+            print(f"  pinned {out} "
+                  f"({len(p.commands)}+{len(q.commands)} commands); "
+                  f"fill in 'expect' after triage (docs/DIFFTEST.md)")
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="noctua",
@@ -370,6 +440,25 @@ def main(argv: list[str] | None = None) -> int:
         "--no-restrictions", action="store_true",
         help="run with the empty restriction set (reproduces anomalies)")
 
+    p_diff = sub.add_parser(
+        "difftest", help="differential testing of the verifier stack"
+    )
+    p_diff.add_argument("--seeds", type=int, default=50, metavar="N",
+                        help="number of generated cases (default: 50)")
+    p_diff.add_argument("--start", type=int, default=0, metavar="K",
+                        help="first seed (default: 0)")
+    p_diff.add_argument("--shrink", action="store_true",
+                        help="delta-debug each mismatch to a minimal case "
+                             "and pin it under --corpus")
+    p_diff.add_argument("--corpus", default="tests/corpus", metavar="DIR",
+                        help="corpus directory (default: tests/corpus)")
+    p_diff.add_argument("--replay", action="store_true",
+                        help="replay the pinned corpus instead of "
+                             "generating new cases")
+    p_diff.add_argument("--timeout", type=float, default=2.0, metavar="S",
+                        help="per-check solver timeout in seconds "
+                             "(default: 2.0)")
+
     args = parser.parse_args(argv)
     handlers = {
         "apps": cmd_apps,
@@ -378,6 +467,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "simulate": cmd_simulate,
         "chaos": cmd_chaos,
+        "difftest": cmd_difftest,
     }
     return handlers[args.command](args)
 

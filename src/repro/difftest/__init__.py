@@ -1,0 +1,55 @@
+"""Differential testing of the verification stack.
+
+The verifier's verdicts are only as trustworthy as their weakest layer:
+the scope builder, the enumerative model finder, the symbolic encoding
+and the fast-path classifier have each hidden at least one soundness bug
+before (see CHANGES.md).  This package hunts that class of bug *by
+design* instead of by accident:
+
+* :mod:`repro.difftest.gen` — a seeded, deterministic generator of random
+  schemas, SOIR code-path pairs and small mini-ORM applications, weighted
+  toward the features that bit us before (unique constraints, FK follows,
+  order primitives, guarded arithmetic);
+* :mod:`repro.difftest.oracle` — a concrete interleaving oracle: an
+  independent, deliberately simple enumeration that executes both
+  interleavings of a pair under the reference interpreter and checks
+  state convergence, precondition invalidation and schema-invariant
+  preservation directly;
+* :mod:`repro.difftest.crosscheck` — runs the same pair through the real
+  verifier (both engines, fast layers included) and flags any verdict the
+  oracle's concrete evidence contradicts;
+* :mod:`repro.difftest.shrink` — a delta-debugging shrinker that reduces
+  a mismatching case to a minimal schema + command list;
+* :mod:`repro.difftest.corpus` — a pinned-corpus format + replayer so
+  every mismatch ever found becomes a permanent regression test
+  (``tests/corpus/``).
+
+Entry point: ``noctua difftest --seeds N [--shrink] [--replay]``.
+"""
+
+from .corpus import CorpusCase, load_corpus, replay_case, save_corpus_case
+from .crosscheck import CrossCheckResult, DiffTestReport, Mismatch, cross_check, run_difftest
+from .gen import GenConfig, GeneratedCase, generate_analysis, generate_case, generate_schema
+from .oracle import OracleConfig, OracleReport, run_oracle
+from .shrink import shrink_case
+
+__all__ = [
+    "CorpusCase",
+    "CrossCheckResult",
+    "DiffTestReport",
+    "GenConfig",
+    "GeneratedCase",
+    "Mismatch",
+    "OracleConfig",
+    "OracleReport",
+    "cross_check",
+    "generate_analysis",
+    "generate_case",
+    "generate_schema",
+    "load_corpus",
+    "replay_case",
+    "run_difftest",
+    "run_oracle",
+    "save_corpus_case",
+    "shrink_case",
+]

@@ -1,0 +1,231 @@
+"""Cross-validation of the verifier stack against the concrete oracle.
+
+For each generated pair this module computes three independent answers —
+the enumerative checker's, the symbolic engine's, and the concrete
+oracle's — and flags every combination the soundness argument forbids:
+
+``engine-disagree``
+    Both engines returned *definite* outcomes (PASS/FAIL) for the same
+    check and they differ.  One of them is wrong.
+
+``oracle-missed-by-enum`` / ``oracle-missed-by-smt``
+    The oracle holds a concrete witness (a real state + arguments that
+    diverge or invalidate) but the engine said PASS.  Because every
+    oracle witness is replayable through the reference interpreter, this
+    is always a soundness bug in the engine (or its fast-path
+    classifier — the disjoint-footprint prune runs before both engines
+    and is exercised here too).
+
+``invariant``
+    Both checks PASS under both engines, yet a concurrent application
+    order breaks a schema invariant that serial execution preserves.
+    PASS/PASS is exactly the claim that concurrent behaviour equals some
+    serial composition, so this cannot happen if the verdicts are right.
+
+The deliberately *asymmetric* direction — engine says FAIL, oracle finds
+no witness — is **not** a mismatch: the oracle's budget is far smaller
+than the checkers' search, so it routinely misses real counterexamples.
+Those cases are tallied in ``stats["unconfirmed_fail"]`` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..soir.path import CodePath
+from ..soir.schema import Schema
+from ..verifier.enumcheck import CheckConfig
+from ..verifier.restrictions import Outcome, PairVerdict
+from ..verifier.runner import verify_pair
+from .gen import GenConfig, GeneratedCase, generate_case
+from .oracle import OracleConfig, OracleReport, run_oracle
+
+_DEFINITE = (Outcome.PASS, Outcome.FAIL)
+_CHECKS = ("commutativity", "semantic")
+
+
+@dataclass
+class Mismatch:
+    """One forbidden disagreement between layers."""
+
+    kind: str  # engine-disagree | oracle-missed-by-* | invariant
+    check: str  # commutativity | semantic | invariant
+    detail: str
+    seed: int | None = None
+    schema: Schema | None = None
+    p: CodePath | None = None
+    q: CodePath | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.kind, self.check)
+
+
+@dataclass
+class CrossCheckResult:
+    """All three layers' answers for one pair, plus any mismatches."""
+
+    enum_verdict: PairVerdict
+    smt_verdict: PairVerdict
+    oracle: OracleReport
+    mismatches: list[Mismatch]
+    stats: Counter
+    seed: int | None = None
+
+
+@dataclass
+class DiffTestReport:
+    """Aggregate result of a differential-testing run."""
+
+    start: int
+    count: int
+    mismatches: list[Mismatch] = field(default_factory=list)
+    stats: Counter = field(default_factory=Counter)
+    elapsed_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches
+
+
+def _compare(
+    enum_v: PairVerdict,
+    smt_v: PairVerdict,
+    oracle: OracleReport,
+    *,
+    seed: int | None,
+    schema: Schema,
+    p: CodePath,
+    q: CodePath,
+) -> tuple[list[Mismatch], Counter]:
+    mismatches: list[Mismatch] = []
+    stats: Counter = Counter()
+
+    def mk(kind: str, check: str, detail: str) -> Mismatch:
+        return Mismatch(kind, check, detail, seed=seed,
+                        schema=schema, p=p, q=q)
+
+    for check in _CHECKS:
+        e = getattr(enum_v, check).outcome
+        s = getattr(smt_v, check).outcome
+        stats[f"enum_{check}_{e.value}"] += 1
+        stats[f"smt_{check}_{s.value}"] += 1
+        if e in _DEFINITE and s in _DEFINITE and e != s:
+            mismatches.append(mk(
+                "engine-disagree", check,
+                f"enum={e.value} smt={s.value}",
+            ))
+        witness = getattr(oracle, check)
+        if witness is not None:
+            if e is Outcome.PASS:
+                mismatches.append(mk(
+                    "oracle-missed-by-enum", check,
+                    f"concrete witness exists ({witness.detail}) "
+                    f"but enum checker passed",
+                ))
+            if s is Outcome.PASS:
+                mismatches.append(mk(
+                    "oracle-missed-by-smt", check,
+                    f"concrete witness exists ({witness.detail}) "
+                    f"but smt engine passed",
+                ))
+        elif Outcome.FAIL in (e, s):
+            stats["unconfirmed_fail"] += 1
+
+    if oracle.invariant is not None:
+        all_pass = all(
+            getattr(v, check).outcome is Outcome.PASS
+            for v in (enum_v, smt_v)
+            for check in _CHECKS
+        )
+        if all_pass:
+            mismatches.append(mk(
+                "invariant", "invariant",
+                f"pair verified safe but a concurrent order violates: "
+                f"{oracle.invariant.detail}",
+            ))
+        else:
+            stats["invariant_on_restricted_pair"] += 1
+    return mismatches, stats
+
+
+def cross_check(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    *,
+    seed: int | None = None,
+    check_config: CheckConfig | None = None,
+    oracle_config: OracleConfig | None = None,
+) -> CrossCheckResult:
+    """Run one pair through every layer and compare the answers."""
+    check_config = check_config or CheckConfig()
+    enum_v = verify_pair(p, q, schema, check_config, engine="enum")
+    smt_v = verify_pair(p, q, schema, check_config, engine="smt")
+    oracle = run_oracle(p, q, schema, oracle_config)
+    mismatches, stats = _compare(
+        enum_v, smt_v, oracle, seed=seed, schema=schema, p=p, q=q,
+    )
+    return CrossCheckResult(
+        enum_verdict=enum_v,
+        smt_verdict=smt_v,
+        oracle=oracle,
+        mismatches=mismatches,
+        stats=stats,
+        seed=seed,
+    )
+
+
+def mismatch_keys(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    *,
+    check_config: CheckConfig | None = None,
+    oracle_config: OracleConfig | None = None,
+) -> set[tuple[str, str]]:
+    """The set of ``(kind, check)`` mismatches a pair currently exhibits.
+
+    This is the predicate the shrinker preserves: a reduction step is
+    kept only while the original mismatch key stays in this set."""
+    result = cross_check(
+        p, q, schema,
+        check_config=check_config, oracle_config=oracle_config,
+    )
+    return {m.key for m in result.mismatches}
+
+
+def run_difftest(
+    seeds: int,
+    *,
+    start: int = 0,
+    gen_config: GenConfig | None = None,
+    check_config: CheckConfig | None = None,
+    oracle_config: OracleConfig | None = None,
+    log=None,
+) -> DiffTestReport:
+    """Generate ``seeds`` cases from ``start`` and cross-check each one."""
+    report = DiffTestReport(start=start, count=seeds)
+    t0 = time.perf_counter()
+    for seed in range(start, start + seeds):
+        case: GeneratedCase = generate_case(seed, gen_config)
+        result = cross_check(
+            case.p, case.q, case.schema,
+            seed=seed,
+            check_config=check_config,
+            oracle_config=oracle_config,
+        )
+        report.stats.update(result.stats)
+        report.stats["cases"] += 1
+        if result.mismatches:
+            report.mismatches.extend(result.mismatches)
+            if log is not None:
+                for m in result.mismatches:
+                    log(f"seed {seed}: MISMATCH {m.kind}/{m.check}: "
+                        f"{m.detail}")
+        elif log is not None and (seed - start + 1) % 25 == 0:
+            log(f"... {seed - start + 1}/{seeds} seeds clean")
+    report.elapsed_s = time.perf_counter() - t0
+    return report

@@ -1,0 +1,466 @@
+"""Seeded generator of random schemas, SOIR path pairs and mini-ORM apps.
+
+Everything is template-based, so every generated path is well-formed by
+construction (and re-checked with :func:`repro.soir.validate.validate_path`
+before it leaves this module).  The template mix is deliberately weighted
+toward the features that have hidden verifier bugs before: unique
+constraints and ``unique_together`` (merge-time preconditions), FK/m2m
+follows and referential actions, order primitives (``orderby`` /
+``first`` / ``last``) and ``min_value`` invariant annotations.
+
+Determinism contract: two calls with the same seed and config produce
+structurally identical output in any process (no builtin ``hash``, one
+``random.Random(seed)`` drives every decision in a fixed order).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..soir import commands as C
+from ..soir import expr as E
+from ..soir.path import AnalysisResult, Argument, CodePath
+from ..soir.schema import FieldSchema, ModelSchema, RelationSchema, Schema
+from ..soir.types import (
+    BOOL,
+    INT,
+    STRING,
+    Aggregation,
+    Comparator,
+    Direction,
+    DRelation,
+    Order,
+    SoirType,
+)
+from ..soir.validate import validate_path
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Probabilities and bounds of the generator, all seed-independent."""
+
+    #: templates concatenated per path (1..max).
+    max_templates: int = 2
+    p_second_model: float = 0.65
+    p_relation: float = 0.85
+    p_m2m: float = 0.2
+    #: per non-pk field probability of a unique constraint.
+    p_unique: float = 0.35
+    p_nullable: float = 0.2
+    p_unique_together: float = 0.15
+    p_string_pk: float = 0.15
+    #: chance an insert guards a unique field explicitly; when omitted the
+    #: merge-time unique precondition still protects it — exactly the
+    #: asymmetry a symbolic encoding can get wrong.
+    p_guard_unique: float = 0.7
+    p_guard_exists: float = 0.7
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    """One generated schema plus a pair of code paths over it."""
+
+    seed: int
+    schema: Schema
+    p: CodePath
+    q: CodePath
+
+
+#: (name, type, min_value) — the per-model field palette.
+_FIELD_PALETTE: tuple[tuple[str, SoirType, int | None], ...] = (
+    ("count", INT, None),
+    ("rank", INT, 0),
+    ("tag", STRING, None),
+    ("label", STRING, None),
+    ("flag", BOOL, None),
+)
+
+_MODEL_NAMES = ("Alpha", "Beta")
+
+
+# ---------------------------------------------------------------------------
+# Schema generation
+# ---------------------------------------------------------------------------
+
+
+def generate_schema(rng: random.Random, config: GenConfig | None = None) -> Schema:
+    config = config or GenConfig()
+    schema = Schema()
+    names = [_MODEL_NAMES[0]]
+    if rng.random() < config.p_second_model:
+        names.append(_MODEL_NAMES[1])
+    for name in names:
+        schema.add_model(_generate_model(rng, name, config))
+    if len(names) == 2 and rng.random() < config.p_relation:
+        source, target = names if rng.random() < 0.5 else names[::-1]
+        kind = "m2m" if rng.random() < config.p_m2m else "fk"
+        on_delete = rng.choices(
+            ("cascade", "protect", "set_null", "do_nothing"),
+            weights=(0.4, 0.25, 0.2, 0.15),
+        )[0]
+        schema.add_relation(RelationSchema(
+            name=f"{source}.to_{target.lower()}",
+            source=source,
+            target=target,
+            kind=kind,
+            on_delete=on_delete,
+            reverse_name=f"{source.lower()}_set",
+            nullable=(on_delete == "set_null") or rng.random() < 0.5,
+        ))
+    schema.validate()
+    return schema
+
+
+def _generate_model(rng: random.Random, name: str, config: GenConfig) -> ModelSchema:
+    if rng.random() < config.p_string_pk:
+        pk = FieldSchema("key", STRING, unique=True)
+    else:
+        pk = FieldSchema("id", INT, unique=True)
+    n_fields = rng.randint(1, 3)
+    picks = rng.sample(range(len(_FIELD_PALETTE)), n_fields)
+    fields = [pk]
+    for i in sorted(picks):
+        fname, ftype, min_value = _FIELD_PALETTE[i]
+        fields.append(FieldSchema(
+            fname,
+            ftype,
+            unique=(ftype is not BOOL and rng.random() < config.p_unique),
+            nullable=rng.random() < config.p_nullable,
+            min_value=min_value,
+        ))
+    unique_together: tuple[tuple[str, ...], ...] = ()
+    non_pk = [f.name for f in fields[1:]]
+    if len(non_pk) >= 2 and rng.random() < config.p_unique_together:
+        unique_together = (tuple(non_pk[:2]),)
+    return ModelSchema(
+        name=name,
+        fields=tuple(fields),
+        pk=pk.name,
+        unique_together=unique_together,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Path templates
+# ---------------------------------------------------------------------------
+
+
+class _Ctx:
+    """Accumulates one path's arguments and commands; one prefix per
+    template instance keeps argument names collision-free."""
+
+    def __init__(self, rng: random.Random, schema: Schema, config: GenConfig):
+        self.rng = rng
+        self.schema = schema
+        self.config = config
+        self.args: list[Argument] = []
+        self.commands: list[C.Command] = []
+        self.prefix = ""
+
+    def add_arg(
+        self, stem: str, t: SoirType, *, source: str = "post",
+        unique_id: bool = False,
+    ) -> E.Var:
+        arg = Argument(f"{self.prefix}{stem}", t, source=source,
+                       unique_id=unique_id)
+        self.args.append(arg)
+        return arg.var()
+
+    def cmd(self, command: C.Command) -> None:
+        self.commands.append(command)
+
+    def maybe_guard(self, cond: E.Expr, p: float | None = None) -> None:
+        if self.rng.random() < (self.config.p_guard_exists if p is None else p):
+            self.cmd(C.Guard(cond))
+
+    # -- shared sub-expressions ----------------------------------------
+
+    def pk_arg(self, model: str, stem: str = "pk") -> E.Var:
+        t = self.schema.model(model).pk_field.type
+        return self.add_arg(stem, t, source="url")
+
+    def one(self, model: str, pk_expr: E.Expr) -> E.Filter:
+        """``filter(all<M>, pk == pk_expr)`` — the row named by a pk."""
+        return E.Filter(E.All(model), (), self.schema.model(model).pk,
+                        Comparator.EQ, pk_expr)
+
+    def obj(self, model: str, pk_expr: E.Expr) -> E.Deref:
+        return E.Deref(pk_expr, model)
+
+    def value_expr(self, f: FieldSchema) -> E.Expr:
+        """A value for field ``f``: an argument, a literal, or NULL.
+
+        Writes to ``min_value`` fields always respect the annotation —
+        argument values get a ``>=`` guard emitted, literals are drawn
+        from the legal range — so generated apps *maintain* their
+        invariants in any serial execution (the oracle's baseline)."""
+        rng = self.rng
+        if f.nullable and rng.random() < 0.15:
+            return E.NoneLit(f.type)
+        if rng.random() < 0.6:
+            var = self.add_arg(f"v_{f.name}", f.type)
+            if f.min_value is not None:
+                self.cmd(C.Guard(E.Cmp(Comparator.GE, var,
+                                       E.intlit(f.min_value))))
+            return var
+        if f.type == BOOL:
+            return E.true() if rng.random() < 0.5 else E.false()
+        if f.type == INT:
+            lo = f.min_value or 0
+            return E.intlit(rng.choice((lo, lo + 1, lo + 2)))
+        return E.strlit(rng.choice(("a", "b", "c")))
+
+    def writable_fields(self, model: str) -> list[FieldSchema]:
+        m = self.schema.model(model)
+        return [f for f in m.fields if f.name != m.pk]
+
+    def int_fields(self, model: str) -> list[FieldSchema]:
+        return [f for f in self.writable_fields(model) if f.type == INT]
+
+    def bool_fields(self, model: str) -> list[FieldSchema]:
+        return [f for f in self.writable_fields(model) if f.type == BOOL]
+
+
+def _t_insert(ctx: _Ctx, model: str) -> None:
+    """Fresh-ID insert: non-existence guard, optional unique-field guards,
+    min_value guards, then ``update(singleton(new<M>))``."""
+    m = ctx.schema.model(model)
+    pk_var = ctx.add_arg("new", m.pk_field.type, source="fresh", unique_id=True)
+    fields: list[tuple[str, E.Expr]] = []
+    for f in m.fields:
+        if f.name == m.pk:
+            fields.append((f.name, pk_var))
+        else:
+            fields.append((f.name, ctx.value_expr(f)))
+    make = E.MakeObj(model, tuple(fields))
+    ctx.cmd(C.Guard(E.Not(E.Exists(model, pk_var))))
+    for f in m.fields:
+        if f.name == m.pk:
+            continue
+        v = make.field_expr(f.name)
+        if isinstance(v, E.NoneLit):
+            continue
+        if f.unique and ctx.rng.random() < ctx.config.p_guard_unique:
+            ctx.cmd(C.Guard(E.IsEmpty(
+                E.Filter(E.All(model), (), f.name, Comparator.EQ, v)
+            )))
+    ctx.cmd(C.Update(E.Singleton(make)))
+
+
+def _t_bump(ctx: _Ctx, model: str) -> None:
+    """Read-modify-write increment of an integer field."""
+    f = ctx.rng.choice(ctx.int_fields(model))
+    pk = ctx.pk_arg(model)
+    obj = ctx.obj(model, pk)
+    if ctx.rng.random() < 0.5:
+        delta: E.Expr = E.intlit(1)
+    else:
+        delta = ctx.add_arg("delta", INT)
+        if f.min_value is not None:
+            ctx.cmd(C.Guard(E.Cmp(Comparator.GE, delta, E.intlit(0))))
+    ctx.maybe_guard(E.Exists(model, pk))
+    new = E.BinOp("+", E.FieldGet(obj, f.name, INT), delta)
+    ctx.cmd(C.Update(E.Singleton(E.SetField(f.name, new, obj))))
+
+
+def _t_withdraw(ctx: _Ctx, model: str) -> None:
+    """Guarded decrement: ``new >= lo`` where ``lo`` honours min_value."""
+    f = ctx.rng.choice(ctx.int_fields(model))
+    pk = ctx.pk_arg(model)
+    amount = ctx.add_arg("amt", INT)
+    obj = ctx.obj(model, pk)
+    new = E.BinOp("-", E.FieldGet(obj, f.name, INT), amount)
+    ctx.cmd(C.Guard(E.Exists(model, pk)))
+    ctx.cmd(C.Guard(E.Cmp(Comparator.GE, new, E.intlit(f.min_value or 0))))
+    ctx.cmd(C.Update(E.Singleton(E.SetField(f.name, new, obj))))
+
+
+def _t_set_field(ctx: _Ctx, model: str) -> None:
+    """Blind or guarded field write via ``mapset`` over a pk filter —
+    unique targets exercise the merge-time unique precondition."""
+    f = ctx.rng.choice(ctx.writable_fields(model))
+    pk = ctx.pk_arg(model)
+    value = ctx.value_expr(f)
+    ctx.maybe_guard(E.Exists(model, pk))
+    ctx.cmd(C.Update(E.MapSet(ctx.one(model, pk), f.name, value)))
+
+
+def _t_delete(ctx: _Ctx, model: str) -> None:
+    pk = ctx.pk_arg(model)
+    ctx.maybe_guard(E.Exists(model, pk), 0.5)
+    ctx.cmd(C.Delete(ctx.one(model, pk)))
+
+
+def _t_toggle(ctx: _Ctx, model: str) -> None:
+    f = ctx.rng.choice(ctx.bool_fields(model))
+    pk = ctx.pk_arg(model)
+    obj = ctx.obj(model, pk)
+    ctx.maybe_guard(E.Exists(model, pk))
+    ctx.cmd(C.Update(E.Singleton(E.SetField(
+        f.name, E.Not(E.FieldGet(obj, f.name, BOOL)), obj,
+    ))))
+
+
+def _t_link(ctx: _Ctx, rel: RelationSchema) -> None:
+    src = ctx.pk_arg(rel.source, "src")
+    dst = ctx.pk_arg(rel.target, "dst")
+    ctx.maybe_guard(E.Exists(rel.source, src))
+    ctx.maybe_guard(E.Exists(rel.target, dst))
+    ctx.cmd(C.Link(rel.name, ctx.obj(rel.source, src), ctx.obj(rel.target, dst)))
+
+
+def _t_delink(ctx: _Ctx, rel: RelationSchema) -> None:
+    src = ctx.pk_arg(rel.source, "src")
+    dst = ctx.pk_arg(rel.target, "dst")
+    ctx.maybe_guard(E.Exists(rel.source, src), 0.5)
+    ctx.cmd(C.Delink(rel.name, ctx.obj(rel.source, src),
+                     ctx.obj(rel.target, dst)))
+
+
+def _t_clearlinks(ctx: _Ctx, rel: RelationSchema) -> None:
+    end = ctx.rng.choice(("source", "target"))
+    model = rel.source if end == "source" else rel.target
+    pk = ctx.pk_arg(model, "obj")
+    ctx.maybe_guard(E.Exists(model, pk))
+    ctx.cmd(C.ClearLinks(rel.name, ctx.obj(model, pk), end))
+
+
+def _t_rlink(ctx: _Ctx, rel: RelationSchema) -> None:
+    """Bulk link: every source row matching a field filter → one target."""
+    src_model = ctx.schema.model(rel.source)
+    f = ctx.rng.choice(src_model.fields)
+    srcs = E.Filter(E.All(rel.source), (), f.name, Comparator.EQ,
+                    ctx.add_arg(f"sel_{f.name}", f.type))
+    dst = ctx.pk_arg(rel.target, "dst")
+    ctx.maybe_guard(E.Exists(rel.target, dst))
+    ctx.cmd(C.RLink(rel.name, srcs, ctx.obj(rel.target, dst)))
+
+
+def _t_follow_update(ctx: _Ctx, rel: RelationSchema) -> None:
+    """Write through a relation hop (forward or reverse)."""
+    if ctx.rng.random() < 0.5:
+        start, end = rel.source, rel.target
+        hop = DRelation(rel.name, Direction.FORWARD)
+    else:
+        start, end = rel.target, rel.source
+        hop = DRelation(rel.name, Direction.BACKWARD)
+    pk = ctx.pk_arg(start)
+    qs = E.Follow(ctx.one(start, pk), (hop,), end)
+    f = ctx.rng.choice(ctx.writable_fields(end))
+    ctx.maybe_guard(E.Not(E.IsEmpty(qs)))
+    ctx.cmd(C.Update(E.MapSet(qs, f.name, ctx.value_expr(f))))
+
+
+def _t_ordered_write(ctx: _Ctx, model: str) -> None:
+    """Write to the first/last row under an ``orderby`` — exercises the
+    order component of the encoding."""
+    writable = ctx.writable_fields(model)
+    m = ctx.schema.model(model)
+    order_field = ctx.rng.choice([f for f in m.fields if f.type != BOOL])
+    write_field = ctx.rng.choice(writable)
+    ordered = E.OrderBy(E.All(model), order_field.name,
+                        ctx.rng.choice((Order.ASC, Order.DESC)))
+    pick = E.FirstOf(ordered) if ctx.rng.random() < 0.5 else E.LastOf(ordered)
+    ctx.maybe_guard(E.Not(E.IsEmpty(E.All(model))), 0.8)
+    ctx.cmd(C.Update(E.Singleton(E.SetField(
+        write_field.name, ctx.value_expr(write_field), pick,
+    ))))
+
+
+def _t_agg_guard(ctx: _Ctx, model: str) -> None:
+    """Aggregate-bounded write: guard on SUM/CNT then a field write."""
+    int_fields = ctx.int_fields(model)
+    if int_fields and ctx.rng.random() < 0.5:
+        agg = E.Aggregate(E.All(model), Aggregation.SUM,
+                          ctx.rng.choice(int_fields).name, INT)
+    else:
+        m = ctx.schema.model(model)
+        agg = E.Aggregate(E.All(model), Aggregation.CNT, m.pk, INT)
+    bound = ctx.add_arg("bound", INT)
+    op = ctx.rng.choice((Comparator.LE, Comparator.GE, Comparator.LT))
+    ctx.cmd(C.Guard(E.Cmp(op, agg, bound)))
+    _t_set_field(ctx, model)
+
+
+def _applicable_templates(
+    schema: Schema, ctx: _Ctx,
+) -> list[tuple[float, object, object]]:
+    """(weight, template_fn, binding) for everything this schema allows."""
+    entries: list[tuple[float, object, object]] = []
+    for model in schema.models:
+        entries.append((3.0, _t_insert, model))
+        entries.append((2.0, _t_set_field, model))
+        entries.append((1.5, _t_delete, model))
+        entries.append((1.5, _t_ordered_write, model))
+        entries.append((1.0, _t_agg_guard, model))
+        if ctx.int_fields(model):
+            entries.append((1.5, _t_bump, model))
+            entries.append((2.0, _t_withdraw, model))
+        if ctx.bool_fields(model):
+            entries.append((1.0, _t_toggle, model))
+    for rel in schema.relations.values():
+        entries.append((1.0, _t_link, rel))
+        entries.append((0.8, _t_delink, rel))
+        entries.append((0.8, _t_clearlinks, rel))
+        entries.append((0.8, _t_rlink, rel))
+        entries.append((2.0, _t_follow_update, rel))
+    return entries
+
+
+def generate_path(
+    rng: random.Random,
+    schema: Schema,
+    name: str,
+    *,
+    config: GenConfig | None = None,
+    view: str = "",
+) -> CodePath:
+    """One random code path over ``schema``: 1..max_templates templates
+    concatenated, arguments prefixed per position."""
+    config = config or GenConfig()
+    ctx = _Ctx(rng, schema, config)
+    entries = _applicable_templates(schema, ctx)
+    weights = [w for w, _, _ in entries]
+    n = rng.randint(1, config.max_templates)
+    for position in range(n):
+        ctx.prefix = f"{name.lower()}{position}_"
+        _, fn, binding = rng.choices(entries, weights=weights)[0]
+        fn(ctx, binding)
+    path = CodePath(name, tuple(ctx.args), tuple(ctx.commands),
+                    view=view or f"{name}_view")
+    validate_path(path, schema)
+    return path
+
+
+def generate_case(seed: int, config: GenConfig | None = None) -> GeneratedCase:
+    """The unit the differential test consumes: one schema, two paths."""
+    config = config or GenConfig()
+    rng = random.Random(seed)
+    schema = generate_schema(rng, config)
+    p = generate_path(rng, schema, "P", config=config)
+    q = generate_path(rng, schema, "Q", config=config)
+    return GeneratedCase(seed=seed, schema=schema, p=p, q=q)
+
+
+def generate_analysis(
+    seed: int,
+    *,
+    n_paths: int = 4,
+    config: GenConfig | None = None,
+) -> AnalysisResult:
+    """A full random mini-application in analyzer-output form.
+
+    Shaped exactly like :func:`repro.analyzer.analyze_application` output
+    (``view[index]`` path naming), so it can flow through serialization,
+    verification and geo-replication without special-casing."""
+    config = config or GenConfig()
+    rng = random.Random(seed)
+    schema = generate_schema(rng, config)
+    result = AnalysisResult(f"difftest-{seed}", schema)
+    for i in range(n_paths):
+        view = f"View{i}"
+        result.paths.append(generate_path(
+            rng, schema, f"{view}[0]", config=config, view=view,
+        ))
+    return result

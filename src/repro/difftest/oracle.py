@@ -1,0 +1,561 @@
+"""Concrete interleaving oracle.
+
+An independent, deliberately simple enumeration that decides the same two
+questions as the verifier — commutativity and precondition invalidation —
+by *brute force over the reference interpreter*, sharing no code with
+``verifier/scopes.py`` or either engine's search:
+
+* states are enumerated directly from the schema (every row count per
+  model, several fill styles, relation styles, explicit well-formedness
+  filtering);
+* argument vectors are enumerated from path constants and pk pools, with
+  storage-generated fresh IDs pinned to values disjoint from everything
+  else (distinct across the pair, per the unique-ID guarantee);
+* the commutativity rule applies both effects in both orders from every
+  common state and compares final states, confirming a divergence only if
+  each argument vector is *generatable* (its precondition holds on some
+  enumerated state — including states where the fresh ID already exists);
+* the semantic rule executes both paths under generation semantics from
+  every common state and re-checks each precondition after the other's
+  committed effect;
+* additionally, every pair of committed executions is checked for
+  *schema-invariant preservation* (unique / unique_together / min_value /
+  choices / fk multiplicity / dangling associations) of the concurrent
+  result states, relative to what serial execution preserves.
+
+Any witness this oracle reports is real: it is a concrete state plus
+concrete arguments, reproducible with two ``apply_path``/``run_path``
+calls.  Absence of a witness only means "none within this budget".
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from ..soir import expr as E
+from ..soir.interp import apply_path, run_path
+from ..soir.path import Argument, CodePath
+from ..soir.schema import Schema
+from ..soir.state import DBState
+from ..soir.types import BOOL, DATETIME, FLOAT, INT, STRING, SoirType
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Budget knobs.  Defaults are sized for generated two-model schemas."""
+
+    rows_per_model: int = 2
+    max_states: int = 20
+    max_env_pairs: int = 36
+    #: hard cap on (state, env_p, env_q) combinations examined per check.
+    max_combos: int = 4000
+    seed: int = 0xD1FF
+
+
+@dataclass
+class OracleWitness:
+    """A concrete counterexample found by the oracle."""
+
+    kind: str  # "commutativity" | "semantic" | "invariant"
+    state: DBState
+    env_p: dict
+    env_q: dict
+    detail: str = ""
+
+
+@dataclass
+class OracleReport:
+    """The oracle's findings for one pair."""
+
+    commutativity: OracleWitness | None = None
+    semantic: OracleWitness | None = None
+    invariant: OracleWitness | None = None
+    states_examined: int = 0
+    env_pairs_examined: int = 0
+    combos_examined: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Schema invariants
+# ---------------------------------------------------------------------------
+
+
+def schema_violations(state: DBState, schema: Schema) -> list[str]:
+    """Every schema invariant the state breaks, as human-readable strings."""
+    out: list[str] = []
+    for m in schema.models.values():
+        table = state.tables.get(m.name, {})
+        for f in m.fields:
+            values = [row.get(f.name) for row in table.values()]
+            non_null = [v for v in values if v is not None]
+            if f.unique and len(set(map(repr, non_null))) != len(non_null):
+                out.append(f"duplicate values in unique {m.name}.{f.name}")
+            if f.min_value is not None:
+                for v in non_null:
+                    if isinstance(v, (int, float)) and v < f.min_value:
+                        out.append(
+                            f"{m.name}.{f.name}={v!r} below min {f.min_value}"
+                        )
+            if f.choices is not None:
+                for v in non_null:
+                    if v not in f.choices:
+                        out.append(f"{m.name}.{f.name}={v!r} not in choices")
+            if not f.nullable and f.name != m.pk:
+                # NULL in a non-nullable column can only enter via an
+                # explicit NoneLit write; generated paths never do that
+                # unless the field is nullable, so flag it.
+                if any(v is None for v in values):
+                    out.append(f"NULL in non-nullable {m.name}.{f.name}")
+        for pk, row in table.items():
+            if row.get(m.pk) != pk:
+                out.append(f"{m.name} row keyed {pk!r} carries pk "
+                           f"{row.get(m.pk)!r}")
+        for group in m.unique_together:
+            seen: set[str] = set()
+            for row in table.values():
+                key = repr(tuple(row.get(f) for f in group))
+                if key in seen:
+                    out.append(f"unique_together violation {m.name}{group}")
+                seen.add(key)
+    for r in schema.relations.values():
+        pairs = state.assocs.get(r.name, set())
+        src_table = state.tables.get(r.source, {})
+        dst_table = state.tables.get(r.target, {})
+        for s, t in pairs:
+            if s not in src_table or t not in dst_table:
+                out.append(f"dangling association {r.name}:{(s, t)!r}")
+        if r.kind == "fk":
+            sources = [s for s, _ in pairs]
+            if len(set(map(repr, sources))) != len(sources):
+                out.append(f"fk {r.name} source linked twice")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Domain derivation (independent of verifier/scopes.py)
+# ---------------------------------------------------------------------------
+
+
+def _path_constants(paths: list[CodePath]) -> dict[SoirType, set]:
+    out: dict[SoirType, set] = {INT: set(), STRING: set(), FLOAT: set()}
+    for path in paths:
+        for cmd in path.commands:
+            for node in cmd.walk_exprs():
+                if isinstance(node, E.Lit) and node.lit_type in out:
+                    if isinstance(node.value, (int, float, str)) and not (
+                        isinstance(node.value, bool)
+                    ):
+                        out[node.lit_type].add(node.value)
+    return out
+
+
+class _Domains:
+    """Per-type argument/field value pools for one pair of paths."""
+
+    def __init__(self, schema: Schema, p: CodePath, q: CodePath,
+                 config: OracleConfig):
+        self.schema = schema
+        self.config = config
+        constants = _path_constants([p, q])
+        ints = {0, 1}
+        for c in constants[INT]:
+            ints.update((c - 1, c, c + 1))
+        self.pk_pools: dict[str, list] = {}
+        for name, m in schema.models.items():
+            if m.pk_field.type == STRING:
+                self.pk_pools[name] = [f"{name[:1].lower()}{i + 1}"
+                                       for i in range(config.rows_per_model)]
+            else:
+                self.pk_pools[name] = list(range(1, config.rows_per_model + 1))
+        # Fresh pins: one distinct value per fresh argument *per side*,
+        # disjoint from every pk pool and every constant.  Keyed by
+        # (side, name) rather than name: for a self-pair (P checked
+        # against itself) the two sides share argument names but the
+        # storage tier still mints distinct IDs for each execution.
+        fresh_args = [("p", a) for a in p.args if a.unique_id] + [
+            ("q", a) for a in q.args if a.unique_id
+        ]
+        self.fresh_pins: dict[tuple[str, str], object] = {}
+        next_int, next_str = 901, 0
+        for side, a in fresh_args:
+            if a.type == STRING:
+                self.fresh_pins[side, a.name] = f"G{next_str}"
+                next_str += 1
+            else:
+                self.fresh_pins[side, a.name] = next_int
+                next_int += 1
+        int_pks = sorted(
+            v for pool in self.pk_pools.values() for v in pool
+            if isinstance(v, int)
+        )
+        str_pks = sorted(
+            v for pool in self.pk_pools.values() for v in pool
+            if isinstance(v, str)
+        )
+        self.by_type: dict[SoirType, list] = {
+            INT: sorted(set(int_pks) | ints)[:7],
+            STRING: (str_pks + sorted(
+                v for v in constants[STRING] if isinstance(v, str)
+            ))[:5] + ["s1", "s2"],
+            BOOL: [True, False],
+            FLOAT: sorted({0.0, 1.0} | constants[FLOAT])[:4],
+            DATETIME: [0, 1],
+        }
+        # A plain argument may collide with a storage-generated fresh ID
+        # (the ID travels to another client before the insert replicates).
+        fresh_by_type: dict[SoirType, list] = {}
+        for side, a in fresh_args:
+            fresh_by_type.setdefault(a.type, []).append(
+                self.fresh_pins[side, a.name]
+            )
+        for t, values in fresh_by_type.items():
+            self.by_type[t] = self.by_type.get(t, []) + values[:1]
+
+    def field_domain(self, model: str, fname: str) -> list:
+        f = self.schema.model(model).field(fname)
+        domain = list(self.by_type.get(f.type, [0]))
+        if f.min_value is not None:
+            domain = [v for v in domain if v >= f.min_value] or [f.min_value]
+        if f.choices is not None:
+            domain = list(f.choices)
+        if f.nullable:
+            domain = domain + [None]
+        return domain
+
+    def arg_domain(self, arg: Argument, side: str = "p") -> list:
+        if arg.unique_id:
+            return [self.fresh_pins[side, arg.name]]
+        return list(self.by_type.get(arg.type, [None]))
+
+
+# ---------------------------------------------------------------------------
+# State enumeration
+# ---------------------------------------------------------------------------
+
+
+def _collect_args(path: CodePath) -> list[Argument]:
+    """Declared arguments plus opaque placeholders, like the checkers."""
+    args = list(path.args)
+    seen = {a.name for a in args}
+    for cmd in path.commands:
+        for node in cmd.walk_exprs():
+            if isinstance(node, E.Opaque) and node.name not in seen:
+                args.append(Argument(node.name, node.opaque_type,
+                                     source="opaque"))
+                seen.add(node.name)
+    return args
+
+
+def _unique_fill(domain: list, idx: int, taken: set) -> object:
+    """A value from ``domain`` distinct from ``taken``, synthesizing one
+    when the domain is exhausted."""
+    for v in domain[idx:] + domain[:idx]:
+        if v is not None and repr(v) not in taken:
+            return v
+    sample = next((v for v in domain if v is not None), 0)
+    if isinstance(sample, str):
+        return f"u{idx}"
+    return 9000 + idx
+
+
+def enumerate_states(
+    schema: Schema,
+    domains: _Domains,
+    config: OracleConfig,
+    *,
+    extra_pk_pools: dict[str, list] | None = None,
+) -> list[DBState]:
+    """Well-formed states: row-count products × fill styles × relation
+    styles, deduplicated, capped at ``max_states`` (plus seeded random
+    top-ups when the cap leaves room)."""
+    pk_pools = dict(domains.pk_pools)
+    if extra_pk_pools:
+        for m, extra in extra_pk_pools.items():
+            pk_pools[m] = pk_pools.get(m, []) + [
+                v for v in extra if v not in pk_pools.get(m, [])
+            ]
+    models = sorted(schema.models)
+    counts = [range(len(pk_pools[m]) + 1) for m in models]
+    out: list[DBState] = []
+    seen: set = set()
+
+    def build(row_counts, fill_style: int, rel_style: int,
+              reverse_order: bool) -> DBState | None:
+        state = DBState.empty(schema)
+        for mi, mname in enumerate(models):
+            m = schema.model(mname)
+            pks = pk_pools[mname][: row_counts[mi]]
+            if reverse_order:
+                pks = list(reversed(pks))
+            taken: dict[str, set] = {}
+            for idx, pk in enumerate(pks):
+                row: dict[str, object] = {m.pk: pk}
+                for f in m.fields:
+                    if f.name == m.pk:
+                        continue
+                    domain = domains.field_domain(mname, f.name)
+                    grouped = any(
+                        f.name in g for g in m.unique_together
+                    )
+                    if f.unique or grouped:
+                        t = taken.setdefault(f.name, set())
+                        v = _unique_fill(domain, idx + fill_style, t)
+                        t.add(repr(v))
+                    else:
+                        v = domain[(idx + fill_style) % len(domain)]
+                    row[f.name] = v
+                state.insert_row(mname, pk, row)
+        for rname in sorted(schema.relations):
+            rel = schema.relation(rname)
+            sources = list(state.table(rel.source))
+            targets = list(state.table(rel.target))
+            if rel.kind == "fk" and not rel.nullable and not targets:
+                if sources:
+                    return None  # sources would violate the non-null FK
+                continue
+            if rel_style == 0:
+                continue  # no associations (only legal if fk nullable)
+            for i, s in enumerate(sources):
+                if not targets:
+                    break
+                t = targets[i % len(targets)] if rel_style == 1 else targets[0]
+                state.relation(rname).add((s, t))
+        if schema.relations and rel_style == 0:
+            for rel in schema.relations.values():
+                if rel.kind == "fk" and not rel.nullable and \
+                        state.table(rel.source):
+                    return None
+        return state
+
+    styles = [(fs, rs, rev)
+              for fs in (0, 1, 2)
+              for rs in ((0, 1, 2) if schema.relations else (0,))
+              for rev in (False, True)]
+    for row_counts in itertools.product(*counts):
+        for fs, rs, rev in styles:
+            state = build(row_counts, fs, rs, rev)
+            if state is None:
+                continue
+            if schema_violations(state, schema):
+                continue
+            key = state.canonical(with_order=True)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(state)
+            if len(out) >= config.max_states:
+                return out
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Environment enumeration
+# ---------------------------------------------------------------------------
+
+
+def enumerate_env_pairs(
+    p_args: list[Argument],
+    q_args: list[Argument],
+    domains: _Domains,
+    config: OracleConfig,
+) -> list[tuple[dict, dict]]:
+    """Exhaustive argument products when they fit the budget, otherwise a
+    seeded sample biased toward value collisions across the two sides."""
+    specs = [("p", a) for a in p_args] + [("q", a) for a in q_args]
+    pools = [domains.arg_domain(a, side) for side, a in specs]
+    total = 1
+    for pool in pools:
+        total *= max(1, len(pool))
+    out: list[tuple[dict, dict]] = []
+    if total <= config.max_env_pairs:
+        for combo in itertools.product(*pools):
+            env_p: dict = {}
+            env_q: dict = {}
+            for (side, arg), v in zip(specs, combo):
+                (env_p if side == "p" else env_q)[arg.name] = v
+            out.append((env_p, env_q))
+        return out
+    rng = random.Random(config.seed)
+    seen: set = set()
+    attempts = config.max_env_pairs * 6
+    while len(out) < config.max_env_pairs and attempts > 0:
+        attempts -= 1
+        env_p, env_q = {}, {}
+        drawn: dict[SoirType, list] = {}
+        for (side, arg), pool in zip(specs, pools):
+            used = drawn.setdefault(arg.type, [])
+            if not arg.unique_id and used and rng.random() < 0.5:
+                v = rng.choice(used)
+            else:
+                v = rng.choice(pool)
+            used.append(v)
+            (env_p if side == "p" else env_q)[arg.name] = v
+        key = (tuple(sorted((k, repr(v)) for k, v in env_p.items())),
+               tuple(sorted((k, repr(v)) for k, v in env_q.items())))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((env_p, env_q))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The oracle proper
+# ---------------------------------------------------------------------------
+
+
+def run_oracle(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    config: OracleConfig | None = None,
+) -> OracleReport:
+    config = config or OracleConfig()
+    domains = _Domains(schema, p, q, config)
+    states = enumerate_states(schema, domains, config)
+    args_p = _collect_args(p)
+    args_q = _collect_args(q)
+    env_pairs = enumerate_env_pairs(args_p, args_q, domains, config)
+    report = OracleReport(
+        states_examined=len(states),
+        env_pairs_examined=len(env_pairs),
+    )
+
+    # Feasibility: the argument vector must be generatable on *some* fresh
+    # state — including states where a pinned fresh ID already exists as a
+    # row (it is fresh only for the inserting site).
+    feas_states: list[DBState] | None = None
+    feas_cache: dict = {}
+
+    def feasible(path: CodePath, env: dict) -> bool:
+        nonlocal feas_states
+        key = (id(path), tuple(sorted((k, repr(v)) for k, v in env.items())))
+        hit = feas_cache.get(key)
+        if hit is not None:
+            return hit
+        if feas_states is None:
+            extra = {
+                m: [v for v in domains.fresh_pins.values()
+                    if isinstance(v, type(domains.pk_pools[m][0]))]
+                for m in schema.models
+                if domains.pk_pools.get(m)
+            }
+            feas_states = states + enumerate_states(
+                schema, domains, config, extra_pk_pools=extra,
+            )
+        ok = any(
+            run_path(path, s, env, schema).committed for s in feas_states
+        )
+        feas_cache[key] = ok
+        return ok
+
+    combos = 0
+    for state in states:
+        apply_cache: dict = {}
+        run_cache: dict = {}
+
+        def applied(path: CodePath, env: dict) -> DBState:
+            key = (id(path),
+                   tuple(sorted((k, repr(v)) for k, v in env.items())))
+            hit = apply_cache.get(key)
+            if hit is None:
+                hit = apply_path(path, state, env, schema)
+                apply_cache[key] = hit
+            return hit
+
+        def ran(path: CodePath, env: dict):
+            key = (id(path),
+                   tuple(sorted((k, repr(v)) for k, v in env.items())))
+            hit = run_cache.get(key)
+            if hit is None:
+                hit = run_path(path, state, env, schema)
+                run_cache[key] = hit
+            return hit
+
+        for env_p, env_q in env_pairs:
+            if combos >= config.max_combos:
+                report.notes.append("combo budget exhausted")
+                report.combos_examined = combos
+                return report
+            combos += 1
+            # -- commutativity ------------------------------------------
+            if report.commutativity is None:
+                s_pq = apply_path(q, applied(p, env_p), env_q, schema)
+                s_qp = apply_path(p, applied(q, env_q), env_p, schema)
+                if not s_pq.same_state(s_qp):
+                    if feasible(p, env_p) and feasible(q, env_q):
+                        report.commutativity = OracleWitness(
+                            "commutativity", state, env_p, env_q,
+                            detail="application orders diverge",
+                        )
+            # -- semantic + invariants ----------------------------------
+            out_p = ran(p, env_p)
+            out_q = ran(q, env_q)
+            if not (out_p.committed and out_q.committed):
+                continue
+            if report.semantic is None:
+                if not run_path(p, out_q.state, env_p, schema).committed:
+                    report.semantic = OracleWitness(
+                        "semantic", state, env_p, env_q,
+                        detail="Q invalidates P",
+                    )
+                elif not run_path(q, out_p.state, env_q, schema).committed:
+                    report.semantic = OracleWitness(
+                        "semantic", state, env_p, env_q,
+                        detail="P invalidates Q",
+                    )
+            if report.invariant is None:
+                witness = _invariant_witness(
+                    p, q, schema, state, env_p, env_q,
+                )
+                if witness is not None:
+                    report.invariant = witness
+            if (report.commutativity is not None
+                    and report.semantic is not None
+                    and report.invariant is not None):
+                report.combos_examined = combos
+                return report
+    report.combos_examined = combos
+    return report
+
+
+def _invariant_witness(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    state: DBState,
+    env_p: dict,
+    env_q: dict,
+) -> OracleWitness | None:
+    """A concurrent application order that breaks a schema invariant which
+    serial execution would have preserved.
+
+    Only flagged when at least one serial order runs both paths to commit
+    *and* ends invariant-clean: if every serial execution already violates
+    (or aborts), the violation is the generated app's own doing, not a
+    consistency anomaly."""
+    s_pq = apply_path(q, apply_path(p, state, env_p, schema), env_q, schema)
+    s_qp = apply_path(p, apply_path(q, state, env_q, schema), env_p, schema)
+    viols = schema_violations(s_pq, schema) or schema_violations(s_qp, schema)
+    if not viols:
+        return None
+
+    def serial_clean(first: CodePath, env_1: dict,
+                     second: CodePath, env_2: dict) -> bool:
+        o1 = run_path(first, state, env_1, schema)
+        if not o1.committed:
+            return False
+        o2 = run_path(second, o1.state, env_2, schema)
+        if not o2.committed:
+            return False
+        return not schema_violations(o2.state, schema)
+
+    if serial_clean(p, env_p, q, env_q) or serial_clean(q, env_q, p, env_p):
+        return OracleWitness(
+            "invariant", state, env_p, env_q,
+            detail="; ".join(viols[:3]),
+        )
+    return None

@@ -1,0 +1,321 @@
+"""Delta-debugging shrinker for mismatching cases.
+
+Given a (schema, P, Q) triple and a predicate — "does the mismatch still
+reproduce?" — the shrinker searches for a smaller triple the predicate
+still accepts:
+
+1. **ddmin over commands**, each side in turn (Zeller's classic
+   complement-removal loop, so guard/effect subsets shrink in large
+   steps before single-command probing);
+2. **argument pruning** — declared arguments no remaining command
+   references are dropped;
+3. **schema reduction** — unreferenced relations and models disappear,
+   unreferenced non-pk fields are removed (rewriting ``MakeObj`` nodes
+   through a generic bottom-up expression rewriter, since the validator
+   demands full field coverage), and per-field decorations
+   (``unique`` / ``min_value`` / ``choices`` / ``unique_together``) are
+   cleared when the mismatch survives without them.
+
+Every candidate is validated (``schema.validate()`` + ``validate_path``
+on both sides) before the predicate runs, and a predicate that raises
+counts as "not interesting", so the shrinker can never return an
+ill-formed case.  Passes repeat to a fixpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from ..soir import expr as E
+from ..soir.path import Argument, CodePath
+from ..soir.schema import ModelSchema, Schema
+from ..soir.validate import validate_path
+
+Predicate = Callable[[Schema, CodePath, CodePath], bool]
+
+
+def _valid(schema: Schema, p: CodePath, q: CodePath) -> bool:
+    try:
+        schema.validate()
+        validate_path(p, schema)
+        validate_path(q, schema)
+    except Exception:
+        return False
+    return True
+
+
+def _interesting(schema: Schema, p: CodePath, q: CodePath,
+                 predicate: Predicate) -> bool:
+    if not _valid(schema, p, q):
+        return False
+    try:
+        return bool(predicate(schema, p, q))
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# ddmin
+# ---------------------------------------------------------------------------
+
+
+def _ddmin(items: list, test: Callable[[list], bool]) -> list:
+    """Classic delta debugging: a minimal-ish sublist still accepted by
+    ``test``.  ``test`` is never called on the full input (assumed to
+    pass) but may be called on the empty list."""
+    if test([]):
+        return []
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk:]
+            if test(candidate):
+                items = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+# ---------------------------------------------------------------------------
+# Expression rewriting
+# ---------------------------------------------------------------------------
+
+
+def rewrite_expr(node: E.Expr, fn: Callable[[E.Expr], E.Expr]) -> E.Expr:
+    """Bottom-up rewrite: children first, then ``fn`` on the rebuilt node."""
+    children = node.children()
+    new_children = tuple(rewrite_expr(c, fn) for c in children)
+    if new_children != children:
+        node = node.with_children(new_children)
+    return fn(node)
+
+
+def _rewrite_path(path: CodePath, fn: Callable[[E.Expr], E.Expr]) -> CodePath:
+    commands = tuple(
+        cmd.with_exprs(tuple(rewrite_expr(e, fn) for e in cmd.exprs()))
+        for cmd in path.commands
+    )
+    return dataclasses.replace(path, commands=commands)
+
+
+def _drop_makeobj_field(path: CodePath, model: str, fname: str) -> CodePath:
+    def fn(node: E.Expr) -> E.Expr:
+        if isinstance(node, E.MakeObj) and node.model == model:
+            return E.MakeObj(
+                model,
+                tuple((n, e) for n, e in node.fields if n != fname),
+            )
+        return node
+
+    return _rewrite_path(path, fn)
+
+
+# ---------------------------------------------------------------------------
+# Reference collection
+# ---------------------------------------------------------------------------
+
+
+def _referenced_arg_names(path: CodePath) -> set[str]:
+    names: set[str] = set()
+    for cmd in path.commands:
+        for node in cmd.walk_exprs():
+            if isinstance(node, (E.Var, E.Opaque)):
+                names.add(node.name)
+    return names
+
+
+def _referenced_field_names(paths: list[CodePath]) -> set[str]:
+    """Every field name any expression reads, writes, filters, orders or
+    aggregates by — model-insensitive on purpose (conservative)."""
+    names: set[str] = set()
+    for path in paths:
+        for cmd in path.commands:
+            for node in cmd.walk_exprs():
+                f = getattr(node, "field", None)
+                if isinstance(f, str):
+                    names.add(f)
+                if isinstance(node, E.MakeObj):
+                    pass  # MakeObj coverage is rewritten, not a reference
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Shrinking passes
+# ---------------------------------------------------------------------------
+
+
+def _shrink_commands(schema: Schema, p: CodePath, q: CodePath,
+                     predicate: Predicate) -> tuple[CodePath, CodePath]:
+    def test_p(commands: list) -> bool:
+        cand = dataclasses.replace(p, commands=tuple(commands))
+        return _interesting(schema, cand, q, predicate)
+
+    p = dataclasses.replace(
+        p, commands=tuple(_ddmin(list(p.commands), test_p)),
+    )
+
+    def test_q(commands: list) -> bool:
+        cand = dataclasses.replace(q, commands=tuple(commands))
+        return _interesting(schema, p, cand, predicate)
+
+    q = dataclasses.replace(
+        q, commands=tuple(_ddmin(list(q.commands), test_q)),
+    )
+    return p, q
+
+
+def _prune_args(schema: Schema, p: CodePath, q: CodePath,
+                predicate: Predicate) -> tuple[CodePath, CodePath]:
+    out = []
+    for path in (p, q):
+        used = _referenced_arg_names(path)
+        kept = tuple(a for a in path.args if a.name in used)
+        if len(kept) != len(path.args):
+            cand = dataclasses.replace(path, args=kept)
+            other = q if path is p else out[0]
+            pair = (cand, other) if path is p else (other, cand)
+            if _interesting(schema, pair[0], pair[1], predicate):
+                path = cand
+        out.append(path)
+    return out[0], out[1]
+
+
+def _without_model(schema: Schema, name: str) -> Schema:
+    return Schema(
+        models={n: m for n, m in schema.models.items() if n != name},
+        relations={
+            n: r for n, r in schema.relations.items()
+            if r.source != name and r.target != name
+        },
+    )
+
+
+def _without_relation(schema: Schema, name: str) -> Schema:
+    return Schema(
+        models=dict(schema.models),
+        relations={n: r for n, r in schema.relations.items() if n != name},
+    )
+
+
+def _replace_model(schema: Schema, model: ModelSchema) -> Schema:
+    models = dict(schema.models)
+    models[model.name] = model
+    return Schema(models=models, relations=dict(schema.relations))
+
+
+def _shrink_schema(schema: Schema, p: CodePath, q: CodePath,
+                   predicate: Predicate) -> tuple[Schema, CodePath, CodePath]:
+    touched_models = p.models_touched(schema) | q.models_touched(schema)
+    touched_rels = p.relations_touched(schema) | q.relations_touched(schema)
+
+    for rname in sorted(schema.relations):
+        if rname in touched_rels:
+            continue
+        cand = _without_relation(schema, rname)
+        if _interesting(cand, p, q, predicate):
+            schema = cand
+
+    for mname in sorted(schema.models):
+        if mname in touched_models:
+            continue
+        if any(mname in (r.source, r.target)
+               for r in schema.relations.values()):
+            continue
+        cand = _without_model(schema, mname)
+        if _interesting(cand, p, q, predicate):
+            schema = cand
+
+    referenced = _referenced_field_names([p, q])
+    for mname in sorted(schema.models):
+        model = schema.models[mname]
+        for f in model.fields:
+            if f.name == model.pk or f.name in referenced:
+                continue
+            new_model = dataclasses.replace(
+                model,
+                fields=tuple(x for x in model.fields if x.name != f.name),
+                unique_together=tuple(
+                    g for g in model.unique_together if f.name not in g
+                ),
+            )
+            cand_schema = _replace_model(schema, new_model)
+            cand_p = _drop_makeobj_field(p, mname, f.name)
+            cand_q = _drop_makeobj_field(q, mname, f.name)
+            if _interesting(cand_schema, cand_p, cand_q, predicate):
+                schema, p, q = cand_schema, cand_p, cand_q
+                model = new_model
+
+    # Clear per-field decorations the mismatch does not need.
+    for mname in sorted(schema.models):
+        model = schema.models[mname]
+        for f in model.fields:
+            trimmed = f
+            for attr, cleared in (("min_value", None), ("choices", None),
+                                  ("unique", False)):
+                if getattr(trimmed, attr) == cleared:
+                    continue
+                if attr == "unique" and f.name == model.pk:
+                    continue
+                cand_f = dataclasses.replace(trimmed, **{attr: cleared})
+                cand_model = dataclasses.replace(
+                    model,
+                    fields=tuple(
+                        cand_f if x.name == f.name else x
+                        for x in model.fields
+                    ),
+                )
+                cand_schema = _replace_model(schema, cand_model)
+                if _interesting(cand_schema, p, q, predicate):
+                    schema, model, trimmed = cand_schema, cand_model, cand_f
+        if model.unique_together:
+            cand_model = dataclasses.replace(model, unique_together=())
+            cand_schema = _replace_model(schema, cand_model)
+            if _interesting(cand_schema, p, q, predicate):
+                schema = cand_schema
+    return schema, p, q
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def _size(schema: Schema, p: CodePath, q: CodePath) -> tuple:
+    return (
+        len(p.commands) + len(q.commands),
+        len(p.args) + len(q.args),
+        sum(len(m.fields) for m in schema.models.values()),
+        len(schema.models) + len(schema.relations),
+    )
+
+
+def shrink_case(
+    schema: Schema,
+    p: CodePath,
+    q: CodePath,
+    predicate: Predicate,
+    *,
+    max_passes: int = 5,
+) -> tuple[Schema, CodePath, CodePath]:
+    """Minimize ``(schema, p, q)`` while ``predicate`` keeps accepting it.
+
+    The *input* triple must satisfy the predicate; the result always
+    does, and is always well-formed."""
+    if not _interesting(schema, p, q, predicate):
+        raise ValueError("shrink_case: initial case does not reproduce")
+    for _ in range(max_passes):
+        before = _size(schema, p, q)
+        p, q = _shrink_commands(schema, p, q, predicate)
+        p, q = _prune_args(schema, p, q, predicate)
+        schema, p, q = _shrink_schema(schema, p, q, predicate)
+        if _size(schema, p, q) == before:
+            break
+    return schema, p, q

@@ -231,7 +231,17 @@ class SetV:
     model: str
     member: dict[object, T.Term]
     data: dict[object, dict[str, T.Term]]
-    order: dict[object, T.Term] | None = None
+    #: sort-key levels, outermost first — each ``({ref: key term}, desc)``.
+    #: A stable re-sort keeps the previous arrangement among ties, so an
+    #: ``OrderBy`` *prepends* its key and the old levels become the
+    #: tie-break; the final, implicit level is the state's base order,
+    #: whose values are axiomatically distinct (no further ties possible).
+    #: Descending order is a per-level comparison-direction flag rather
+    #: than key negation — negation is meaningless for string/NULL keys,
+    #: while flipping the comparison direction works for every sort.
+    order_levels: tuple[tuple[dict, bool], ...] = ()
+    #: the base (insertion) order tie-break runs reversed.
+    base_desc: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -279,21 +289,43 @@ class Encoder:
             for r in self.universe[model]
         ))
 
-    def _order_of(self, setv: SetV) -> dict[object, T.Term]:
-        if setv.order is not None:
-            return setv.order
-        model_order = self.state.order.get(setv.model)
+    def _base_order(self, model: str) -> dict[object, T.Term]:
+        """Base (insertion) order terms — axiomatically distinct among
+        alive rows, or the universe position when never materialized."""
+        model_order = self.state.order.get(model)
         if model_order:
             return model_order
-        # Order never materialized: fall back to universe position (the
-        # deterministic stand-in used when no order primitive occurs).
-        return {r: T.const(i) for i, r in enumerate(self.universe[setv.model])}
+        return {r: T.const(i) for i, r in enumerate(self.universe[model])}
+
+    @staticmethod
+    def _key_lt(a: T.Term, b: T.Term) -> T.Term:
+        """Strict sort-key comparison, NULLs first (the interpreter sorts
+        by ``(v is not None, v)``)."""
+        a_null, b_null = T.is_null(a), T.is_null(b)
+        return T.or_(
+            T.and_(a_null, T.not_(b_null)),
+            T.and_(T.not_(a_null), T.not_(b_null), T.lt(a, b)),
+        )
+
+    def _before(self, setv: SetV, r, r2) -> T.Term:
+        """Does ``r`` precede ``r2`` in the set's sequence order?
+        Lexicographic over the key levels, tie-broken by base order —
+        a total order, so for a non-empty set a strict minimum always
+        exists (strict single-key comparison would leave tied rows with
+        no minimum and the selection ITE falling into its default)."""
+        base = self._base_order(setv.model)
+        term = (T.lt(base[r2], base[r]) if setv.base_desc
+                else T.lt(base[r], base[r2]))
+        for keys, desc in reversed(setv.order_levels):
+            lt = (self._key_lt(keys[r2], keys[r]) if desc
+                  else self._key_lt(keys[r], keys[r2]))
+            term = T.or_(lt, T.and_(T.eq(keys[r], keys[r2]), term))
+        return term
 
     def _select(self, setv: SetV, *, smallest: bool) -> ObjV:
         """The minimal/maximal-order member, as ITE chains; in run mode the
         non-emptiness obligation joins the precondition."""
         refs = list(self.universe[setv.model])
-        order = self._order_of(setv)
         if self.mode == "run":
             self.pre.append(T.or_(*(setv.member[r] for r in refs)))
         conds: dict[object, T.Term] = {}
@@ -303,8 +335,8 @@ class Encoder:
                 if r2 == r:
                     continue
                 cmp_term = (
-                    T.lt(order[r], order[r2]) if smallest
-                    else T.lt(order[r2], order[r])
+                    self._before(setv, r, r2) if smallest
+                    else self._before(setv, r2, r)
                 )
                 others.append(T.or_(T.not_(setv.member[r2]), cmp_term))
             conds[r] = T.and_(setv.member[r], *others)
@@ -387,7 +419,8 @@ class Encoder:
         setv = self.eval(e.qs)
         value = self.eval(e.value)
         data = {r: {**fs, e.field: value} for r, fs in setv.data.items()}
-        return SetV(setv.model, dict(setv.member), data, setv.order)
+        return SetV(setv.model, dict(setv.member), data, setv.order_levels,
+                    setv.base_desc)
 
     def _eval_Singleton(self, e: E.Singleton):
         obj = self.eval(e.obj)
@@ -449,7 +482,8 @@ class Encoder:
                 setv.model, r, e.relpath, e.field, e.op, value
             )
             member[r] = T.and_(setv.member[r], matches)
-        return SetV(setv.model, member, setv.data, setv.order)
+        return SetV(setv.model, member, setv.data, setv.order_levels,
+                    setv.base_desc)
 
     def _match_through(self, model, r, relpath, fieldname, op, value):
         """Does object ``r`` (of ``model``), through ``relpath``, reach an
@@ -526,18 +560,19 @@ class Encoder:
         from ..soir.types import Order
 
         setv = self.eval(e.qs)
-        new_order = {}
-        for r in self.universe[setv.model]:
-            key = setv.data[r][e.field]
-            new_order[r] = T.neg(key) if e.order == Order.DESC else key
-        return SetV(setv.model, setv.member, setv.data, new_order)
+        keys = {r: setv.data[r][e.field] for r in self.universe[setv.model]}
+        # A stable sort: the new key leads, the old arrangement breaks ties.
+        levels = ((keys, e.order == Order.DESC), *setv.order_levels)
+        return SetV(setv.model, setv.member, setv.data, levels,
+                    setv.base_desc)
 
     def _eval_ReverseSet(self, e: E.ReverseSet):
         setv = self.eval(e.qs)
-        order = self._order_of(setv)
-        # order'[x] = -order[x] (paper §4.2).
-        return SetV(setv.model, setv.member, setv.data,
-                    {r: T.neg(order[r]) for r in order})
+        # order'[x] = -order[x] (paper §4.2), realized by flipping every
+        # comparison direction so non-numeric sort keys work too.
+        levels = tuple((keys, not desc) for keys, desc in setv.order_levels)
+        return SetV(setv.model, setv.member, setv.data, levels,
+                    not setv.base_desc)
 
     def _eval_Aggregate(self, e: E.Aggregate):
         setv = self.eval(e.qs)
@@ -549,12 +584,18 @@ class Encoder:
             return acc
         if e.agg == Aggregation.SUM:
             acc = zero
+            present = []
             for r in self.universe[setv.model]:
-                acc = T.add(
-                    acc,
-                    T.ite(setv.member[r], setv.data[r][e.field], zero),
-                )
-            return acc
+                value = setv.data[r][e.field]
+                counted = T.and_(setv.member[r],
+                                 T.not_(T.is_null(value)))
+                present.append(counted)
+                acc = T.add(acc, T.ite(counted, value, zero))
+            # SQL semantics (mirrored by the interpreter): SUM over no
+            # non-NULL values is NULL, not 0 — downstream comparisons
+            # with NULL are then uniformly false.
+            return T.ite(T.or_(*present), acc,
+                         T.null(term_sort(e.result_type)))
         # max/min/avg: an unconstrained value (over-approximation; the
         # paper notes Z3 cannot handle averages either, §3.3).
         fresh = self.fresh_var(f"agg_{e.agg.value}_", term_sort(e.result_type))

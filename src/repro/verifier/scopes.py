@@ -55,6 +55,15 @@ class Scope:
     #: models into which either path inserts fresh-ID rows; only these
     #: need fresh-pool slots in a symbolic universe
     fresh_models: frozenset[str] = frozenset()
+    #: arguments used *only* in id positions (deref/exists/pk-filter/
+    #: CNT bounds); they take the lean pks-plus-absent domain instead of
+    #: the arithmetic boundary domain
+    pure_id_args: frozenset[str] = frozenset()
+    #: arguments in id positions *and* value positions: boundary domain
+    #: unioned with the id values
+    mixed_id_args: frozenset[str] = frozenset()
+    #: per-type id-position values: every integer pk plus one absent probe
+    id_values: dict[SoirType, list] = field(default_factory=dict)
 
 
 def _int_domain(constants: set[int]) -> list[int]:
@@ -109,6 +118,66 @@ def _relevant_fields(paths: list[CodePath], schema: Schema) -> set[tuple[str, st
     return relevant
 
 
+def _arg_id_positions(
+    paths: list[CodePath], schema: Schema
+) -> tuple[set[str], set[str]]:
+    """Split argument names by how the paths consume them.
+
+    Returns ``(pure_id, mixed)``: *pure_id* arguments appear **only** in
+    id positions — ``Deref``/``Exists`` references, filters on a pk
+    field, ``MakeObj`` pk slots, comparisons against a pk ``FieldGet``/
+    ``RefOf`` or a CNT aggregate — where the only values worth testing
+    are the scope's pks, one absent probe, and the counts they induce.
+    *mixed* arguments also flow into arithmetic or non-pk comparisons
+    and need the pk values unioned onto the boundary domain.  Giving
+    every integer argument the union instead would square the symbolic
+    engine's search space per argument pair (8 plain INT args took one
+    corpus pin from 6s to over 60s)."""
+    from ..soir.types import Aggregation
+
+    id_counts: dict[str, int] = {}
+    total_counts: dict[str, int] = {}
+    for path in paths:
+        for cmd in path.commands:
+            for node in cmd.walk_exprs():
+                if isinstance(node, E.Var):
+                    total_counts[node.name] = total_counts.get(node.name, 0) + 1
+                    continue
+                id_children: list[E.Expr] = []
+                if isinstance(node, (E.Deref, E.Exists)):
+                    id_children.append(node.ref)
+                elif isinstance(node, E.Filter):
+                    qs_model = node.qs.type.model
+                    if node.relpath:
+                        qs_model = _terminal(schema, qs_model, node.relpath)
+                    if node.field == schema.model(qs_model).pk:
+                        id_children.append(node.value)
+                elif isinstance(node, E.MakeObj):
+                    model = schema.model(node.model)
+                    try:
+                        id_children.append(node.field_expr(model.pk))
+                    except KeyError:
+                        pass
+                elif isinstance(node, E.Cmp):
+                    for a, b in ((node.left, node.right),
+                                 (node.right, node.left)):
+                        if isinstance(a, E.RefOf):
+                            id_children.append(b)
+                        elif isinstance(a, E.FieldGet):
+                            m = schema.model(a.obj.type.model)
+                            if a.field == m.pk:
+                                id_children.append(b)
+                        elif (isinstance(a, E.Aggregate)
+                              and a.agg == Aggregation.CNT):
+                            id_children.append(b)
+                for child in id_children:
+                    if isinstance(child, E.Var):
+                        id_counts[child.name] = id_counts.get(child.name, 0) + 1
+    pure = {n for n, c in id_counts.items() if total_counts.get(n, 0) == c}
+    mixed = set(id_counts) - pure
+    return pure, mixed
+
+
 def _terminal(schema: Schema, start: str, relpath) -> str:
     from ..soir.types import Direction
 
@@ -153,10 +222,14 @@ def build_scope(
         pk_type = model.pk_field.type
         if pk_type == STRING:
             ids[mname] = [f"{mname[:2].lower()}{i}" for i in range(ids_per_model)]
-            fresh_ids[mname] = [f"{mname[:2].lower()}F{i}" for i in range(n_fresh)]
         else:
             ids[mname] = list(range(1, ids_per_model + 1))
-            fresh_ids[mname] = list(range(101, 101 + n_fresh))
+        # The fresh-ID rows must carry the *same* values that
+        # ``env_products`` pins fresh arguments to (and ``arg_domain``
+        # offers to colliding plain arguments): feasibility states and
+        # the symbolic universe extend the id space with these rows, and
+        # a differently-named row can never witness a pinned argument.
+        fresh_ids[mname] = fresh_pool_for(pk_type)[:n_fresh]
 
     string_constants = {v for v in constants[STRING] if isinstance(v, str)}
     type_domains: dict[SoirType, list] = {
@@ -204,6 +277,16 @@ def build_scope(
         if schema.model(mname).pk_field.type == STRING:
             arg_strings = ids[mname] + arg_strings
     type_domains[STRING] = arg_strings[:8]
+    # Integer arguments addressing rows must be able to hit every pk —
+    # the boundary values only cover pk 1, so a witness addressing a
+    # later row (or a CNT-aggregate bound equal to the table size) would
+    # be unrepresentable.  The pks live in a dedicated id domain rather
+    # than ``type_domains[INT]`` so pure-value arguments stay lean (see
+    # ``_arg_id_positions``); ``arg_domain`` picks or unions per use.
+    pure_id_args, mixed_id_args = _arg_id_positions(paths, schema)
+    int_ids = sorted({v for mname in models for v in ids[mname]
+                      if isinstance(v, int)})
+    id_values: dict[SoirType, list] = {INT: int_ids + [0]}
 
     field_domains: dict[tuple[str, str], list] = {}
     for mname in models:
@@ -251,6 +334,9 @@ def build_scope(
         type_domains=type_domains,
         fresh_arg_types=fresh_arg_types,
         fresh_models=frozenset(fresh_models),
+        pure_id_args=frozenset(pure_id_args),
+        mixed_id_args=frozenset(mixed_id_args),
+        id_values=id_values,
     )
 
 
@@ -309,7 +395,64 @@ class StateGenerator:
                 states.append(self._populated(k, vary=True, shift=shift))
         for rows in range(k, -1, -1):
             states.append(self._populated(rows))
+        states.extend(self._group_collision_states())
         return [s for s in states if s is not None]
+
+    def _group_collision_states(self) -> list[DBState]:
+        """``unique_together`` collision probes: two rows agreeing on every
+        group field but one.  A write landing on the free field can
+        collide with the other row only from such a state, and the plain
+        suites never build one — ``vary`` assigns distinct values to every
+        field, uniform assignment tripped the group constraint and dropped
+        the second row.  The free field runs over *all* value pairs, not
+        just adjacent ones: an update typically shifts the value by an
+        argument-sized step, so the colliding pair may be far apart."""
+        states: list[DBState] = []
+        for mname in sorted(self.scope.models):
+            model = self.schema.model(mname)
+            pks = self.scope.ids[mname]
+            if len(pks) < 2:
+                continue
+            for group in model.unique_together:
+                fields = [f for f in group if f != model.pk]
+                if len(fields) < 2:
+                    continue
+                # A group member that is individually unique cannot agree
+                # across rows, so the group can never collide through it.
+                if any(model.field(f).unique for f in fields):
+                    continue
+                for free in fields:
+                    pinned = {}
+                    for other in fields:
+                        if other == free:
+                            continue
+                        dom = self.scope.field_domains[(mname, other)]
+                        pin = next((v for v in dom if v is not None), None)
+                        if pin is None:
+                            break
+                        pinned[other] = pin
+                    if len(pinned) != len(fields) - 1:
+                        continue
+                    dom = self.scope.field_domains[(mname, free)]
+                    values = [v for v in dom if v is not None]
+                    for i in range(len(values)):
+                        for j in range(i + 1, len(values)):
+                            base = self._populated(len(pks), vary=True)
+                            if base is None:
+                                continue
+                            table = base.table(mname)
+                            probe = [pk for pk in pks[:2] if pk in table]
+                            if len(probe) < 2:
+                                continue
+                            for pk, v in zip(probe, (values[i], values[j])):
+                                table[pk][free] = v
+                                for other, pin in pinned.items():
+                                    table[pk][other] = pin
+                            self._fix_unique_together(base)
+                            if len(base.table(mname)) < 2:
+                                continue
+                            states.append(base)
+        return states
 
     def _empty(self) -> DBState:
         """A state carrying only the scope's footprint — checks clone
@@ -477,6 +620,13 @@ def arg_domain(arg: Argument, scope: Scope) -> list:
         # fall back to a single placeholder.
         return [None]
     domain = list(domain)
+    id_values = scope.id_values.get(arg.type, [])
+    if arg.name in scope.pure_id_args and id_values:
+        # Only ever an object reference: the pks, one absent probe, and
+        # (below) a fresh-pool collision cover every distinguishable case.
+        domain = list(id_values)
+    elif arg.name in scope.mixed_id_args:
+        domain = domain + [v for v in id_values if v not in domain]
     # A plain argument can name a storage-generated fresh ID (a client may
     # reference an object another operation is creating concurrently —
     # the 'AddCourse/DeleteCourse can carry the same ID' case, paper §6.2),

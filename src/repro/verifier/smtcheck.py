@@ -38,7 +38,13 @@ from .encoding import (
 )
 from .enumcheck import CheckConfig
 from .restrictions import CheckResult, Counterexample, Outcome
-from .scopes import Scope, build_scope, collect_args, fresh_pool_for
+from .scopes import (
+    Scope,
+    arg_domain,
+    build_scope,
+    collect_args,
+    fresh_pool_for,
+)
 
 
 class SmtPairChecker:
@@ -83,19 +89,26 @@ class SmtPairChecker:
             if arg.unique_id:
                 solver.declare(var.name, fresh_pool_for(arg.type)[:2])
             else:
-                domain = self.scope.type_domains.get(arg.type, [None])
-                domain = list(domain)
+                # Same per-argument domain the enum checker searches
+                # (lean id domains for pure references, boundary values
+                # for arithmetic) — the engines must disagree only on
+                # reasoning power, never on the space they quantify over.
+                domain = arg_domain(arg, self.scope)
                 if arg.type in self.scope.fresh_arg_types:
                     # With unique-ID pinning, each fresh argument occupies
                     # its own pool constant — a plain argument must be able
                     # to collide with *any* of them, not just the first
-                    # (a client may name an ID either operation is minting).
+                    # (a client may name an ID either operation is minting);
+                    # ``arg_domain`` already appended the first.
                     n_fresh = sum(
                         1 for p in (self.p, self.q)
                         for a in collect_args(p)
                         if a.unique_id and a.type == arg.type
                     )
-                    domain += fresh_pool_for(arg.type)[:max(1, n_fresh)]
+                    domain += [
+                        v for v in fresh_pool_for(arg.type)[:max(1, n_fresh)]
+                        if v not in domain
+                    ]
                 solver.declare(var.name, domain)
         return env
 
@@ -104,6 +117,20 @@ class SmtPairChecker:
             solver.declare(name, domain)
         for axiom in bundle.axioms:
             solver.add(axiom)
+
+    def _assert_fresh_absent(self, solver: Solver, bundle: StateBundle) -> None:
+        """The storage tier mints globally-fresh IDs (§5.2): a row whose
+        id this pair is about to mint cannot pre-exist in the shared
+        initial state.  Without this, the solver fabricates initial
+        states containing the "fresh" row — e.g. pre-linked into an
+        association — and reports divergences no execution can reach.
+        Feasibility states stay unconstrained: a *plain* argument may
+        name a fresh ID another site has already materialized (§6.2)."""
+        for mname in sorted(self.scope.models):
+            ids = bundle.state.ids[mname]
+            for v in self.scope.fresh_ids.get(mname, []):
+                if v in ids:
+                    solver.add(T.not_(ids[v]))
 
     def _encode_run(
         self, path: CodePath, bundle_state, env, solver: Solver
@@ -131,6 +158,7 @@ class SmtPairChecker:
                              with_order=self.with_order)
             for bundle in (s0, sp, sq):
                 self._install(solver, bundle)
+            self._assert_fresh_absent(solver, s0)
             fresh_taken: list = []
             env_p = self._arg_terms(self.p, "P", solver, fresh_taken)
             env_q = self._arg_terms(self.q, "Q", solver, fresh_taken)
@@ -240,6 +268,7 @@ class SmtPairChecker:
         s0 = fresh_state("S", self.schema, self.scope,
                          with_order=self.with_order)
         self._install(solver, s0)
+        self._assert_fresh_absent(solver, s0)
         fresh_taken: list = []
         env_p = self._arg_terms(p, sp_suffix, solver, fresh_taken)
         env_q = self._arg_terms(q, sq_suffix, solver, fresh_taken)

@@ -36,6 +36,8 @@ from repro.soir.state import DBState
 from repro.soir.types import INT
 from repro.verifier import CheckConfig, verify_application
 
+pytestmark = pytest.mark.slow
+
 QUICK = CheckConfig(timeout_s=0.5, max_samples=200, max_exhaustive=2000)
 
 

@@ -131,6 +131,7 @@ def build_path(name: str, picks: list[int]) -> CodePath:
 CFG = CheckConfig(timeout_s=6.0)
 
 
+@pytest.mark.slow
 @settings(max_examples=20, deadline=None)
 @given(
     st.lists(st.integers(0, len(TEMPLATES) - 1), min_size=1, max_size=2),
@@ -152,28 +153,12 @@ def test_engines_agree_on_random_pairs(picks_p, picks_q):
         )
 
 
-@pytest.mark.parametrize(
-    "picks_p, picks_q, kind, expected",
-    [
-        # Double guarded_withdraw vs itself: the witness needs a row
-        # holding a *later* field-domain value (a positive balance) and an
-        # env product over the cap — found only since canonical states
-        # rotate field domains and env_products trims instead of bailing.
-        ([2, 2], [2, 2], "semantic", Outcome.FAIL),
-        # bump;set_tag vs set_tag: Q taking the tag invalidates P's
-        # merge — the symbolic engine must encode the interpreter's
-        # merge-time unique precondition, not just initial-state axioms.
-        ([1, 4], [4], "semantic", Outcome.FAIL),
-    ],
-)
-def test_regression_pairs_agree(picks_p, picks_q, kind, expected):
-    """Historical enum/smt disagreements, pinned with their verdicts."""
-    p = build_path("P", picks_p)
-    q = build_path("Q", picks_q)
-    enum_result = getattr(PairChecker(p, q, SCHEMA, CFG), f"check_{kind}")()
-    smt_result = getattr(SmtPairChecker(p, q, SCHEMA, CFG), f"check_{kind}")()
-    assert enum_result.outcome == expected
-    assert smt_result.outcome == expected
+# Historical enum/smt disagreements used to be pinned here as
+# test_regression_pairs_agree; they now live in the shared corpus format
+# (tests/corpus/fuzz-double-withdraw-env-cap.json and
+# tests/corpus/fuzz-merge-unique-tag.json) and are replayed by
+# tests/test_corpus.py alongside every mismatch the differential tester
+# ever pins.
 
 
 @pytest.mark.parametrize("pick", range(len(TEMPLATES)))
