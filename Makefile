@@ -3,7 +3,7 @@
 PYTHON ?= python3
 
 .PHONY: install test test-fast coverage bench bench-full bench-sweep \
-	examples chaos difftest trace-demo docs-lint clean
+	examples chaos engine-chaos difftest trace-demo docs-lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -33,6 +33,9 @@ bench-sweep:
 chaos:
 	$(PYTHON) -m repro chaos postgraduation --seed 3 --ops 200
 	$(PYTHON) -m repro chaos smallbank --seed 1 --ops 120 --faults all
+
+engine-chaos:
+	$(PYTHON) -m repro engine-chaos --seeds 5 --jobs 2
 
 trace-demo:
 	$(PYTHON) -m repro trace courseware --quick --jobs 2 \

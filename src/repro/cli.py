@@ -27,7 +27,15 @@ Subcommands:
   checker, the symbolic engine *and* a concrete interleaving oracle, and
   flag any forbidden disagreement; ``--shrink`` minimizes mismatches and
   pins them under ``--corpus``; ``--replay`` re-verifies every pinned
-  corpus case instead of generating.
+  corpus case instead of generating;
+* ``noctua engine-chaos [--seeds N] [--start K] [--app NAME] [--jobs N]
+  [--deadline S]`` — fault injection against the *verification engine*
+  itself: each seed poisons real sweeps with worker crashes, hangs,
+  solver errors, pool death and cache corruption, then asserts the
+  fault-tolerance contract (poisoned pairs — and only those — degrade to
+  conservative ``unknown`` verdicts, everything else is byte-identical
+  to a clean serial sweep, unknowns are never cached, corrupt cache
+  files are quarantined, wall time stays within the deadline budget).
 """
 
 from __future__ import annotations
@@ -127,7 +135,7 @@ def cmd_verify(args) -> int:
         )
     report = verify_application(
         result, config, jobs=args.jobs, use_cache=args.cache,
-        cache_dir=args.cache_dir,
+        cache_dir=args.cache_dir, pair_deadline_s=args.deadline,
     )
     summary = report.summary()
     metrics = report.metrics
@@ -145,6 +153,15 @@ def cmd_verify(args) -> int:
     print(f"engine        : {mode}{workers}")
     print(f"solver calls  : {metrics.get('solver_calls', 0)} "
           f"(pruned {metrics.get('pruned', 0)})")
+    failures = metrics.get("failures") or {}
+    if failures or metrics.get("unknowns"):
+        counts = ", ".join(f"{kind}={n}" for kind, n in sorted(failures.items()))
+        print(f"failures      : {counts or 'none'} "
+              f"({metrics.get('retries', 0)} retried, "
+              f"{metrics.get('engine_fallbacks', 0)} engine fallbacks)")
+        print(f"unknown pairs : {metrics.get('unknowns', 0)} "
+              f"(conservatively restricted, not cached; re-run or raise "
+              f"--deadline)")
     if args.cache:
         print(f"cache         : {metrics.get('cache_hits', 0)} hits, "
               f"{metrics.get('cache_misses', 0)} misses "
@@ -358,6 +375,24 @@ def cmd_difftest(args) -> int:
     return 1
 
 
+def cmd_engine_chaos(args) -> int:
+    from .engine import run_engine_chaos
+
+    print(f"engine chaos: app={args.app} seeds={args.start}.."
+          f"{args.start + args.seeds - 1} jobs={args.jobs} "
+          f"deadline={args.deadline:.1f}s")
+    report = run_engine_chaos(
+        args.app, seeds=args.seeds, start=args.start, jobs=args.jobs,
+        deadline_s=args.deadline, log=print,
+    )
+    ok_count = sum(1 for o in report.outcomes if o.ok)
+    print(f"{len(report.outcomes)} seed(s) in {report.elapsed_s:.1f} s, "
+          f"{ok_count} ok, {len(report.outcomes) - ok_count} failed")
+    for problem in report.problems:
+        print(f"  ! {problem}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="noctua",
@@ -389,6 +424,13 @@ def main(argv: list[str] | None = None) -> int:
                                "disable)")
     p_verify.add_argument("--cache-dir", default=None, metavar="DIR",
                           help="cache location (default: .noctua-cache/)")
+    p_verify.add_argument("--deadline", type=float, default=None,
+                          metavar="S",
+                          help="wall-clock deadline per solve attempt; "
+                               "pairs the engine cannot decide within "
+                               "the retry budget are conservatively "
+                               "restricted as 'unknown' (default: "
+                               "derived from the check timeout)")
     p_verify.add_argument("--conflict-table", action="store_true",
                           help="print the endpoint-level conflict table")
     p_verify.add_argument("--json", metavar="FILE", default=None,
@@ -459,6 +501,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-check solver timeout in seconds "
                              "(default: 2.0)")
 
+    p_echaos = sub.add_parser(
+        "engine-chaos",
+        help="fault injection against the verification engine itself",
+    )
+    p_echaos.add_argument("--seeds", type=int, default=10, metavar="N",
+                          help="number of seeded fault plans (default: 10)")
+    p_echaos.add_argument("--start", type=int, default=0, metavar="K",
+                          help="first seed (default: 0)")
+    p_echaos.add_argument("--app", default="smallbank", metavar="NAME",
+                          help="application to sweep (default: smallbank)")
+    p_echaos.add_argument("--jobs", type=int, default=2, metavar="N",
+                          help="worker processes per chaotic sweep "
+                               "(default: 2)")
+    p_echaos.add_argument("--deadline", type=float, default=2.0,
+                          metavar="S",
+                          help="per-pair deadline during chaotic sweeps "
+                               "(default: 2.0)")
+
     args = parser.parse_args(argv)
     handlers = {
         "apps": cmd_apps,
@@ -468,6 +528,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "chaos": cmd_chaos,
         "difftest": cmd_difftest,
+        "engine-chaos": cmd_engine_chaos,
     }
     return handlers[args.command](args)
 

@@ -12,7 +12,16 @@ numbers in the report and the spans in ``noctua trace`` can never
 disagree.  See docs/ENGINE.md and docs/OBSERVABILITY.md.
 """
 
-from .cache import CACHE_FORMAT, DEFAULT_CACHE_DIR, ResultCache
+from .cache import CACHE_FORMAT, DEFAULT_CACHE_DIR, QUARANTINE_SUFFIX, ResultCache
+from .chaos import EngineChaosPlan, EngineChaosReport, SweepAborted, run_engine_chaos
+from .failures import (
+    FAILURE_KINDS,
+    PairFailure,
+    RetryPolicy,
+    WorkerCrash,
+    default_deadline,
+    unknown_verdict,
+)
 from .fingerprint import (
     FINGERPRINT_VERSION,
     FingerprintContext,
@@ -26,12 +35,23 @@ from .scheduler import run_pair_sweep
 __all__ = [
     "CACHE_FORMAT",
     "DEFAULT_CACHE_DIR",
+    "EngineChaosPlan",
+    "EngineChaosReport",
     "EngineMetrics",
+    "FAILURE_KINDS",
     "FINGERPRINT_VERSION",
     "FingerprintContext",
+    "PairFailure",
+    "QUARANTINE_SUFFIX",
     "ResultCache",
+    "RetryPolicy",
+    "SweepAborted",
+    "WorkerCrash",
+    "default_deadline",
     "fingerprint_config",
     "fingerprint_path",
     "fingerprint_schema",
+    "run_engine_chaos",
     "run_pair_sweep",
+    "unknown_verdict",
 ]

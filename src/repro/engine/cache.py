@@ -10,29 +10,43 @@ behind as garbage.  ``prune()`` drops entries not referenced by the
 current sweep for callers that want a tight file.
 
 Writes are atomic (tmp file + ``os.replace``) and only happen when the
-entry map changed, so a fully warm sweep performs no writes at all.
-A corrupt, unreadable or version-mismatched file is treated as an empty
-cache, never an error: the cache is an accelerator, not a correctness
-dependency.
+entry map changed, so a fully warm sweep performs no writes at all.  The
+scheduler also flushes *mid-sweep* every N solved pairs (checkpointing),
+so a crashed or killed sweep loses at most the last checkpoint interval
+of solver work — the atomic replace guarantees the file on disk is
+always a complete, parseable snapshot.
+
+A corrupt, unreadable or version-mismatched file is never an error — the
+cache is an accelerator, not a correctness dependency — but it is also
+never silently destroyed: the bad file is *quarantined* (renamed to
+``<app>.json.corrupt``, with a tracer record and a warning) so the
+evidence survives for inspection instead of being overwritten by the
+next flush.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 
+from ..obs import tracer as obs
 from ..verifier.restrictions import (
     PairVerdict,
     verdict_from_obj,
     verdict_to_obj,
 )
+from .failures import cap_text
 
 #: default cache root, relative to the working directory
 DEFAULT_CACHE_DIR = ".noctua-cache"
 
 #: bump on incompatible changes to the cache file layout
 CACHE_FORMAT = 1
+
+#: suffix given to quarantined (corrupt / version-mismatched) cache files
+QUARANTINE_SUFFIX = ".corrupt"
 
 
 class ResultCache:
@@ -42,18 +56,55 @@ class ResultCache:
         self.root = Path(root)
         self.app_name = app_name
         self.path = self.root / f"{_safe_name(app_name)}.json"
+        #: where the previous cache file went if it failed to load —
+        #: ``None`` on a clean (or cold) load
+        self.quarantined: str | None = None
         self._entries: dict[str, dict] = self._load()
         self._dirty = False
 
     def _load(self) -> dict[str, dict]:
         try:
-            obj = json.loads(self.path.read_text())
-        except (OSError, ValueError):
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return {}  # cold cache: normal, nothing to quarantine
+        except OSError as exc:
+            self._quarantine(f"unreadable: {exc}")
             return {}
-        if not isinstance(obj, dict) or obj.get("format") != CACHE_FORMAT:
+        try:
+            obj = json.loads(text)
+        except ValueError as exc:
+            self._quarantine(f"corrupt JSON: {exc}")
+            return {}
+        if not isinstance(obj, dict):
+            self._quarantine("not a JSON object")
+            return {}
+        if obj.get("format") != CACHE_FORMAT:
+            self._quarantine(
+                f"format {obj.get('format')!r} != {CACHE_FORMAT}")
             return {}
         entries = obj.get("entries")
-        return entries if isinstance(entries, dict) else {}
+        if not isinstance(entries, dict):
+            self._quarantine("entries missing or not a map")
+            return {}
+        return entries
+
+    def _quarantine(self, reason: str) -> None:
+        """Move the unusable cache file aside instead of overwriting it."""
+        target = str(self.path) + QUARANTINE_SUFFIX
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            # Can't rename (permissions, races): proceed with an empty
+            # cache anyway; the next flush overwrites in place.
+            target = None
+        self.quarantined = target
+        message = (f"cache file {self.path} unusable ({cap_text(reason)}); "
+                   + (f"quarantined as {target}" if target
+                      else "quarantine rename failed, will overwrite"))
+        obs.record(f"cache {self.app_name}", "cache-quarantine",
+                   app=self.app_name, path=str(self.path),
+                   quarantined=target or "", reason=cap_text(reason))
+        warnings.warn(f"noctua: {message}", RuntimeWarning, stacklevel=3)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -94,7 +145,11 @@ class ResultCache:
         return len(stale)
 
     def flush(self) -> None:
-        """Persist the entry map if it changed since load."""
+        """Persist the entry map if it changed since load (atomic).
+
+        Also the checkpoint primitive: the scheduler calls it mid-sweep
+        every N solved pairs, so a killed sweep resumes warm up to the
+        last checkpoint."""
         if not self._dirty:
             return
         self.root.mkdir(parents=True, exist_ok=True)

@@ -41,6 +41,18 @@ class EngineMetrics:
     #: pairs actually handed to a checker this run
     solver_calls: int = 0
 
+    #: failure-taxonomy counters (see :mod:`repro.engine.failures`):
+    #: failed attempts by kind, attempts retried, pairs re-solved on the
+    #: fallback engine, and pairs that degraded to ``unknown`` verdicts
+    failures: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    engine_fallbacks: int = 0
+    unknowns: int = 0
+    #: mid-sweep cache checkpoints flushed and workers respawned after
+    #: a crash or watchdog kill
+    checkpoints: int = 0
+    workers_respawned: int = 0
+
     #: wall clock of the solve phase only (dispatch to last result)
     solve_wall_s: float = 0.0
     #: sum of per-pair solve times across workers (the "work done")
@@ -68,20 +80,45 @@ class EngineMetrics:
         * ``pruned:<tag>`` — resolved by a solver-free fast layer;
         * ``cached`` — replayed from the verdict cache (``saved_s``);
         * ``solved`` — handed to a checker (``pid``, wall time, and
-          ``cache="miss"`` when a cache lookup preceded the solve).
+          ``cache="miss"`` when a cache lookup preceded the solve);
+        * ``unknown`` — the engine gave up on the pair (conservative,
+          restricted verdict; ``failure`` carries the taxonomy kind);
+        * ``failed-attempt`` — a failed serial attempt that was retried
+          or degraded; *not* counted as a pair (the pair's final span
+          is one of the routes above).
+
+        ``pair-failure`` record children count failed attempts by kind;
+        retries are derived from them (every failed attempt except the
+        terminal one of each unknown pair was retried).
         """
         metrics = cls(jobs_requested=sweep.attrs.get("jobs_requested", 1))
         metrics.jobs_used = sweep.attrs.get("jobs_used", 1)
         metrics.mode = sweep.attrs.get("mode", "serial")
         metrics.fallback_reason = sweep.attrs.get("fallback_reason", "")
         metrics.solve_wall_s = sweep.attrs.get("solve_wall_s", 0.0)
+        metrics.checkpoints = sweep.attrs.get("checkpoints", 0)
+        metrics.workers_respawned = sweep.attrs.get("respawns", 0)
         solved: list[tuple[str, str, float]] = []
+        failed_attempts = 0
         for span in sweep.children:
+            if span.kind == "pair-failure":
+                kind = span.attrs.get("failure", "unknown")
+                metrics.failures[kind] = metrics.failures.get(kind, 0) + 1
+                failed_attempts += 1
+                continue
             if span.kind != "pair":
                 continue
-            metrics.pairs_total += 1
             route = span.attrs.get("route", "")
-            if route.startswith("pruned:"):
+            if route == "failed-attempt":
+                continue  # a retried attempt, not a pair outcome
+            metrics.pairs_total += 1
+            if span.attrs.get("engine_fallback"):
+                metrics.engine_fallbacks += 1
+            if route == "unknown":
+                metrics.unknowns += 1
+                if span.attrs.get("cache") == "miss":
+                    metrics.cache_misses += 1
+            elif route.startswith("pruned:"):
                 tag = route.split(":", 1)[1]
                 if tag == "conservative":
                     metrics.pruned_conservative += 1
@@ -109,6 +146,9 @@ class EngineMetrics:
                 ))
         solved.sort(key=lambda t: t[2], reverse=True)
         metrics.slowest_pairs = solved[:keep_slowest]
+        # Every failed attempt was retried except the terminal attempt
+        # of each pair that degraded to unknown.
+        metrics.retries = max(0, failed_attempts - metrics.unknowns)
         return metrics
 
     @property
@@ -141,6 +181,12 @@ class EngineMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "solver_calls": self.solver_calls,
+            "failures": dict(self.failures),
+            "retries": self.retries,
+            "engine_fallbacks": self.engine_fallbacks,
+            "unknowns": self.unknowns,
+            "checkpoints": self.checkpoints,
+            "workers_respawned": self.workers_respawned,
             "solve_wall_s": self.solve_wall_s,
             "solve_cpu_s": self.solve_cpu_s,
             "cache_saved_s": self.cache_saved_s,

@@ -1,8 +1,9 @@
-"""The verification scheduler: incremental, parallel, traced pair sweeps.
+"""The verification scheduler: incremental, parallel, fault-tolerant
+pair sweeps.
 
 Sits between the analyzer and the pair checkers (paper Figure 1 gains a
 box): ``run_pair_sweep`` drives the quadratic sweep over effectful code
-paths that ``verify_application`` used to run inline, adding three layers
+paths that ``verify_application`` used to run inline, adding four layers
 while preserving result equality with the plain serial loop:
 
 1. **pruning** — the solver-free fast layers (``classify_pair``) resolve
@@ -11,33 +12,57 @@ while preserving result equality with the plain serial loop:
 2. **memoization** — remaining pairs are looked up in a content-addressed
    on-disk cache (:mod:`repro.engine.cache`) keyed by the pair fingerprint
    (:mod:`repro.engine.fingerprint`); after an edit, only pairs whose
-   fingerprints changed are re-solved;
-3. **parallelism** — cache misses are dispatched across a
-   ``multiprocessing`` pool (``jobs > 1``), falling back to serial
-   execution if a pool cannot be created or dies mid-sweep.
+   fingerprints changed are re-solved, and the cache is *checkpointed*
+   mid-sweep every ``checkpoint_every`` solved pairs so a killed sweep
+   resumes warm;
+3. **parallelism** — cache misses are dispatched across a hand-rolled
+   pool of ``spawn`` worker processes (``jobs > 1``), falling back to
+   serial execution if a pool cannot be created or dies entirely;
+4. **fault tolerance** — every solve attempt runs under a per-pair
+   wall-clock deadline (parent watchdog for workers, ``SIGALRM`` for the
+   serial path) and failures are classified into the ``timeout`` /
+   ``crash`` / ``solver-error`` taxonomy (:mod:`repro.engine.failures`).
+   A failed pair costs only itself: the pool keeps draining, the pair is
+   retried with backoff on a fresh worker (optionally with a degraded
+   budget, or on the enum engine after a persistent SMT failure), and a
+   pair that exhausts its attempts degrades to a conservative
+   ``unknown`` verdict — restricted, clearly marked, and never cached.
+
+The pool is hand-rolled rather than ``multiprocessing.Pool`` because the
+failure semantics are the point: ``Pool`` treats one dead worker as a
+poisoned ``imap`` and loses the whole sweep, while this pool pins one
+duplex :class:`~multiprocessing.Pipe` per worker (no shared queue locks,
+so killing a wedged worker cannot deadlock its siblings), detects death
+as an ``EOF`` on that pipe, and respawns workers while unfinished work
+remains.  The ``spawn`` start method is pinned explicitly: workers must
+not inherit the parent's tracer, signal handlers or lock state via fork.
 
 Observability: every sweep runs inside a ``pair-sweep`` span with one
 ``pair`` child per pair (route = ``pruned:<tag>`` / ``cached`` /
-``solved``).  When the caller has a tracer active (:mod:`repro.obs`)
-those spans land in the caller's trace — including spans produced
-*inside worker processes*, which are serialized and grafted back onto
-the parent tree, so a parallel sweep yields one coherent trace.  With no
-tracer active, the scheduler still builds the span tree on a private
-tracer, because :class:`~repro.engine.metrics.EngineMetrics` is computed
-*from* the spans (``EngineMetrics.from_sweep``) rather than from ad-hoc
-counters.
+``solved`` / ``unknown``; failed serial attempts appear as route
+``failed-attempt`` and each failed attempt also leaves a ``pair-failure``
+record).  When the caller has a tracer active (:mod:`repro.obs`) those
+spans land in the caller's trace — including spans produced *inside
+worker processes*, which are serialized and grafted back onto the parent
+tree.  With no tracer active, the scheduler still builds the span tree on
+a private tracer, because :class:`~repro.engine.metrics.EngineMetrics` is
+computed *from* the spans (``EngineMetrics.from_sweep``).
 
 Determinism: verdicts are assembled into the report in sweep order
 (``i <= j`` over the effectful-path list) regardless of worker completion
 order, and the checkers themselves are process-independent (seeded
 sampling, no builtin ``hash``), so serial, parallel and cached sweeps
-produce identical reports.
+produce identical reports.  Fault tolerance preserves this on the
+decided subset: a sweep with failures matches a clean sweep on every
+pair the engine could decide (tests/test_engine_chaos.py asserts this
+report equality under injected crashes, hangs and pool death).
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
 import time
 
@@ -50,10 +75,29 @@ from ..verifier.restrictions import (
     verdict_from_obj,
     verdict_to_obj,
 )
-from ..verifier.runner import classify_pair, solve_pair
+from ..verifier.runner import classify_pair, solve_pair, solve_pair_guarded
 from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .chaos import EngineChaosPlan, SweepAborted, apply_chaos
+from .failures import (
+    CRASH,
+    PairFailure,
+    RetryPolicy,
+    TIMEOUT,
+    Task,
+    cap_text,
+    classify_exception,
+    default_deadline,
+    degrade_config,
+    plan_retry,
+    unknown_verdict,
+)
 from .fingerprint import FingerprintContext
 from .metrics import EngineMetrics
+
+#: default cache-checkpoint cadence (solved pairs between mid-sweep
+#: flushes); the atomic replace in ``ResultCache.flush`` makes each
+#: checkpoint a complete, parseable snapshot
+DEFAULT_CHECKPOINT_EVERY = 8
 
 # ---------------------------------------------------------------------------
 # Worker side.  Each pool worker deserializes the sweep inputs once (in the
@@ -65,27 +109,32 @@ _WORKER: dict = {}
 
 
 def _worker_init(schema_json: str, paths_json: str, config_args: dict,
-                 engine: str, trace: bool) -> None:
+                 engine: str, trace: bool, chaos_obj: dict | None) -> None:
     _WORKER["schema"] = schema_from_obj(json.loads(schema_json))
     _WORKER["paths"] = [path_from_obj(o) for o in json.loads(paths_json)]
     _WORKER["config"] = CheckConfig(**config_args)
     _WORKER["engine"] = engine
     _WORKER["trace"] = trace
+    _WORKER["chaos"] = (
+        EngineChaosPlan.from_obj(chaos_obj) if chaos_obj else None)
 
 
-def _worker_solve(
-    task: tuple[int, int, int],
-) -> tuple[int, dict, int, float, dict | None]:
+def _worker_solve(task: Task) -> tuple[int, dict, int, float, dict | None]:
     """Solve one pair; optionally under a worker-local tracer.
 
     When the parent sweep is traced, the worker opens its own ``pair``
     span (the check/solver spans nest under it), serializes the finished
     span tree, and ships it back with the verdict — the parent grafts it
     into the sweep span so the final trace covers worker-side work.
-    """
-    slot, i, j = task
+
+    No deadline is armed here: the parent watchdog *is* the worker-side
+    deadline, because only a separate process can stop a solver wedged
+    in native-speed search (or a chaos-injected hang)."""
+    slot, i, j, attempt, task_engine, level = task
     paths = _WORKER["paths"]
     p, q = paths[i], paths[j]
+    config = degrade_config(_WORKER["config"], level)
+    apply_chaos(_WORKER["chaos"], i, j, attempt, task_engine, stage="worker")
     started = time.perf_counter()
     span_obj: dict | None = None
     if _WORKER["trace"]:
@@ -94,19 +143,39 @@ def _worker_solve(
             with tracer.span(f"{p.name} x {q.name}", "pair",
                              left=p.name, right=q.name, route="solved",
                              pid=os.getpid()) as pair_span:
-                verdict = solve_pair(
-                    p, q, _WORKER["schema"], _WORKER["config"],
-                    engine=_WORKER["engine"],
-                )
+                verdict = solve_pair(p, q, _WORKER["schema"], config,
+                                     engine=task_engine)
                 pair_span.set(restricted=verdict.restricted)
         span_obj = obs.span_to_obj(tracer.roots[0])
     else:
-        verdict = solve_pair(
-            p, q, _WORKER["schema"], _WORKER["config"],
-            engine=_WORKER["engine"],
-        )
+        verdict = solve_pair(p, q, _WORKER["schema"], config,
+                             engine=task_engine)
     elapsed = time.perf_counter() - started
     return slot, verdict_to_obj(verdict), os.getpid(), elapsed, span_obj
+
+
+def _worker_main(conn, init_args: tuple) -> None:
+    """Worker process entry point: recv tasks, send results, until EOF.
+
+    A failed attempt is *reported*, not raised: the worker classifies the
+    exception and sends a ``fail`` message, staying alive for the next
+    task.  Only a hard crash (``os._exit``, a signal) silences it — which
+    the parent observes as EOF on this pipe."""
+    _worker_init(*init_args)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        try:
+            result = _worker_solve(task)
+        except BaseException as exc:  # classified, never fatal to the pool
+            kind, detail = classify_exception(exc)
+            conn.send(("fail", task, kind, detail))
+            continue
+        conn.send(("ok", task, result))
 
 
 # ---------------------------------------------------------------------------
@@ -123,12 +192,27 @@ def run_pair_sweep(
     use_cache: bool = False,
     cache_dir: str | None = None,
     prune_cache: bool = False,
+    pair_deadline_s: float | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    chaos: EngineChaosPlan | None = None,
 ) -> VerificationReport:
     """Verify every unordered pair of effectful paths of ``analysis``.
 
     ``prune_cache`` additionally drops cache entries not referenced by
-    this sweep (stale fingerprints from earlier versions of the app)."""
+    this sweep (stale fingerprints from earlier versions of the app).
+
+    ``pair_deadline_s`` bounds the wall clock of each solve attempt
+    (default: :func:`~repro.engine.failures.default_deadline`, generous
+    relative to the cooperative ``config.timeout_s`` budget); ``retry``
+    sets the failure policy (attempts, backoff, degradation, engine
+    fallback); ``checkpoint_every`` sets the mid-sweep cache-flush
+    cadence (``0`` disables checkpointing); ``chaos`` injects a fault
+    plan (tests and the ``engine-chaos`` harness only)."""
     config = config or CheckConfig()
+    policy = retry or RetryPolicy()
+    deadline_s = (pair_deadline_s if pair_deadline_s is not None
+                  else default_deadline(config))
     wall_start = time.perf_counter()
     effectful = analysis.effectful_paths
 
@@ -147,13 +231,14 @@ def run_pair_sweep(
     with tracer.span(f"pair-sweep {analysis.app_name}", "pair-sweep",
                      app=analysis.app_name, engine=engine,
                      jobs_requested=jobs, mode="serial", jobs_used=1,
-                     fallback_reason="") as sweep_span:
+                     fallback_reason="", checkpoints=0,
+                     respawns=0) as sweep_span:
         # Pass 1 — resolve every pair through pruning and the cache,
         # queueing only genuine solver work.  ``verdicts`` is
         # slot-addressed so results land in sweep order no matter how
         # they were computed.
         verdicts: list = []
-        queue: list[tuple[int, int, int]] = []  # (slot, i, j)
+        queue: list[Task] = []
         slot_fp: dict[int, str] = {}
         live_fps: set[str] = set()
         for i, p in enumerate(effectful):
@@ -185,30 +270,87 @@ def run_pair_sweep(
                         continue
                     slot_fp[slot] = fp
                 verdicts.append(None)
-                queue.append((slot, i, j))
+                queue.append((slot, i, j, 0, engine, 0))
+
+        # Shared degradation machinery (used by both execution paths).
+        cache_attr = {"cache": "miss"} if cache is not None else {}
+        counters = {"solved": 0, "since_checkpoint": 0, "checkpoints": 0}
+
+        def commit(slot: int, verdict, task: Task) -> None:
+            """Accept a solver verdict: store, maybe cache, checkpoint.
+
+            Verdicts computed under a degraded budget or a fallback
+            engine are *tainted* — correct, but not what this sweep's
+            fingerprint describes — and are never cached."""
+            verdicts[slot] = verdict
+            counters["solved"] += 1
+            tainted = task[4] != engine or task[5] > 0
+            fp = slot_fp.get(slot)
+            if cache is not None and fp is not None and not tainted:
+                cache.put(fp, verdict)
+                counters["since_checkpoint"] += 1
+                if (checkpoint_every
+                        and counters["since_checkpoint"] >= checkpoint_every):
+                    cache.flush()
+                    counters["checkpoints"] += 1
+                    counters["since_checkpoint"] = 0
+            if (chaos is not None and chaos.abort_after_solved is not None
+                    and counters["solved"] >= chaos.abort_after_solved):
+                raise SweepAborted(
+                    f"chaos: sweep aborted after {counters['solved']} "
+                    f"solved pairs")
+
+        def emit_unknown(slot: int, i: int, j: int,
+                         failure: PairFailure) -> None:
+            """Terminal degradation: conservative, restricted, uncached."""
+            p, q = effectful[i], effectful[j]
+            verdicts[slot] = unknown_verdict(
+                p.name, q.name, failure,
+                left_view=p.view, right_view=q.view)
+            tracer.record(
+                f"{p.name} x {q.name}", "pair",
+                left=p.name, right=q.name, route="unknown",
+                failure=failure.kind, attempts=failure.attempt,
+                restricted=True, **cache_attr,
+            )
+
+        def record_failure(task: Task, kind: str, detail: str,
+                           stage: str) -> None:
+            slot, i, j, attempt, task_engine, level = task
+            p, q = effectful[i], effectful[j]
+            tracer.record(
+                f"{p.name} x {q.name}", "pair-failure",
+                left=p.name, right=q.name, failure=kind,
+                attempt=attempt + 1, stage=stage, engine=task_engine,
+                detail=cap_text(detail),
+            )
 
         # Pass 2 — solve the queue, in parallel when asked and worthwhile.
-        cache_attr = {"cache": "miss"} if cache is not None else {}
         solve_start = time.perf_counter()
-        remaining = _solve_parallel(
-            analysis, config, engine, jobs, queue, verdicts, tracer,
-            sweep_span, traced=ambient is not None, cache_attr=cache_attr,
-        )
-        for slot, i, j in remaining:
-            p, q = effectful[i], effectful[j]
-            with tracer.span(f"{p.name} x {q.name}", "pair",
-                             left=p.name, right=q.name, route="solved",
-                             pid=os.getpid(), **cache_attr) as pair_span:
-                verdict = solve_pair(p, q, analysis.schema, config,
-                                     engine=engine)
-                pair_span.set(restricted=verdict.restricted)
-            verdicts[slot] = verdict
-        sweep_span.set(solve_wall_s=time.perf_counter() - solve_start)
+        try:
+            remaining = _solve_parallel(
+                analysis, config, engine, jobs, queue, tracer, sweep_span,
+                traced=ambient is not None, cache_attr=cache_attr,
+                policy=policy, deadline_s=deadline_s, chaos=chaos,
+                commit=commit, emit_unknown=emit_unknown,
+                record_failure=record_failure,
+            )
+            _solve_serial(
+                analysis, config, engine, remaining, tracer,
+                cache_attr=cache_attr, policy=policy, deadline_s=deadline_s,
+                chaos=chaos, commit=commit, emit_unknown=emit_unknown,
+                record_failure=record_failure,
+            )
+        finally:
+            # Whatever happens — including an injected SweepAborted —
+            # solved work reaches disk; the atomic replace keeps the file
+            # a complete snapshot, so a killed sweep resumes warm.
+            if cache is not None and checkpoint_every:
+                cache.flush()
+        sweep_span.set(solve_wall_s=time.perf_counter() - solve_start,
+                       checkpoints=counters["checkpoints"])
 
         if cache is not None:
-            for slot, fp in slot_fp.items():
-                if verdicts[slot] is not None:
-                    cache.put(fp, verdicts[slot])
             if prune_cache:
                 cache.prune(live_fps)
             cache.flush()
@@ -217,6 +359,7 @@ def run_pair_sweep(
         sweep_span.set(
             pairs=metrics.pairs_total, pruned=metrics.pruned,
             solver_calls=metrics.solver_calls,
+            unknowns=metrics.unknowns,
             cache=f"{metrics.cache_hits}h/{metrics.cache_misses}m"
             if cache is not None else "off",
         )
@@ -233,59 +376,307 @@ def run_pair_sweep(
     return report
 
 
+def _solve_serial(
+    analysis: AnalysisResult,
+    config: CheckConfig,
+    engine: str,
+    tasks: list[Task],
+    tracer: "obs.Tracer",
+    *,
+    cache_attr: dict,
+    policy: RetryPolicy,
+    deadline_s: float,
+    chaos: EngineChaosPlan | None,
+    commit,
+    emit_unknown,
+    record_failure,
+) -> None:
+    """Drain ``tasks`` in the parent process, deadline-guarded.
+
+    The per-pair deadline is enforced with ``SIGALRM`` here (see
+    :func:`~repro.engine.failures.deadline`): the parent cannot kill
+    itself, but it can interrupt a wedged solve and classify the attempt
+    as a ``timeout``.  Retries continue in place (fresh attempt, possibly
+    degraded budget or fallback engine) until the policy gives up and the
+    pair degrades to an ``unknown`` verdict."""
+    effectful = analysis.effectful_paths
+    for task in tasks:
+        while True:
+            slot, i, j, attempt, task_engine, level = task
+            p, q = effectful[i], effectful[j]
+            attempt_config = degrade_config(config, level)
+            with tracer.span(f"{p.name} x {q.name}", "pair",
+                             left=p.name, right=q.name, route="solved",
+                             pid=os.getpid(), **cache_attr) as pair_span:
+                verdict, failure = solve_pair_guarded(
+                    p, q, analysis.schema, attempt_config,
+                    engine=task_engine, deadline_s=deadline_s,
+                    inject=lambda: apply_chaos(
+                        chaos, i, j, attempt, task_engine, stage="serial"),
+                )
+                if verdict is not None:
+                    pair_span.set(restricted=verdict.restricted,
+                                  attempts=attempt + 1)
+                    if task_engine != engine:
+                        pair_span.set(engine_fallback=True,
+                                      engine_used=task_engine)
+                    if level:
+                        pair_span.set(degrade_level=level)
+                else:
+                    kind, detail = failure
+                    pair_span.set(route="failed-attempt", failure=kind,
+                                  attempt=attempt + 1,
+                                  detail=cap_text(detail))
+            if verdict is not None:
+                commit(slot, verdict, task)
+                break
+            record_failure(task, kind, detail, "serial")
+            next_task = plan_retry(task, kind, policy, base_engine=engine)
+            if next_task is None:
+                emit_unknown(slot, i, j, PairFailure(
+                    kind, p.name, q.name, attempt + 1, "serial",
+                    cap_text(detail)))
+                break
+            time.sleep(policy.backoff_for(attempt + 1))
+            task = next_task
+
+
 def _solve_parallel(
     analysis: AnalysisResult,
     config: CheckConfig,
     engine: str,
     jobs: int,
-    queue: list[tuple[int, int, int]],
-    verdicts: list,
+    queue: list[Task],
     tracer: "obs.Tracer",
     sweep_span: "obs.Span",
     *,
     traced: bool,
     cache_attr: dict,
-) -> list[tuple[int, int, int]]:
-    """Try to drain ``queue`` with a worker pool, filling ``verdicts``.
+    policy: RetryPolicy,
+    deadline_s: float,
+    chaos: EngineChaosPlan | None,
+    commit,
+    emit_unknown,
+    record_failure,
+) -> list[Task]:
+    """Try to drain ``queue`` with a fault-tolerant worker pool.
 
-    Returns the tasks still unsolved — empty on success, the whole queue
-    when parallelism is unavailable, or the unfinished tail if the pool
-    died mid-sweep (the caller finishes serially; results stay exact)."""
+    Pair-level isolation: a worker that crashes or blows the per-pair
+    deadline loses only its current pair — the parent kills/collects it,
+    classifies the failure, schedules a retry (fresh worker, backoff,
+    possibly degraded budget or fallback engine) and respawns capacity.
+    Only when the pool machinery itself fails does the sweep fall back to
+    serial execution, recording the in-flight pairs (the likely poison)
+    in ``fallback_reason``.
+
+    Returns the tasks still unsolved — empty on success, or the
+    unfinished tail (at their current attempt state) for the serial path.
+    """
     if jobs <= 1 or len(queue) < 2:
         return queue
     import dataclasses
 
-    workers = min(jobs, len(queue))
-    done: set[int] = set()
+    n_workers = min(jobs, len(queue))
+    resolved: set[int] = set()
+    #: the most recent task tuple per unresolved slot, so a serial
+    #: fallback resumes each pair's retry budget where the pool left it
+    latest: dict[int, Task] = {task[0]: task for task in queue}
+    workers: dict[int, dict] = {}
+    respawns = 0
+    results_seen = 0
+
+    def fail_task(task: Task, kind: str, detail: str, now: float) -> None:
+        """Classify a failed worker attempt: retry or degrade to unknown."""
+        slot = task[0]
+        if slot in resolved:
+            return
+        record_failure(task, kind, detail, "worker")
+        next_task = plan_retry(task, kind, policy, base_engine=engine)
+        if next_task is None:
+            p, q = (analysis.effectful_paths[task[1]],
+                    analysis.effectful_paths[task[2]])
+            emit_unknown(slot, task[1], task[2], PairFailure(
+                kind, p.name, q.name, task[3] + 1, "worker",
+                cap_text(detail)))
+            resolved.add(slot)
+        else:
+            latest[slot] = next_task
+            pending.append([next_task,
+                            now + policy.backoff_for(task[3] + 1)])
+
+    def reap(wid: int) -> Task | None:
+        """Remove a dead/killed worker, returning its in-flight task."""
+        state = workers.pop(wid)
+        task = state["task"]
+        proc = state["proc"]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(0.2)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(0.2)
+        state["conn"].close()
+        return task
+
     try:
+        ctx = multiprocessing.get_context("spawn")
         schema_json = json.dumps(schema_to_obj(analysis.schema))
         paths_json = json.dumps(
             [path_to_obj(p) for p in analysis.effectful_paths]
         )
-        initargs = (schema_json, paths_json, dataclasses.asdict(config),
-                    engine, traced)
-        with multiprocessing.Pool(
-            workers, initializer=_worker_init, initargs=initargs,
-        ) as pool:
-            for slot, obj, pid, elapsed, span_obj in pool.imap_unordered(
-                _worker_solve, queue, chunksize=1,
-            ):
-                verdict = verdict_from_obj(obj)
-                verdicts[slot] = verdict
-                done.add(slot)
+        init_args = (schema_json, paths_json, dataclasses.asdict(config),
+                     engine, traced, chaos.to_obj() if chaos else None)
+        next_wid = 0
+
+        def spawn() -> None:
+            nonlocal next_wid
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, init_args), daemon=True)
+            proc.start()
+            child_conn.close()  # parent's copy; needed for EOF detection
+            workers[next_wid] = {"proc": proc, "conn": parent_conn,
+                                 "task": None, "deadline": 0.0}
+            next_wid += 1
+
+        for _ in range(n_workers):
+            spawn()
+
+        pending: list[list] = [[task, 0.0] for task in queue]
+        while len(resolved) < len(queue):
+            now = time.monotonic()
+            # Assign ready work (past its backoff) to idle workers.
+            for state in workers.values():
+                if state["task"] is not None:
+                    continue
+                index = next((k for k, (_, not_before) in enumerate(pending)
+                              if not_before <= now), None)
+                if index is None:
+                    break
+                task, _ = pending.pop(index)
+                try:
+                    state["conn"].send(task)
+                except OSError:
+                    # Worker died while idle; put the task back — the
+                    # death sweep below reaps and respawns.
+                    pending.insert(0, [task, now])
+                    continue
+                state["task"] = task
+                state["deadline"] = now + deadline_s
+
+            # Collect results from busy workers (EOF = worker death).
+            busy_conns = {id(state["conn"]): wid
+                          for wid, state in workers.items()
+                          if state["task"] is not None}
+            if busy_conns:
+                ready = multiprocessing.connection.wait(
+                    [workers[wid]["conn"] for wid in busy_conns.values()],
+                    timeout=0.05)
+            else:
+                ready = []
+                if pending:
+                    time.sleep(0.01)  # backoff gap with no one to watch
+            for conn in ready:
+                wid = busy_conns[id(conn)]
+                state = workers[wid]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    task = reap(wid)
+                    exitcode = state["proc"].exitcode
+                    if task is not None:
+                        fail_task(task, CRASH,
+                                  f"worker exited with code {exitcode}",
+                                  time.monotonic())
+                    continue
+                state["task"] = None
+                results_seen += 1
+                if (chaos is not None and chaos.pool_fail_after is not None
+                        and results_seen > chaos.pool_fail_after):
+                    raise RuntimeError("chaos: injected pool failure")
+                kind_tag, task, *payload = msg
+                slot = task[0]
+                if slot in resolved:
+                    continue  # stale: the watchdog already gave up on it
+                if kind_tag == "fail":
+                    fail_task(task, payload[0], payload[1], time.monotonic())
+                    continue
+                _, verdict_obj, pid, elapsed, span_obj = payload[0]
+                verdict = verdict_from_obj(verdict_obj)
+                # A queued retry for this slot (scheduled after a prior
+                # failure) is now moot.
+                pending[:] = [entry for entry in pending
+                              if entry[0][0] != slot]
+                attrs = dict(attempts=task[3] + 1, **cache_attr)
+                if task[4] != engine:
+                    attrs.update(engine_fallback=True, engine_used=task[4])
+                if task[5]:
+                    attrs["degrade_level"] = task[5]
                 if span_obj is not None:
-                    span_obj["attrs"].update(cache_attr)
+                    span_obj["attrs"].update(attrs)
+                    span_obj["attrs"].setdefault("restricted",
+                                                 verdict.restricted)
                     tracer.graft(span_obj, parent=sweep_span)
                 else:
                     tracer.record(
                         f"{verdict.left} x {verdict.right}", "pair",
                         wall_s=elapsed, left=verdict.left,
                         right=verdict.right, route="solved", pid=pid,
-                        restricted=verdict.restricted, **cache_attr,
+                        restricted=verdict.restricted, **attrs,
                     )
-        sweep_span.set(mode="parallel", jobs_used=workers)
+                resolved.add(slot)
+                commit(slot, verdict, task)
+
+            # Watchdog: kill workers past the per-pair deadline.  The
+            # kill, not the alarm, is the worker-side deadline — a solver
+            # wedged in native search never checks a flag.
+            now = time.monotonic()
+            for wid in [w for w, state in workers.items()
+                        if state["task"] is not None
+                        and now > state["deadline"]]:
+                task = reap(wid)
+                if task is not None:
+                    fail_task(task, TIMEOUT,
+                              f"watchdog killed worker after "
+                              f"{deadline_s:.1f}s deadline", now)
+
+            # Reap workers that died while idle (rare: init crash).
+            for wid in [w for w, state in workers.items()
+                        if not state["proc"].is_alive()]:
+                task = reap(wid)
+                if task is not None:
+                    fail_task(task, CRASH, "worker died unexpectedly",
+                              time.monotonic())
+
+            # Respawn capacity while unfinished work remains.
+            want = min(n_workers, len(queue) - len(resolved))
+            while len(workers) < want:
+                spawn()
+                respawns += 1
+
+        sweep_span.set(mode="parallel", jobs_used=n_workers,
+                       respawns=respawns)
         return []
-    except Exception as exc:  # pool creation or a worker crash
-        sweep_span.set(mode="serial", jobs_used=1,
-                       fallback_reason=f"{type(exc).__name__}: {exc}")
-        return [task for task in queue if task[0] not in done]
+    except SweepAborted:
+        raise  # injected parent crash: never swallowed into a fallback
+    except Exception as exc:  # pool creation failed or the drive loop died
+        in_flight = sorted(
+            f"{analysis.effectful_paths[state['task'][1]].name} x "
+            f"{analysis.effectful_paths[state['task'][2]].name}"
+            for state in workers.values() if state["task"] is not None)
+        reason = cap_text(f"{type(exc).__name__}: {exc}")
+        if in_flight:
+            reason += "; in flight: " + cap_text(", ".join(in_flight))
+        sweep_span.set(mode="serial", jobs_used=1, fallback_reason=reason,
+                       respawns=respawns)
+        return sorted((latest[slot] for slot in latest
+                       if slot not in resolved), key=lambda t: t[0])
+    finally:
+        for wid in list(workers):
+            state = workers[wid]
+            if state["proc"].is_alive() and state["task"] is None:
+                try:
+                    state["conn"].send(None)  # graceful: let it exit
+                except OSError:
+                    pass
+            reap(wid)

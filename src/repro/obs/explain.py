@@ -361,6 +361,30 @@ def explain_pair(
     return "\n".join(lines).rstrip() + "\n"
 
 
+def _engine_failure_section(verdict) -> str:
+    """Render an ``unknown`` verdict: the engine failed, not the pair.
+
+    These verdicts carry no witness — the restriction is the engine's
+    conservative reaction to its own failure (crash, deadline, solver
+    error), so re-searching for a witness here would misattribute the
+    restriction.  The check detail says which failure and on which
+    attempt; a re-run (the verdict is never cached) or a larger
+    ``--deadline`` may decide the pair."""
+    lines = [f"pair: {verdict.left} x {verdict.right}", ""]
+    lines.append("verdict: RESTRICTED (conservative — the engine could "
+                 "not decide this pair)")
+    for check in (verdict.commutativity, verdict.semantic):
+        if check is not None and check.detail:
+            lines.append(f"  {check.kind}: {check.detail}")
+            break  # both checks carry the same engine-failure detail
+    lines.append("  no witness exists for this restriction: it reflects "
+                 "an engine failure, not pair semantics.")
+    lines.append("  the verdict was not cached; re-run the verification "
+                 "(optionally with a larger --deadline) to decide the "
+                 "pair.")
+    return "\n".join(lines) + "\n"
+
+
 def explain_report(
     analysis: AnalysisResult,
     report,
@@ -374,6 +398,9 @@ def explain_report(
     restrictions = report.restrictions
     shown = restrictions if limit is None else restrictions[:limit]
     for verdict in shown:
+        if getattr(verdict, "unknown", False):
+            sections.append(_engine_failure_section(verdict))
+            continue
         sections.append(explain_pair(
             analysis, verdict.left, verdict.right, config,
         ))

@@ -6,6 +6,7 @@ counterexample models over finite domains.
 """
 
 from . import terms
-from .solver import Model, Solver, SolverTimeout, UNKNOWN, evaluate
+from .solver import Model, Solver, SolverError, SolverTimeout, UNKNOWN, evaluate
 
-__all__ = ["Model", "Solver", "SolverTimeout", "UNKNOWN", "evaluate", "terms"]
+__all__ = ["Model", "Solver", "SolverError", "SolverTimeout", "UNKNOWN",
+           "evaluate", "terms"]

@@ -30,6 +30,17 @@ class SolverTimeout(Exception):
     """The search budget was exhausted before a verdict."""
 
 
+class SolverError(Exception):
+    """An internal solver invariant broke (bad encoding, missing domain,
+    blown recursion...).
+
+    Distinct from :class:`SolverTimeout`: a timeout is a *decided*,
+    conservative outcome, while a ``SolverError`` means the backend
+    produced no verdict at all.  The verification engine classifies it
+    as a ``solver-error`` failure and retries the pair on the enum
+    backend before degrading to an ``unknown`` verdict."""
+
+
 @dataclass
 class Model:
     """A satisfying assignment."""

@@ -18,6 +18,11 @@ class Outcome(enum.Enum):
     FAIL = "fail"
     TIMEOUT = "timeout"  # treated as fail (restricted), conservatively
     CONSERVATIVE = "conservative"  # a path the analyzer could not translate
+    #: the engine could not produce a verdict at all (worker crash, blown
+    #: deadline, persistent solver error) — restricted conservatively so
+    #: the restriction set stays sound; never cached, always surfaced in
+    #: EngineMetrics.unknowns and the report JSON
+    UNKNOWN = "unknown"
 
     @property
     def restricts(self) -> bool:
@@ -65,6 +70,15 @@ class PairVerdict:
     def restricted(self) -> bool:
         for check in (self.commutativity, self.semantic):
             if check is not None and check.outcome.restricts:
+                return True
+        return False
+
+    @property
+    def unknown(self) -> bool:
+        """True when the engine failed to decide this pair and degraded
+        to the conservative ``Outcome.UNKNOWN`` verdict."""
+        for check in (self.commutativity, self.semantic):
+            if check is not None and check.outcome is Outcome.UNKNOWN:
                 return True
         return False
 
@@ -176,6 +190,11 @@ class VerificationReport:
         return [v for v in self.verdicts if v.restricted]
 
     @property
+    def unknown_verdicts(self) -> list[PairVerdict]:
+        """Pairs the engine could not decide (restricted conservatively)."""
+        return [v for v in self.verdicts if v.unknown]
+
+    @property
     def commutativity_failures(self) -> list[PairVerdict]:
         return [
             v
@@ -221,12 +240,19 @@ class VerificationReport:
                 sorted(pair) for pair in self.restriction_pairs()
             ),
             "coordination_free": sorted(self.coordination_free_operations()),
+            # Pairs restricted because the engine failed on them, not
+            # because a witness was found: conservative, re-attempted on
+            # the next sweep (never cached).
+            "unknowns": sorted(
+                sorted((v.left, v.right)) for v in self.unknown_verdicts
+            ),
             "verdicts": [
                 {
                     "left": v.left,
                     "right": v.right,
                     "left_view": v.left_view,
                     "right_view": v.right_view,
+                    "status": "unknown" if v.unknown else "decided",
                     "commutativity": v.commutativity.outcome.value
                     if v.commutativity else None,
                     "semantic": v.semantic.outcome.value
@@ -262,6 +288,8 @@ class VerificationReport:
             "time_s": self.elapsed_s,
             "solve_time_s": self.time_solve_s,
         }
+        if self.unknown_verdicts:
+            out["unknowns"] = len(self.unknown_verdicts)
         if self.metrics:
             for key in ("cache_hits", "cache_misses", "solver_calls"):
                 if key in self.metrics:

@@ -122,6 +122,42 @@ def solve_pair(
     return verdict
 
 
+def solve_pair_guarded(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    config: CheckConfig | None = None,
+    *,
+    engine: str = "enum",
+    deadline_s: float | None = None,
+    inject=None,
+):
+    """Run :func:`solve_pair` under a wall-clock deadline, never raising.
+
+    The serial-path counterpart of the scheduler's worker watchdog:
+    the attempt runs inside :func:`repro.engine.failures.deadline`
+    (``SIGALRM``-based, main-thread only) and any failure — deadline,
+    injected crash, solver error — is caught and classified instead of
+    propagating into the sweep.
+
+    Returns ``(verdict, None)`` on success or ``(None, (kind, detail))``
+    with ``kind`` from the failure taxonomy.  ``inject`` is the chaos
+    hook: a callable invoked right before solving (tests and the
+    ``engine-chaos`` harness only)."""
+    # Lazy import: repro.engine imports this module at package-init time.
+    from ..engine import failures
+
+    config = config or CheckConfig()
+    try:
+        with failures.deadline(deadline_s):
+            if inject is not None:
+                inject()
+            verdict = solve_pair(p, q, schema, config, engine=engine)
+    except Exception as exc:
+        return None, failures.classify_exception(exc)
+    return verdict, None
+
+
 def verify_pair(
     p: CodePath,
     q: CodePath,
@@ -153,21 +189,27 @@ def verify_application(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir: str | None = None,
+    pair_deadline_s: float | None = None,
 ) -> VerificationReport:
     """Verify every pair of effectful paths of an analyzed application.
 
     Execution is delegated to the :mod:`repro.engine` scheduler:
-    ``jobs > 1`` dispatches the pair sweep across a worker pool (with
-    graceful fallback to serial execution), ``use_cache=True`` memoizes
-    verdicts in a versioned on-disk cache under ``cache_dir`` (default
-    ``.noctua-cache/``) so re-verification only re-solves pairs whose
-    content fingerprints changed.  Results are deterministic and
-    identical across all execution modes."""
+    ``jobs > 1`` dispatches the pair sweep across a fault-tolerant worker
+    pool (a crashed or deadline-blown worker loses only its pair; total
+    pool failure falls back to serial execution), ``use_cache=True``
+    memoizes verdicts in a versioned on-disk cache under ``cache_dir``
+    (default ``.noctua-cache/``) so re-verification only re-solves pairs
+    whose content fingerprints changed, and ``pair_deadline_s`` bounds
+    the wall clock of each solve attempt (pairs the engine cannot decide
+    within the retry budget degrade to conservative ``unknown``
+    verdicts).  Results are deterministic and identical across all
+    execution modes on every pair the engine decides."""
     from ..engine.scheduler import run_pair_sweep
 
     return run_pair_sweep(
         analysis, config, engine=engine, jobs=jobs,
         use_cache=use_cache, cache_dir=cache_dir,
+        pair_deadline_s=pair_deadline_s,
     )
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import time
 
 from ..smt import terms as T
-from ..smt.solver import Solver, SolverTimeout
+from ..smt.solver import Solver, SolverError, SolverTimeout
 from ..soir.path import CodePath
 from ..soir.schema import Schema
 from .encoding import (
@@ -222,6 +222,12 @@ class SmtPairChecker:
                 self.p.name, self.q.name, "commutativity",
                 Outcome.TIMEOUT, time.perf_counter() - start,
             )
+        except (KeyError, TypeError, ValueError, RecursionError) as exc:
+            # A broken internal invariant is a backend failure, not a
+            # verdict: surface it as SolverError so the engine's failure
+            # layer can retry on the enum backend instead of losing the
+            # whole sweep to one pair.
+            raise SolverError(f"smt internal error: {exc}") from exc
         elapsed = time.perf_counter() - start
         if model is None:
             return CheckResult(self.p.name, self.q.name, "commutativity",
@@ -261,6 +267,8 @@ class SmtPairChecker:
                 self.p.name, self.q.name, "semantic", Outcome.TIMEOUT,
                 time.perf_counter() - start,
             )
+        except (KeyError, TypeError, ValueError, RecursionError) as exc:
+            raise SolverError(f"smt internal error: {exc}") from exc
 
     def _not_invalidate(self, p, q, sp_suffix, sq_suffix) -> CheckResult:
         """Search for ``g_p(x,S) ∧ g_q(y,S) ∧ ¬g_p(x, S+q(y))``."""

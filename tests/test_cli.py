@@ -124,6 +124,22 @@ class TestChaos:
         assert "gremlins" in str(exc.value)
 
 
+class TestEngineChaos:
+    def test_single_seed_smoke(self, capsys):
+        code, out = run_cli(capsys, "engine-chaos", "--seeds", "1",
+                            "--jobs", "2")
+        assert code == 0
+        assert "seed   0 [ok]" in out
+        assert "1 ok, 0 failed" in out
+        assert "crash=" in out  # every seed injects at least a crash
+
+    def test_verify_deadline_flag_parses(self, capsys):
+        code, out = run_cli(capsys, "verify", "smallbank", "--quick",
+                            "--no-cache", "--deadline", "30")
+        assert code == 0
+        assert "restrictions  : 4" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,160 @@
+"""Tests for the engine failure taxonomy, retry policy and deadline guard
+(:mod:`repro.engine.failures`), and for the unknown-verdict plumbing
+through reports and the explainer."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine.failures import (
+    CRASH,
+    DeadlineExceeded,
+    PairFailure,
+    RetryPolicy,
+    SOLVER_ERROR,
+    TIMEOUT,
+    WorkerCrash,
+    cap_text,
+    classify_exception,
+    deadline,
+    default_deadline,
+    degrade_config,
+    plan_retry,
+    unknown_verdict,
+)
+from repro.verifier import CheckConfig, Outcome
+from repro.verifier.restrictions import VerificationReport
+
+
+class TestDeadline:
+    def test_interrupts_a_wedged_block(self):
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceeded):
+            with deadline(0.1):
+                time.sleep(5.0)
+        assert time.perf_counter() - started < 2.0
+
+    def test_noop_when_disabled(self):
+        for seconds in (None, 0.0, -1.0):
+            with deadline(seconds):
+                pass  # must not raise or arm anything
+
+    def test_restores_previous_timer_state(self):
+        import signal
+
+        before = signal.getitimer(signal.ITIMER_REAL)
+        with deadline(30.0):
+            pass
+        assert signal.getitimer(signal.ITIMER_REAL) == before
+
+    def test_default_deadline_dominates_cooperative_budget(self):
+        config = CheckConfig(timeout_s=5.0)
+        assert default_deadline(config) > 2 * config.timeout_s
+        assert default_deadline(CheckConfig(timeout_s=0.01)) >= 10.0
+
+
+class TestClassification:
+    def test_taxonomy(self):
+        assert classify_exception(DeadlineExceeded("late"))[0] == TIMEOUT
+        assert classify_exception(WorkerCrash("boom"))[0] == CRASH
+        kind, detail = classify_exception(ValueError("bad encoding"))
+        assert kind == SOLVER_ERROR
+        assert "bad encoding" in detail
+
+    def test_details_are_capped(self):
+        kind, detail = classify_exception(ValueError("x" * 10_000))
+        assert kind == SOLVER_ERROR
+        assert len(detail) <= 200
+        assert cap_text("y" * 10_000).endswith("...")
+
+    def test_describe_names_attempt_and_stage(self):
+        failure = PairFailure(TIMEOUT, "P[0]", "Q[0]", 2, "worker",
+                              "watchdog killed worker")
+        text = failure.describe()
+        assert "timeout" in text and "attempt 2" in text
+        assert "worker" in text
+
+
+class TestRetryPolicy:
+    POLICY = RetryPolicy(max_attempts=3, backoff_s=0.05)
+
+    def task(self, attempt=0, engine="enum", level=0):
+        return (7, 1, 2, attempt, engine, level)
+
+    def test_attempt_budget_is_bounded(self):
+        assert plan_retry(self.task(attempt=2), CRASH, self.POLICY,
+                          base_engine="enum") is None
+
+    def test_crash_retries_same_engine_under_enum(self):
+        nxt = plan_retry(self.task(), CRASH, self.POLICY, base_engine="enum")
+        assert nxt == (7, 1, 2, 1, "enum", 0)
+
+    def test_smt_crash_falls_back_to_enum(self):
+        for kind in (CRASH, SOLVER_ERROR):
+            nxt = plan_retry(self.task(engine="smt"), kind, self.POLICY,
+                             base_engine="smt")
+            assert nxt[4] == "enum"
+
+    def test_smt_timeout_keeps_engine_but_degrades(self):
+        nxt = plan_retry(self.task(engine="smt"), TIMEOUT, self.POLICY,
+                         base_engine="smt")
+        assert nxt[4] == "smt"
+        assert nxt[5] == 1
+
+    def test_backoff_grows_exponentially(self):
+        assert self.POLICY.backoff_for(2) == pytest.approx(
+            2 * self.POLICY.backoff_for(1))
+
+
+class TestDegradeConfig:
+    def test_halves_budgets_with_floors(self):
+        config = CheckConfig(timeout_s=8.0, max_samples=400,
+                             max_exhaustive=8000)
+        once = degrade_config(config, 1)
+        assert once.timeout_s == pytest.approx(4.0)
+        assert once.max_samples == 200
+        floor = degrade_config(config, 30)
+        assert floor.timeout_s == pytest.approx(0.1)
+        assert floor.max_samples == 20
+        assert floor.max_exhaustive == 200
+
+    def test_level_zero_is_identity(self):
+        config = CheckConfig()
+        assert degrade_config(config, 0) is config
+
+
+class TestUnknownVerdict:
+    def failure(self):
+        return PairFailure(CRASH, "P[0]", "Q[0]", 3, "worker", "exit 13")
+
+    def test_restricts_conservatively(self):
+        verdict = unknown_verdict("P[0]", "Q[0]", self.failure(),
+                                  left_view="P", right_view="Q")
+        assert verdict.restricted
+        assert verdict.unknown
+        assert verdict.commutativity.outcome is Outcome.UNKNOWN
+        assert "crash" in verdict.semantic.detail
+        assert (verdict.left_view, verdict.right_view) == ("P", "Q")
+
+    def test_report_surfaces_unknowns(self):
+        report = VerificationReport("demo")
+        report.verdicts.append(
+            unknown_verdict("P[0]", "Q[0]", self.failure()))
+        assert len(report.unknown_verdicts) == 1
+        obj = report.to_json_obj()
+        assert obj["unknowns"] == [["P[0]", "Q[0]"]]
+        assert obj["verdicts"][0]["status"] == "unknown"
+        assert report.summary()["unknowns"] == 1
+
+    def test_explainer_renders_engine_failure_section(self):
+        from repro.obs.explain import explain_report
+
+        report = VerificationReport("demo")
+        report.verdicts.append(
+            unknown_verdict("P[0]", "Q[0]", self.failure()))
+        text = explain_report(None, report)
+        assert "could not decide" in text
+        assert "engine crash on attempt 3" in text
+        assert "not cached" in text

@@ -154,21 +154,35 @@ class TestResultCache:
         assert verdict.commutativity.witness.description == "diverge"
         assert reloaded.get("missing") is None
 
-    def test_version_mismatch_reads_as_empty(self, tmp_path):
+    def test_version_mismatch_reads_as_empty_and_quarantines(self, tmp_path):
         cache = ResultCache(tmp_path, "demo")
         cache.put("fp1", make_verdict())
         cache.flush()
         payload = json.loads(cache.path.read_text())
         payload["format"] = CACHE_FORMAT + 1
         cache.path.write_text(json.dumps(payload))
-        assert len(ResultCache(tmp_path, "demo")) == 0
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            reloaded = ResultCache(tmp_path, "demo")
+        assert len(reloaded) == 0
+        assert reloaded.quarantined == str(cache.path) + ".corrupt"
 
-    def test_corrupt_file_reads_as_empty(self, tmp_path):
+    def test_corrupt_file_reads_as_empty_and_quarantines(self, tmp_path):
         cache = ResultCache(tmp_path, "demo")
         cache.put("fp1", make_verdict())
         cache.flush()
         cache.path.write_text("{not json")
-        assert len(ResultCache(tmp_path, "demo")) == 0
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            reloaded = ResultCache(tmp_path, "demo")
+        assert len(reloaded) == 0
+        # the bad file is moved aside, not destroyed: evidence survives
+        quarantine = cache.path.with_name(cache.path.name + ".corrupt")
+        assert quarantine.read_text() == "{not json"
+        assert not cache.path.exists()
+
+    def test_cold_cache_does_not_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path, "demo")
+        assert cache.quarantined is None
+        assert len(cache) == 0
 
     def test_prune_drops_stale_entries(self, tmp_path):
         cache = ResultCache(tmp_path, "demo")
@@ -350,11 +364,11 @@ class TestScheduler:
                                                smallbank_analysis):
         serial = verify_application(smallbank_analysis, CFG)
 
-        def broken_pool(*args, **kwargs):
+        def broken_context(*args, **kwargs):
             raise OSError("no fork for you")
 
-        monkeypatch.setattr(scheduler_module.multiprocessing, "Pool",
-                            broken_pool)
+        monkeypatch.setattr(scheduler_module.multiprocessing, "get_context",
+                            broken_context)
         report = run_pair_sweep(smallbank_analysis, CFG, jobs=4)
         assert report.metrics["mode"] == "serial"
         assert "no fork for you" in report.metrics["fallback_reason"]

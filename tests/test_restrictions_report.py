@@ -84,7 +84,9 @@ class TestJsonArtifact:
         first = parsed["verdicts"][0]
         assert set(first) == {"left", "right", "left_view", "right_view",
                               "commutativity", "semantic",
-                              "commutativity_s", "semantic_s"}
+                              "commutativity_s", "semantic_s", "status"}
+        assert {v["status"] for v in parsed["verdicts"]} == {"decided"}
+        assert parsed["unknowns"] == []
         assert parsed["timing"]["wall_s"] == pytest.approx(0.0)
 
     def test_verdict_values_are_strings(self, report):
