@@ -3,7 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test test-fast coverage bench bench-full bench-sweep \
-	examples chaos engine-chaos difftest trace-demo docs-lint clean
+	bench-gate examples chaos engine-chaos difftest trace-demo \
+	metrics-demo docs-lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +30,10 @@ bench-full:
 
 bench-sweep:
 	$(PYTHON) benchmarks/bench_pair_sweep.py --jobs 4
+	$(PYTHON) tools/bench_gate.py
+
+bench-gate:
+	$(PYTHON) tools/bench_gate.py
 
 chaos:
 	$(PYTHON) -m repro chaos postgraduation --seed 3 --ops 200
@@ -41,6 +46,11 @@ trace-demo:
 	$(PYTHON) -m repro trace courseware --quick --jobs 2 \
 		--out trace-demo.jsonl
 	$(PYTHON) tools/check_trace.py trace-demo.jsonl
+
+metrics-demo:
+	$(PYTHON) -m repro metrics courseware --quick --jobs 2 \
+		--out metrics-demo.json --out metrics-demo.prom
+	$(PYTHON) tools/check_metrics.py metrics-demo.prom metrics-demo.json
 
 docs-lint:
 	$(PYTHON) tools/docs_lint.py

@@ -2,13 +2,22 @@
 
 Measures the scheduling engine (``repro.engine``) over the bundled
 applications and writes ``BENCH_pair_sweep.json`` at the repo root — the
-start of the perf trajectory for the verifier hot path:
+perf trajectory for the verifier hot path:
 
 * **cold**   — serial sweep into an empty cache (the baseline every run
-  used to pay);
+  used to pay), measured best-of-``--repeat`` so the gated numbers are
+  robust to scheduler noise;
 * **warm**   — the same sweep again: every pair must replay from the
   cache with zero solver calls;
 * **parallel** — cold sweep with ``--jobs`` workers into a fresh cache.
+
+The output file holds two things: ``current`` (the full result of the
+latest run, the shape earlier revisions wrote at the top level) and
+``trajectory`` (an append-only list of dated per-run summaries).  Each
+run *appends* to the trajectory instead of overwriting it, so committed
+history accumulates across PRs and ``tools/bench_gate.py`` can fail a
+run that regressed against the previous comparable entry.  A legacy
+single-result file is migrated by synthesizing its entry first.
 
 Runs standalone (``python benchmarks/bench_pair_sweep.py``) so CI can
 invoke it without the pytest-benchmark harness.  ``--smoke`` shrinks the
@@ -24,6 +33,7 @@ contention — see docs/ENGINE.md on timeouts vs. determinism.
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import pathlib
 import sys
@@ -54,7 +64,7 @@ def _config(smoke: bool):
                        max_exhaustive=6000)
 
 
-def sweep_app(name: str, jobs: int, smoke: bool) -> dict:
+def sweep_app(name: str, jobs: int, smoke: bool, repeat: int = 3) -> dict:
     from repro.analyzer import analyze_application
     from repro.verifier import verify_application
 
@@ -66,37 +76,56 @@ def sweep_app(name: str, jobs: int, smoke: bool) -> dict:
         "modes": {},
     }
     restriction_sets = {}
+
+    def measure(mode: str, report, wall: float) -> None:
+        metrics = report.metrics
+        row["modes"][mode] = {
+            "wall_s": round(wall, 4),
+            "solve_s": round(report.time_solve_s, 4),
+            "checks": report.checks,
+            "restrictions": len(report.restrictions),
+            "solver_calls": metrics["solver_calls"],
+            "pruned": metrics["pruned"],
+            "cache_hits": metrics["cache_hits"],
+            "cache_misses": metrics["cache_misses"],
+            "engine_mode": metrics["mode"],
+            "jobs": metrics["jobs_used"],
+            "worker_utilization": round(
+                metrics["worker_utilization"], 3),
+        }
+        restriction_sets[mode] = sorted(
+            sorted(pair) for pair in report.restriction_pairs()
+        )
+
     with tempfile.TemporaryDirectory(prefix="noctua-bench-") as tmp:
-        serial_dir = pathlib.Path(tmp) / "serial"
-        parallel_dir = pathlib.Path(tmp) / "parallel"
+        # The cold sweep is the gated measurement and sub-second on the
+        # smoke apps, where scheduler noise on a shared machine easily
+        # exceeds the gate threshold — so run it best-of-N into a fresh
+        # cache each time and record the minimum (min is the standard
+        # noise-robust statistic for a deterministic workload).
+        best = None
+        for attempt in range(max(1, repeat)):
+            serial_dir = pathlib.Path(tmp) / f"serial{attempt}"
+            started = time.perf_counter()
+            report = verify_application(analysis, config, use_cache=True,
+                                        jobs=1, cache_dir=str(serial_dir))
+            wall = time.perf_counter() - started
+            if best is None or wall < best[1]:
+                best = (report, wall)
+            warm_dir = serial_dir  # any attempt's cache serves the warm run
+        measure("cold", *best)
+
         runs = [
-            ("cold", dict(jobs=1, cache_dir=str(serial_dir))),
-            ("warm", dict(jobs=1, cache_dir=str(serial_dir))),
-            ("parallel", dict(jobs=jobs, cache_dir=str(parallel_dir))),
+            ("warm", dict(jobs=1, cache_dir=str(warm_dir))),
+            ("parallel", dict(jobs=jobs,
+                              cache_dir=str(pathlib.Path(tmp) / "par"))),
         ]
         for mode, kwargs in runs:
             started = time.perf_counter()
             report = verify_application(analysis, config, use_cache=True,
                                         **kwargs)
             wall = time.perf_counter() - started
-            metrics = report.metrics
-            row["modes"][mode] = {
-                "wall_s": round(wall, 4),
-                "solve_s": round(report.time_solve_s, 4),
-                "checks": report.checks,
-                "restrictions": len(report.restrictions),
-                "solver_calls": metrics["solver_calls"],
-                "pruned": metrics["pruned"],
-                "cache_hits": metrics["cache_hits"],
-                "cache_misses": metrics["cache_misses"],
-                "engine_mode": metrics["mode"],
-                "jobs": metrics["jobs_used"],
-                "worker_utilization": round(
-                    metrics["worker_utilization"], 3),
-            }
-            restriction_sets[mode] = sorted(
-                sorted(pair) for pair in report.restriction_pairs()
-            )
+            measure(mode, report, wall)
     row["restrictions_agree"] = (
         restriction_sets["cold"] == restriction_sets["warm"]
         == restriction_sets["parallel"]
@@ -106,6 +135,56 @@ def sweep_app(name: str, jobs: int, smoke: bool) -> dict:
         and row["modes"]["warm"]["cache_misses"] == 0
     )
     return row
+
+
+def trajectory_entry(result: dict, *, date: str, label: str = "") -> dict:
+    """Summarize one full benchmark result as a dated trajectory row."""
+    totals = {"cold_wall_s": 0.0, "cold_solve_s": 0.0,
+              "warm_wall_s": 0.0, "parallel_wall_s": 0.0}
+    per_app: dict[str, dict] = {}
+    for row in result["apps"]:
+        modes = row["modes"]
+        totals["cold_wall_s"] += modes["cold"]["wall_s"]
+        totals["cold_solve_s"] += modes["cold"]["solve_s"]
+        totals["warm_wall_s"] += modes["warm"]["wall_s"]
+        totals["parallel_wall_s"] += modes["parallel"]["wall_s"]
+        per_app[row["app"]] = {
+            "cold_wall_s": modes["cold"]["wall_s"],
+            "cold_solve_s": modes["cold"]["solve_s"],
+            "warm_wall_s": modes["warm"]["wall_s"],
+            "parallel_wall_s": modes["parallel"]["wall_s"],
+        }
+    entry = {
+        "date": date,
+        "smoke": result["smoke"],
+        "jobs": result["jobs"],
+        "apps": sorted(per_app),
+        "totals": {k: round(v, 4) for k, v in totals.items()},
+        "per_app": per_app,
+    }
+    if label:
+        entry["label"] = label
+    return entry
+
+
+def load_trajectory(out_path: pathlib.Path) -> list[dict]:
+    """Read the committed trajectory, migrating a legacy result file
+    (pre-trajectory schema: the full result at the top level) into a
+    single synthesized entry."""
+    try:
+        previous = json.loads(out_path.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(previous, dict):
+        return []
+    if isinstance(previous.get("trajectory"), list):
+        return previous["trajectory"]
+    if isinstance(previous.get("apps"), list):  # legacy single-result file
+        try:
+            return [trajectory_entry(previous, date="(pre-trajectory)")]
+        except (KeyError, TypeError):
+            return []
+    return []
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -120,13 +199,19 @@ def main(argv: list[str] | None = None) -> int:
                              "warm-cache runs solve zero pairs")
     parser.add_argument("--out", default=str(DEFAULT_OUT),
                         help="output JSON path (default: repo root)")
+    parser.add_argument("--label", default="",
+                        help="free-form tag recorded on the trajectory "
+                             "entry (e.g. a PR number)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="cold-sweep repetitions; the minimum wall "
+                             "time is recorded (default: 3)")
     args = parser.parse_args(argv)
 
     apps = args.apps or (SMOKE_APPS if args.smoke else DEFAULT_APPS)
     rows = []
     for name in apps:
         print(f"sweeping {name} ...", flush=True)
-        row = sweep_app(name, args.jobs, args.smoke)
+        row = sweep_app(name, args.jobs, args.smoke, repeat=args.repeat)
         rows.append(row)
         cold = row["modes"]["cold"]
         warm = row["modes"]["warm"]
@@ -149,8 +234,16 @@ def main(argv: list[str] | None = None) -> int:
         "apps": rows,
     }
     out_path = pathlib.Path(args.out)
-    out_path.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    trajectory = load_trajectory(out_path)
+    today = datetime.date.today().isoformat()
+    trajectory.append(trajectory_entry(result, date=today, label=args.label))
+    final = {
+        "benchmark": "pair_sweep",
+        "current": result,
+        "trajectory": trajectory,
+    }
+    out_path.write_text(json.dumps(final, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(trajectory)} trajectory entries)")
 
     failures = []
     for row in rows:

@@ -16,6 +16,12 @@ Subcommands:
   "why restricted?" explainer for restricted pairs (witness schedule,
   diverging state, responsible SOIR operations); optionally stream the
   trace to a JSONL file;
+* ``noctua metrics <app> [--quick] [--jobs N] [--out FILE.json|.prom]``
+  — run a metered smoke suite (cold + warm + SMT sweeps and a seeded
+  chaos run) under the metrics registry (:mod:`repro.metrics`) and
+  render the snapshot table; ``--out`` exports it as JSON or Prometheus
+  text format, ``--diff A.json B.json`` renders the delta between two
+  exported snapshots;
 * ``noctua simulate <zhihu|postgraduation>`` — run the Figure-10/11
   throughput/latency sweep;
 * ``noctua chaos <app> [--seed N] [--faults SPEC]`` — run a generated
@@ -245,6 +251,79 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from . import metrics as mx
+
+    if args.diff:
+        try:
+            before = mx.load_snapshot(args.diff[0])
+            after = mx.load_snapshot(args.diff[1])
+        except (OSError, ValueError) as exc:
+            sys.exit(f"cannot load snapshot: {exc}")
+        for line in mx.render_diff(mx.diff_snapshots(before, after)):
+            print(line)
+        return 0
+
+    if not args.app:
+        sys.exit("metrics needs an application name "
+                 "(or --diff BEFORE.json AFTER.json)")
+
+    import tempfile
+
+    app = _build(args.app)
+    config = CheckConfig()
+    if args.quick:
+        config = CheckConfig(
+            timeout_s=0.5, max_samples=300, max_exhaustive=4000
+        )
+    registry = mx.MetricsRegistry()
+    with mx.activate(registry):
+        analysis = analyze_application(app)
+        # A metered smoke suite touching every instrumented subsystem:
+        # a cold sweep into a throwaway cache (misses), a warm sweep
+        # over the same cache (hits), an SMT sweep (smt solver-call
+        # latencies), and a seeded chaos run (georep delivery counters
+        # and the recovery histogram).
+        # The cold sweep runs serial on purpose: solver-call latencies
+        # are metered in the process running the check, and worker
+        # processes have no ambient registry (pair-level metrics are
+        # folded parent-side from the sweep span either way).
+        with tempfile.TemporaryDirectory(prefix="noctua-metrics-") as tmp:
+            report = verify_application(
+                analysis, config, use_cache=True, cache_dir=tmp,
+            )
+            verify_application(analysis, config, jobs=args.jobs,
+                               use_cache=True, cache_dir=tmp)
+        if not args.no_smt:
+            verify_application(analysis, config, engine="smt",
+                               use_cache=False)
+        if not args.no_georep:
+            faults = FaultConfig.chaos(args.seed, span=float(args.ops),
+                                       sites=3, outages=1)
+            run_chaos(
+                analysis, report.restriction_pairs(),
+                seed=args.seed, operations=args.ops, faults=faults,
+            )
+
+    snapshot = registry.snapshot()
+    # write exports before rendering so a truncated stdout (e.g. piping
+    # the table through `head`) cannot lose the requested files
+    written = []
+    for out in args.out or []:
+        if out.endswith(".prom"):
+            text = mx.snapshot_to_prometheus(snapshot)
+        else:
+            text = mx.snapshot_to_json(snapshot)
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        written.append(out)
+    for line in mx.render_table(snapshot):
+        print(line)
+    for out in written:
+        print(f"wrote {out}")
+    return 0
+
+
 def cmd_simulate(args) -> int:
     workloads = {
         "zhihu": zhihu_workload,
@@ -463,6 +542,39 @@ def main(argv: list[str] | None = None) -> int:
                          help="elide leaf spans cheaper than MS "
                               "milliseconds from the tree")
 
+    p_metrics = sub.add_parser(
+        "metrics", help="metered smoke suite: run every instrumented "
+                        "subsystem under the metrics registry and render "
+                        "(or export) the snapshot"
+    )
+    p_metrics.add_argument("app", nargs="?", default=None)
+    p_metrics.add_argument("--quick", action="store_true",
+                           help="reduced search budget")
+    p_metrics.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes for the warm sweep; the "
+                                "cold sweep stays serial so enum "
+                                "solver-call latencies are metered "
+                                "in-process (default: 1)")
+    p_metrics.add_argument("--ops", type=int, default=120, metavar="N",
+                           help="operations in the chaos leg "
+                                "(default: 120)")
+    p_metrics.add_argument("--seed", type=int, default=3,
+                           help="fault seed for the chaos leg (default: 3)")
+    p_metrics.add_argument("--out", action="append", metavar="FILE",
+                           default=None,
+                           help="export the snapshot; repeatable, format "
+                                "by extension (.prom = Prometheus text "
+                                "format, anything else = JSON)")
+    p_metrics.add_argument("--no-smt", action="store_true",
+                           help="skip the SMT-engine leg")
+    p_metrics.add_argument("--no-georep", action="store_true",
+                           help="skip the chaos/georep leg")
+    p_metrics.add_argument("--diff", nargs=2,
+                           metavar=("BEFORE.json", "AFTER.json"),
+                           default=None,
+                           help="render the per-series delta between two "
+                                "JSON snapshots instead of running")
+
     p_sim = sub.add_parser("simulate", help="geo-replication performance sweep")
     p_sim.add_argument("app")
 
@@ -525,6 +637,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": cmd_analyze,
         "verify": cmd_verify,
         "trace": cmd_trace,
+        "metrics": cmd_metrics,
         "simulate": cmd_simulate,
         "chaos": cmd_chaos,
         "difftest": cmd_difftest,

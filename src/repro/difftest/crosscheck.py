@@ -34,6 +34,7 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..metrics.registry import inc as _metric_inc, observe as _metric_observe
 from ..soir.path import CodePath
 from ..soir.schema import Schema
 from ..verifier.enumcheck import CheckConfig
@@ -210,6 +211,7 @@ def run_difftest(
     report = DiffTestReport(start=start, count=seeds)
     t0 = time.perf_counter()
     for seed in range(start, start + seeds):
+        case_start = time.perf_counter()
         case: GeneratedCase = generate_case(seed, gen_config)
         result = cross_check(
             case.p, case.q, case.schema,
@@ -219,6 +221,11 @@ def run_difftest(
         )
         report.stats.update(result.stats)
         report.stats["cases"] += 1
+        _metric_inc("noctua_difftest_cases_total")
+        _metric_observe("noctua_difftest_case_seconds",
+                        time.perf_counter() - case_start)
+        for m in result.mismatches:
+            _metric_inc("noctua_difftest_mismatches_total", kind=m.kind)
         if result.mismatches:
             report.mismatches.extend(result.mismatches)
             if log is not None:

@@ -31,6 +31,7 @@ import os
 import warnings
 from pathlib import Path
 
+from ..metrics.registry import inc as _metric_inc
 from ..obs import tracer as obs
 from ..verifier.restrictions import (
     PairVerdict,
@@ -104,6 +105,7 @@ class ResultCache:
         obs.record(f"cache {self.app_name}", "cache-quarantine",
                    app=self.app_name, path=str(self.path),
                    quarantined=target or "", reason=cap_text(reason))
+        _metric_inc("noctua_engine_cache_quarantines_total")
         warnings.warn(f"noctua: {message}", RuntimeWarning, stacklevel=3)
 
     def __len__(self) -> int:

@@ -8,6 +8,16 @@ worker pid — see docs/OBSERVABILITY.md for the span taxonomy), and
 counter dict.  There is no second bookkeeping path: the numbers the CLI
 and the benchmarks print are, by construction, the numbers in the trace.
 
+Since the metrics layer landed, the fold itself goes through one shared
+routine, :func:`fold_sweep_into`, which emits the
+``noctua_engine_*`` counter/histogram families into a
+:class:`~repro.metrics.MetricsRegistry`.  ``from_sweep`` folds into a
+private registry and projects the flat counters back out of it; the
+scheduler *additionally* folds the finished sweep into the ambient
+registry (when one is active) so cross-run aggregates accumulate.  The
+hand-rolled counter loop this module used to carry is gone — the
+registry is the single accounting path.
+
 Attached to ``VerificationReport.metrics`` as a plain dict so the report
 layer stays decoupled from the engine, serializes into the deployment
 JSON artifact unchanged, and is printable by the CLI and the benchmark
@@ -18,7 +28,91 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..metrics import MetricsRegistry
 from ..obs.tracer import Span
+
+
+def fold_sweep_into(registry: MetricsRegistry, sweep: Span) -> dict:
+    """Fold a finished ``pair-sweep`` span into ``registry``.
+
+    Emits the ``noctua_engine_*`` families:
+
+    * ``pairs_total{route=...}`` — every pair outcome by route
+      (``pruned:<tag>`` / ``cached`` / ``solved`` / ``unknown``);
+      ``failed-attempt`` spans are retried attempts, not outcomes, and
+      are skipped;
+    * ``cache_hits_total`` / ``cache_misses_total`` /
+      ``cache_saved_seconds_total`` — cache efficiency;
+    * ``pair_solve_seconds{backend=...}`` — per-pair solve wall time,
+      split by the backend that actually produced the verdict
+      (``engine_used`` on fallback pairs, the sweep engine otherwise);
+    * ``failures_total{kind=...}`` / ``retries_total`` /
+      ``unknowns_total`` / ``fallbacks_total`` — the failure taxonomy
+      (``pair-failure`` records count failed attempts; every failed
+      attempt was retried except the terminal one of each unknown pair);
+    * ``checkpoints_total`` / ``respawns_total`` / ``sweeps_total{mode}``
+      — sweep-level execution facts from the sweep span attributes.
+
+    Returns the residue that is not a counter: per-worker busy seconds
+    (keyed by pid string) and the solved pairs sorted slowest-first —
+    the pieces :class:`EngineMetrics` keeps verbatim.
+    """
+    base_engine = sweep.attrs.get("engine", "enum")
+    worker_busy: dict[str, float] = {}
+    solved: list[tuple[str, str, float]] = []
+    failed_attempts = 0
+    unknowns = 0
+    for span in sweep.children:
+        if span.kind == "pair-failure":
+            kind = span.attrs.get("failure", "unknown")
+            registry.inc("noctua_engine_failures_total", kind=kind)
+            failed_attempts += 1
+            continue
+        if span.kind != "pair":
+            continue
+        route = span.attrs.get("route", "")
+        if route == "failed-attempt":
+            continue  # a retried attempt, not a pair outcome
+        registry.inc("noctua_engine_pairs_total", route=route or "unknown")
+        if span.attrs.get("engine_fallback"):
+            registry.inc("noctua_engine_fallbacks_total")
+        if route == "unknown":
+            unknowns += 1
+            registry.inc("noctua_engine_unknowns_total")
+            if span.attrs.get("cache") == "miss":
+                registry.inc("noctua_engine_cache_misses_total")
+        elif route == "cached":
+            registry.inc("noctua_engine_cache_hits_total")
+            registry.inc("noctua_engine_cache_saved_seconds_total",
+                         span.attrs.get("saved_s", 0.0))
+        elif route == "solved":
+            if span.attrs.get("cache") == "miss":
+                registry.inc("noctua_engine_cache_misses_total")
+            elapsed = span.wall_s
+            backend = span.attrs.get("engine_used", base_engine)
+            registry.observe("noctua_engine_pair_solve_seconds", elapsed,
+                             backend=backend)
+            pid = str(span.attrs.get("pid", span.pid))
+            worker_busy[pid] = worker_busy.get(pid, 0.0) + elapsed
+            solved.append((
+                span.attrs.get("left", ""),
+                span.attrs.get("right", ""),
+                elapsed,
+            ))
+    retries = max(0, failed_attempts - unknowns)
+    if retries:
+        registry.inc("noctua_engine_retries_total", retries)
+    checkpoints = sweep.attrs.get("checkpoints", 0)
+    if checkpoints:
+        registry.inc("noctua_engine_checkpoints_total", checkpoints)
+    respawns = sweep.attrs.get("respawns", 0)
+    if respawns:
+        registry.inc("noctua_engine_respawns_total", respawns)
+    registry.inc("noctua_engine_sweeps_total",
+                 mode=sweep.attrs.get("mode", "serial"))
+    solved.sort(key=lambda t: t[2], reverse=True)
+    return {"worker_busy_s": worker_busy, "solved": solved,
+            "retries": retries}
 
 
 @dataclass
@@ -73,24 +167,15 @@ class EngineMetrics:
         """Fold a ``pair-sweep`` span (and its ``pair`` children) into
         the flat metrics the report/CLI/benchmarks consume.
 
-        The sweep span's own attributes carry the execution-mode facts
-        (``jobs_requested``/``jobs_used``/``mode``/``fallback_reason``/
-        ``solve_wall_s``); each ``pair`` child carries its ``route``:
-
-        * ``pruned:<tag>`` — resolved by a solver-free fast layer;
-        * ``cached`` — replayed from the verdict cache (``saved_s``);
-        * ``solved`` — handed to a checker (``pid``, wall time, and
-          ``cache="miss"`` when a cache lookup preceded the solve);
-        * ``unknown`` — the engine gave up on the pair (conservative,
-          restricted verdict; ``failure`` carries the taxonomy kind);
-        * ``failed-attempt`` — a failed serial attempt that was retried
-          or degraded; *not* counted as a pair (the pair's final span
-          is one of the routes above).
-
-        ``pair-failure`` record children count failed attempts by kind;
-        retries are derived from them (every failed attempt except the
-        terminal one of each unknown pair was retried).
+        The fold runs :func:`fold_sweep_into` against a private
+        registry, then projects the counter fields back out of it; the
+        execution-mode facts (``jobs_requested``/``jobs_used``/``mode``/
+        ``fallback_reason``/``solve_wall_s``) come from the sweep span's
+        own attributes.  Per-pair route semantics are documented on
+        :func:`fold_sweep_into`.
         """
+        registry = MetricsRegistry()
+        residue = fold_sweep_into(registry, sweep)
         metrics = cls(jobs_requested=sweep.attrs.get("jobs_requested", 1))
         metrics.jobs_used = sweep.attrs.get("jobs_used", 1)
         metrics.mode = sweep.attrs.get("mode", "serial")
@@ -98,57 +183,33 @@ class EngineMetrics:
         metrics.solve_wall_s = sweep.attrs.get("solve_wall_s", 0.0)
         metrics.checkpoints = sweep.attrs.get("checkpoints", 0)
         metrics.workers_respawned = sweep.attrs.get("respawns", 0)
-        solved: list[tuple[str, str, float]] = []
-        failed_attempts = 0
-        for span in sweep.children:
-            if span.kind == "pair-failure":
-                kind = span.attrs.get("failure", "unknown")
-                metrics.failures[kind] = metrics.failures.get(kind, 0) + 1
-                failed_attempts += 1
-                continue
-            if span.kind != "pair":
-                continue
-            route = span.attrs.get("route", "")
-            if route == "failed-attempt":
-                continue  # a retried attempt, not a pair outcome
-            metrics.pairs_total += 1
-            if span.attrs.get("engine_fallback"):
-                metrics.engine_fallbacks += 1
-            if route == "unknown":
-                metrics.unknowns += 1
-                if span.attrs.get("cache") == "miss":
-                    metrics.cache_misses += 1
-            elif route.startswith("pruned:"):
-                tag = route.split(":", 1)[1]
-                if tag == "conservative":
-                    metrics.pruned_conservative += 1
-                elif tag == "order":
-                    metrics.pruned_order += 1
-                elif tag == "disjoint":
-                    metrics.pruned_disjoint += 1
-            elif route == "cached":
-                metrics.cache_hits += 1
-                metrics.cache_saved_s += span.attrs.get("saved_s", 0.0)
-            elif route == "solved":
-                metrics.solver_calls += 1
-                if span.attrs.get("cache") == "miss":
-                    metrics.cache_misses += 1
-                elapsed = span.wall_s
-                metrics.solve_cpu_s += elapsed
-                pid = str(span.attrs.get("pid", span.pid))
-                metrics.worker_busy_s[pid] = (
-                    metrics.worker_busy_s.get(pid, 0.0) + elapsed
-                )
-                solved.append((
-                    span.attrs.get("left", ""),
-                    span.attrs.get("right", ""),
-                    elapsed,
-                ))
-        solved.sort(key=lambda t: t[2], reverse=True)
-        metrics.slowest_pairs = solved[:keep_slowest]
-        # Every failed attempt was retried except the terminal attempt
-        # of each pair that degraded to unknown.
-        metrics.retries = max(0, failed_attempts - metrics.unknowns)
+
+        pairs = "noctua_engine_pairs_total"
+        metrics.pairs_total = int(registry.total(pairs))
+        metrics.pruned_conservative = int(
+            registry.value(pairs, route="pruned:conservative"))
+        metrics.pruned_order = int(registry.value(pairs, route="pruned:order"))
+        metrics.pruned_disjoint = int(
+            registry.value(pairs, route="pruned:disjoint"))
+        metrics.solver_calls = int(registry.value(pairs, route="solved"))
+        metrics.unknowns = int(registry.value(pairs, route="unknown"))
+        metrics.cache_hits = int(
+            registry.value("noctua_engine_cache_hits_total"))
+        metrics.cache_misses = int(
+            registry.value("noctua_engine_cache_misses_total"))
+        metrics.cache_saved_s = registry.value(
+            "noctua_engine_cache_saved_seconds_total")
+        metrics.engine_fallbacks = int(
+            registry.value("noctua_engine_fallbacks_total"))
+        metrics.failures = {
+            labels["kind"]: int(count)
+            for labels, count in registry.series("noctua_engine_failures_total")
+        }
+        metrics.retries = residue["retries"]
+        metrics.solve_cpu_s = registry.histogram_sum(
+            "noctua_engine_pair_solve_seconds")
+        metrics.worker_busy_s = residue["worker_busy_s"]
+        metrics.slowest_pairs = residue["solved"][:keep_slowest]
         return metrics
 
     @property

@@ -66,6 +66,7 @@ import multiprocessing.connection
 import os
 import time
 
+from ..metrics import registry as metrics_registry
 from ..obs import tracer as obs
 from ..soir.path import AnalysisResult
 from ..soir.serialize import path_to_obj, path_from_obj, schema_from_obj, schema_to_obj
@@ -92,7 +93,7 @@ from .failures import (
     unknown_verdict,
 )
 from .fingerprint import FingerprintContext
-from .metrics import EngineMetrics
+from .metrics import EngineMetrics, fold_sweep_into
 
 #: default cache-checkpoint cadence (solved pairs between mid-sweep
 #: flushes); the atomic replace in ``ResultCache.flush`` makes each
@@ -356,6 +357,12 @@ def run_pair_sweep(
             cache.flush()
 
         metrics = EngineMetrics.from_sweep(sweep_span)
+        ambient_registry = metrics_registry.current()
+        if ambient_registry is not None:
+            # Accumulate the finished sweep into the ambient registry so
+            # cross-run aggregates (cache efficiency, solve-time
+            # histograms) survive beyond this report.
+            fold_sweep_into(ambient_registry, sweep_span)
         sweep_span.set(
             pairs=metrics.pairs_total, pruned=metrics.pruned,
             solver_calls=metrics.solver_calls,

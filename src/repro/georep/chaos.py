@@ -24,8 +24,10 @@ functions of ``(app, seed, knobs)``.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
+from ..metrics.registry import inc as _metric_inc, observe as _metric_observe
 from ..obs import tracer as obs
 from ..soir.state import DBState
 from ..soir.types import BOOL, DATETIME, FLOAT, INT, STRING
@@ -216,8 +218,13 @@ class ChaosRunner:
                     float(len(operations)), self.faults.horizon()
                 )
                 injector.heal(system)
-            with obs.span("drain", "chaos-phase"):
-                system.drain()
+            with obs.span("drain", "chaos-phase") as drain_span:
+                drain_start = time.perf_counter()
+                rounds = system.drain()
+                recovery_s = time.perf_counter() - drain_start
+                drain_span.set(rounds=rounds)
+                _metric_observe("noctua_chaos_recovery_seconds", recovery_s)
+                _metric_observe("noctua_chaos_recovery_rounds", rounds)
 
             counters = injector.counters
             counters.redelivered = system.redelivered
@@ -241,6 +248,8 @@ class ChaosRunner:
                 coord_rejected=result.coord_rejected,
                 converged=converged, invariant_ok=invariant_ok,
             )
+            _metric_inc("noctua_chaos_runs_total",
+                        converged="true" if converged else "false")
             return ChaosReport(
                 app=app_name,
                 seed=self.faults.seed,

@@ -40,6 +40,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..metrics.registry import observe as _metric_observe
+
 
 @dataclass
 class ActiveOp:
@@ -48,6 +50,9 @@ class ActiveOp:
     params: frozenset
     #: lease deadline; grants without leases never expire
     expires_at: float = math.inf
+    #: simulated time the request entered the service (for lease-wait
+    #: accounting; grants report ``grant_time - requested_at``)
+    requested_at: float = 0.0
 
 
 @dataclass
@@ -109,6 +114,7 @@ class CoordinationService:
             self._tickets,
             endpoint,
             frozenset(f"{k}={v}" for k, v in params.items()),
+            requested_at=now,
         )
         if self._clear_to_run(op):
             self._grant(op, granted, now)
@@ -121,6 +127,8 @@ class CoordinationService:
         # queue wait must not eat into the holder's execution window.
         op.expires_at = now + self.lease_ms if self.lease_ms else math.inf
         self._active[op.ticket] = op
+        _metric_observe("noctua_georep_lease_wait_ms",
+                        max(0.0, now - op.requested_at))
         granted(op.ticket)
 
     def _clear_to_run(self, op: ActiveOp) -> bool:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..metrics.registry import observe as _metric_observe
 from ..orm import Database
 from ..web import Application
 from .coordination import CoordinationService
@@ -195,12 +196,15 @@ class Deployment:
 
     def _replicate(self, origin: int) -> None:
         """Asynchronous effect propagation to the remote replicas."""
+        sent_at = self.sim.now
         for site in range(self.config.sites):
             if site == origin:
                 continue
 
             def arrived() -> None:
                 self.replication_events += 1
+                _metric_observe("noctua_georep_replication_lag_ms",
+                                self.sim.now - sent_at)
 
             self.sim.schedule(self.config.wan_latency_ms, arrived)
 

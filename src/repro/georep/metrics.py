@@ -1,39 +1,103 @@
-"""Throughput / latency aggregation for simulation runs."""
+"""Throughput / latency aggregation for simulation runs.
+
+Since the unified metrics layer landed, the fault counters here are a
+*projection of the shared registry* rather than a hand-rolled struct:
+:class:`FaultCounters` stores every count as a
+``noctua_georep_faults_total{kind=...}`` series on a private
+:class:`~repro.metrics.MetricsRegistry`, and attribute access
+(``counters.dropped += 1``) is routed through that registry.  When an
+ambient registry is active (``metrics.activate``), positive increments
+are forwarded to it as well, so a chaos or deployment run accumulates
+into the same snapshot the engine and solver families land in.  The
+public surface — plain attributes and :meth:`FaultCounters.as_dict` —
+is unchanged, and so is the chaos determinism contract (every counter
+is a pure function of the fault seed).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..metrics.registry import (
+    MetricsRegistry,
+    inc as _ambient_inc,
+    observe as _ambient_observe,
+)
 
-@dataclass
+#: every fault kind, in ``as_dict`` order
+_FAULT_KINDS: tuple[str, ...] = (
+    "dropped",          # messages lost in transit
+    "duplicated",       # extra copies injected
+    "delayed",          # messages held back by a delay spike
+    "partition_drops",  # sends refused by an active partition
+    "partition_ms",     # total simulated time spent partitioned
+    "redelivered",      # retry sends issued from the delivery log
+    "deduplicated",     # duplicate deliveries discarded at apply
+    "crashes",          # site crash events
+    "lease_expiries",   # coordination leases reclaimed by timeout
+    "coord_failures",   # requests failed fast (outage / partition)
+)
+
+_FAMILY = "noctua_georep_faults_total"
+
+
 class FaultCounters:
     """What the fault layer did to a run — every counter is deterministic
-    for a fixed fault seed (the chaos determinism contract)."""
+    for a fixed fault seed (the chaos determinism contract).
 
-    dropped: int = 0            #: messages lost in transit
-    duplicated: int = 0         #: extra copies injected
-    delayed: int = 0            #: messages held back by a delay spike
-    partition_drops: int = 0    #: sends refused by an active partition
-    partition_ms: float = 0.0   #: total simulated time spent partitioned
-    redelivered: int = 0        #: retry sends issued from the delivery log
-    deduplicated: int = 0       #: duplicate deliveries discarded at apply
-    crashes: int = 0            #: site crash events
-    lease_expiries: int = 0     #: coordination leases reclaimed by timeout
-    coord_failures: int = 0     #: requests failed fast (outage / partition)
+    Backed by a private metrics registry; kinds already metered at their
+    source (``redelivered`` / ``deduplicated`` by
+    :mod:`repro.georep.replication`, ``partition_ms`` by its own total)
+    are not re-forwarded to the ambient registry, so nothing is counted
+    twice.
+    """
+
+    __slots__ = ("_registry",)
+
+    _KINDS = frozenset(_FAULT_KINDS)
+    _FLOAT_KINDS = frozenset(("partition_ms",))
+    _FORWARDED = frozenset((
+        "dropped", "duplicated", "delayed", "partition_drops",
+        "crashes", "lease_expiries", "coord_failures",
+    ))
+
+    def __init__(self, **initial: float):
+        object.__setattr__(self, "_registry", MetricsRegistry())
+        for kind, value in initial.items():
+            setattr(self, kind, value)
+
+    def __getattr__(self, name: str):
+        if name in FaultCounters._KINDS:
+            value = self._registry.value(_FAMILY, kind=name)
+            return value if name in FaultCounters._FLOAT_KINDS else int(value)
+        raise AttributeError(
+            f"{type(self).__name__!s} has no counter {name!r}")
+
+    def __setattr__(self, name: str, value: float) -> None:
+        if name not in FaultCounters._KINDS:
+            raise AttributeError(
+                f"{type(self).__name__!s} has no counter {name!r}")
+        delta = value - getattr(self, name)
+        if not delta:
+            return
+        self._registry.inc(_FAMILY, delta, kind=name)
+        if delta > 0:
+            if name == "partition_ms":
+                _ambient_inc("noctua_georep_partition_ms_total", delta)
+            elif name in FaultCounters._FORWARDED:
+                _ambient_inc(_FAMILY, delta, kind=name)
 
     def as_dict(self) -> dict[str, float]:
-        return {
-            "dropped": self.dropped,
-            "duplicated": self.duplicated,
-            "delayed": self.delayed,
-            "partition_drops": self.partition_drops,
-            "partition_ms": self.partition_ms,
-            "redelivered": self.redelivered,
-            "deduplicated": self.deduplicated,
-            "crashes": self.crashes,
-            "lease_expiries": self.lease_expiries,
-            "coord_failures": self.coord_failures,
-        }
+        return {kind: getattr(self, kind) for kind in _FAULT_KINDS}
+
+    def __repr__(self) -> str:  # mirrors the old dataclass repr
+        body = ", ".join(f"{k}={getattr(self, k)!r}" for k in _FAULT_KINDS)
+        return f"FaultCounters({body})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultCounters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
 
 
 @dataclass
@@ -47,6 +111,10 @@ class Metrics:
 
     def record(self, now: float, latency: float, is_write: bool, ok: bool) -> None:
         self.completions.append((now, latency, is_write, ok))
+        op = "write" if is_write else "read"
+        _ambient_inc("noctua_georep_requests_total", op=op,
+                     ok="true" if ok else "false")
+        _ambient_observe("noctua_georep_request_latency_ms", latency, op=op)
 
     def _steady(self) -> list[tuple[float, float, bool, bool]]:
         return [c for c in self.completions if c[0] >= self.warmup_ms]

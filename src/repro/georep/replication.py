@@ -35,6 +35,7 @@ import copy
 import random
 from dataclasses import dataclass, field
 
+from ..metrics.registry import inc as _metric_inc, observe as _metric_observe
 from ..soir.interp import apply_path, run_path
 from ..soir.path import CodePath
 from ..soir.schema import Schema
@@ -220,6 +221,7 @@ class PoRReplicatedSystem:
         apply time instead, so both dedup points stay exercised."""
         if effect.index in self.applied[site]:
             self.deduplicated += 1
+            _metric_inc("noctua_georep_deduplicated_total")
             return
         self.pending[site].append(effect)
 
@@ -232,14 +234,22 @@ class PoRReplicatedSystem:
         copies = before - len(self.pending[site])
         if effect.index in self.applied[site]:
             self.deduplicated += max(1, copies)
+            _metric_inc("noctua_georep_deduplicated_total", max(1, copies))
             return
         # All queue copies beyond the one being applied are duplicates.
         if copies > 1:
             self.deduplicated += copies - 1
+            _metric_inc("noctua_georep_deduplicated_total", copies - 1)
         self.replicas[site] = apply_path(
             effect.path, self.replicas[site], effect.env, self.schema
         )
         self.applied[site].add(effect.index)
+        _metric_inc("noctua_georep_delivered_total", site=str(site))
+        # Redelivery attempts recorded so far, plus the send that landed.
+        _metric_observe(
+            "noctua_georep_delivery_attempts",
+            self.log.attempts.get((effect.index, site), 0) + 1,
+        )
         self.log.ack(effect.index, site)
 
     def _blocked(self, site: int, effect: Effect) -> bool:
@@ -308,17 +318,21 @@ class PoRReplicatedSystem:
             # partition cannot push retries past the heal horizon forever.
             self.log.next_retry[key] = round_no + min(2 ** attempts, 16)
             self.redelivered += 1
+            _metric_inc("noctua_georep_redelivered_total")
             self.transport.send(self, effect, site)
         return outstanding
 
-    def drain(self, max_rounds: int = 100_000) -> None:
+    def drain(self, max_rounds: int = 100_000) -> int:
         """Deliver every outstanding effect everywhere.
 
         Under a faulty transport this loops delivery, transport release
         and log redelivery until the log is fully acknowledged; after
         ``transport.heal()`` it terminates deterministically, and with
         sub-certain loss probabilities it terminates with probability 1
-        (``max_rounds`` guards the pathological rest)."""
+        (``max_rounds`` guards the pathological rest).  Returns the
+        number of redelivery rounds it took (0 when everything was
+        already delivered) — the chaos harness feeds this into the
+        recovery-rounds histogram."""
         round_no = 0
         while True:
             for site in range(self.sites):
@@ -332,7 +346,7 @@ class PoRReplicatedSystem:
                 and not in_flight
                 and all(not q for q in self.pending)
             ):
-                return
+                return round_no
             round_no += 1
             if hasattr(self.transport, "tick"):
                 self.transport.tick()

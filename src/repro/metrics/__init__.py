@@ -1,0 +1,69 @@
+"""Zero-dependency metrics layer (counters, gauges, histograms).
+
+Companion to :mod:`repro.obs`: spans answer "where did this run spend
+its time", the metrics registry answers "what are the aggregate rates
+and distributions across runs".  Like the tracer it is contextvar
+scoped and off by default — instrumentation sites call the module-level
+helpers, which no-op at one attribute read when no registry is active.
+
+    from repro import metrics
+
+    registry = metrics.MetricsRegistry()
+    with metrics.activate(registry):
+        report = verify_application(analysis, config)
+    print("\n".join(metrics.render_table(registry.snapshot())))
+
+`repro.metrics` has no repro-internal dependencies, so every layer
+(engine, smt, verifier, georep, difftest) can import it without cycles.
+"""
+from .registry import (
+    COUNT_BUCKETS,
+    FAMILIES,
+    FamilySpec,
+    Histogram,
+    MILLIS_BUCKETS,
+    MetricsRegistry,
+    ROUNDS_BUCKETS,
+    SECONDS_BUCKETS,
+    activate,
+    current,
+    enabled,
+    inc,
+    observe,
+    set_gauge,
+)
+from .exposition import (
+    diff_snapshots,
+    load_snapshot,
+    parse_prometheus,
+    render_diff,
+    render_table,
+    snapshot_from_json,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "FAMILIES",
+    "FamilySpec",
+    "Histogram",
+    "MILLIS_BUCKETS",
+    "MetricsRegistry",
+    "ROUNDS_BUCKETS",
+    "SECONDS_BUCKETS",
+    "activate",
+    "current",
+    "enabled",
+    "inc",
+    "observe",
+    "set_gauge",
+    "diff_snapshots",
+    "load_snapshot",
+    "parse_prometheus",
+    "render_diff",
+    "render_table",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+]

@@ -1,0 +1,328 @@
+"""Exposition formats for metrics snapshots.
+
+A *snapshot* is the plain-data dict returned by
+:meth:`MetricsRegistry.snapshot` — version-tagged, JSON-serializable and
+deterministically ordered.  This module renders snapshots three ways:
+
+* **JSON** (`snapshot_to_json` / `snapshot_from_json`) — lossless
+  round-trip, the format `noctua metrics --out metrics.json` writes and
+  `--diff` consumes.
+* **Prometheus text format** (`snapshot_to_prometheus`) — the scrape
+  format a future continuous-verification daemon exposes.  Histograms
+  become cumulative ``_bucket{le=...}`` series ending at ``+Inf`` plus
+  ``_sum`` / ``_count``.  `parse_prometheus` is the matching strict
+  parser used by ``tools/check_metrics.py``.
+* **Terminal** (`render_table`, `render_diff`) — human-readable
+  summaries with estimated p50/p95 for histograms.
+"""
+from __future__ import annotations
+
+import json
+
+from .registry import COUNTER, GAUGE, HISTOGRAM, Histogram
+
+
+# -- JSON ---------------------------------------------------------------------
+
+def snapshot_to_json(snapshot: dict) -> str:
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def snapshot_from_json(text: str) -> dict:
+    obj = json.loads(text)
+    if not isinstance(obj, dict) or obj.get("version") != 1:
+        raise ValueError("not a metrics snapshot (missing version: 1)")
+    if not isinstance(obj.get("families"), list):
+        raise ValueError("not a metrics snapshot (missing families list)")
+    return obj
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return snapshot_from_json(fh.read())
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt_labels(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for fam in snapshot["families"]:
+        name, kind = fam["name"], fam["kind"]
+        lines.append(f"# HELP {name} {_escape_help(fam['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind in (COUNTER, GAUGE):
+            for row in fam["series"]:
+                lines.append(
+                    f"{name}{_fmt_labels(row['labels'])} {_fmt_value(row['value'])}"
+                )
+        elif kind == HISTOGRAM:
+            edges = fam["buckets"]
+            for row in fam["series"]:
+                labels = row["labels"]
+                acc = 0
+                for edge, count in zip(edges, row["counts"]):
+                    acc += count
+                    le = _fmt_value(float(edge))
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(labels, ('le', le))} {acc}"
+                    )
+                acc += row["counts"][len(edges)]
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(labels, ('le', '+Inf'))} {acc}"
+                )
+                lines.append(
+                    f"{name}_sum{_fmt_labels(labels)} {repr(float(row['sum']))}"
+                )
+                lines.append(f"{name}_count{_fmt_labels(labels)} {row['count']}")
+        else:  # pragma: no cover - registry rejects unknown kinds
+            raise ValueError(f"unknown family kind {kind!r}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Strictly parse Prometheus text format back into family dicts.
+
+    Returns ``{family_name: {"kind": ..., "help": ..., "samples":
+    [(sample_name, labels, value)]}}``.  Raises ``ValueError`` on
+    malformed lines, samples without a preceding TYPE, or histogram
+    bucket series that are not cumulative / not terminated by +Inf.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"samples": []})["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            if kind not in (COUNTER, GAUGE, HISTOGRAM):
+                raise ValueError(f"line {lineno}: unknown TYPE {kind!r}")
+            families.setdefault(name, {"samples": []})["kind"] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        sample_name, labels, value = _parse_sample(line, lineno)
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                base = sample_name[: -len(suffix)]
+                break
+        if base not in families or "kind" not in families[base]:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no preceding TYPE"
+            )
+        if base != current:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} outside its TYPE block"
+            )
+        families[base]["samples"].append((sample_name, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _parse_sample(line: str, lineno: int) -> tuple[str, dict[str, str], float]:
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        body, _, tail = rest.partition("}")
+        labels: dict[str, str] = {}
+        for part in _split_labels(body):
+            key, eq, val = part.partition("=")
+            if not eq or not (val.startswith('"') and val.endswith('"')):
+                raise ValueError(f"line {lineno}: malformed label {part!r}")
+            labels[key] = (
+                val[1:-1]
+                .replace('\\"', '"')
+                .replace("\\n", "\n")
+                .replace("\\\\", "\\")
+            )
+        value_str = tail.strip()
+    else:
+        name, _, value_str = line.partition(" ")
+        labels = {}
+        value_str = value_str.strip()
+    if not name or not value_str:
+        raise ValueError(f"line {lineno}: malformed sample {line!r}")
+    try:
+        value = float(value_str)
+    except ValueError as exc:
+        raise ValueError(f"line {lineno}: bad value {value_str!r}") from exc
+    return name, labels, value
+
+
+def _split_labels(body: str) -> list[str]:
+    parts, buf, in_str, escaped = [], [], False, False
+    for ch in body:
+        if escaped:
+            buf.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            buf.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_str = not in_str
+            buf.append(ch)
+            continue
+        if ch == "," and not in_str:
+            parts.append("".join(buf))
+            buf = []
+            continue
+        buf.append(ch)
+    if buf:
+        parts.append("".join(buf))
+    return [p for p in (s.strip() for s in parts) if p]
+
+
+def _validate_histograms(families: dict[str, dict]) -> None:
+    for name, fam in families.items():
+        if fam.get("kind") != HISTOGRAM:
+            continue
+        by_series: dict[tuple, dict] = {}
+        for sample_name, labels, value in fam["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            slot = by_series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+            if sample_name == f"{name}_bucket":
+                slot["buckets"].append((labels.get("le"), value))
+            elif sample_name == f"{name}_sum":
+                slot["sum"] = value
+            elif sample_name == f"{name}_count":
+                slot["count"] = value
+        for key, slot in by_series.items():
+            buckets = slot["buckets"]
+            if not buckets or buckets[-1][0] != "+Inf":
+                raise ValueError(f"{name}{dict(key)}: buckets must end at +Inf")
+            values = [v for _, v in buckets]
+            if any(b > a for b, a in zip(values, values[1:])):
+                raise ValueError(f"{name}{dict(key)}: bucket counts not cumulative")
+            if slot["count"] is None or slot["sum"] is None:
+                raise ValueError(f"{name}{dict(key)}: missing _sum or _count")
+            if slot["count"] != values[-1]:
+                raise ValueError(f"{name}{dict(key)}: _count != +Inf bucket")
+
+
+# -- terminal rendering -------------------------------------------------------
+
+def _labels_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return "(no labels)"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def render_table(snapshot: dict) -> list[str]:
+    """Human-readable summary of a snapshot, one family per block."""
+    lines: list[str] = []
+    for fam in snapshot["families"]:
+        name, kind = fam["name"], fam["kind"]
+        lines.append(f"{name}  [{kind}]  {fam['help']}")
+        if kind == HISTOGRAM:
+            edges = tuple(fam["buckets"])
+            for row in fam["series"]:
+                hist = Histogram(edges)
+                hist.counts = list(row["counts"])
+                hist.sum = row["sum"]
+                hist.count = row["count"]
+                lines.append(
+                    "  {:<40} count={} sum={:.4f} p50={:.4f} p95={:.4f}".format(
+                        _labels_str(row["labels"]), hist.count, hist.sum,
+                        hist.quantile(0.5), hist.quantile(0.95),
+                    )
+                )
+        else:
+            for row in fam["series"]:
+                lines.append(
+                    "  {:<40} {}".format(
+                        _labels_str(row["labels"]), _fmt_value(row["value"])
+                    )
+                )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return lines
+
+
+# -- snapshot diff ------------------------------------------------------------
+
+def _flatten(snapshot: dict) -> dict[tuple, tuple[str, float, float]]:
+    """Map (family, labels) -> (kind, value_or_count, sum)."""
+    out: dict[tuple, tuple[str, float, float]] = {}
+    for fam in snapshot["families"]:
+        for row in fam["series"]:
+            key = (fam["name"], tuple(sorted(row["labels"].items())))
+            if fam["kind"] == HISTOGRAM:
+                out[key] = (fam["kind"], float(row["count"]), float(row["sum"]))
+            else:
+                out[key] = (fam["kind"], float(row["value"]), 0.0)
+    return out
+
+
+def diff_snapshots(before: dict, after: dict) -> list[dict]:
+    """Per-series deltas between two snapshots (after - before)."""
+    a, b = _flatten(before), _flatten(after)
+    rows: list[dict] = []
+    for key in sorted(set(a) | set(b)):
+        name, labels = key
+        kind_a, val_a, sum_a = a.get(key, (None, 0.0, 0.0))
+        kind_b, val_b, sum_b = b.get(key, (None, 0.0, 0.0))
+        kind = kind_b or kind_a
+        if val_a == val_b and sum_a == sum_b:
+            continue
+        rows.append({
+            "name": name,
+            "labels": dict(labels),
+            "kind": kind,
+            "before": val_a,
+            "after": val_b,
+            "delta": val_b - val_a,
+            "sum_delta": sum_b - sum_a,
+        })
+    return rows
+
+
+def render_diff(rows: list[dict]) -> list[str]:
+    if not rows:
+        return ["(no differences)"]
+    lines = ["{:<46} {:>12} {:>12} {:>12}".format("series", "before", "after", "delta")]
+    for row in rows:
+        series = f"{row['name']}{{{_labels_str(row['labels'])}}}"
+        unit = " (count)" if row["kind"] == HISTOGRAM else ""
+        lines.append(
+            "{:<46} {:>12} {:>12} {:>+12g}{}".format(
+                series, _fmt_value(row["before"]), _fmt_value(row["after"]),
+                row["delta"], unit,
+            )
+        )
+    return lines

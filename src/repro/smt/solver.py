@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..metrics.registry import inc as _metric_inc, observe as _metric_observe
 from ..obs import tracer as obs
 from .terms import App, Const, Term, Var
 
@@ -85,6 +86,7 @@ class Solver:
         try:
             model = self._check(timeout_s=timeout_s, priority=priority)
         except SolverTimeout:
+            self._account(started, "timeout")
             obs.record(
                 "solver.check", "solver-call",
                 wall_s=time.perf_counter() - started, backend="smt",
@@ -92,14 +94,24 @@ class Solver:
                 result="timeout",
             )
             raise
+        result = "sat" if model is not None else "unsat"
+        self._account(started, result)
         obs.record(
             "solver.check", "solver-call",
             wall_s=time.perf_counter() - started, backend="smt",
             clauses=len(self.assertions), variables=len(self.domains),
-            result="sat" if model is not None else "unsat",
+            result=result,
             model_size=len(model.assignment) if model is not None else 0,
         )
         return model
+
+    def _account(self, started: float, result: str) -> None:
+        """Feed the ambient metrics registry (no-op when disabled)."""
+        _metric_inc("noctua_solver_calls_total", backend="smt", result=result)
+        _metric_observe("noctua_solver_call_seconds",
+                        time.perf_counter() - started, backend="smt")
+        _metric_observe("noctua_solver_clauses", len(self.assertions),
+                        backend="smt")
 
     def _check(
         self, *, timeout_s: float = 5.0, priority: list[str] | None = None

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 
+from ..metrics.registry import inc as _metric_inc, observe as _metric_observe
 from ..obs import tracer as obs
 from ..soir.interp import apply_path, run_path
 from ..soir.path import CodePath
@@ -262,6 +263,10 @@ class PairChecker:
             wall_s=elapsed, backend="enum", check="commutativity",
             candidates=info["candidates"], result=status,
         )
+        _metric_inc("noctua_solver_calls_total", backend="enum", result=status)
+        _metric_observe("noctua_solver_call_seconds", elapsed, backend="enum")
+        _metric_observe("noctua_solver_candidates", info["candidates"],
+                        backend="enum")
         if status == "timeout":
             return CheckResult(self.p.name, self.q.name, "commutativity",
                                Outcome.TIMEOUT, elapsed)
@@ -348,6 +353,10 @@ class PairChecker:
             wall_s=elapsed, backend="enum", check="semantic",
             candidates=info["candidates"], result=status,
         )
+        _metric_inc("noctua_solver_calls_total", backend="enum", result=status)
+        _metric_observe("noctua_solver_call_seconds", elapsed, backend="enum")
+        _metric_observe("noctua_solver_candidates", info["candidates"],
+                        backend="enum")
         if status == "timeout":
             return CheckResult(self.p.name, self.q.name, "semantic",
                                Outcome.TIMEOUT, elapsed)

@@ -1,0 +1,194 @@
+"""Tests for the benchmark trajectory and its regression gate:
+``benchmarks/bench_pair_sweep.py`` appends one dated entry per run, and
+``tools/bench_gate.py`` fails when the latest entry regressed beyond the
+threshold against the most recent comparable baseline."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load(name: str, path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_gate = _load("bench_gate", REPO_ROOT / "tools" / "bench_gate.py")
+bench_sweep = _load("bench_pair_sweep",
+                    REPO_ROOT / "benchmarks" / "bench_pair_sweep.py")
+
+
+def entry(date: str, cold_wall: float, cold_solve: float, *,
+          smoke: bool = True, jobs: int = 2,
+          apps: tuple[str, ...] = ("courseware", "todo")) -> dict:
+    return {
+        "date": date,
+        "smoke": smoke,
+        "jobs": jobs,
+        "apps": list(apps),
+        "totals": {
+            "cold_wall_s": cold_wall,
+            "cold_solve_s": cold_solve,
+            "warm_wall_s": 0.1,
+            "parallel_wall_s": 0.2,
+        },
+        "per_app": {},
+    }
+
+
+def write_trajectory(path: pathlib.Path, entries: list[dict]) -> str:
+    path.write_text(json.dumps(
+        {"benchmark": "pair_sweep", "current": {}, "trajectory": entries}))
+    return str(path)
+
+
+class TestBenchGate:
+    def test_regression_fails(self, tmp_path, capsys):
+        """The acceptance case: an injected +50% cold-wall regression
+        must exit non-zero at the default +25% threshold."""
+        path = write_trajectory(tmp_path / "bench.json", [
+            entry("2026-08-01", 10.0, 8.0),
+            entry("2026-08-08", 15.0, 8.1),
+        ])
+        assert bench_gate.main(["--file", path]) == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "cold wall time" in err
+
+    def test_within_threshold_passes(self, tmp_path):
+        path = write_trajectory(tmp_path / "bench.json", [
+            entry("2026-08-01", 10.0, 8.0),
+            entry("2026-08-08", 11.0, 8.5),
+        ])
+        assert bench_gate.main(["--file", path]) == 0
+
+    def test_threshold_is_configurable(self, tmp_path):
+        path = write_trajectory(tmp_path / "bench.json", [
+            entry("2026-08-01", 10.0, 8.0),
+            entry("2026-08-08", 15.0, 8.0),
+        ])
+        assert bench_gate.main(
+            ["--file", path, "--threshold", "1.0"]) == 0
+        assert bench_gate.main(
+            ["--file", path, "--threshold", "0.4"]) == 1
+
+    def test_improvement_passes(self, tmp_path):
+        path = write_trajectory(tmp_path / "bench.json", [
+            entry("2026-08-01", 10.0, 8.0),
+            entry("2026-08-08", 5.0, 4.0),
+        ])
+        assert bench_gate.main(["--file", path]) == 0
+
+    def test_single_entry_seeds_trajectory(self, tmp_path, capsys):
+        path = write_trajectory(tmp_path / "bench.json",
+                                [entry("2026-08-08", 10.0, 8.0)])
+        assert bench_gate.main(["--file", path]) == 0
+        assert "no comparable baseline" in capsys.readouterr().out
+
+    def test_different_config_is_not_a_baseline(self, tmp_path, capsys):
+        """A full run never gates against a smoke run (and vice versa):
+        the configurations are not comparable."""
+        path = write_trajectory(tmp_path / "bench.json", [
+            entry("2026-08-01", 1.0, 0.5, smoke=False, jobs=4),
+            entry("2026-08-08", 50.0, 40.0),
+        ])
+        assert bench_gate.main(["--file", path]) == 0
+        assert "no comparable baseline" in capsys.readouterr().out
+
+    def test_baseline_skips_interleaved_other_configs(self, tmp_path):
+        path = write_trajectory(tmp_path / "bench.json", [
+            entry("2026-08-01", 10.0, 8.0),
+            entry("2026-08-05", 1.0, 0.5, jobs=8),
+            entry("2026-08-08", 15.1, 8.0),
+        ])
+        assert bench_gate.main(["--file", path]) == 1
+
+    def test_missing_file_fails(self, tmp_path):
+        assert bench_gate.main(
+            ["--file", str(tmp_path / "absent.json")]) == 1
+
+    def test_no_trajectory_fails(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"benchmark": "pair_sweep",
+                                    "apps": {}}))
+        assert bench_gate.main(["--file", str(path)]) == 1
+
+    def test_zero_baseline_is_skipped(self, tmp_path):
+        path = write_trajectory(tmp_path / "bench.json", [
+            entry("2026-08-01", 0.0, 0.0),
+            entry("2026-08-08", 99.0, 99.0),
+        ])
+        assert bench_gate.main(["--file", path]) == 0
+
+
+def app_row(name: str, cold_wall: float, cold_solve: float) -> dict:
+    """A benchmark result row in the shape ``sweep_app`` produces."""
+    return {
+        "app": name,
+        "modes": {
+            "cold": {"wall_s": cold_wall, "solve_s": cold_solve},
+            "warm": {"wall_s": 0.1, "solve_s": 0.0},
+            "parallel": {"wall_s": 0.3, "solve_s": cold_solve},
+        },
+    }
+
+
+class TestTrajectory:
+    def test_entry_shape(self):
+        result = {
+            "smoke": True,
+            "jobs": 2,
+            "apps": [
+                app_row("todo", 2.0, 1.5),
+                app_row("courseware", 1.0, 0.5),
+            ],
+        }
+        made = bench_sweep.trajectory_entry(result, date="2026-08-08",
+                                            label="pr")
+        assert made["date"] == "2026-08-08"
+        assert made["label"] == "pr"
+        assert made["apps"] == ["courseware", "todo"]  # sorted
+        assert made["totals"]["cold_wall_s"] == pytest.approx(3.0)
+        assert made["totals"]["cold_solve_s"] == pytest.approx(2.0)
+        assert bench_gate.config_key(made) == (True, 2,
+                                               ("courseware", "todo"))
+
+    def test_load_trajectory_passes_through(self, tmp_path):
+        path = tmp_path / "bench.json"
+        entries = [entry("2026-08-01", 1.0, 0.5)]
+        write_trajectory(path, entries)
+        assert bench_sweep.load_trajectory(path) == entries
+
+    def test_load_trajectory_migrates_legacy_file(self, tmp_path):
+        """A pre-trajectory file (top-level ``apps`` dict, no
+        ``trajectory``) becomes a one-entry trajectory so the first run
+        after the migration still has a baseline."""
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "benchmark": "pair_sweep",
+            "smoke": True,
+            "jobs": 2,
+            "apps": [app_row("todo", 2.0, 1.5)],
+        }))
+        trajectory = bench_sweep.load_trajectory(path)
+        assert len(trajectory) == 1
+        assert trajectory[0]["date"] == "(pre-trajectory)"
+        assert trajectory[0]["apps"] == ["todo"]
+        assert trajectory[0]["totals"]["cold_wall_s"] == pytest.approx(2.0)
+
+    def test_load_trajectory_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "bench.json"
+        assert bench_sweep.load_trajectory(path) == []  # absent
+        path.write_text("not json")
+        assert bench_sweep.load_trajectory(path) == []
+        path.write_text("[1, 2, 3]")
+        assert bench_sweep.load_trajectory(path) == []

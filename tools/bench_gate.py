@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Perf regression gate over the ``BENCH_pair_sweep.json`` trajectory.
+
+``benchmarks/bench_pair_sweep.py`` appends one dated entry per run to
+the ``trajectory`` list in the benchmark file.  This gate compares the
+*latest* entry against the most recent earlier entry with the same
+configuration key (``smoke`` flag, ``jobs`` count, app set — entries
+with different keys are not comparable) and exits non-zero when total
+cold wall time or total cold solve time regressed by more than
+``--threshold`` (default +25%).
+
+With fewer than two comparable entries it reports "no baseline" and
+exits zero — the first committed run of a new configuration seeds the
+trajectory rather than failing it.
+
+Used by ``make bench-sweep`` and the CI bench smoke job::
+
+    python benchmarks/bench_pair_sweep.py --smoke --jobs 2
+    python tools/bench_gate.py --threshold 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_FILE = REPO_ROOT / "BENCH_pair_sweep.json"
+
+#: trajectory totals the gate checks, with human-readable names
+GATED_METRICS = (
+    ("cold_wall_s", "total cold wall time"),
+    ("cold_solve_s", "total cold solve time"),
+)
+
+
+def config_key(entry: dict) -> tuple:
+    return (entry.get("smoke"), entry.get("jobs"),
+            tuple(entry.get("apps", ())))
+
+
+def find_baseline(trajectory: list[dict]) -> tuple[dict | None, dict | None]:
+    """Return (latest, baseline): the newest entry and the most recent
+    earlier entry with the same configuration key, if any."""
+    if not trajectory:
+        return None, None
+    latest = trajectory[-1]
+    key = config_key(latest)
+    for entry in reversed(trajectory[:-1]):
+        if config_key(entry) == key:
+            return latest, entry
+    return latest, None
+
+
+def check(latest: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regression messages for every gated metric beyond the threshold."""
+    problems: list[str] = []
+    for metric, label in GATED_METRICS:
+        new = float(latest.get("totals", {}).get(metric, 0.0))
+        old = float(baseline.get("totals", {}).get(metric, 0.0))
+        if old <= 1e-9:
+            continue  # nothing measurable to regress against
+        ratio = new / old
+        if ratio > 1.0 + threshold:
+            problems.append(
+                f"{label} regressed {ratio - 1.0:+.0%}: "
+                f"{old:.3f}s ({baseline.get('date', '?')}) -> "
+                f"{new:.3f}s ({latest.get('date', '?')}), "
+                f"threshold +{threshold:.0%}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--file", default=str(DEFAULT_FILE),
+                        help="benchmark trajectory file "
+                             "(default: BENCH_pair_sweep.json at the "
+                             "repo root)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="allowed fractional regression before "
+                             "failing (default: 0.25 = +25%%; CI uses a "
+                             "looser value to absorb runner noise)")
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.file)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        print(f"bench_gate: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"bench_gate: {path} is not JSON: {exc}", file=sys.stderr)
+        return 1
+    trajectory = data.get("trajectory")
+    if not isinstance(trajectory, list) or not trajectory:
+        print(f"bench_gate: {path} has no trajectory (run "
+              f"benchmarks/bench_pair_sweep.py first)", file=sys.stderr)
+        return 1
+
+    latest, baseline = find_baseline(trajectory)
+    if baseline is None:
+        print(f"bench_gate: no comparable baseline for the latest entry "
+              f"({latest.get('date', '?')}, key={config_key(latest)}); "
+              f"trajectory seeded, nothing to gate")
+        return 0
+
+    problems = check(latest, baseline, args.threshold)
+    for problem in problems:
+        print(f"bench_gate: FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    for metric, label in GATED_METRICS:
+        new = latest.get("totals", {}).get(metric, 0.0)
+        old = baseline.get("totals", {}).get(metric, 0.0)
+        delta = (new / old - 1.0) if old > 1e-9 else 0.0
+        print(f"bench_gate: ok: {label} {old:.3f}s -> {new:.3f}s "
+              f"({delta:+.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

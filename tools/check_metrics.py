@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate the exports of ``noctua metrics --out``.
+
+Checks (exits non-zero with a line per failure):
+
+1. the Prometheus text export parses strictly — every sample sits under
+   a ``# TYPE`` block, histogram bucket series are cumulative and end at
+   ``+Inf``, and ``_count`` matches the ``+Inf`` bucket (the parser is
+   :func:`repro.metrics.parse_prometheus`, so the scrape format the
+   repo emits is the format this tool accepts);
+2. the JSON snapshot contains the metric families a metered smoke suite
+   must emit: cache hits and misses, solver-call latency histograms for
+   *both* backends (enum and smt), and georep delivery counters;
+3. the two exports agree family-by-family (same family set).
+
+Used by ``make metrics-demo`` and the CI metrics-smoke job::
+
+    noctua metrics courseware --quick --jobs 2 \
+        --out metrics.json --out metrics.prom
+    python tools/check_metrics.py metrics.prom metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.metrics import load_snapshot, parse_prometheus  # noqa: E402
+
+#: families a metered smoke suite must emit, with the label series that
+#: must be present (empty tuple = any series will do)
+REQUIRED_FAMILIES: dict[str, tuple[dict[str, str], ...]] = {
+    "noctua_engine_cache_hits_total": (),
+    "noctua_engine_cache_misses_total": (),
+    "noctua_engine_pairs_total": ({"route": "solved"},),
+    "noctua_solver_call_seconds": (
+        {"backend": "enum"}, {"backend": "smt"},
+    ),
+    "noctua_solver_calls_total": (),
+    "noctua_georep_delivered_total": (),
+}
+
+
+def snapshot_series(snapshot: dict, name: str) -> list[dict[str, str]]:
+    for fam in snapshot["families"]:
+        if fam["name"] == name:
+            return [row["labels"] for row in fam["series"]]
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("prom", help="Prometheus text export (.prom)")
+    parser.add_argument("json", help="JSON snapshot export (.json)")
+    args = parser.parse_args()
+
+    problems: list[str] = []
+
+    try:
+        families = parse_prometheus(
+            pathlib.Path(args.prom).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"check_metrics: {args.prom}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        snapshot = load_snapshot(args.json)
+    except (OSError, ValueError) as exc:
+        print(f"check_metrics: {args.json}: {exc}", file=sys.stderr)
+        return 1
+
+    for name, required_series in REQUIRED_FAMILIES.items():
+        series = snapshot_series(snapshot, name)
+        if not series:
+            problems.append(f"{args.json}: family {name} missing or empty")
+            continue
+        for required in required_series:
+            if not any(all(labels.get(k) == v for k, v in required.items())
+                       for labels in series):
+                problems.append(
+                    f"{args.json}: family {name} has no series "
+                    f"matching {required}")
+
+    snapshot_names = {fam["name"] for fam in snapshot["families"]}
+    prom_names = set(families)
+    for name in sorted(snapshot_names - prom_names):
+        problems.append(f"{args.prom}: family {name} in JSON but not in "
+                        f"Prometheus export")
+    for name in sorted(prom_names - snapshot_names):
+        problems.append(f"{args.json}: family {name} in Prometheus export "
+                        f"but not in JSON")
+
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_metrics: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    samples = sum(len(fam["samples"]) for fam in families.values())
+    print(f"check_metrics: {len(families)} families, {samples} samples, "
+          f"Prometheus text format parses, required families present")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
