@@ -4,7 +4,7 @@ PYTHON ?= python3
 
 .PHONY: install test test-fast coverage bench bench-full bench-sweep \
 	bench-gate examples chaos engine-chaos difftest trace-demo \
-	metrics-demo docs-lint clean
+	metrics-demo serve-demo docs-lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -51,6 +51,9 @@ metrics-demo:
 	$(PYTHON) -m repro metrics courseware --quick --jobs 2 \
 		--out metrics-demo.json --out metrics-demo.prom
 	$(PYTHON) tools/check_metrics.py metrics-demo.prom metrics-demo.json
+
+serve-demo:
+	$(PYTHON) tools/serve_smoke.py
 
 docs-lint:
 	$(PYTHON) tools/docs_lint.py

@@ -137,6 +137,58 @@ def sweep_app(name: str, jobs: int, smoke: bool, repeat: int = 3) -> dict:
     return row
 
 
+#: the one-view edit for the incremental measurement: touches
+#: ``complete_task`` without changing any verdict, so the warm cycle
+#: re-solves only that view's pairs
+INCR_EDIT_OLD = "task.done = True"
+INCR_EDIT_NEW = "task.done = True\n        task.priority = 1"
+
+
+def incremental_reverify(smoke: bool, repeat: int = 3) -> dict:
+    """Cold full-service cycle vs. the warm cycle after one view edit.
+
+    Uses the continuous-verification service machinery end to end
+    (export, watch, invalidation preview, incremental sweep, prune) on
+    the todo app — the daemon's steady-state cost, not just the raw
+    scheduler's."""
+    from repro.service import (
+        VerificationService,
+        directory_spec,
+        export_builtin_app,
+    )
+
+    config = _config(smoke)
+    best_cold = best_warm = None
+    warm_stats = None
+    for attempt in range(max(1, repeat)):
+        with tempfile.TemporaryDirectory(prefix="noctua-incr-") as tmp:
+            app_dir = pathlib.Path(tmp) / "app"
+            export_builtin_app("todo", app_dir)
+            service = VerificationService(
+                [directory_spec("todo", str(app_dir))], config,
+                cache_dir=str(pathlib.Path(tmp) / "cache"))
+            [cold] = service.run_cycle()
+            source = app_dir / "app.py"
+            source.write_text(source.read_text().replace(
+                INCR_EDIT_OLD, INCR_EDIT_NEW))
+            [warm] = service.run_cycle()
+            if best_cold is None or cold.wall_s < best_cold:
+                best_cold = cold.wall_s
+            if best_warm is None or warm.wall_s < best_warm:
+                best_warm = warm.wall_s
+                warm_stats = warm
+    return {
+        "app": "todo",
+        "cold_wall_s": round(best_cold, 4),
+        "warm_wall_s": round(best_warm, 4),
+        "pairs_total": warm_stats.pairs_total,
+        "invalidated": len(warm_stats.invalidated),
+        "solver_calls": warm_stats.solver_calls,
+        "invalidated_fraction": round(
+            len(warm_stats.invalidated) / warm_stats.pairs_total, 4),
+    }
+
+
 def trajectory_entry(result: dict, *, date: str, label: str = "") -> dict:
     """Summarize one full benchmark result as a dated trajectory row."""
     totals = {"cold_wall_s": 0.0, "cold_solve_s": 0.0,
@@ -154,6 +206,10 @@ def trajectory_entry(result: dict, *, date: str, label: str = "") -> dict:
             "warm_wall_s": modes["warm"]["wall_s"],
             "parallel_wall_s": modes["parallel"]["wall_s"],
         }
+    incremental = result.get("incremental")
+    if incremental:  # absent in legacy results being migrated
+        totals["incr_cold_wall_s"] = incremental["cold_wall_s"]
+        totals["incr_warm_wall_s"] = incremental["warm_wall_s"]
     entry = {
         "date": date,
         "smoke": result["smoke"],
@@ -162,6 +218,8 @@ def trajectory_entry(result: dict, *, date: str, label: str = "") -> dict:
         "totals": {k: round(v, 4) for k, v in totals.items()},
         "per_app": per_app,
     }
+    if incremental:
+        entry["incremental"] = incremental
     if label:
         entry["label"] = label
     return entry
@@ -227,11 +285,20 @@ def main(argv: list[str] | None = None) -> int:
               f"util {par['worker_utilization']:.0%}")
         print(f"  restriction sets agree: {row['restrictions_agree']}")
 
+    print("incremental re-verify (service, todo) ...", flush=True)
+    incremental = incremental_reverify(args.smoke, repeat=args.repeat)
+    print(f"  cold cycle {incremental['cold_wall_s']:8.3f} s wall  "
+          f"{incremental['pairs_total']:4d} pairs")
+    print(f"  one-edit   {incremental['warm_wall_s']:8.3f} s wall  "
+          f"{incremental['invalidated']:4d} invalidated "
+          f"({incremental['invalidated_fraction']:.0%})")
+
     result = {
         "benchmark": "pair_sweep",
         "smoke": args.smoke,
         "jobs": args.jobs,
         "apps": rows,
+        "incremental": incremental,
     }
     out_path = pathlib.Path(args.out)
     trajectory = load_trajectory(out_path)
@@ -251,6 +318,16 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{row['app']}: modes disagree on restrictions")
         if args.smoke and not row["warm_solved_zero"]:
             failures.append(f"{row['app']}: warm run performed solver calls")
+    if incremental["solver_calls"] != incremental["invalidated"]:
+        failures.append(
+            "incremental: warm cycle solved "
+            f"{incremental['solver_calls']} pairs but invalidated "
+            f"{incremental['invalidated']}")
+    if incremental["invalidated_fraction"] >= 0.20:
+        failures.append(
+            "incremental: one-view edit invalidated "
+            f"{incremental['invalidated_fraction']:.0%} of the pairs "
+            "(acceptance bar: under 20%)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

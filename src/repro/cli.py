@@ -41,7 +41,20 @@ Subcommands:
   fault-tolerance contract (poisoned pairs — and only those — degrade to
   conservative ``unknown`` verdicts, everything else is byte-identical
   to a clean serial sweep, unknowns are never cached, corrupt cache
-  files are quarantined, wall time stays within the deadline budget).
+  files are quarantined, wall time stays within the deadline budget);
+* ``noctua serve --apps NAME|NAME=DIR ... [--port N] [--poll-interval S]
+  [--jobs N] [--once]`` — the continuous verification service
+  (:mod:`repro.service`): watch application sources, re-verify only the
+  pairs invalidated by each edit, publish restriction-set versions to
+  subscribed deployments, and expose an HTTP control plane (``/apps``,
+  ``/apps/<name>/restrictions``, ``/apps/<name>/report``, ``/metrics``,
+  ``/trace/last``, ``POST /apps/<name>/reverify``); ``--once`` runs a
+  single watch→invalidate→re-verify cycle and exits (no HTTP server);
+* ``noctua cache [--stats] [--prune APP ...] [--cache-dir DIR]`` —
+  inspect or prune the on-disk verdict cache: ``--stats`` (the default)
+  lists every cache file with entry counts, ``--prune`` drops entries
+  not referenced by the named apps' current sources under the given
+  configuration.
 """
 
 from __future__ import annotations
@@ -472,6 +485,108 @@ def cmd_engine_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    from .service import (
+        ServiceHTTPServer,
+        SpecError,
+        VerificationService,
+        parse_app_arg,
+    )
+
+    try:
+        specs = [parse_app_arg(arg) for arg in args.apps]
+    except SpecError as exc:
+        sys.exit(f"bad --apps entry: {exc}")
+    config = CheckConfig()
+    if args.quick:
+        # Sample-bounded, not time-bounded, so cycles stay deterministic
+        # under CPU contention (see docs/ENGINE.md).
+        config = CheckConfig(timeout_s=60.0, max_samples=60,
+                             max_exhaustive=800)
+    service = VerificationService(
+        specs, config, engine=args.engine, jobs=args.jobs,
+        cache_dir=args.cache_dir, poll_interval_s=args.poll_interval,
+    )
+
+    def print_stats(stats) -> None:
+        print(f"[{stats.app}] trigger={stats.trigger} "
+              f"pairs={stats.pairs_total} "
+              f"invalidated={len(stats.invalidated)} "
+              f"solved={stats.solver_calls} cache_hits={stats.cache_hits} "
+              f"pruned={stats.pruned_entries} "
+              f"restrictions={stats.restrictions} version={stats.version}"
+              f"{'*' if stats.version_changed else ''} "
+              f"({stats.wall_s:.2f}s)", flush=True)
+
+    if args.once:
+        for stats in service.run_cycle(force=True):
+            print_stats(stats)
+        failed = [name for name, state in service.apps.items()
+                  if state.error]
+        for name in failed:
+            print(f"[{name}] FAILED: {service.apps[name].error}",
+                  file=sys.stderr)
+        return 1 if failed else 0
+
+    server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    server.start()
+    print(f"serving on {server.url}", flush=True)
+    import threading
+
+    stop = threading.Event()
+    try:
+        while not stop.is_set():
+            for stats in service.run_cycle():
+                print_stats(stats)
+            stop.wait(service.poll_interval_s)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.shutdown()
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .engine.cache import DEFAULT_CACHE_DIR, ResultCache, scan_cache
+    from .service import live_pair_fingerprints
+
+    root = args.cache_dir or DEFAULT_CACHE_DIR
+    if args.prune:
+        config = CheckConfig()
+        if args.quick:
+            config = CheckConfig(timeout_s=60.0, max_samples=60,
+                                 max_exhaustive=800)
+        total = 0
+        for name in args.prune:
+            analysis = analyze_application(_build(name))
+            live = live_pair_fingerprints(analysis, config,
+                                          engine=args.engine)
+            cache = ResultCache(root, analysis.app_name)
+            before = len(cache)
+            removed = cache.prune(live)
+            cache.flush()
+            total += removed
+            print(f"{name:16s} {before:5d} entries, {removed:4d} pruned, "
+                  f"{len(cache):5d} kept")
+        print(f"pruned {total} stale entr{'y' if total == 1 else 'ies'} "
+              f"under {root}")
+        return 0
+
+    rows = scan_cache(root)
+    if not rows:
+        print(f"no cache files under {root}")
+        return 0
+    for row in rows:
+        status = row["status"]
+        if status == "ok":
+            print(f"{row['file']:32s} {row['entries']:5d} entries  "
+                  f"{row['bytes']:8d} B  app={row['app']}")
+        else:
+            detail = row.get("detail", "")
+            print(f"{row['file']:32s} [{status}] {detail}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="noctua",
@@ -631,6 +746,62 @@ def main(argv: list[str] | None = None) -> int:
                           help="per-pair deadline during chaotic sweeps "
                                "(default: 2.0)")
 
+    p_serve = sub.add_parser(
+        "serve", help="continuous verification service: watch sources, "
+                      "re-verify incrementally, publish restriction sets "
+                      "over HTTP"
+    )
+    p_serve.add_argument("--apps", nargs="+", required=True,
+                         metavar="NAME|NAME=DIR",
+                         help="applications to watch: a builtin name "
+                              "(watches the installed package) or "
+                              "NAME=DIR for a standalone directory "
+                              "containing app.py")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="control-plane bind address "
+                              "(default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8642, metavar="N",
+                         help="control-plane port; 0 binds an ephemeral "
+                              "port (default: 8642)")
+    p_serve.add_argument("--poll-interval", type=float, default=2.0,
+                         metavar="S",
+                         help="seconds between source polls "
+                              "(default: 2.0)")
+    p_serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes per re-verification "
+                              "sweep (default: 1)")
+    p_serve.add_argument("--engine", default="enum",
+                         choices=("enum", "smt"),
+                         help="verification backend (default: enum)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="verdict cache location "
+                              "(default: .noctua-cache/)")
+    p_serve.add_argument("--quick", action="store_true",
+                         help="reduced, sample-bounded search budget")
+    p_serve.add_argument("--once", action="store_true",
+                         help="run one watch→invalidate→re-verify cycle "
+                              "and exit (no HTTP server); the on-disk "
+                              "cache carries invalidation across runs")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk pair-verdict cache"
+    )
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache location (default: .noctua-cache/)")
+    p_cache.add_argument("--stats", action="store_true",
+                         help="list cache files with entry counts "
+                              "(the default action)")
+    p_cache.add_argument("--prune", nargs="+", default=None, metavar="APP",
+                         help="drop entries not referenced by these "
+                              "apps' current sources")
+    p_cache.add_argument("--engine", default="enum",
+                         choices=("enum", "smt"),
+                         help="backend whose fingerprints --prune keeps "
+                              "(default: enum)")
+    p_cache.add_argument("--quick", action="store_true",
+                         help="compute --prune live sets under the "
+                              "reduced search budget")
+
     args = parser.parse_args(argv)
     handlers = {
         "apps": cmd_apps,
@@ -642,6 +813,8 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": cmd_chaos,
         "difftest": cmd_difftest,
         "engine-chaos": cmd_engine_chaos,
+        "serve": cmd_serve,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

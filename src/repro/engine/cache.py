@@ -168,3 +168,42 @@ class ResultCache:
 
 def _safe_name(name: str) -> str:
     return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+def scan_cache(root: str | os.PathLike) -> list[dict]:
+    """Inspect every cache file under ``root`` without loading it as a
+    live cache (and therefore without quarantining anything): one row
+    per ``*.json`` file with app name, entry count, size and status.
+    Quarantined files are reported alongside, so ``repro cache --stats``
+    shows the whole directory state."""
+    rows: list[dict] = []
+    root_path = Path(root)
+    if not root_path.is_dir():
+        return rows
+    for path in sorted(root_path.iterdir()):
+        name = path.name
+        if name.endswith(QUARANTINE_SUFFIX):
+            rows.append({"file": name, "status": "quarantined",
+                         "bytes": path.stat().st_size})
+            continue
+        if path.suffix != ".json":
+            continue
+        row: dict = {"file": name, "bytes": path.stat().st_size}
+        try:
+            obj = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            row.update(status="corrupt", detail=cap_text(str(exc)))
+            rows.append(row)
+            continue
+        entries = obj.get("entries") if isinstance(obj, dict) else None
+        if (not isinstance(obj, dict) or obj.get("format") != CACHE_FORMAT
+                or not isinstance(entries, dict)):
+            row.update(status="incompatible",
+                       detail=f"format {obj.get('format')!r}"
+                       if isinstance(obj, dict) else "not a JSON object")
+            rows.append(row)
+            continue
+        row.update(status="ok", app=obj.get("app", ""),
+                   entries=len(entries))
+        rows.append(row)
+    return rows

@@ -10,7 +10,12 @@ crashes and coordination outages.
 
 from .chaos import ChaosReport, ChaosRunner, run_chaos, schema_invariant
 from .coordination import ActiveOp, CoordinationService
-from .deployment import Deployment, DeploymentConfig, run_modes
+from .deployment import (
+    Deployment,
+    DeploymentConfig,
+    RestrictionSetSubscription,
+    run_modes,
+)
 from .faults import (
     CrashWindow,
     FaultConfig,
@@ -49,6 +54,7 @@ __all__ = [
     "PerfectTransport",
     "PoRReplicatedSystem",
     "RequestSpec",
+    "RestrictionSetSubscription",
     "RunSummary",
     "Simulator",
     "Workload",

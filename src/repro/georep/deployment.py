@@ -20,8 +20,10 @@ a request, waits for its response, and immediately issues the next one.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
+from ..metrics.registry import inc as _metric_inc
 from ..metrics.registry import observe as _metric_observe
 from ..orm import Database
 from ..web import Application
@@ -30,6 +32,52 @@ from .faults import FaultConfig
 from .metrics import Metrics, RunSummary
 from .simulator import Simulator
 from .workload import Workload
+
+
+class RestrictionSetSubscription:
+    """A versioned, thread-safe handoff of restriction sets from a
+    publisher (the verification daemon) to a running deployment.
+
+    The publisher calls :meth:`publish` with a new endpoint-level
+    conflict table whenever a re-verification changed the verdicts; a
+    deployment polls :attr:`version` between simulation events and swaps
+    the active table atomically when it trails (hot reload — no
+    restart).  Readers always see a complete table: the version is
+    bumped under the same lock that replaces the table, and
+    :meth:`current` returns both together."""
+
+    def __init__(
+        self,
+        conflict_table: set[frozenset[str]] | None = None,
+        version: int = 0,
+    ):
+        self._lock = threading.Lock()
+        self._version = version
+        self._table: set[frozenset[str]] = set(conflict_table or ())
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def publish(
+        self,
+        conflict_table: set[frozenset[str]],
+        version: int | None = None,
+    ) -> int:
+        """Install a new conflict table; returns the new version.
+        ``version`` pins the publisher's own counter (the daemon keeps
+        per-app versions); omitted, the subscription self-increments."""
+        with self._lock:
+            self._version = (self._version + 1 if version is None
+                             else version)
+            self._table = set(conflict_table)
+            return self._version
+
+    def current(self) -> tuple[int, set[frozenset[str]]]:
+        """The active ``(version, conflict_table)``, copied atomically."""
+        with self._lock:
+            return self._version, set(self._table)
 
 
 @dataclass
@@ -51,6 +99,9 @@ class DeploymentConfig:
     #: on, a grant held past this deadline is reclaimed so a crashed
     #: holder cannot block its conflict class indefinitely.
     lease_ms: float = 0.0
+    #: how often (simulated ms) a deployment checks its restriction-set
+    #: subscription for a newer version (hot reload)
+    reload_poll_ms: float = 5.0
 
 
 class Deployment:
@@ -66,12 +117,23 @@ class Deployment:
         strong: bool = False,
         config: DeploymentConfig | None = None,
         faults: FaultConfig | None = None,
+        subscription: RestrictionSetSubscription | None = None,
     ):
         self.app = app
         self.db = db
         self.workload = workload
         self.config = config or DeploymentConfig()
         self.faults = faults
+        self.subscription = subscription
+        self.restriction_version = 0
+        self.restriction_reloads = 0
+        if subscription is not None:
+            # Adopt whatever the publisher has already produced; later
+            # versions arrive through the reload tick, mid-run.
+            version, table = subscription.current()
+            if version:
+                conflict_table = table
+                self.restriction_version = version
         self.coordinator = CoordinationService(
             conflict_table, strong=strong, lease_ms=self.config.lease_ms
         )
@@ -105,6 +167,26 @@ class Deployment:
         if self.sim.now < self.config.duration_ms:
             self.sim.schedule(max(self.coordinator.lease_ms / 2, 0.5), self._lease_tick)
 
+    def _reload_tick(self) -> None:
+        """Hot-reload the restriction set when the subscription moved.
+
+        Runs as an ordinary simulation event, so the swap is atomic with
+        respect to request processing: no request observes a half-updated
+        table, and in-flight grants finish under the table they were
+        issued with (the coordination service keys conflicts at grant
+        time)."""
+        if self.subscription is not None:
+            version = self.subscription.version
+            if version != self.restriction_version:
+                version, table = self.subscription.current()
+                self.coordinator.conflict_table = table
+                self.restriction_version = version
+                self.restriction_reloads += 1
+                _metric_inc("noctua_service_reloads_total")
+        if self.sim.now < self.config.duration_ms:
+            self.sim.schedule(max(self.config.reload_poll_ms, 0.5),
+                              self._reload_tick)
+
     def run(self) -> RunSummary:
         if self.faults is not None:
             for w in self.faults.coord_outages:
@@ -115,6 +197,9 @@ class Deployment:
                 self.metrics.faults.partition_ms += max(0.0, overlap)
         if self.coordinator.lease_ms:
             self.sim.schedule(self.coordinator.lease_ms, self._lease_tick)
+        if self.subscription is not None:
+            self.sim.schedule(max(self.config.reload_poll_ms, 0.5),
+                              self._reload_tick)
         for site in range(self.config.sites):
             for _ in range(self.config.clients_per_site):
                 self._next_client_request(site)

@@ -158,6 +158,28 @@ FAMILIES: dict[str, FamilySpec] = _specs(
                "Differential mismatches found, by kind."),
     FamilySpec("noctua_difftest_case_seconds", HISTOGRAM,
                "Wall seconds per differential test case.", SECONDS_BUCKETS),
+    # -- continuous verification service -------------------------------------
+    FamilySpec("noctua_service_cycles_total", COUNTER,
+               "Daemon watch cycles, by outcome "
+               "(clean / change / initial / forced)."),
+    FamilySpec("noctua_service_reverifies_total", COUNTER,
+               "Re-verification runs performed by the daemon, by app."),
+    FamilySpec("noctua_service_invalidated_pairs_total", COUNTER,
+               "Pairs invalidated (scheduled for re-solving) by source "
+               "edits, by app."),
+    FamilySpec("noctua_service_pruned_entries_total", COUNTER,
+               "Stale cache entries dropped by daemon-side pruning, by app."),
+    FamilySpec("noctua_service_reloads_total", COUNTER,
+               "Restriction-set hot reloads applied by a live deployment."),
+    FamilySpec("noctua_service_publishes_total", COUNTER,
+               "Restriction-set versions published to subscribers, by app."),
+    FamilySpec("noctua_service_restriction_version", GAUGE,
+               "Current restriction-set version per registered app."),
+    FamilySpec("noctua_service_http_requests_total", COUNTER,
+               "Control-plane HTTP requests, by route and status."),
+    FamilySpec("noctua_service_cycle_seconds", HISTOGRAM,
+               "Wall seconds per daemon re-verification cycle, by app.",
+               SECONDS_BUCKETS),
 )
 
 

@@ -1,0 +1,64 @@
+"""Continuous verification service (the "practical" in the paper title).
+
+A long-running daemon that turns the batch pipeline into infrastructure:
+it watches registered application sources (deterministic polling with
+content hashes — no extra dependencies), re-analyzes on change,
+re-verifies *only* the pairs whose content fingerprints miss the
+on-disk cache, prunes stale cache entries, and publishes updated
+restriction sets to subscribed geo-replicated deployments, which
+hot-reload them between simulation events without restart.  An HTTP
+control plane (built on :mod:`repro.web`'s routing primitives) exposes
+app state, restriction sets, reports, Prometheus metrics, the last
+re-verification trace, and a forced-reverify hook.
+
+Entry points: ``repro serve`` (daemon + HTTP), ``repro serve --once``
+(one deterministic watch→invalidate→re-verify cycle, for tests/CI) and
+``repro cache`` (cache stats / pruning).  See docs/SERVICE.md.
+"""
+
+from .daemon import (
+    AppState,
+    CycleStats,
+    DEFAULT_POLL_INTERVAL_S,
+    LockedMetricsRegistry,
+    VerificationService,
+    live_pair_fingerprints,
+)
+from .http import (
+    ControlPlane,
+    PROM_CONTENT_TYPE,
+    ServiceHTTPServer,
+    encode_response,
+)
+from .specs import (
+    AppSpec,
+    BUILTIN_APPS,
+    SpecError,
+    builtin_spec,
+    directory_spec,
+    export_builtin_app,
+    parse_app_arg,
+)
+from .watcher import SourceWatcher, WatchDelta
+
+__all__ = [
+    "AppSpec",
+    "AppState",
+    "BUILTIN_APPS",
+    "ControlPlane",
+    "CycleStats",
+    "DEFAULT_POLL_INTERVAL_S",
+    "LockedMetricsRegistry",
+    "PROM_CONTENT_TYPE",
+    "ServiceHTTPServer",
+    "SourceWatcher",
+    "SpecError",
+    "VerificationService",
+    "WatchDelta",
+    "builtin_spec",
+    "directory_spec",
+    "encode_response",
+    "export_builtin_app",
+    "live_pair_fingerprints",
+    "parse_app_arg",
+]

@@ -1,0 +1,210 @@
+"""The daemon's HTTP control plane.
+
+Routing and request/response shapes come from :mod:`repro.web` — the
+same stdlib-level primitives the analyzed applications are written
+against — mounted on a :class:`http.server.ThreadingHTTPServer`.  The
+:class:`ControlPlane` is transport-free (``dispatch(method, path)``
+returns an :class:`~repro.web.HttpResponse`), so tests can exercise the
+full routing/serialization surface without opening a socket.
+
+Endpoints::
+
+    GET  /apps                      registered apps + last cycle stats
+    GET  /apps/<name>/restrictions  restriction set + conflict table
+    GET  /apps/<name>/report        full verification report (JSON)
+    POST /apps/<name>/reverify      force a re-verification now
+    GET  /metrics                   Prometheus text format
+    GET  /metrics/json              metrics snapshot as JSON
+    GET  /trace/last                span tree of the last re-verification
+    GET  /healthz                   liveness probe
+
+``/metrics`` serves the exposition-format content type
+(``text/plain; version=0.0.4``) that Prometheus scrapers negotiate on —
+the in-process render alone cannot test that, which is why
+``tools/check_metrics.py --url`` round-trips against the served payload.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..metrics import snapshot_to_json, snapshot_to_prometheus
+from ..web.http import HttpResponse, JsonResponse
+from ..web.urls import Resolver, RoutingError, path
+from .daemon import VerificationService
+
+#: the Prometheus text exposition format content type (version is part
+#: of the scrape contract, not decoration)
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ControlPlane:
+    """Routes control-plane requests onto a :class:`VerificationService`."""
+
+    def __init__(self, service: VerificationService):
+        self.service = service
+        self.resolver = Resolver([
+            path("apps", self.apps_view, name="apps"),
+            path("apps/<name>/restrictions", self.restrictions_view,
+                 name="restrictions"),
+            path("apps/<name>/report", self.report_view, name="report"),
+            path("apps/<name>/reverify", self.reverify_view,
+                 name="reverify"),
+            path("metrics", self.metrics_view, name="metrics"),
+            path("metrics/json", self.metrics_json_view,
+                 name="metrics-json"),
+            path("trace/last", self.trace_view, name="trace-last"),
+            path("healthz", self.health_view, name="healthz"),
+        ])
+        #: views reached by POST; everything else is GET-only
+        self._post_views = {"reverify"}
+
+    # -- views -------------------------------------------------------------
+
+    def apps_view(self) -> HttpResponse:
+        return JsonResponse({
+            "apps": [self.service.app_summary(name)
+                     for name in self.service.app_names()],
+        })
+
+    def _known(self, name: str) -> str:
+        if name not in self.service.apps:
+            raise LookupError(f"unknown app {name!r}")
+        return name
+
+    def restrictions_view(self, name: str) -> HttpResponse:
+        return JsonResponse(self.service.restrictions_obj(self._known(name)))
+
+    def report_view(self, name: str) -> HttpResponse:
+        report = self.service.report_obj(self._known(name))
+        if report is None:
+            return JsonResponse(
+                {"error": f"app {name!r} not verified yet"}, status=404)
+        return JsonResponse(report)
+
+    def reverify_view(self, name: str) -> HttpResponse:
+        stats = self.service.reverify(self._known(name), trigger="forced")
+        return JsonResponse(stats.to_obj())
+
+    def metrics_view(self) -> HttpResponse:
+        text = snapshot_to_prometheus(self.service.registry.snapshot())
+        return HttpResponse(text, content_type=PROM_CONTENT_TYPE)
+
+    def metrics_json_view(self) -> HttpResponse:
+        text = snapshot_to_json(self.service.registry.snapshot())
+        return HttpResponse(text, content_type="application/json")
+
+    def trace_view(self) -> HttpResponse:
+        trace = self.service.last_trace
+        if trace is None:
+            return JsonResponse({"error": "no re-verification traced yet"},
+                                status=404)
+        return JsonResponse(trace)
+
+    def health_view(self) -> HttpResponse:
+        return JsonResponse({"status": "ok",
+                             "apps": len(self.service.apps)})
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, method: str, raw_path: str) -> HttpResponse:
+        """Resolve and execute one request; never raises."""
+        route = "unmatched"
+        try:
+            try:
+                pattern, params = self.resolver.resolve(raw_path)
+            except RoutingError:
+                response = JsonResponse(
+                    {"error": f"no route matches {raw_path!r}"}, status=404)
+            else:
+                route = pattern.view_name
+                needed = "POST" if route in self._post_views else "GET"
+                if method.upper() != needed:
+                    response = JsonResponse(
+                        {"error": f"{route} requires {needed}"}, status=405)
+                else:
+                    try:
+                        response = pattern.view(**params)
+                    except LookupError as exc:
+                        response = JsonResponse({"error": str(exc)},
+                                                status=404)
+        except Exception as exc:  # control plane must not kill the daemon
+            response = JsonResponse(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=500)
+        self.service.registry.inc(
+            "noctua_service_http_requests_total",
+            route=route, status=str(response.status))
+        return response
+
+
+def encode_response(response: HttpResponse) -> tuple[int, str, bytes]:
+    """Flatten an :class:`HttpResponse` to wire form."""
+    content = response.content
+    if isinstance(response, JsonResponse):
+        body = json.dumps(content, indent=2, sort_keys=True).encode()
+    elif isinstance(content, bytes):
+        body = content
+    else:
+        body = str(content).encode()
+    return response.status, response.content_type, body
+
+
+class ServiceHTTPServer:
+    """The daemon's HTTP listener: a threading stdlib server wired to a
+    :class:`ControlPlane`.  ``port=0`` binds an ephemeral port (tests and
+    the CI smoke); :attr:`port` reports the bound one."""
+
+    def __init__(self, service: VerificationService,
+                 host: str = "127.0.0.1", port: int = 0):
+        plane = ControlPlane(service)
+
+        class Handler(BaseHTTPRequestHandler):
+            def _serve(self, method: str) -> None:
+                response = plane.dispatch(method, self.path.split("?")[0])
+                status, content_type, body = encode_response(response)
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                self._serve("GET")
+
+            def do_POST(self) -> None:
+                self._serve("POST")
+
+            def log_message(self, *args) -> None:  # quiet by default
+                pass
+
+        self.plane = plane
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name="noctua-http")
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

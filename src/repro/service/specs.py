@@ -1,0 +1,148 @@
+"""Application specifications for the verification daemon.
+
+The daemon watches *source directories* and rebuilds applications from
+them, so it needs a uniform way to say "this name maps to these files
+and this build procedure".  Two kinds of spec exist:
+
+* **builtin** — one of the bundled ``repro.apps`` packages.  The watched
+  directory is the package's own source directory and rebuilding reloads
+  the ``.app`` submodule so an edit to the installed tree is picked up.
+* **directory** — a standalone directory containing an ``app.py`` that
+  defines ``build_app()``.  Rebuilding executes the file under a fresh
+  synthetic module name each generation, so stale function objects from
+  the previous version can never leak into a new analysis.
+
+``export_builtin_app`` copies a bundled app into a standalone directory
+(rewriting its package-relative imports to absolute ones), which is how
+tests and the CI smoke get an *editable* copy of a seed app without
+touching the installed tree.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..web import Application
+
+#: bundled applications the daemon can watch in place
+BUILTIN_APPS = (
+    "courseware",
+    "ownphotos",
+    "postgraduation",
+    "smallbank",
+    "todo",
+    "zhihu",
+)
+
+#: module file a directory spec builds from
+APP_MODULE_FILE = "app.py"
+
+_RELATIVE_IMPORT_RE = re.compile(r"^(from|import)\s+\.", re.MULTILINE)
+#: ``from ...orm import X`` inside ``repro.apps.<name>`` means
+#: ``from repro.orm import X`` once the file stands alone
+_TRIPLE_DOT_RE = re.compile(r"^from \.\.\.(\w)", re.MULTILINE)
+
+
+class SpecError(ValueError):
+    """Bad application spec (unknown builtin, missing app.py, ...)."""
+
+
+@dataclass
+class AppSpec:
+    """How the daemon obtains one application: a name, the source
+    directory to watch, and a build procedure."""
+
+    name: str
+    source_dir: Path
+    builtin: bool = False
+    #: bumped per rebuild so directory modules get unique names
+    _generation: int = field(default=0, repr=False)
+
+    def build(self) -> Application:
+        """Construct a fresh :class:`Application` from the current
+        on-disk sources."""
+        self._generation += 1
+        if self.builtin:
+            module = importlib.import_module(f"repro.apps.{self.name}.app")
+            if self._generation > 1:
+                # Pick up on-disk edits: re-execute the module body.
+                module = importlib.reload(module)
+            return module.build_app()
+        return self._build_directory()
+
+    def _build_directory(self) -> Application:
+        source = self.source_dir / APP_MODULE_FILE
+        if not source.is_file():
+            raise SpecError(f"{self.source_dir} has no {APP_MODULE_FILE}")
+        # A unique module name per generation: reusing one would hand out
+        # the previous generation's cached module object.
+        modname = f"_noctua_app_{self.name}_{self._generation}"
+        spec = importlib.util.spec_from_file_location(modname, source)
+        if spec is None or spec.loader is None:
+            raise SpecError(f"cannot load {source}")
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[modname] = module
+        try:
+            spec.loader.exec_module(module)
+            build = getattr(module, "build_app", None)
+            if build is None:
+                raise SpecError(f"{source} defines no build_app()")
+            return build()
+        finally:
+            sys.modules.pop(modname, None)
+
+
+def builtin_spec(name: str) -> AppSpec:
+    if name not in BUILTIN_APPS:
+        raise SpecError(
+            f"unknown builtin application {name!r}; "
+            f"known: {', '.join(BUILTIN_APPS)}")
+    package_dir = Path(
+        importlib.import_module(f"repro.apps.{name}").__file__).parent
+    return AppSpec(name=name, source_dir=package_dir, builtin=True)
+
+
+def directory_spec(name: str, source_dir: str | Path) -> AppSpec:
+    root = Path(source_dir)
+    if not (root / APP_MODULE_FILE).is_file():
+        raise SpecError(f"{root} has no {APP_MODULE_FILE}")
+    return AppSpec(name=name, source_dir=root, builtin=False)
+
+
+def parse_app_arg(arg: str) -> AppSpec:
+    """Parse one ``--apps`` argument: ``NAME`` (builtin) or ``NAME=DIR``
+    (standalone directory)."""
+    if "=" in arg:
+        name, _, raw_dir = arg.partition("=")
+        if not name:
+            raise SpecError(f"empty app name in {arg!r}")
+        return directory_spec(name, raw_dir)
+    return builtin_spec(arg)
+
+
+def export_builtin_app(name: str, dest_dir: str | Path) -> Path:
+    """Copy a builtin app into ``dest_dir`` as a standalone directory
+    spec, rewriting its package-relative imports to absolute ones.
+
+    Only the module files are exported (``__init__.py`` exists purely
+    for package wiring).  Returns the destination directory."""
+    source_dir = builtin_spec(name).source_dir
+    dest = Path(dest_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    for path in sorted(source_dir.glob("*.py")):
+        if path.name == "__init__.py":
+            continue
+        text = _TRIPLE_DOT_RE.sub(r"from repro.\1", path.read_text())
+        leftover = _RELATIVE_IMPORT_RE.search(text)
+        if leftover is not None:
+            raise SpecError(
+                f"{path.name} of {name!r} keeps a relative import after "
+                f"rewriting ({leftover.group(0).strip()!r}); "
+                f"not exportable as a standalone directory")
+        (dest / path.name).write_text(text)
+    return dest

@@ -1,0 +1,96 @@
+"""Deterministic source watching: polling with content hashes.
+
+No inotify, no third-party watchers — the daemon polls.  A poll stats
+every ``*.py`` file under the watched root (sorted, so scan order is
+stable) and re-hashes only files whose ``(size, mtime_ns)`` changed
+since the previous poll.  Whether a file counts as *modified* is decided
+by its SHA-256 content digest, never by the stat alone: a ``touch`` that
+rewrites identical bytes produces no delta, so spurious re-verification
+cannot happen and the same edit always yields the same delta.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class WatchDelta:
+    """Content changes observed by one poll."""
+
+    added: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    modified: tuple[str, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed or self.modified)
+
+    @property
+    def files(self) -> tuple[str, ...]:
+        """Every path named by this delta, sorted."""
+        return tuple(sorted((*self.added, *self.removed, *self.modified)))
+
+
+class SourceWatcher:
+    """Watches one directory tree for content changes to ``*.py`` files."""
+
+    def __init__(self, root: str | Path, pattern: str = "*.py"):
+        self.root = Path(root)
+        self.pattern = pattern
+        #: relative path -> (size, mtime_ns, sha256)
+        self._state: dict[str, tuple[int, int, str]] = {}
+        self._primed = False
+
+    def _scan(self) -> dict[str, tuple[int, int, str]]:
+        out: dict[str, tuple[int, int, str]] = {}
+        for path in sorted(self.root.rglob(self.pattern)):
+            if not path.is_file():
+                continue
+            rel = path.relative_to(self.root).as_posix()
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # vanished between listing and stat
+            prev = self._state.get(rel)
+            if (prev is not None and prev[0] == stat.st_size
+                    and prev[1] == stat.st_mtime_ns):
+                out[rel] = prev  # stat unchanged: keep the cached digest
+                continue
+            try:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            except OSError:
+                continue
+            out[rel] = (stat.st_size, stat.st_mtime_ns, digest)
+        return out
+
+    def prime(self) -> int:
+        """Record the current tree as the baseline; returns the file
+        count.  The first :meth:`poll` after priming reports only edits
+        made *after* this call."""
+        self._state = self._scan()
+        self._primed = True
+        return len(self._state)
+
+    def poll(self) -> WatchDelta:
+        """Compare the tree against the previous poll (or the priming
+        snapshot) and advance the baseline."""
+        if not self._primed:
+            self.prime()
+            return WatchDelta()
+        old = self._state
+        new = self._scan()
+        self._state = new
+        added = tuple(sorted(set(new) - set(old)))
+        removed = tuple(sorted(set(old) - set(new)))
+        modified = tuple(sorted(
+            rel for rel in set(old) & set(new)
+            if old[rel][2] != new[rel][2]  # content digest, not stat
+        ))
+        return WatchDelta(added=added, removed=removed, modified=modified)
+
+    @property
+    def file_count(self) -> int:
+        return len(self._state)

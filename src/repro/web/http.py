@@ -59,9 +59,11 @@ class HttpRequest:
 class HttpResponse:
     """One HTTP response."""
 
-    def __init__(self, content: Any = "", status: int = 200):
+    def __init__(self, content: Any = "", status: int = 200,
+                 content_type: str = "text/plain"):
         self.content = content
         self.status = status
+        self.content_type = content_type
 
     @property
     def ok(self) -> bool:
@@ -73,7 +75,8 @@ class HttpResponse:
 
 class JsonResponse(HttpResponse):
     def __init__(self, data: Any, status: int = 200):
-        super().__init__(content=data, status=status)
+        super().__init__(content=data, status=status,
+                         content_type="application/json")
 
 
 def get_object_or_404(model: type, **lookups):

@@ -1,0 +1,158 @@
+"""Tests for the daemon's HTTP control plane.
+
+Most tests exercise :class:`ControlPlane.dispatch` directly — the
+transport-free surface — so routing, serialization, status codes and
+the Prometheus contract are all checked without a socket.  One class
+binds a real ephemeral-port server and round-trips over urllib, because
+the ``Content-Type`` a scraper negotiates on only exists on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from types import SimpleNamespace
+
+import pytest
+
+from repro.metrics import parse_prometheus
+from repro.service import (
+    ControlPlane,
+    PROM_CONTENT_TYPE,
+    ServiceHTTPServer,
+    VerificationService,
+    directory_spec,
+    encode_response,
+    export_builtin_app,
+)
+from repro.verifier import CheckConfig
+
+QUICK = CheckConfig(timeout_s=60.0, max_samples=60, max_exhaustive=800)
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-http")
+    export_builtin_app("todo", root / "app")
+    service = VerificationService(
+        [directory_spec("todo", str(root / "app"))], QUICK,
+        cache_dir=str(root / "cache"))
+    service.run_cycle()
+    return SimpleNamespace(service=service, plane=ControlPlane(service))
+
+
+def get(plane, path, method="GET"):
+    response = plane.dispatch(method, path)
+    status, content_type, body = encode_response(response)
+    obj = (json.loads(body) if content_type.startswith("application/json")
+           else body.decode())
+    return SimpleNamespace(status=status, content_type=content_type,
+                           body=body, obj=obj)
+
+
+class TestControlPlane:
+    def test_apps(self, ctx):
+        result = get(ctx.plane, "/apps")
+        assert result.status == 200
+        [app] = result.obj["apps"]
+        assert app["app"] == "todo" and app["verified"]
+        assert app["version"] == 1
+        assert app["last_cycle"]["solver_calls"] > 0
+        assert app["watched_files"] >= 1
+
+    def test_restrictions(self, ctx):
+        result = get(ctx.plane, "/apps/todo/restrictions")
+        assert result.status == 200
+        assert result.obj["version"] == 1
+        assert result.obj["restrictions"]  # sorted list of sorted pairs
+        assert result.obj["restrictions"] == sorted(
+            result.obj["restrictions"])
+        assert all(pair == sorted(pair)
+                   for pair in result.obj["conflict_table"])
+
+    def test_report(self, ctx):
+        result = get(ctx.plane, "/apps/todo/report")
+        assert result.status == 200
+        assert result.obj["app"] == "todo"
+        assert result.obj["checks"]
+
+    def test_unknown_app_is_404(self, ctx):
+        for path in ("/apps/nope/restrictions", "/apps/nope/report"):
+            assert get(ctx.plane, path).status == 404
+
+    def test_unknown_route_is_404(self, ctx):
+        assert get(ctx.plane, "/no/such/route").status == 404
+
+    def test_reverify_requires_post(self, ctx):
+        assert get(ctx.plane, "/apps/todo/reverify").status == 405
+
+    def test_post_reverify_runs_warm(self, ctx):
+        result = get(ctx.plane, "/apps/todo/reverify", method="POST")
+        assert result.status == 200
+        assert result.obj["trigger"] == "forced"
+        assert result.obj["solver_calls"] == 0  # warm: nothing invalidated
+        assert result.obj["invalidated_count"] == 0
+
+    def test_metrics_prometheus_contract(self, ctx):
+        result = get(ctx.plane, "/metrics")
+        assert result.status == 200
+        assert result.content_type == PROM_CONTENT_TYPE
+        families = parse_prometheus(result.obj)  # strict: raises on drift
+        assert "noctua_service_reverifies_total" in families
+        assert "noctua_service_cycle_seconds" in families
+        assert "noctua_solver_calls_total" in families
+
+    def test_metrics_json(self, ctx):
+        result = get(ctx.plane, "/metrics/json")
+        assert result.status == 200
+        snapshot = result.obj
+        names = {fam["name"] for fam in snapshot["families"]}
+        assert "noctua_service_reverifies_total" in names
+
+    def test_trace_last(self, ctx):
+        result = get(ctx.plane, "/trace/last")
+        assert result.status == 200
+        assert result.obj["app"] == "todo"
+        names = {root["name"] for root in result.obj["roots"]}
+        assert any("pair-sweep" in name for name in names)
+
+    def test_healthz(self, ctx):
+        result = get(ctx.plane, "/healthz")
+        assert result.status == 200
+        assert result.obj == {"status": "ok", "apps": 1}
+
+    def test_requests_are_metered(self, ctx):
+        registry = ctx.service.registry
+        before = registry.value("noctua_service_http_requests_total",
+                                route="healthz", status="200") or 0.0
+        get(ctx.plane, "/healthz")
+        after = registry.value("noctua_service_http_requests_total",
+                               route="healthz", status="200")
+        assert after == before + 1
+
+
+class TestOverTheWire:
+    @pytest.fixture()
+    def server(self, ctx):
+        server = ServiceHTTPServer(ctx.service, port=0)
+        server.start()
+        yield server
+        server.shutdown()
+
+    def test_health_and_metrics_headers(self, server):
+        with urllib.request.urlopen(f"{server.url}/healthz",
+                                    timeout=10) as resp:
+            assert resp.status == 200
+            assert json.loads(resp.read())["status"] == "ok"
+        with urllib.request.urlopen(f"{server.url}/metrics",
+                                    timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == PROM_CONTENT_TYPE
+            parse_prometheus(resp.read().decode())
+
+    def test_wire_post_reverify(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/apps/todo/reverify", method="POST")
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            assert resp.status == 200
+            assert json.loads(resp.read())["trigger"] == "forced"

@@ -29,10 +29,14 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_FILE = REPO_ROOT / "BENCH_pair_sweep.json"
 
-#: trajectory totals the gate checks, with human-readable names
+#: trajectory totals the gate checks, with human-readable names.
+#: Entries predating a metric carry no value for it: ``check()`` skips
+#: a metric whose baseline is absent/zero, so adding one here stays
+#: backward compatible with the committed trajectory.
 GATED_METRICS = (
     ("cold_wall_s", "total cold wall time"),
     ("cold_solve_s", "total cold solve time"),
+    ("incr_warm_wall_s", "incremental one-edit re-verify time"),
 )
 
 

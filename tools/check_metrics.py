@@ -18,17 +18,31 @@ Used by ``make metrics-demo`` and the CI metrics-smoke job::
     noctua metrics courseware --quick --jobs 2 \
         --out metrics.json --out metrics.prom
     python tools/check_metrics.py metrics.prom metrics.json
+
+With ``--url`` the same round-trip runs against a *live* ``noctua
+serve`` daemon instead of export files: ``GET /metrics`` must carry the
+Prometheus exposition content type (``text/plain; version=0.0.4``) and
+strictly parse, ``GET /metrics/json`` must be a loadable snapshot, and
+the service families a verification cycle emits must be present.  The
+two scrapes are separate requests (the daemon keeps counting between
+them), so URL mode checks each payload on its own rather than
+family-set equality::
+
+    python tools/check_metrics.py --url http://127.0.0.1:8642
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
+import urllib.request
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.metrics import load_snapshot, parse_prometheus  # noqa: E402
+from repro.service import PROM_CONTENT_TYPE  # noqa: E402
 
 #: families a metered smoke suite must emit, with the label series that
 #: must be present (empty tuple = any series will do)
@@ -44,6 +58,19 @@ REQUIRED_FAMILIES: dict[str, tuple[dict[str, str], ...]] = {
 }
 
 
+#: families a ``noctua serve`` daemon must expose after at least one
+#: verification cycle plus the scrape itself
+REQUIRED_SERVICE_FAMILIES = (
+    "noctua_service_cycles_total",
+    "noctua_service_reverifies_total",
+    "noctua_service_invalidated_pairs_total",
+    "noctua_service_restriction_version",
+    "noctua_service_cycle_seconds",
+    "noctua_service_http_requests_total",
+    "noctua_solver_calls_total",
+)
+
+
 def snapshot_series(snapshot: dict, name: str) -> list[dict[str, str]]:
     for fam in snapshot["families"]:
         if fam["name"] == name:
@@ -51,11 +78,78 @@ def snapshot_series(snapshot: dict, name: str) -> list[dict[str, str]]:
     return []
 
 
+def check_url(base: str) -> int:
+    """Round-trip the metrics endpoints of a live daemon."""
+    base = base.rstrip("/")
+    problems: list[str] = []
+    # Liveness first — it also guarantees the http-requests counter has
+    # a sample by the time /metrics snapshots (the daemon meters each
+    # request *after* answering it).
+    try:
+        with urllib.request.urlopen(f"{base}/healthz", timeout=30) as resp:
+            if resp.status != 200:
+                problems.append(f"{base}/healthz: status {resp.status}")
+    except OSError as exc:
+        print(f"check_metrics: GET {base}/healthz: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as resp:
+            content_type = resp.headers.get("Content-Type", "")
+            text = resp.read().decode("utf-8")
+    except OSError as exc:
+        print(f"check_metrics: GET {base}/metrics: {exc}", file=sys.stderr)
+        return 1
+    if content_type != PROM_CONTENT_TYPE:
+        problems.append(f"{base}/metrics: Content-Type {content_type!r} "
+                        f"!= {PROM_CONTENT_TYPE!r}")
+    try:
+        families = parse_prometheus(text)
+    except ValueError as exc:
+        problems.append(f"{base}/metrics: does not parse strictly: {exc}")
+        families = {}
+    for name in REQUIRED_SERVICE_FAMILIES:
+        if families and name not in families:
+            problems.append(f"{base}/metrics: family {name} missing "
+                            f"(has the daemon run a cycle?)")
+    try:
+        with urllib.request.urlopen(f"{base}/metrics/json",
+                                    timeout=30) as resp:
+            snapshot = json.loads(resp.read().decode("utf-8"))
+    except (OSError, ValueError) as exc:
+        problems.append(f"{base}/metrics/json: {exc}")
+        snapshot = None
+    if snapshot is not None and not isinstance(
+            snapshot.get("families"), list):
+        problems.append(f"{base}/metrics/json: no families list")
+
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_metrics: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    samples = sum(len(fam["samples"]) for fam in families.values())
+    print(f"check_metrics: {base}: {len(families)} families, {samples} "
+          f"samples, exposition content type and strict parse OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("prom", help="Prometheus text export (.prom)")
-    parser.add_argument("json", help="JSON snapshot export (.json)")
+    parser.add_argument("prom", nargs="?",
+                        help="Prometheus text export (.prom)")
+    parser.add_argument("json", nargs="?",
+                        help="JSON snapshot export (.json)")
+    parser.add_argument("--url", metavar="BASE",
+                        help="check a live `noctua serve` daemon at BASE "
+                             "instead of export files")
     args = parser.parse_args()
+
+    if args.url:
+        if args.prom or args.json:
+            parser.error("--url replaces the file arguments")
+        return check_url(args.url)
+    if not (args.prom and args.json):
+        parser.error("need PROM and JSON files (or --url BASE)")
 
     problems: list[str] = []
 

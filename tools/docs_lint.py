@@ -11,6 +11,10 @@ Two checks over the repository's Markdown (README.md + docs/*.md):
    real argparse parser in ``repro.cli``: the subcommand must exist and
    each ``--flag`` must be accepted by that subcommand.  Docs drift is
    caught the moment a flag is renamed.
+3. **Undocumented subcommands** — the reverse direction: every
+   subcommand the real parser accepts must appear as ``noctua <sub>``
+   in at least one document, so new CLI surface (e.g. ``serve``,
+   ``cache``) cannot ship undocumented.
 
 Run directly (``python tools/docs_lint.py``) or via ``make docs-lint``;
 exits non-zero with one line per problem.
@@ -111,12 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
     return captured[0]
 
 
-def check_cli(path: str, text: str, table: dict[str, set[str]]) -> list[str]:
+def check_cli(path: str, text: str, table: dict[str, set[str]],
+              used: set[str]) -> list[str]:
     problems = []
     rel = os.path.relpath(path, REPO)
     for lineno, line in enumerate(text.splitlines(), 1):
         for match in CLI_RE.finditer(line):
             sub, rest = match.group(1), match.group(2)
+            used.add(sub)
             if sub not in table:
                 problems.append(
                     f"{rel}:{lineno}: unknown subcommand "
@@ -138,11 +144,17 @@ def check_cli(path: str, text: str, table: dict[str, set[str]]) -> list[str]:
 def main() -> int:
     table = cli_flag_table()
     problems: list[str] = []
+    used: set[str] = set()
     for path in doc_files():
         with open(path, encoding="utf-8") as f:
             text = f.read()
         problems += check_links(path, text)
-        problems += check_cli(path, text, table)
+        problems += check_cli(path, text, table, used)
+    for sub in sorted(set(table) - used):
+        problems.append(
+            f"README.md/docs: subcommand 'noctua {sub}' is documented "
+            f"nowhere (checks 'noctua {sub}' appearing in any doc)"
+        )
     for problem in problems:
         print(problem)
     if problems:

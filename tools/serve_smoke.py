@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for ``noctua serve`` (the CI service-smoke job).
+
+Drives the *real* CLI daemon as a subprocess and asserts the full
+continuous-verification story over its HTTP API:
+
+1. start ``noctua serve`` on an exported copy of the todo app
+   (ephemeral port) and wait for the cold verification cycle;
+2. scrape ``/metrics`` and check the Prometheus exposition content
+   type via ``tools/check_metrics.py --url``;
+3. edit one endpoint (a verdict-preserving change to ``complete_task``)
+   and wait for the *incremental* re-verify: the daemon must solve
+   exactly the invalidated pairs, under 20% of the cold pair count,
+   without bumping the restriction version;
+4. edit ``toggle_star`` into a delete — a restriction-changing edit —
+   and wait for the version bump;
+5. hot-reload a live georep deployment *from the HTTP API*: a local
+   :class:`RestrictionSetSubscription` is fed by ``GET
+   /apps/todo/restrictions``, first with the version-1 table, then —
+   mid-simulation — with the served version-2 table; the deployment
+   must observe the swap without restart and finish with zero errors;
+6. SIGINT the daemon and require a clean exit.
+
+Exits non-zero with a diagnostic on the first failed step.  Run via
+``make serve-demo`` or directly::
+
+    python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.apps.todo import build_app as build_todo  # noqa: E402
+from repro.georep import (  # noqa: E402
+    Deployment,
+    DeploymentConfig,
+    RequestSpec,
+    RestrictionSetSubscription,
+)
+from repro.georep.workload import Workload  # noqa: E402
+from repro.orm import Database  # noqa: E402
+
+PRIORITY_OLD = "task.done = True"
+PRIORITY_NEW = "task.done = True\n        task.priority = 1"
+STAR_OLD = """\
+        if task.starred:
+            task.starred = False
+        else:
+            task.starred = True
+        task.save()"""
+STAR_NEW = "        task.delete()"
+
+DEADLINE_S = 120.0
+
+
+def fail(message: str) -> None:
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def wait_for(describe: str, predicate, deadline_s: float = DEADLINE_S):
+    """Poll ``predicate`` until it returns a truthy value."""
+    started = time.monotonic()
+    while time.monotonic() - started < deadline_s:
+        try:
+            value = predicate()
+        except OSError:
+            value = None
+        if value:
+            return value
+        time.sleep(0.2)
+    fail(f"timed out waiting for {describe}")
+
+
+def edit(app_dir: pathlib.Path, old: str, new: str) -> None:
+    source = app_dir / "app.py"
+    text = source.read_text()
+    if old not in text:
+        fail(f"fixture drift: {old!r} not in exported app.py")
+    source.write_text(text.replace(old, new))
+
+
+def table_from_obj(obj: dict) -> set[frozenset[str]]:
+    return {frozenset(pair) for pair in obj["conflict_table"]}
+
+
+def todo_workload(app, db) -> Workload:
+    Task = app.registry.get_model("Task")
+    with db.activate():
+        pks = [Task.objects.create(title=f"t{i}").pk for i in range(10)]
+    wl = Workload(app, db, write_ratio=0.4, seed=11)
+    wl.reads = [
+        lambda rng: RequestSpec("/tasks", "GET", {}, False),
+        lambda rng: RequestSpec("/tasks/pending", "GET", {}, False),
+    ]
+    wl.writes = [
+        lambda rng: RequestSpec(
+            f"/tasks/{rng.choice(pks)}/complete", "POST", {}, True),
+        lambda rng: RequestSpec(
+            f"/tasks/{rng.choice(pks)}/star", "POST", {}, True),
+    ]
+    return wl
+
+
+def main() -> int:
+    from repro.service import export_builtin_app
+
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="noctua-serve-smoke-"))
+    app_dir = tmp / "app"
+    export_builtin_app("todo", app_dir)
+
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--apps", f"todo={app_dir}", "--port", "0",
+         "--poll-interval", "0.2", "--quick",
+         "--cache-dir", str(tmp / "cache")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=REPO)
+    lines: list[str] = []
+
+    def pump() -> None:
+        for line in daemon.stdout:
+            print(f"  daemon| {line}", end="", flush=True)
+            lines.append(line)
+
+    threading.Thread(target=pump, daemon=True).start()
+
+    try:
+        url = wait_for(
+            "the daemon to announce its URL",
+            lambda: next((line.split()[-1] for line in lines
+                          if line.startswith("serving on ")), None))
+
+        # 1. cold cycle
+        cold = wait_for(
+            "the cold verification cycle",
+            lambda: next((app for app in get_json(f"{url}/apps")["apps"]
+                          if app["app"] == "todo" and app["verified"]),
+                         None))["last_cycle"]
+        if cold["solver_calls"] != cold["invalidated_count"]:
+            fail(f"cold cycle solved {cold['solver_calls']} != "
+                 f"{cold['invalidated_count']} invalidated")
+        if cold["pairs_total"] <= 0 or cold["version"] != 1:
+            fail(f"unexpected cold cycle: {cold}")
+        print(f"serve_smoke: cold cycle ok "
+              f"({cold['solver_calls']}/{cold['pairs_total']} pairs)")
+        restrictions_v1 = get_json(f"{url}/apps/todo/restrictions")
+
+        # 2. Prometheus contract, against the served payload
+        check = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_metrics.py"),
+             "--url", url])
+        if check.returncode != 0:
+            fail("check_metrics --url failed against the daemon")
+
+        # 3. verdict-preserving edit -> incremental re-verify
+        edit(app_dir, PRIORITY_OLD, PRIORITY_NEW)
+        warm = wait_for(
+            "the incremental re-verify after the edit",
+            lambda: next(
+                (app["last_cycle"]
+                 for app in get_json(f"{url}/apps")["apps"]
+                 if app["app"] == "todo"
+                 and app["last_cycle"]["trigger"] == "change"), None))
+        if warm["solver_calls"] != warm["invalidated_count"]:
+            fail(f"warm cycle solved {warm['solver_calls']} != "
+                 f"{warm['invalidated_count']} invalidated")
+        if not 0 < warm["solver_calls"] < 0.20 * cold["pairs_total"]:
+            fail(f"warm cycle solved {warm['solver_calls']} pairs, "
+                 f"expected 0 < n < 20% of {cold['pairs_total']}")
+        if warm["version_changed"]:
+            fail("verdict-preserving edit must not bump the version")
+        print(f"serve_smoke: incremental re-verify ok "
+              f"({warm['solver_calls']}/{cold['pairs_total']} pairs, "
+              f"version stable)")
+
+        # 4. restriction-changing edit -> version bump
+        edit(app_dir, STAR_OLD, STAR_NEW)
+        restrictions_v2 = wait_for(
+            "the restriction version bump",
+            lambda: (lambda obj: obj if obj["version"] == 2 else None)(
+                get_json(f"{url}/apps/todo/restrictions")))
+        if table_from_obj(restrictions_v2) == table_from_obj(
+                restrictions_v1):
+            fail("version bumped but the conflict table is unchanged")
+        print("serve_smoke: restriction version bump ok (v1 -> v2)")
+
+        # 5. georep hot reload, fed from the HTTP API
+        subscription = RestrictionSetSubscription()
+        subscription.publish(table_from_obj(restrictions_v1), version=1)
+        app = build_todo()
+        db = Database(app.registry)
+        deployment = Deployment(
+            app, db, todo_workload(app, db), set(),
+            config=DeploymentConfig(duration_ms=300.0, warmup_ms=20.0,
+                                    clients_per_site=2),
+            subscription=subscription)
+        deployment.sim.schedule(
+            100.0,
+            lambda: subscription.publish(
+                table_from_obj(get_json(f"{url}/apps/todo/restrictions")),
+                version=2))
+        summary = deployment.run()
+        if deployment.restriction_version != 2:
+            fail(f"deployment still at version "
+                 f"{deployment.restriction_version} after the publish")
+        if deployment.restriction_reloads != 1:
+            fail(f"expected exactly one hot reload, got "
+                 f"{deployment.restriction_reloads}")
+        if deployment.coordinator.conflict_table != table_from_obj(
+                restrictions_v2):
+            fail("deployment conflict table does not match the served set")
+        if summary.requests <= 0 or summary.error_fraction != 0.0:
+            fail(f"deployment unhealthy under the reloaded set: "
+                 f"{summary.requests} requests, "
+                 f"{summary.error_fraction:.3f} errors")
+        print(f"serve_smoke: georep hot reload ok "
+              f"({summary.requests} requests, 0 errors, "
+              f"{deployment.restriction_reloads} reload)")
+
+        # 6. clean shutdown
+        daemon.send_signal(signal.SIGINT)
+        code = daemon.wait(timeout=30)
+        if code != 0:
+            fail(f"daemon exited {code} on SIGINT")
+        if not any("shutting down" in line for line in lines):
+            fail("daemon did not announce a clean shutdown")
+        print("serve_smoke: clean shutdown ok")
+        print("serve_smoke: PASS")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
