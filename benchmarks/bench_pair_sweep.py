@@ -86,6 +86,8 @@ def sweep_app(name: str, jobs: int, smoke: bool, repeat: int = 3) -> dict:
             "restrictions": len(report.restrictions),
             "solver_calls": metrics["solver_calls"],
             "pruned": metrics["pruned"],
+            "class_count": metrics["class_count"],
+            "shared": metrics["shared"],
             "cache_hits": metrics["cache_hits"],
             "cache_misses": metrics["cache_misses"],
             "engine_mode": metrics["mode"],
@@ -189,10 +191,50 @@ def incremental_reverify(smoke: bool, repeat: int = 3) -> dict:
     }
 
 
+def reduction_ab(name: str, smoke: bool, repeat: int = 3) -> dict:
+    """A-B the pre-solve reduction pipeline on one app: cold sweep with
+    reduction on vs off (no cache), asserting byte-identical restriction
+    sets — the headline solver-call saving and its wall-clock effect."""
+    from repro.analyzer import analyze_application
+    from repro.verifier import verify_application
+
+    analysis = analyze_application(_build(name))
+    config = _config(smoke)
+    out: dict = {"app": name}
+    sets = {}
+    for key, reduce_on in (("reduced", True), ("unreduced", False)):
+        best = None
+        for _ in range(max(1, repeat)):
+            started = time.perf_counter()
+            report = verify_application(analysis, config, use_cache=False,
+                                        jobs=1, reduce=reduce_on)
+            wall = time.perf_counter() - started
+            if best is None or wall < best[1]:
+                best = (report, wall)
+        report, wall = best
+        metrics = report.metrics
+        out[key] = {
+            "wall_s": round(wall, 4),
+            "solver_calls": metrics["solver_calls"],
+            "class_count": metrics["class_count"],
+            "shared": metrics["shared"],
+            "pruned": metrics["pruned"],
+        }
+        sets[key] = sorted(
+            sorted(pair) for pair in report.restriction_pairs()
+        )
+    out["restrictions_agree"] = sets["reduced"] == sets["unreduced"]
+    out["solver_calls_saved"] = (out["unreduced"]["solver_calls"]
+                                 - out["reduced"]["solver_calls"])
+    return out
+
+
 def trajectory_entry(result: dict, *, date: str, label: str = "") -> dict:
     """Summarize one full benchmark result as a dated trajectory row."""
     totals = {"cold_wall_s": 0.0, "cold_solve_s": 0.0,
-              "warm_wall_s": 0.0, "parallel_wall_s": 0.0}
+              "warm_wall_s": 0.0, "parallel_wall_s": 0.0,
+              "solver_calls": 0.0, "class_count": 0.0,
+              "pruned_pairs": 0.0}
     per_app: dict[str, dict] = {}
     for row in result["apps"]:
         modes = row["modes"]
@@ -200,6 +242,10 @@ def trajectory_entry(result: dict, *, date: str, label: str = "") -> dict:
         totals["cold_solve_s"] += modes["cold"]["solve_s"]
         totals["warm_wall_s"] += modes["warm"]["wall_s"]
         totals["parallel_wall_s"] += modes["parallel"]["wall_s"]
+        # reduction-era keys; absent in legacy results being migrated
+        totals["solver_calls"] += modes["cold"].get("solver_calls", 0)
+        totals["class_count"] += modes["cold"].get("class_count", 0)
+        totals["pruned_pairs"] += modes["cold"].get("pruned", 0)
         per_app[row["app"]] = {
             "cold_wall_s": modes["cold"]["wall_s"],
             "cold_solve_s": modes["cold"]["solve_s"],
@@ -220,6 +266,9 @@ def trajectory_entry(result: dict, *, date: str, label: str = "") -> dict:
     }
     if incremental:
         entry["incremental"] = incremental
+    ab = result.get("reduction_ab")
+    if ab:
+        entry["reduction_ab"] = ab
     if label:
         entry["label"] = label
     return entry
@@ -293,12 +342,26 @@ def main(argv: list[str] | None = None) -> int:
           f"{incremental['invalidated']:4d} invalidated "
           f"({incremental['invalidated_fraction']:.0%})")
 
+    # A-B the reduction pipeline on the largest swept app (most checks)
+    ab_app = max(rows, key=lambda r: r["modes"]["cold"]["checks"])["app"]
+    print(f"reduction A-B ({ab_app}) ...", flush=True)
+    ab = reduction_ab(ab_app, args.smoke, repeat=args.repeat)
+    print(f"  reduced    {ab['reduced']['wall_s']:8.3f} s wall  "
+          f"{ab['reduced']['solver_calls']:4d} solved  "
+          f"{ab['reduced']['class_count']:4d} classes  "
+          f"{ab['reduced']['pruned']:4d} pruned")
+    print(f"  unreduced  {ab['unreduced']['wall_s']:8.3f} s wall  "
+          f"{ab['unreduced']['solver_calls']:4d} solved")
+    print(f"  saved {ab['solver_calls_saved']} solver calls; "
+          f"restriction sets agree: {ab['restrictions_agree']}")
+
     result = {
         "benchmark": "pair_sweep",
         "smoke": args.smoke,
         "jobs": args.jobs,
         "apps": rows,
         "incremental": incremental,
+        "reduction_ab": ab,
     }
     out_path = pathlib.Path(args.out)
     trajectory = load_trajectory(out_path)
@@ -328,6 +391,14 @@ def main(argv: list[str] | None = None) -> int:
             "incremental: one-view edit invalidated "
             f"{incremental['invalidated_fraction']:.0%} of the pairs "
             "(acceptance bar: under 20%)")
+    if not ab["restrictions_agree"]:
+        failures.append(
+            f"reduction A-B ({ab['app']}): reduced and unreduced sweeps "
+            "disagree on the restriction set")
+    if ab["solver_calls_saved"] < 0:
+        failures.append(
+            f"reduction A-B ({ab['app']}): reduction *increased* solver "
+            f"calls by {-ab['solver_calls_saved']}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -5,10 +5,11 @@ Subcommands:
 * ``noctua apps`` — list the bundled applications;
 * ``noctua analyze <app> [--paths]`` — run the analyzer, print the
   Table-4 statistics (optionally dumping every SOIR code path);
-* ``noctua verify <app> [--quick] [--jobs N] [--cache/--no-cache]
+* ``noctua verify <app> [--quick] [--engine enum|smt|portfolio]
+  [--reduce/--no-reduce] [--jobs N] [--cache/--no-cache]
   [--cache-dir DIR]`` — analyze + verify through the scheduling engine
-  (parallel pair sweep + persistent verdict cache), print the Table-6
-  row and the restriction set;
+  (pre-solve reduction + parallel pair sweep + persistent verdict
+  cache), print the Table-6 row and the restriction set;
 * ``noctua trace <app> [--quick] [--jobs N] [--out FILE.jsonl]
   [--pair L R] [--explain-all]`` — run analysis + verification under the
   observability layer (:mod:`repro.obs`): print the hierarchical span
@@ -153,8 +154,9 @@ def cmd_verify(args) -> int:
             timeout_s=0.5, max_samples=300, max_exhaustive=4000
         )
     report = verify_application(
-        result, config, jobs=args.jobs, use_cache=args.cache,
-        cache_dir=args.cache_dir, pair_deadline_s=args.deadline,
+        result, config, engine=args.engine, jobs=args.jobs,
+        use_cache=args.cache, cache_dir=args.cache_dir,
+        pair_deadline_s=args.deadline, reduce=args.reduce,
     )
     summary = report.summary()
     metrics = report.metrics
@@ -172,6 +174,16 @@ def cmd_verify(args) -> int:
     print(f"engine        : {mode}{workers}")
     print(f"solver calls  : {metrics.get('solver_calls', 0)} "
           f"(pruned {metrics.get('pruned', 0)})")
+    if args.reduce:
+        print(f"reduction     : {metrics.get('class_count', 0)} classes, "
+              f"{metrics.get('shared', 0)} shared, "
+              f"{metrics.get('pruned_rw_disjoint', 0)} rw-disjoint pruned")
+    wins = metrics.get("portfolio_wins") or {}
+    if wins:
+        won = ", ".join(f"{backend}={n}" for backend, n in sorted(wins.items()))
+        print(f"portfolio     : wins {won}; "
+              f"{metrics.get('portfolio_agreements', 0)} agreements, "
+              f"{metrics.get('portfolio_disagreements', 0)} disagreements")
     failures = metrics.get("failures") or {}
     if failures or metrics.get("unknowns"):
         counts = ", ".join(f"{kind}={n}" for kind, n in sorted(failures.items()))
@@ -419,9 +431,10 @@ def cmd_difftest(args) -> int:
         cases = load_corpus(args.corpus)
         if not cases:
             sys.exit(f"no corpus cases under {args.corpus}")
+        engines = (args.engine,) if args.engine else None
         failures: list[str] = []
         for case in cases:
-            errors = replay_case(case)
+            errors = replay_case(case, engines=engines)
             status = "FAIL" if errors else "ok"
             print(f"  {case.name:40s} [{case.kind}] {status}")
             failures.extend(errors)
@@ -506,13 +519,15 @@ def cmd_serve(args) -> int:
     service = VerificationService(
         specs, config, engine=args.engine, jobs=args.jobs,
         cache_dir=args.cache_dir, poll_interval_s=args.poll_interval,
+        reduce=args.reduce,
     )
 
     def print_stats(stats) -> None:
         print(f"[{stats.app}] trigger={stats.trigger} "
               f"pairs={stats.pairs_total} "
               f"invalidated={len(stats.invalidated)} "
-              f"solved={stats.solver_calls} cache_hits={stats.cache_hits} "
+              f"solved={stats.solver_calls} classes={stats.classes} "
+              f"shared={stats.shared} cache_hits={stats.cache_hits} "
               f"pruned={stats.pruned_entries} "
               f"restrictions={stats.restrictions} version={stats.version}"
               f"{'*' if stats.version_changed else ''} "
@@ -560,7 +575,8 @@ def cmd_cache(args) -> int:
         for name in args.prune:
             analysis = analyze_application(_build(name))
             live = live_pair_fingerprints(analysis, config,
-                                          engine=args.engine)
+                                          engine=args.engine,
+                                          reduce=args.reduce)
             cache = ResultCache(root, analysis.app_name)
             before = len(cache)
             removed = cache.prune(live)
@@ -578,9 +594,10 @@ def cmd_cache(args) -> int:
         return 0
     for row in rows:
         status = row["status"]
-        if status == "ok":
+        if "entries" in row:  # ok or migratable: a readable cache file
+            suffix = "" if status == "ok" else f"  [{status}]"
             print(f"{row['file']:32s} {row['entries']:5d} entries  "
-                  f"{row['bytes']:8d} B  app={row['app']}")
+                  f"{row['bytes']:8d} B  app={row['app']}{suffix}")
         else:
             detail = row.get("detail", "")
             print(f"{row['file']:32s} [{status}] {detail}")
@@ -608,6 +625,17 @@ def main(argv: list[str] | None = None) -> int:
     p_verify.add_argument("app")
     p_verify.add_argument("--quick", action="store_true",
                           help="reduced search budget")
+    p_verify.add_argument("--engine", default="enum",
+                          choices=("enum", "smt", "portfolio"),
+                          help="solver backend; 'portfolio' races enum "
+                               "and smt per pair and takes the first "
+                               "definitive answer")
+    p_verify.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="pre-solve reduction: signature-class "
+                               "verdict sharing and read/write "
+                               "disjointness pruning (--no-reduce "
+                               "solves every pair individually)")
     p_verify.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="solve pairs on N worker processes "
                                "(default: 1, serial)")
@@ -721,6 +749,12 @@ def main(argv: list[str] | None = None) -> int:
                              "and pin it under --corpus")
     p_diff.add_argument("--corpus", default="tests/corpus", metavar="DIR",
                         help="corpus directory (default: tests/corpus)")
+    p_diff.add_argument("--engine", default=None,
+                        choices=("enum", "smt", "portfolio"),
+                        help="with --replay: re-verify every corpus case "
+                             "through this backend instead of the case's "
+                             "pinned engine list ('portfolio' accepts the "
+                             "union of the enum and smt expectations)")
     p_diff.add_argument("--replay", action="store_true",
                         help="replay the pinned corpus instead of "
                              "generating new cases")
@@ -770,8 +804,12 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes per re-verification "
                               "sweep (default: 1)")
+    p_serve.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="pre-solve reduction (class sharing + "
+                              "rw-disjointness pruning) in daemon sweeps")
     p_serve.add_argument("--engine", default="enum",
-                         choices=("enum", "smt"),
+                         choices=("enum", "smt", "portfolio"),
                          help="verification backend (default: enum)")
     p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="verdict cache location "
@@ -794,8 +832,13 @@ def main(argv: list[str] | None = None) -> int:
     p_cache.add_argument("--prune", nargs="+", default=None, metavar="APP",
                          help="drop entries not referenced by these "
                               "apps' current sources")
+    p_cache.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="compute the live-fingerprint set with the "
+                              "reduction planner (match sweeps run with "
+                              "reduction on)")
     p_cache.add_argument("--engine", default="enum",
-                         choices=("enum", "smt"),
+                         choices=("enum", "smt", "portfolio"),
                          help="backend whose fingerprints --prune keeps "
                               "(default: enum)")
     p_cache.add_argument("--quick", action="store_true",

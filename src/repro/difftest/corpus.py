@@ -143,21 +143,36 @@ def load_corpus(directory: str | Path) -> list[CorpusCase]:
 
 
 def _expected_outcomes(spec, engine: str) -> tuple[str, ...] | None:
-    """Normalize one check's expectation for one engine, or None."""
+    """Normalize one check's expectation for one engine, or None.
+
+    A ``portfolio`` replay may surface either backend's verdict (the
+    race winner is whichever answers definitively first), so unless a
+    case pins ``portfolio`` explicitly, its expectation is the union of
+    the enum and smt expectations."""
     if isinstance(spec, dict):
+        if engine == "portfolio" and engine not in spec:
+            union: list[str] = []
+            for lane in _ENGINES:
+                for outcome in _expected_outcomes(spec.get(lane), lane) or ():
+                    if outcome not in union:
+                        union.append(outcome)
+            return tuple(union) or None
         spec = spec.get(engine)
     if spec is None:
         return None
     return tuple(s.strip() for s in str(spec).split("|"))
 
 
-def replay_case(case: CorpusCase) -> list[str]:
+def replay_case(case: CorpusCase,
+                *, engines: tuple[str, ...] | None = None) -> list[str]:
     """Re-verify the pinned pair; every violated expectation as a string.
 
-    An empty list means the corpus case still holds."""
+    An empty list means the corpus case still holds.  ``engines``
+    overrides the case's own engine list — ``("portfolio",)`` replays
+    the whole corpus through the racing backend pair."""
     failures: list[str] = []
     config = case.check_config()
-    for engine in case.engines:
+    for engine in (case.engines if engines is None else engines):
         verdict = verify_pair(case.p, case.q, case.schema, config,
                               engine=engine)
         for check in _CHECKS:

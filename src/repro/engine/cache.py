@@ -21,7 +21,10 @@ cache is an accelerator, not a correctness dependency — but it is also
 never silently destroyed: the bad file is *quarantined* (renamed to
 ``<app>.json.corrupt``, with a tracer record and a warning) so the
 evidence survives for inspection instead of being overwritten by the
-next flush.
+next flush.  The one exception is a *known older* format: format-1 files
+(entries without the signature-class field) are migrated in place —
+their verdict payloads are identical, entries just predate class
+tagging — so bumping to format 2 does not throw away warm caches.
 """
 
 from __future__ import annotations
@@ -43,8 +46,14 @@ from .failures import cap_text
 #: default cache root, relative to the working directory
 DEFAULT_CACHE_DIR = ".noctua-cache"
 
-#: bump on incompatible changes to the cache file layout
-CACHE_FORMAT = 1
+#: bump on incompatible changes to the cache file layout.  Format 2
+#: (signature-class provenance): entries gain an optional ``class`` key
+#: and verdict objects may carry ``provenance``; format-1 files migrate
+#: in place on load instead of being quarantined.
+CACHE_FORMAT = 2
+
+#: older formats ``_load`` upgrades rather than quarantines
+MIGRATABLE_FORMATS = (1,)
 
 #: suffix given to quarantined (corrupt / version-mismatched) cache files
 QUARANTINE_SUFFIX = ".corrupt"
@@ -60,8 +69,12 @@ class ResultCache:
         #: where the previous cache file went if it failed to load —
         #: ``None`` on a clean (or cold) load
         self.quarantined: str | None = None
-        self._entries: dict[str, dict] = self._load()
+        #: True when the file on disk was a migratable older format —
+        #: the load marked the cache dirty so the next flush rewrites it
+        #: at the current format
+        self.migrated_from: int | None = None
         self._dirty = False
+        self._entries: dict[str, dict] = self._load()
 
     def _load(self) -> dict[str, dict]:
         try:
@@ -79,14 +92,24 @@ class ResultCache:
         if not isinstance(obj, dict):
             self._quarantine("not a JSON object")
             return {}
-        if obj.get("format") != CACHE_FORMAT:
-            self._quarantine(
-                f"format {obj.get('format')!r} != {CACHE_FORMAT}")
+        fmt = obj.get("format")
+        if fmt != CACHE_FORMAT and fmt not in MIGRATABLE_FORMATS:
+            self._quarantine(f"format {fmt!r} != {CACHE_FORMAT}")
             return {}
         entries = obj.get("entries")
         if not isinstance(entries, dict):
             self._quarantine("entries missing or not a map")
             return {}
+        if fmt != CACHE_FORMAT:
+            # Format-1 entries are a strict subset of format-2 ones (no
+            # ``class`` key): keep them verbatim and rewrite the file at
+            # the current format on the next flush.
+            self.migrated_from = fmt
+            self._dirty = True
+            obs.record(f"cache {self.app_name}", "cache-migrate",
+                       app=self.app_name, path=str(self.path),
+                       from_format=fmt, to_format=CACHE_FORMAT,
+                       entries=len(entries))
         return entries
 
     def _quarantine(self, reason: str) -> None:
@@ -132,8 +155,15 @@ class ResultCache:
                 check.elapsed_s = 0.0
         return verdict, solve_s
 
-    def put(self, fingerprint: str, verdict: PairVerdict) -> None:
-        self._entries[fingerprint] = {"verdict": verdict_to_obj(verdict)}
+    def put(self, fingerprint: str, verdict: PairVerdict,
+            class_key: str | None = None) -> None:
+        """Store a verdict, optionally tagged with its signature-class
+        key so ``repro cache --stats`` and report tooling can see how
+        much of the cache is class-shared."""
+        entry: dict = {"verdict": verdict_to_obj(verdict)}
+        if class_key:
+            entry["class"] = class_key
+        self._entries[fingerprint] = entry
         self._dirty = True
 
     def prune(self, live: set[str]) -> int:
@@ -196,14 +226,17 @@ def scan_cache(root: str | os.PathLike) -> list[dict]:
             rows.append(row)
             continue
         entries = obj.get("entries") if isinstance(obj, dict) else None
-        if (not isinstance(obj, dict) or obj.get("format") != CACHE_FORMAT
+        fmt = obj.get("format") if isinstance(obj, dict) else None
+        readable = fmt == CACHE_FORMAT or fmt in MIGRATABLE_FORMATS
+        if (not isinstance(obj, dict) or not readable
                 or not isinstance(entries, dict)):
             row.update(status="incompatible",
-                       detail=f"format {obj.get('format')!r}"
+                       detail=f"format {fmt!r}"
                        if isinstance(obj, dict) else "not a JSON object")
             rows.append(row)
             continue
-        row.update(status="ok", app=obj.get("app", ""),
+        status = "ok" if fmt == CACHE_FORMAT else f"migratable (v{fmt})"
+        row.update(status=status, app=obj.get("app", ""),
                    entries=len(entries))
         rows.append(row)
     return rows

@@ -254,7 +254,11 @@ def run_engine_chaos(
     t_run = time.perf_counter()
     analysis = _build_analysis(app)
     config = CHAOS_CHECK_CONFIG
-    baseline = run_pair_sweep(analysis, config)
+    # Chaos sweeps run with reduce=False: the contract is
+    # per-pair ("poisoned pairs — and only those — differ"),
+    # and verdict sharing would fan one poisoned representative
+    # out to its whole signature class.
+    baseline = run_pair_sweep(analysis, config, reduce=False)
     base_rows = _untimed(baseline)
     candidates = _solver_bound_pairs(analysis, config)
     if len(candidates) < 3:
@@ -296,6 +300,7 @@ def run_engine_chaos(
             chaotic = run_pair_sweep(
                 analysis, config, jobs=jobs, use_cache=True, cache_dir=tmp,
                 chaos=plan, pair_deadline_s=deadline_s, retry=policy,
+                reduce=False,
             )
             outcome.wall_s = time.perf_counter() - t0
             metrics = chaotic.metrics
@@ -319,7 +324,7 @@ def run_engine_chaos(
             # poisoned tail (unknowns were never cached) and then agree
             # with the clean baseline everywhere.
             warm = run_pair_sweep(analysis, config, use_cache=True,
-                                  cache_dir=tmp)
+                                  cache_dir=tmp, reduce=False)
             if warm.metrics["solver_calls"] != len(poisoned_names):
                 outcome.problems.append(
                     f"warm re-run solved {warm.metrics['solver_calls']} "
@@ -373,7 +378,8 @@ def _check_cache_quarantine(outcome: SeedOutcome, analysis, config,
     """Corrupt the cache file, re-sweep, and require quarantine + a
     baseline-identical report."""
     with tempfile.TemporaryDirectory(prefix="noctua-chaos-cache-") as tmp:
-        run_pair_sweep(analysis, config, use_cache=True, cache_dir=tmp)
+        run_pair_sweep(analysis, config, use_cache=True, cache_dir=tmp,
+                       reduce=False)
         cache_file = Path(tmp) / f"{_safe_name(analysis.app_name)}.json"
         cache_file.write_text("{corrupt" + cache_file.read_text()[:64])
         import warnings as _warnings
@@ -381,7 +387,7 @@ def _check_cache_quarantine(outcome: SeedOutcome, analysis, config,
         with _warnings.catch_warnings():
             _warnings.simplefilter("ignore", RuntimeWarning)
             after = run_pair_sweep(analysis, config, use_cache=True,
-                                   cache_dir=tmp)
+                                   cache_dir=tmp, reduce=False)
         quarantined = cache_file.with_name(
             cache_file.name + QUARANTINE_SUFFIX)
         if not quarantined.exists():

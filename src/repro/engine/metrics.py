@@ -38,9 +38,19 @@ def fold_sweep_into(registry: MetricsRegistry, sweep: Span) -> dict:
     Emits the ``noctua_engine_*`` families:
 
     * ``pairs_total{route=...}`` — every pair outcome by route
-      (``pruned:<tag>`` / ``cached`` / ``solved`` / ``unknown``);
-      ``failed-attempt`` spans are retried attempts, not outcomes, and
-      are skipped;
+      (``pruned:<tag>`` / ``cached`` / ``shared`` / ``solved`` /
+      ``unknown``); ``failed-attempt`` spans are retried attempts, not
+      outcomes, and ``portfolio-loser`` spans are the losing lane of a
+      race (their solve time is observed by backend, but the pair was
+      already counted under its winner) — both are skipped as outcomes;
+    * ``classes_total`` / ``class_shared_total`` /
+      ``pruned_pairs_total{tag=...}`` — reduction-pipeline effect:
+      signature classes formed, verdicts shared from representatives,
+      and solver-free prunes by tag;
+    * ``portfolio_wins_total{backend=...}`` /
+      ``portfolio_agreements_total`` / ``portfolio_disagreements_total``
+      — race outcomes and the free cross-check samples
+      (``portfolio-sample`` records) they produce;
     * ``cache_hits_total`` / ``cache_misses_total`` /
       ``cache_saved_seconds_total`` — cache efficiency;
     * ``pair_solve_seconds{backend=...}`` — per-pair solve wall time,
@@ -68,12 +78,29 @@ def fold_sweep_into(registry: MetricsRegistry, sweep: Span) -> dict:
             registry.inc("noctua_engine_failures_total", kind=kind)
             failed_attempts += 1
             continue
+        if span.kind == "portfolio-sample":
+            if span.attrs.get("agree"):
+                registry.inc("noctua_engine_portfolio_agreements_total")
+            else:
+                registry.inc("noctua_engine_portfolio_disagreements_total")
+            continue
         if span.kind != "pair":
             continue
         route = span.attrs.get("route", "")
         if route == "failed-attempt":
             continue  # a retried attempt, not a pair outcome
+        if route == "portfolio-loser":
+            # The losing lane of a race: real solver work worth timing,
+            # but the pair outcome was already counted under its winner.
+            registry.observe("noctua_engine_pair_solve_seconds",
+                             span.wall_s,
+                             backend=span.attrs.get("engine_used",
+                                                    base_engine))
+            continue
         registry.inc("noctua_engine_pairs_total", route=route or "unknown")
+        if route.startswith("pruned:"):
+            registry.inc("noctua_engine_pruned_pairs_total",
+                         tag=route.split(":", 1)[1])
         if span.attrs.get("engine_fallback"):
             registry.inc("noctua_engine_fallbacks_total")
         if route == "unknown":
@@ -85,9 +112,17 @@ def fold_sweep_into(registry: MetricsRegistry, sweep: Span) -> dict:
             registry.inc("noctua_engine_cache_hits_total")
             registry.inc("noctua_engine_cache_saved_seconds_total",
                          span.attrs.get("saved_s", 0.0))
+        elif route == "shared":
+            # Served from a class representative: neither a cache hit
+            # nor a miss — the pair was never fingerprint-looked-up as
+            # solver work in its own right.
+            registry.inc("noctua_engine_class_shared_total")
         elif route == "solved":
             if span.attrs.get("cache") == "miss":
                 registry.inc("noctua_engine_cache_misses_total")
+            if span.attrs.get("portfolio_win"):
+                registry.inc("noctua_engine_portfolio_wins_total",
+                             backend=span.attrs["portfolio_win"])
             elapsed = span.wall_s
             backend = span.attrs.get("engine_used", base_engine)
             registry.observe("noctua_engine_pair_solve_seconds", elapsed,
@@ -108,6 +143,9 @@ def fold_sweep_into(registry: MetricsRegistry, sweep: Span) -> dict:
     respawns = sweep.attrs.get("respawns", 0)
     if respawns:
         registry.inc("noctua_engine_respawns_total", respawns)
+    classes = sweep.attrs.get("classes", 0)
+    if classes:
+        registry.inc("noctua_engine_classes_total", classes)
     registry.inc("noctua_engine_sweeps_total",
                  mode=sweep.attrs.get("mode", "serial"))
     solved.sort(key=lambda t: t[2], reverse=True)
@@ -130,10 +168,20 @@ class EngineMetrics:
     pruned_conservative: int = 0
     pruned_order: int = 0
     pruned_disjoint: int = 0
+    pruned_rw_disjoint: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: reduction pipeline: signature classes formed this sweep and pair
+    #: verdicts served by relabeling a class representative's verdict
+    class_count: int = 0
+    shared: int = 0
     #: pairs actually handed to a checker this run
     solver_calls: int = 0
+    #: portfolio race outcomes: wins by backend, and cross-check samples
+    #: where both lanes finished (agreed / disagreed)
+    portfolio_wins: dict[str, int] = field(default_factory=dict)
+    portfolio_agreements: int = 0
+    portfolio_disagreements: int = 0
 
     #: failure-taxonomy counters (see :mod:`repro.engine.failures`):
     #: failed attempts by kind, attempts retried, pairs re-solved on the
@@ -191,6 +239,20 @@ class EngineMetrics:
         metrics.pruned_order = int(registry.value(pairs, route="pruned:order"))
         metrics.pruned_disjoint = int(
             registry.value(pairs, route="pruned:disjoint"))
+        metrics.pruned_rw_disjoint = int(
+            registry.value(pairs, route="pruned:rw-disjoint"))
+        metrics.class_count = int(sweep.attrs.get("classes", 0))
+        metrics.shared = int(
+            registry.value("noctua_engine_class_shared_total"))
+        metrics.portfolio_wins = {
+            labels["backend"]: int(count)
+            for labels, count in registry.series(
+                "noctua_engine_portfolio_wins_total")
+        }
+        metrics.portfolio_agreements = int(
+            registry.value("noctua_engine_portfolio_agreements_total"))
+        metrics.portfolio_disagreements = int(
+            registry.value("noctua_engine_portfolio_disagreements_total"))
         metrics.solver_calls = int(registry.value(pairs, route="solved"))
         metrics.unknowns = int(registry.value(pairs, route="unknown"))
         metrics.cache_hits = int(
@@ -215,7 +277,7 @@ class EngineMetrics:
     @property
     def pruned(self) -> int:
         return (self.pruned_conservative + self.pruned_order
-                + self.pruned_disjoint)
+                + self.pruned_disjoint + self.pruned_rw_disjoint)
 
     @property
     def worker_utilization(self) -> float:
@@ -239,9 +301,15 @@ class EngineMetrics:
             "pruned_conservative": self.pruned_conservative,
             "pruned_order": self.pruned_order,
             "pruned_disjoint": self.pruned_disjoint,
+            "pruned_rw_disjoint": self.pruned_rw_disjoint,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "class_count": self.class_count,
+            "shared": self.shared,
             "solver_calls": self.solver_calls,
+            "portfolio_wins": dict(self.portfolio_wins),
+            "portfolio_agreements": self.portfolio_agreements,
+            "portfolio_disagreements": self.portfolio_disagreements,
             "failures": dict(self.failures),
             "retries": self.retries,
             "engine_fallbacks": self.engine_fallbacks,

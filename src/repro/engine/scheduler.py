@@ -39,9 +39,11 @@ not inherit the parent's tracer, signal handlers or lock state via fork.
 
 Observability: every sweep runs inside a ``pair-sweep`` span with one
 ``pair`` child per pair (route = ``pruned:<tag>`` / ``cached`` /
-``solved`` / ``unknown``; failed serial attempts appear as route
-``failed-attempt`` and each failed attempt also leaves a ``pair-failure``
-record).  When the caller has a tracer active (:mod:`repro.obs`) those
+``shared`` / ``solved`` / ``unknown``; failed serial attempts appear as
+route ``failed-attempt`` and each failed attempt also leaves a
+``pair-failure`` record; a portfolio race additionally leaves a
+``portfolio-loser`` pair child for the losing lane when it finishes and
+a ``portfolio-sample`` record per cross-checked agreement).  When the caller has a tracer active (:mod:`repro.obs`) those
 spans land in the caller's trace — including spans produced *inside
 worker processes*, which are serialized and grafted back onto the parent
 tree.  With no tracer active, the scheduler still builds the span tree on
@@ -76,7 +78,13 @@ from ..verifier.restrictions import (
     verdict_from_obj,
     verdict_to_obj,
 )
-from ..verifier.runner import classify_pair, solve_pair, solve_pair_guarded
+from ..verifier.runner import (
+    PORTFOLIO_LANES,
+    definitive,
+    portfolio_agreement,
+    solve_pair,
+    solve_pair_guarded,
+)
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .chaos import EngineChaosPlan, SweepAborted, apply_chaos
 from .failures import (
@@ -94,6 +102,13 @@ from .failures import (
 )
 from .fingerprint import FingerprintContext
 from .metrics import EngineMetrics, fold_sweep_into
+from .reduction import (
+    ROUTE_CACHED,
+    ROUTE_PRUNED,
+    ROUTE_SHARED,
+    plan_sweep,
+    shared_verdict,
+)
 
 #: default cache-checkpoint cadence (solved pairs between mid-sweep
 #: flushes); the atomic replace in ``ResultCache.flush`` makes each
@@ -197,6 +212,7 @@ def run_pair_sweep(
     retry: RetryPolicy | None = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     chaos: EngineChaosPlan | None = None,
+    reduce: bool = True,
 ) -> VerificationReport:
     """Verify every unordered pair of effectful paths of ``analysis``.
 
@@ -209,7 +225,15 @@ def run_pair_sweep(
     sets the failure policy (attempts, backoff, degradation, engine
     fallback); ``checkpoint_every`` sets the mid-sweep cache-flush
     cadence (``0`` disables checkpointing); ``chaos`` injects a fault
-    plan (tests and the ``engine-chaos`` harness only)."""
+    plan (tests and the ``engine-chaos`` harness only).
+
+    ``reduce`` enables the pre-solve reduction pipeline
+    (:mod:`repro.engine.reduction`): read/write disjointness pruning and
+    signature-class verdict sharing — one representative solved per
+    class, members relabeled with full provenance.  ``engine`` may be
+    ``"portfolio"``: each representative races the enum and SMT backends
+    in the worker pool, the first definitive answer wins and the loser's
+    verdict (when it finishes) becomes a cross-check agreement sample."""
     config = config or CheckConfig()
     policy = retry or RetryPolicy()
     deadline_s = (pair_deadline_s if pair_deadline_s is not None
@@ -234,67 +258,70 @@ def run_pair_sweep(
                      jobs_requested=jobs, mode="serial", jobs_used=1,
                      fallback_reason="", checkpoints=0,
                      respawns=0) as sweep_span:
-        # Pass 1 — resolve every pair through pruning and the cache,
-        # queueing only genuine solver work.  ``verdicts`` is
+        # Pass 1 — one shared solver-free plan (pruning, cache lookups,
+        # signature-class assignment) resolves every pair it can and
+        # queues only genuine solver work.  ``verdicts`` is
         # slot-addressed so results land in sweep order no matter how
-        # they were computed.
-        verdicts: list = []
+        # they were computed.  The same planner backs the service
+        # daemon's invalidation preview, which is what keeps
+        # ``preview == actual solver calls`` true under class sharing.
+        plan = plan_sweep(analysis, config, engine=engine, reduce=reduce,
+                          cache=cache, fingerprints=fingerprints)
+        sweep_span.set(classes=plan.classes, reduce=reduce)
+        verdicts: list = [None] * len(plan.pairs)
         queue: list[Task] = []
         slot_fp: dict[int, str] = {}
-        live_fps: set[str] = set()
-        for i, p in enumerate(effectful):
-            for j in range(i, len(effectful)):
-                q = effectful[j]
-                slot = len(verdicts)
-                classified = classify_pair(p, q, analysis.schema, config)
-                if classified is not None:
-                    verdict, tag = classified
-                    tracer.record(
-                        f"{p.name} x {q.name}", "pair",
-                        left=p.name, right=q.name,
-                        route=f"pruned:{tag}", restricted=verdict.restricted,
-                    )
-                    verdicts.append(verdict)
-                    continue
-                if cache is not None and fingerprints is not None:
-                    fp = fingerprints.pair(p, q)
-                    live_fps.add(fp)
-                    hit = cache.get(fp)
-                    if hit is not None:
-                        verdict, saved_s = hit
-                        tracer.record(
-                            f"{p.name} x {q.name}", "pair",
-                            left=p.name, right=q.name, route="cached",
-                            saved_s=saved_s, restricted=verdict.restricted,
-                        )
-                        verdicts.append(verdict)
-                        continue
-                    slot_fp[slot] = fp
-                verdicts.append(None)
-                queue.append((slot, i, j, 0, engine, 0))
+        slot_class: dict[int, str] = {}
+        live_fps: set[str] = plan.live_fingerprints()
+        #: representative slot -> class members awaiting its verdict
+        shared_members: dict[int, list] = {}
 
         # Shared degradation machinery (used by both execution paths).
         cache_attr = {"cache": "miss"} if cache is not None else {}
         counters = {"solved": 0, "since_checkpoint": 0, "checkpoints": 0}
 
+        def resolve_shared(member, rep_verdict, cacheable: bool) -> None:
+            """Relabel a representative's verdict for a class member."""
+            verdict = shared_verdict(rep_verdict, member)
+            verdicts[member.slot] = verdict
+            tracer.record(
+                f"{member.left.name} x {member.right.name}", "pair",
+                left=member.left.name, right=member.right.name,
+                route="shared", class_key=member.class_key[:12],
+                representative=f"{rep_verdict.left} x {rep_verdict.right}",
+                restricted=verdict.restricted,
+            )
+            # The member caches under its *own* fingerprint: a warm
+            # re-verify hits directly without re-deriving the class.
+            if (cacheable and cache is not None and member.fp is not None
+                    and not verdict.unknown):
+                cache.put(member.fp, verdict, class_key=member.class_key)
+                counters["since_checkpoint"] += 1
+
         def commit(slot: int, verdict, task: Task) -> None:
-            """Accept a solver verdict: store, maybe cache, checkpoint.
+            """Accept a solver verdict: store, maybe cache, checkpoint,
+            and fan it out to any signature-class members waiting on it.
 
             Verdicts computed under a degraded budget or a fallback
             engine are *tainted* — correct, but not what this sweep's
-            fingerprint describes — and are never cached."""
+            fingerprint describes — and are never cached.  Portfolio
+            lane engines are not taint: racing enum and SMT is exactly
+            what a portfolio sweep's fingerprint describes."""
             verdicts[slot] = verdict
             counters["solved"] += 1
-            tainted = task[4] != engine or task[5] > 0
+            lane_ok = engine == "portfolio" and task[4] in PORTFOLIO_LANES
+            tainted = task[5] > 0 or (task[4] != engine and not lane_ok)
             fp = slot_fp.get(slot)
             if cache is not None and fp is not None and not tainted:
-                cache.put(fp, verdict)
+                cache.put(fp, verdict, class_key=slot_class.get(slot))
                 counters["since_checkpoint"] += 1
                 if (checkpoint_every
                         and counters["since_checkpoint"] >= checkpoint_every):
                     cache.flush()
                     counters["checkpoints"] += 1
                     counters["since_checkpoint"] = 0
+            for member in shared_members.pop(slot, ()):
+                resolve_shared(member, verdict, cacheable=not tainted)
             if (chaos is not None and chaos.abort_after_solved is not None
                     and counters["solved"] >= chaos.abort_after_solved):
                 raise SweepAborted(
@@ -303,7 +330,11 @@ def run_pair_sweep(
 
         def emit_unknown(slot: int, i: int, j: int,
                          failure: PairFailure) -> None:
-            """Terminal degradation: conservative, restricted, uncached."""
+            """Terminal degradation: conservative, restricted, uncached.
+
+            Class members waiting on a failed representative degrade
+            with it — each gets its own unknown verdict (provenance
+            noting the representative), never a shared guess."""
             p, q = effectful[i], effectful[j]
             verdicts[slot] = unknown_verdict(
                 p.name, q.name, failure,
@@ -314,6 +345,54 @@ def run_pair_sweep(
                 failure=failure.kind, attempts=failure.attempt,
                 restricted=True, **cache_attr,
             )
+            for member in shared_members.pop(slot, ()):
+                mv = unknown_verdict(
+                    member.left.name, member.right.name, failure,
+                    left_view=member.left.view,
+                    right_view=member.right.view)
+                mv.provenance = {
+                    "source": "shared", "class": member.class_key,
+                    "representative": [p.name, q.name],
+                    "renaming": member.renaming or {},
+                }
+                verdicts[member.slot] = mv
+                tracer.record(
+                    f"{member.left.name} x {member.right.name}", "pair",
+                    left=member.left.name, right=member.right.name,
+                    route="unknown", failure=failure.kind,
+                    attempts=failure.attempt, restricted=True,
+                    shared=True, **cache_attr,
+                )
+
+        for pp in plan.pairs:
+            if pp.route == ROUTE_PRUNED:
+                tracer.record(
+                    f"{pp.left.name} x {pp.right.name}", "pair",
+                    left=pp.left.name, right=pp.right.name,
+                    route=f"pruned:{pp.tag}",
+                    restricted=pp.verdict.restricted,
+                )
+                verdicts[pp.slot] = pp.verdict
+            elif pp.route == ROUTE_CACHED:
+                tracer.record(
+                    f"{pp.left.name} x {pp.right.name}", "pair",
+                    left=pp.left.name, right=pp.right.name, route="cached",
+                    saved_s=pp.saved_s, restricted=pp.verdict.restricted,
+                )
+                verdicts[pp.slot] = pp.verdict
+            elif pp.route == ROUTE_SHARED:
+                rep = plan.pairs[pp.rep_slot]
+                if rep.route == ROUTE_CACHED:
+                    # Representative verdict already warm: share now.
+                    resolve_shared(pp, rep.verdict, cacheable=True)
+                else:
+                    shared_members.setdefault(pp.rep_slot, []).append(pp)
+            else:  # ROUTE_SOLVE
+                if pp.fp is not None:
+                    slot_fp[pp.slot] = pp.fp
+                if pp.class_key:
+                    slot_class[pp.slot] = pp.class_key
+                queue.append((pp.slot, pp.i, pp.j, 0, engine, 0))
 
         def record_failure(task: Task, kind: str, detail: str,
                            stage: str) -> None:
@@ -429,12 +508,22 @@ def _solve_serial(
                                       engine_used=task_engine)
                     if level:
                         pair_span.set(degrade_level=level)
+                    info = getattr(verdict, "portfolio_info", None)
+                    if info is not None:
+                        pair_span.set(portfolio_win=info["winner"])
                 else:
                     kind, detail = failure
                     pair_span.set(route="failed-attempt", failure=kind,
                                   attempt=attempt + 1,
                                   detail=cap_text(detail))
             if verdict is not None:
+                if info is not None and info["agree"] is not None:
+                    # Both lanes ran to completion: a free cross-check.
+                    tracer.record(
+                        f"{p.name} x {q.name}", "portfolio-sample",
+                        left=p.name, right=q.name, agree=info["agree"],
+                        winner=info["winner"],
+                    )
                 commit(slot, verdict, task)
                 break
             record_failure(task, kind, detail, "serial")
@@ -476,21 +565,125 @@ def _solve_parallel(
     serial execution, recording the in-flight pairs (the likely poison)
     in ``fallback_reason``.
 
+    In portfolio mode every queued pair expands into one task per lane
+    (enum, smt) racing on separate workers: the first *definitive*
+    verdict wins the pair and the sibling lane is cancelled; when both
+    lanes finish, the loser's verdict is kept as a cross-check agreement
+    sample (route ``portfolio-loser`` + a ``portfolio-sample`` record).
+    A lane that fails retries within its own lane — the other lane is
+    the fallback — and a pair degrades to ``unknown`` only when every
+    lane is exhausted.
+
     Returns the tasks still unsolved — empty on success, or the
     unfinished tail (at their current attempt state) for the serial path.
     """
-    if jobs <= 1 or len(queue) < 2:
+    portfolio = engine == "portfolio"
+    work: list[Task] = queue
+    if portfolio:
+        work = [(slot, i, j, 0, lane, 0)
+                for slot, i, j, _a, _e, _l in queue
+                for lane in PORTFOLIO_LANES]
+    if jobs <= 1 or len(work) < 2:
         return queue
     import dataclasses
 
-    n_workers = min(jobs, len(queue))
+    n_workers = min(jobs, len(work))
     resolved: set[int] = set()
     #: the most recent task tuple per unresolved slot, so a serial
     #: fallback resumes each pair's retry budget where the pool left it
+    #: (portfolio falls back to fresh ``portfolio`` tasks instead: lane
+    #: attempt state does not translate to the sequential form)
     latest: dict[int, Task] = {task[0]: task for task in queue}
+    #: portfolio bookkeeping: lane liveness, non-definitive verdicts
+    #: parked until the race settles, and winners for late cross-checks
+    lanes: dict[int, dict[str, str]] = (
+        {t[0]: {lane: "live" for lane in PORTFOLIO_LANES} for t in queue}
+        if portfolio else {})
+    candidates: dict[int, dict[str, tuple]] = {}
+    winners: dict[int, tuple] = {}
     workers: dict[int, dict] = {}
     respawns = 0
     results_seen = 0
+
+    def emit_pair_span(task: Task, verdict, pid, elapsed, span_obj,
+                       route: str = "solved", extra: dict | None = None):
+        """Land one worker result in the trace (graft or record)."""
+        attrs = dict(attempts=task[3] + 1, **cache_attr)
+        if portfolio:
+            attrs["engine_used"] = task[4]
+        elif task[4] != engine:
+            attrs.update(engine_fallback=True, engine_used=task[4])
+        if task[5]:
+            attrs["degrade_level"] = task[5]
+        if extra:
+            attrs.update(extra)
+        attrs["route"] = route
+        if span_obj is not None:
+            span_obj["attrs"].update(attrs)
+            span_obj["attrs"].setdefault("restricted", verdict.restricted)
+            tracer.graft(span_obj, parent=sweep_span)
+        else:
+            tracer.record(
+                f"{verdict.left} x {verdict.right}", "pair",
+                wall_s=elapsed, left=verdict.left,
+                right=verdict.right, pid=pid,
+                restricted=verdict.restricted, **attrs,
+            )
+
+    def emit_sample(win_verdict, win_lane: str, lose_verdict,
+                    lose_lane: str) -> None:
+        agree = portfolio_agreement(win_verdict, lose_verdict)
+        if agree is not None:
+            tracer.record(
+                f"{win_verdict.left} x {win_verdict.right}",
+                "portfolio-sample", left=win_verdict.left,
+                right=win_verdict.right, agree=agree,
+                winner=win_lane, loser=lose_lane,
+            )
+
+    def settle(slot: int, verdict, task: Task, pid, elapsed,
+               span_obj) -> None:
+        """Resolve a pair from a worker result, portfolio-aware."""
+        pending[:] = [entry for entry in pending if entry[0][0] != slot]
+        extra = {"portfolio_win": task[4]} if portfolio else None
+        emit_pair_span(task, verdict, pid, elapsed, span_obj, extra=extra)
+        resolved.add(slot)
+        commit(slot, verdict, task)
+        if not portfolio:
+            return
+        winners[slot] = (verdict, task[4])
+        # A sibling candidate that already finished is the race loser.
+        for lane, (cv, ctask, cpid, celapsed, cspan) in (
+                candidates.pop(slot, {}).items()):
+            emit_pair_span(ctask, cv, cpid, celapsed, cspan,
+                           route="portfolio-loser")
+            emit_sample(verdict, task[4], cv, lane)
+        # Cancel the sibling lane still racing on a worker; the respawn
+        # sweep below restores pool capacity.
+        for wid in [w for w, st in workers.items()
+                    if st["task"] is not None and st["task"][0] == slot
+                    and st["task"] is not task]:
+            reap(wid)
+
+    def finalize_candidates(slot: int) -> None:
+        """Every lane finished without a definitive answer: keep the
+        preferred lane's verdict (enum first — the same tie-break as the
+        sequential portfolio), cross-check against the rest."""
+        cands = candidates.pop(slot, {})
+        if not cands:
+            return
+        chosen = next(lane for lane in PORTFOLIO_LANES if lane in cands)
+        verdict, task, pid, elapsed, span_obj = cands.pop(chosen)
+        pending[:] = [entry for entry in pending if entry[0][0] != slot]
+        emit_pair_span(task, verdict, pid, elapsed, span_obj,
+                       extra={"portfolio_win": chosen})
+        resolved.add(slot)
+        commit(slot, verdict, task)
+        winners[slot] = (verdict, chosen)
+        for lane, (cv, ctask, cpid, celapsed, cspan) in cands.items():
+            emit_pair_span(ctask, cv, cpid, celapsed, cspan,
+                           route="portfolio-loser")
+            emit_sample(verdict, chosen, cv, lane)
 
     def fail_task(task: Task, kind: str, detail: str, now: float) -> None:
         """Classify a failed worker attempt: retry or degrade to unknown."""
@@ -500,6 +693,13 @@ def _solve_parallel(
         record_failure(task, kind, detail, "worker")
         next_task = plan_retry(task, kind, policy, base_engine=engine)
         if next_task is None:
+            if portfolio:
+                lanes[slot][task[4]] = "dead"
+                if any(s == "live" for s in lanes[slot].values()):
+                    return  # the other lane may still answer
+                if slot in candidates:
+                    finalize_candidates(slot)
+                    return
             p, q = (analysis.effectful_paths[task[1]],
                     analysis.effectful_paths[task[2]])
             emit_unknown(slot, task[1], task[2], PairFailure(
@@ -549,7 +749,7 @@ def _solve_parallel(
         for _ in range(n_workers):
             spawn()
 
-        pending: list[list] = [[task, 0.0] for task in queue]
+        pending: list[list] = [[task, 0.0] for task in work]
         while len(resolved) < len(queue):
             now = time.monotonic()
             # Assign ready work (past its backoff) to idle workers.
@@ -604,35 +804,33 @@ def _solve_parallel(
                 kind_tag, task, *payload = msg
                 slot = task[0]
                 if slot in resolved:
-                    continue  # stale: the watchdog already gave up on it
+                    # Stale: the watchdog already gave up on this pair —
+                    # or, in a portfolio race, the sibling lane already
+                    # won, in which case this late finisher is the loser
+                    # and still yields a free agreement sample.
+                    if portfolio and slot in winners and kind_tag == "ok":
+                        _, verdict_obj, pid, elapsed, span_obj = payload[0]
+                        loser = verdict_from_obj(verdict_obj)
+                        emit_pair_span(task, loser, pid, elapsed, span_obj,
+                                       route="portfolio-loser")
+                        win_verdict, win_lane = winners[slot]
+                        emit_sample(win_verdict, win_lane, loser, task[4])
+                    continue
                 if kind_tag == "fail":
                     fail_task(task, payload[0], payload[1], time.monotonic())
                     continue
                 _, verdict_obj, pid, elapsed, span_obj = payload[0]
                 verdict = verdict_from_obj(verdict_obj)
-                # A queued retry for this slot (scheduled after a prior
-                # failure) is now moot.
-                pending[:] = [entry for entry in pending
-                              if entry[0][0] != slot]
-                attrs = dict(attempts=task[3] + 1, **cache_attr)
-                if task[4] != engine:
-                    attrs.update(engine_fallback=True, engine_used=task[4])
-                if task[5]:
-                    attrs["degrade_level"] = task[5]
-                if span_obj is not None:
-                    span_obj["attrs"].update(attrs)
-                    span_obj["attrs"].setdefault("restricted",
-                                                 verdict.restricted)
-                    tracer.graft(span_obj, parent=sweep_span)
-                else:
-                    tracer.record(
-                        f"{verdict.left} x {verdict.right}", "pair",
-                        wall_s=elapsed, left=verdict.left,
-                        right=verdict.right, route="solved", pid=pid,
-                        restricted=verdict.restricted, **attrs,
-                    )
-                resolved.add(slot)
-                commit(slot, verdict, task)
+                if portfolio and not definitive(verdict):
+                    # Park it: the sibling lane may still produce a
+                    # definitive answer worth waiting for.
+                    lanes[slot][task[4]] = "done"
+                    candidates.setdefault(slot, {})[task[4]] = (
+                        verdict, task, pid, elapsed, span_obj)
+                    if not any(s == "live" for s in lanes[slot].values()):
+                        finalize_candidates(slot)
+                    continue
+                settle(slot, verdict, task, pid, elapsed, span_obj)
 
             # Watchdog: kill workers past the per-pair deadline.  The
             # kill, not the alarm, is the worker-side deadline — a solver
@@ -656,7 +854,14 @@ def _solve_parallel(
                               time.monotonic())
 
             # Respawn capacity while unfinished work remains.
-            want = min(n_workers, len(queue) - len(resolved))
+            if portfolio:
+                unfinished = sum(
+                    1 for slot, lane_states in lanes.items()
+                    if slot not in resolved
+                    for status in lane_states.values() if status == "live")
+            else:
+                unfinished = len(queue) - len(resolved)
+            want = min(n_workers, unfinished)
             while len(workers) < want:
                 spawn()
                 respawns += 1
@@ -676,6 +881,11 @@ def _solve_parallel(
             reason += "; in flight: " + cap_text(", ".join(in_flight))
         sweep_span.set(mode="serial", jobs_used=1, fallback_reason=reason,
                        respawns=respawns)
+        if portfolio:
+            # Lane attempt state does not translate to the sequential
+            # form; fall back to fresh ``portfolio`` tasks per pair.
+            return sorted((t for t in queue if t[0] not in resolved),
+                          key=lambda t: t[0])
         return sorted((latest[slot] for slot in latest
                        if slot not in resolved), key=lambda t: t[0])
     finally:

@@ -17,9 +17,13 @@ schedule through the SOIR reference interpreter** and renders:
   touching the diverged models/relations).
 
 Pairs resolved by the solver-free fast layers (conservative paths,
-order-encoding-off, disjoint footprints) are explained from the layer's
-own reasoning — including the analyzer's recorded fallback reason for
-conservative paths.
+order-encoding-off, disjoint footprints, read/write-disjoint footprints)
+are explained from the layer's own reasoning — including the analyzer's
+recorded fallback reason for conservative paths and the column-level
+footprints for read/write-disjoint prunes.  Verdicts shared from a
+signature-class representative explain with their provenance header
+(representative pair + member → representative renaming) in
+:func:`explain_report`.
 
 Everything is deterministic: the search is seeded per pair, the renderer
 sorts every collection, and no timings appear in the output — the same
@@ -285,8 +289,9 @@ def explain_pair(
     through the *enum* backend — witnesses must be concretely replayable
     through the reference interpreter, and the two backends agree on
     verdicts."""
+    from ..engine.reduction import rw_footprint
     from ..verifier.enumcheck import CheckConfig, PairChecker
-    from ..verifier.runner import classify_pair
+    from ..verifier.runner import PRUNE_RW, classify_pair
     import time
 
     config = config or CheckConfig()
@@ -307,7 +312,7 @@ def explain_pair(
                      f"outside the verification sweep.")
         return "\n".join(lines)
 
-    classified = classify_pair(p, q, analysis.schema, config)
+    classified = classify_pair(p, q, analysis.schema, config, rw=True)
     if classified is not None:
         verdict, tag = classified
         if tag == "disjoint":
@@ -315,6 +320,22 @@ def explain_pair(
                          "footprints)")
             lines.append("the two paths touch no common model or relation; "
                          "their effects cannot interact.")
+            return "\n".join(lines)
+        if tag == PRUNE_RW:
+            lines.append("verdict: NOT RESTRICTED (fast layer: disjoint "
+                         "read/write footprints)")
+            lines.append("neither path writes anything the other reads or "
+                         "writes, so the pair provably commutes and cannot "
+                         "invalidate (docs/REDUCTION.md):")
+            def fmt(tokens):
+                return (", ".join("/".join(t) for t in sorted(tokens))
+                        or "(nothing)")
+
+            for path in (p, q):
+                reads, writes = rw_footprint(path, analysis.schema)
+                lines.append(f"  {path.name}:")
+                lines.append(f"    reads:  {fmt(reads)}")
+                lines.append(f"    writes: {fmt(writes)}")
             return "\n".join(lines)
         lines.append("verdict: RESTRICTED (fast layer: "
                      + ("conservative path)" if tag == "conservative"
@@ -385,6 +406,32 @@ def _engine_failure_section(verdict) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _shared_provenance_header(verdict) -> str:
+    """Note that a verdict was shared from its signature-class
+    representative, rendering the recorded renaming.
+
+    The explanation that follows re-derives the witness for the member
+    pair itself (the checkers are deterministic), so the reader sees
+    both where the verdict came from and a witness in the member's own
+    vocabulary."""
+    prov = verdict.provenance or {}
+    rep = prov.get("representative") or ["?", "?"]
+    lines = [f"[shared verdict] solved once as representative "
+             f"{rep[0]} x {rep[1]} (signature class "
+             f"{str(prov.get('class', ''))[:12]}) and shared with "
+             f"{verdict.left} x {verdict.right}."]
+    renaming = prov.get("renaming") or {}
+    if renaming:
+        lines.append("  member -> representative renaming:")
+        for kind in sorted(renaming):
+            pairs = ", ".join(f"{a} -> {b}" for a, b in
+                              sorted(renaming[kind].items()))
+            lines.append(f"    {kind}: {pairs}")
+    else:
+        lines.append("  (identical names; the renaming is the identity)")
+    return "\n".join(lines) + "\n"
+
+
 def explain_report(
     analysis: AnalysisResult,
     report,
@@ -393,7 +440,11 @@ def explain_report(
     limit: int | None = None,
 ) -> str:
     """Explain every restricted pair of a
-    :class:`~repro.verifier.VerificationReport` (up to ``limit``)."""
+    :class:`~repro.verifier.VerificationReport` (up to ``limit``).
+
+    Verdicts shared from a signature-class representative are prefixed
+    with their provenance (representative pair + renaming) before the
+    member-level explanation."""
     sections: list[str] = []
     restrictions = report.restrictions
     shown = restrictions if limit is None else restrictions[:limit]
@@ -401,6 +452,9 @@ def explain_report(
         if getattr(verdict, "unknown", False):
             sections.append(_engine_failure_section(verdict))
             continue
+        prov = getattr(verdict, "provenance", None) or {}
+        if prov.get("source") == "shared":
+            sections.append(_shared_provenance_header(verdict))
         sections.append(explain_pair(
             analysis, verdict.left, verdict.right, config,
         ))

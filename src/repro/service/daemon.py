@@ -15,9 +15,12 @@ Invalidation is *free* by construction: pair fingerprints are
 content-addressed over ``(path P, path Q, schema, config, engine)``
 (:mod:`repro.engine.fingerprint`), so an edited view's pairs simply miss
 the cache and everything untouched replays.  The daemon computes the
-invalidation preview with exactly the scheduler's pass-1 logic
-(``classify_pair`` pruning first, then fingerprint lookup), so the
-preview names precisely the pairs the subsequent sweep will solve.
+invalidation preview with exactly the scheduler's pass-1 planner
+(:func:`repro.engine.reduction.plan_sweep` — pruning, cache lookup,
+signature-class assignment), so the preview names precisely the
+*representative* pairs the subsequent sweep will solve: a class member
+whose representative misses the cache is not re-solved, it is re-shared,
+and the preview counts it accordingly.
 
 Publishing: every app state carries a **restriction-set version**.  The
 version bumps only when the endpoint-level conflict table actually
@@ -43,6 +46,7 @@ from pathlib import Path
 from ..analyzer import analyze_application
 from ..engine.cache import DEFAULT_CACHE_DIR, ResultCache
 from ..engine.fingerprint import FingerprintContext
+from ..engine.reduction import plan_sweep
 from ..engine.scheduler import run_pair_sweep
 from ..georep.deployment import RestrictionSetSubscription
 from ..metrics import registry as metrics_registry
@@ -50,7 +54,7 @@ from ..metrics.registry import MetricsRegistry
 from ..obs import tracer as obs
 from ..soir.path import AnalysisResult
 from ..verifier import CheckConfig
-from ..verifier.runner import classify_pair, operation_conflict_table
+from ..verifier.runner import operation_conflict_table
 from .specs import AppSpec
 from .watcher import SourceWatcher
 
@@ -100,10 +104,15 @@ class CycleStats:
     trigger: str  # initial | change | forced | once
     files: tuple[str, ...]
     #: pairs whose fingerprint missed the cache before the sweep, in
-    #: sweep order — exactly what the sweep will solve
+    #: sweep order — exactly what the sweep will solve (class members
+    #: whose representative is being solved are *shared*, not listed)
     invalidated: tuple[tuple[str, str], ...]
     pairs_total: int
     solver_calls: int
+    #: reduction-pipeline effect this cycle: signature classes formed
+    #: and verdicts shared from representatives
+    classes: int
+    shared: int
     cache_hits: int
     pruned_entries: int
     restrictions: int
@@ -121,6 +130,8 @@ class CycleStats:
             "invalidated_count": len(self.invalidated),
             "pairs_total": self.pairs_total,
             "solver_calls": self.solver_calls,
+            "classes": self.classes,
+            "shared": self.shared,
             "cache_hits": self.cache_hits,
             "pruned_entries": self.pruned_entries,
             "restrictions": self.restrictions,
@@ -152,20 +163,20 @@ def live_pair_fingerprints(
     analysis: AnalysisResult,
     config: CheckConfig,
     engine: str = "enum",
+    *,
+    reduce: bool = True,
 ) -> set[str]:
     """The pair fingerprints a sweep over ``analysis`` would reference —
     the scheduler's ``live`` set, reproduced for out-of-sweep pruning
-    (``repro cache --prune`` and the daemon's post-sweep prune)."""
-    live: set[str] = set()
+    (``repro cache --prune`` and the daemon's post-sweep prune).
+
+    Built from the same planner the scheduler executes, so the survivor
+    set is exact under reduction too: class members keep their own
+    fingerprints live (they cache under them), rw-pruned pairs do not."""
     fingerprints = FingerprintContext(analysis.schema, config, engine)
-    effectful = analysis.effectful_paths
-    for i, p in enumerate(effectful):
-        for j in range(i, len(effectful)):
-            q = effectful[j]
-            if classify_pair(p, q, analysis.schema, config) is not None:
-                continue  # pruned pairs never reach the cache
-            live.add(fingerprints.pair(p, q))
-    return live
+    plan = plan_sweep(analysis, config, engine=engine, reduce=reduce,
+                      fingerprints=fingerprints)
+    return plan.live_fingerprints()
 
 
 class VerificationService:
@@ -181,10 +192,12 @@ class VerificationService:
         cache_dir: str | None = None,
         poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
         prune: bool = True,
+        reduce: bool = True,
         registry: MetricsRegistry | None = None,
     ):
         self.config = config or CheckConfig()
         self.engine = engine
+        self.reduce = reduce
         self.jobs = jobs
         self.cache_dir = str(cache_dir or DEFAULT_CACHE_DIR)
         self.poll_interval_s = poll_interval_s
@@ -223,34 +236,29 @@ class VerificationService:
 
     def preview_invalidation(
         self, analysis: AnalysisResult,
-    ) -> tuple[list[tuple[str, str]], set[str], int]:
-        """Replicate the scheduler's pass 1 against the current cache.
+    ) -> tuple[list[tuple[str, str]], set[str], int, int, int]:
+        """Run the scheduler's pass-1 planner against the current cache.
 
-        Returns ``(invalidated, live_fps, pairs_total)`` where
-        ``invalidated`` lists, in sweep order, the pairs whose
-        fingerprint misses the cache (these — and only these — will be
-        solved), ``live_fps`` is the full referenced-fingerprint set
-        (the prune survivor list), and ``pairs_total`` counts every pair
-        of the quadratic sweep including pruned ones."""
+        Returns ``(invalidated, live_fps, pairs_total, classes,
+        shared)`` where ``invalidated`` lists, in sweep order, the
+        *representative* pairs the subsequent sweep will hand to a
+        solver (class members sharing a representative's verdict are
+        counted in ``shared``, not listed), ``live_fps`` is the full
+        referenced-fingerprint set (the prune survivor list), and
+        ``pairs_total`` counts every pair of the quadratic sweep
+        including pruned ones.  This is literally
+        :meth:`~repro.engine.reduction.SweepPlan.invalidated` of the
+        same plan the sweep executes, which is what keeps
+        ``preview == actual solver calls`` an invariant rather than a
+        coincidence."""
         cache = ResultCache(self.cache_dir, analysis.app_name)
         fingerprints = FingerprintContext(
             analysis.schema, self.config, self.engine)
-        invalidated: list[tuple[str, str]] = []
-        live: set[str] = set()
-        total = 0
-        effectful = analysis.effectful_paths
-        for i, p in enumerate(effectful):
-            for j in range(i, len(effectful)):
-                q = effectful[j]
-                total += 1
-                if classify_pair(p, q, analysis.schema,
-                                 self.config) is not None:
-                    continue
-                fp = fingerprints.pair(p, q)
-                live.add(fp)
-                if cache.get(fp) is None:
-                    invalidated.append((p.name, q.name))
-        return invalidated, live, total
+        plan = plan_sweep(analysis, self.config, engine=self.engine,
+                          reduce=self.reduce, cache=cache,
+                          fingerprints=fingerprints)
+        return (plan.invalidated(), plan.live_fingerprints(),
+                len(plan.pairs), plan.classes, plan.shared)
 
     # -- re-verification ---------------------------------------------------
 
@@ -265,12 +273,12 @@ class VerificationService:
                     obs.activate(tracer):
                 app = state.spec.build()
                 analysis = analyze_application(app)
-                invalidated, live, pairs_total = self.preview_invalidation(
-                    analysis)
+                (invalidated, live, pairs_total, classes,
+                 shared) = self.preview_invalidation(analysis)
                 report = run_pair_sweep(
                     analysis, self.config, engine=self.engine,
                     jobs=self.jobs, use_cache=True,
-                    cache_dir=self.cache_dir,
+                    cache_dir=self.cache_dir, reduce=self.reduce,
                 )
                 pruned = 0
                 if self.prune:
@@ -309,6 +317,8 @@ class VerificationService:
                     invalidated=tuple(invalidated),
                     pairs_total=pairs_total,
                     solver_calls=int(metrics.get("solver_calls", 0)),
+                    classes=classes,
+                    shared=int(metrics.get("shared", 0)),
                     cache_hits=int(metrics.get("cache_hits", 0)),
                     pruned_entries=pruned,
                     restrictions=len(restrictions),

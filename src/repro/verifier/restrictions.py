@@ -65,6 +65,12 @@ class PairVerdict:
     #: fall back to parsing the ``view[index]`` path-name convention.
     left_view: str = ""
     right_view: str = ""
+    #: where this verdict came from when it was not solved directly for
+    #: this pair: ``{"source": "shared", "class": ..., "representative":
+    #: [left, right], "renaming": {...}}`` for a signature-class member,
+    #: ``{"source": "pruned", "tag": ...}`` for the read/write
+    #: disjointness fast path.  ``None`` for directly solved verdicts.
+    provenance: dict | None = None
 
     @property
     def restricted(self) -> bool:
@@ -131,7 +137,7 @@ def check_result_from_obj(obj: dict) -> CheckResult:
 
 
 def verdict_to_obj(verdict: PairVerdict) -> dict:
-    return {
+    obj = {
         "left": verdict.left,
         "right": verdict.right,
         "left_view": verdict.left_view,
@@ -141,6 +147,9 @@ def verdict_to_obj(verdict: PairVerdict) -> dict:
         "semantic": check_result_to_obj(verdict.semantic)
         if verdict.semantic else None,
     }
+    if verdict.provenance is not None:
+        obj["provenance"] = verdict.provenance
+    return obj
 
 
 def verdict_from_obj(obj: dict) -> PairVerdict:
@@ -153,6 +162,7 @@ def verdict_from_obj(obj: dict) -> PairVerdict:
         if obj.get("semantic") else None,
         left_view=obj.get("left_view", ""),
         right_view=obj.get("right_view", ""),
+        provenance=obj.get("provenance"),
     )
 
 
@@ -266,6 +276,11 @@ class VerificationReport:
                     if v.commutativity else None,
                     "semantic_s": v.semantic.elapsed_s
                     if v.semantic else None,
+                    # Shared/pruned verdicts say where they came from
+                    # (signature class + representative + renaming, or
+                    # the rw-disjointness prune tag).
+                    **({"provenance": v.provenance}
+                       if v.provenance is not None else {}),
                 }
                 for v in self.verdicts
             ],

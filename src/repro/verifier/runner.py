@@ -36,6 +36,10 @@ from .restrictions import (
 PRUNE_CONSERVATIVE = "conservative"
 PRUNE_ORDER = "order"
 PRUNE_DISJOINT = "disjoint"
+PRUNE_RW = "rw-disjoint"
+
+#: backends raced by the ``portfolio`` engine, in serial-preference order
+PORTFOLIO_LANES = ("enum", "smt")
 
 
 def _new_verdict(p: CodePath, q: CodePath) -> PairVerdict:
@@ -47,11 +51,18 @@ def classify_pair(
     q: CodePath,
     schema: Schema,
     config: CheckConfig | None = None,
+    *,
+    rw: bool = False,
 ) -> tuple[PairVerdict, str] | None:
     """Resolve a pair through the solver-free fast layers.
 
     Returns ``(verdict, prune_tag)`` when one of the fast paths decides
-    the pair, or ``None`` when the pair needs actual solving."""
+    the pair, or ``None`` when the pair needs actual solving.
+
+    ``rw`` additionally enables the column-level read/write disjointness
+    layer (:func:`repro.engine.reduction.rw_disjoint`) — finer than the
+    model-level footprint check, and gated behind the sweep's ``reduce``
+    flag so reduction-off sweeps reproduce the historical behavior."""
     config = config or CheckConfig()
     if p.conservative or q.conservative:
         why = p.name if p.conservative else q.name
@@ -84,7 +95,56 @@ def classify_pair(
                 detail="disjoint footprint",
             ))
         return verdict, PRUNE_DISJOINT
+    if rw:
+        # Lazy import: repro.engine imports this module at init time.
+        from ..engine.reduction import rw_disjoint
+
+        if rw_disjoint(p, q, schema):
+            verdict = _new_verdict(p, q)
+            for kind in ("commutativity", "semantic"):
+                _attach(verdict, CheckResult(
+                    p.name, q.name, kind, Outcome.PASS,
+                    detail="disjoint read/write footprints",
+                ))
+            verdict.provenance = {"source": "pruned", "tag": PRUNE_RW}
+            return verdict, PRUNE_RW
     return None
+
+
+def definitive(verdict: PairVerdict) -> bool:
+    """Whether every check of ``verdict`` reached a real answer.
+
+    ``PASS`` and ``FAIL`` are definitive; ``TIMEOUT`` / ``CONSERVATIVE``
+    / ``UNKNOWN`` are budget or capability artifacts a racing backend
+    might still beat.  The portfolio engine's win condition."""
+    outcomes = [
+        check.outcome
+        for check in (verdict.commutativity, verdict.semantic)
+        if check is not None
+    ]
+    return bool(outcomes) and all(
+        o in (Outcome.PASS, Outcome.FAIL) for o in outcomes
+    )
+
+
+def portfolio_agreement(a: PairVerdict, b: PairVerdict) -> bool | None:
+    """Cross-check two backends' verdicts for the same pair.
+
+    Returns ``True``/``False`` when at least one check is definitive on
+    both sides (the difftest-style agreement sample the portfolio race
+    yields for free), or ``None`` when no check is comparable — budget
+    artifacts are not disagreements."""
+    comparable = False
+    for ca, cb in ((a.commutativity, b.commutativity),
+                   (a.semantic, b.semantic)):
+        if ca is None or cb is None:
+            continue
+        if (ca.outcome in (Outcome.PASS, Outcome.FAIL)
+                and cb.outcome in (Outcome.PASS, Outcome.FAIL)):
+            comparable = True
+            if ca.outcome != cb.outcome:
+                return False
+    return True if comparable else None
 
 
 def solve_pair(
@@ -98,11 +158,15 @@ def solve_pair(
     """Run both checkers for one pair, skipping the fast layers.
 
     ``engine`` selects the verification backend: ``"enum"`` (the bounded
-    model finder over concrete states — the default) or ``"smt"`` (the
-    symbolic engine: Table-2 encoding + finite-domain solver).  The two
-    are independent implementations of the same checking rules and agree
-    on the paper's benchmarks (see tests/test_smt_engine.py)."""
+    model finder over concrete states — the default), ``"smt"`` (the
+    symbolic engine: Table-2 encoding + finite-domain solver), or
+    ``"portfolio"`` (both in sequence here, raced in the worker pool:
+    first definitive answer wins).  Enum and SMT are independent
+    implementations of the same checking rules and agree on the paper's
+    benchmarks (see tests/test_smt_engine.py)."""
     config = config or CheckConfig()
+    if engine == "portfolio":
+        return _solve_portfolio(p, q, schema, config)
     verdict = _new_verdict(p, q)
     if engine == "smt":
         from .smtcheck import SmtPairChecker
@@ -119,6 +183,41 @@ def solve_pair(
             result = run_check()
             sp.set(outcome=result.outcome.value)
         _attach(verdict, result)
+    return verdict
+
+
+def _solve_portfolio(
+    p: CodePath,
+    q: CodePath,
+    schema: Schema,
+    config: CheckConfig,
+) -> PairVerdict:
+    """The portfolio engine's in-process form: lanes run in sequence.
+
+    The enum lane runs first (cheaper on the common case); a definitive
+    answer short-circuits.  Otherwise the SMT lane gets its shot and the
+    two verdicts become a free cross-check agreement sample.  The chosen
+    verdict carries a transient ``portfolio_info`` attribute (winner
+    lane, agreement) that the scheduler translates into span attributes
+    and metrics — transient because this function only ever runs in the
+    parent process (the worker pool races real lane tasks instead)."""
+    lane_verdicts: dict[str, PairVerdict] = {}
+    winner = PORTFOLIO_LANES[0]
+    for lane in PORTFOLIO_LANES:
+        lane_verdicts[lane] = solve_pair(p, q, schema, config, engine=lane)
+        if definitive(lane_verdicts[lane]):
+            winner = lane
+            break
+    else:
+        # No definitive answer anywhere: prefer the enum lane's verdict
+        # (same tie-break as the pool scheduler, keeping modes identical).
+        winner = PORTFOLIO_LANES[0]
+    verdict = lane_verdicts[winner]
+    agree = None
+    if len(lane_verdicts) == len(PORTFOLIO_LANES):
+        a, b = (lane_verdicts[lane] for lane in PORTFOLIO_LANES)
+        agree = portfolio_agreement(a, b)
+    verdict.portfolio_info = {"winner": winner, "agree": agree}
     return verdict
 
 
@@ -190,6 +289,7 @@ def verify_application(
     use_cache: bool = False,
     cache_dir: str | None = None,
     pair_deadline_s: float | None = None,
+    reduce: bool = True,
 ) -> VerificationReport:
     """Verify every pair of effectful paths of an analyzed application.
 
@@ -209,7 +309,7 @@ def verify_application(
     return run_pair_sweep(
         analysis, config, engine=engine, jobs=jobs,
         use_cache=use_cache, cache_dir=cache_dir,
-        pair_deadline_s=pair_deadline_s,
+        pair_deadline_s=pair_deadline_s, reduce=reduce,
     )
 
 

@@ -129,6 +129,39 @@ class TestBenchGate:
         ])
         assert bench_gate.main(["--file", path]) == 0
 
+    def test_solver_calls_regression_fails(self, tmp_path, capsys):
+        """The reduction layer's headline number is gated: a sweep that
+        suddenly issues far more solver calls fails even when wall time
+        happens to be flat."""
+        old = entry("2026-08-01", 10.0, 8.0)
+        old["totals"]["solver_calls"] = 40
+        new = entry("2026-08-08", 10.0, 8.0)
+        new["totals"]["solver_calls"] = 80
+        path = write_trajectory(tmp_path / "bench.json", [old, new])
+        assert bench_gate.main(["--file", path]) == 1
+        assert "solver calls" in capsys.readouterr().err
+
+    def test_solver_calls_absent_baseline_is_skipped(self, tmp_path):
+        """Entries committed before the reduction metrics existed carry
+        no solver_calls total; the gate must not fail on them."""
+        old = entry("2026-08-01", 10.0, 8.0)
+        new = entry("2026-08-08", 10.0, 8.0)
+        new["totals"]["solver_calls"] = 80
+        path = write_trajectory(tmp_path / "bench.json", [old, new])
+        assert bench_gate.main(["--file", path]) == 0
+
+    def test_reduction_counts_are_reported_not_gated(self, tmp_path,
+                                                     capsys):
+        """class_count / pruned_pairs shifts are informative only."""
+        old = entry("2026-08-01", 10.0, 8.0)
+        old["totals"].update(class_count=30, pruned_pairs=100)
+        new = entry("2026-08-08", 10.0, 8.0)
+        new["totals"].update(class_count=90, pruned_pairs=1)
+        path = write_trajectory(tmp_path / "bench.json", [old, new])
+        assert bench_gate.main(["--file", path]) == 0
+        out = capsys.readouterr().out
+        assert "signature classes" in out and "not gated" in out
+
 
 def app_row(name: str, cold_wall: float, cold_solve: float) -> dict:
     """A benchmark result row in the shape ``sweep_app`` produces."""

@@ -74,6 +74,20 @@ class TestVerify:
                             "--jobs", "2", "--cache-dir", cache_dir)
         assert code == 0
         assert "solver calls  : 0 " in out
+        # every pair was fingerprinted on the cold run (smallbank's
+        # creating updates defeat rw-pruning), so all 10 hit warm
+        assert "cache         : 10 hits, 0 misses" in out
+        assert "reduction     : 6 classes" in out
+
+    def test_warm_cache_without_reduction(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, _ = run_cli(capsys, "verify", "smallbank", "--quick",
+                          "--no-reduce", "--cache-dir", cache_dir)
+        assert code == 0
+        code, out = run_cli(capsys, "verify", "smallbank", "--quick",
+                            "--no-reduce", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "solver calls  : 0 " in out
         assert "cache         : 10 hits, 0 misses" in out
 
 

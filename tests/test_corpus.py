@@ -41,6 +41,16 @@ def test_corpus_case_replays(case: CorpusCase):
 @pytest.mark.parametrize(
     "case", CASES, ids=[c.name for c in CASES]
 )
+def test_corpus_case_replays_on_portfolio(case: CorpusCase):
+    """The racing backend must satisfy every pinned expectation too —
+    a portfolio verdict is one of the two lanes' verdicts, and the
+    expectation resolver accepts the union of both lanes' outcomes."""
+    assert replay_case(case, engines=("portfolio",)) == []
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[c.name for c in CASES]
+)
 def test_corpus_case_roundtrips(case: CorpusCase):
     obj = case_to_obj(case)
     again = case_from_obj(obj, source=case.source)

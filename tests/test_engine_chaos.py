@@ -39,6 +39,14 @@ CFG = CHAOS_CHECK_CONFIG
 POLICY = RetryPolicy(max_attempts=2, backoff_s=0.01)
 
 
+def sweep(*args, **kwargs):
+    """Unreduced pair sweep: chaos injection and the cache-count
+    assertions here are per-pair, and verdict sharing would fan one
+    poisoned representative out to its whole signature class."""
+    kwargs.setdefault("reduce", False)
+    return run_pair_sweep(*args, **kwargs)
+
+
 @pytest.fixture(scope="module")
 def analysis():
     from repro.apps.smallbank import build_app
@@ -48,7 +56,7 @@ def analysis():
 
 @pytest.fixture(scope="module")
 def baseline(analysis):
-    return run_pair_sweep(analysis, CFG)
+    return sweep(analysis, CFG)
 
 
 @pytest.fixture(scope="module")
@@ -83,7 +91,7 @@ class TestPairIsolation:
     def test_crashing_pair_costs_only_itself(self, tmp_path, analysis,
                                              baseline, solver_pairs):
         plan = EngineChaosPlan(crash=frozenset({solver_pairs[0]}))
-        report = run_pair_sweep(
+        report = sweep(
             analysis, CFG, jobs=2, chaos=plan, pair_deadline_s=5.0,
             retry=POLICY, use_cache=True, cache_dir=str(tmp_path),
         )
@@ -96,7 +104,7 @@ class TestPairIsolation:
         assert metrics["mode"] == "parallel"  # the pool survived
         # the unknown was never cached: a chaos-free warm run re-solves
         # exactly that pair and then agrees with the baseline everywhere
-        warm = run_pair_sweep(analysis, CFG, use_cache=True,
+        warm = sweep(analysis, CFG, use_cache=True,
                               cache_dir=str(tmp_path))
         assert warm.metrics["solver_calls"] == 1
         assert untimed(warm) == untimed(baseline)
@@ -107,7 +115,7 @@ class TestPairIsolation:
         plan = EngineChaosPlan(hang=frozenset({solver_pairs[1]}),
                                hang_s=60.0)
         started = time.perf_counter()
-        report = run_pair_sweep(
+        report = sweep(
             analysis, CFG, jobs=2, chaos=plan, pair_deadline_s=deadline_s,
             retry=POLICY,
         )
@@ -121,7 +129,7 @@ class TestPairIsolation:
     def test_flaky_crash_recovers_via_retry(self, analysis, baseline,
                                             solver_pairs):
         plan = EngineChaosPlan(flaky_crash=frozenset({solver_pairs[0]}))
-        report = run_pair_sweep(
+        report = sweep(
             analysis, CFG, jobs=2, chaos=plan, pair_deadline_s=5.0,
             retry=POLICY,
         )
@@ -137,7 +145,7 @@ class TestPairIsolation:
                                hang=frozenset({solver_pairs[2]}),
                                hang_s=60.0)
         started = time.perf_counter()
-        report = run_pair_sweep(
+        report = sweep(
             analysis, CFG, chaos=plan, pair_deadline_s=1.0, retry=POLICY,
         )
         wall = time.perf_counter() - started
@@ -153,9 +161,9 @@ class TestPairIsolation:
 class TestEngineFallback:
     def test_persistent_smt_error_falls_back_to_enum(self, tmp_path,
                                                      analysis, solver_pairs):
-        smt_baseline = run_pair_sweep(analysis, CFG, engine="smt")
+        smt_baseline = sweep(analysis, CFG, engine="smt")
         plan = EngineChaosPlan(smt_error=frozenset({solver_pairs[0]}))
-        report = run_pair_sweep(
+        report = sweep(
             analysis, CFG, engine="smt", chaos=plan, pair_deadline_s=30.0,
             retry=POLICY, use_cache=True, cache_dir=str(tmp_path),
         )
@@ -172,7 +180,7 @@ class TestEngineFallback:
         assert rows[name]["commutativity"] == base_rows[name]["commutativity"]
         assert rows[name]["semantic"] == base_rows[name]["semantic"]
         # tainted (computed on the fallback engine): never cached
-        warm = run_pair_sweep(analysis, CFG, engine="smt", use_cache=True,
+        warm = sweep(analysis, CFG, engine="smt", use_cache=True,
                               cache_dir=str(tmp_path))
         assert warm.metrics["solver_calls"] == 1
 
@@ -183,7 +191,7 @@ class TestPoolDeath:
                                                        solver_pairs):
         plan = EngineChaosPlan(crash=frozenset({solver_pairs[0]}),
                                pool_fail_after=1)
-        report = run_pair_sweep(
+        report = sweep(
             analysis, CFG, jobs=2, chaos=plan, pair_deadline_s=5.0,
             retry=POLICY,
         )
@@ -198,7 +206,7 @@ class TestPoolDeath:
         # With every worker busy when the pool dies, the poison suspects
         # land in the fallback reason (capped, so traces stay bounded).
         plan = EngineChaosPlan(pool_fail_after=0)
-        report = run_pair_sweep(
+        report = sweep(
             analysis, CFG, jobs=2, chaos=plan, pair_deadline_s=5.0,
             retry=POLICY,
         )
@@ -215,7 +223,7 @@ class TestPoolDeath:
 
         monkeypatch.setattr(scheduler_module.multiprocessing,
                             "get_context", broken_context)
-        report = run_pair_sweep(analysis, CFG, jobs=4)
+        report = sweep(analysis, CFG, jobs=4)
         assert report.metrics["mode"] == "serial"
         assert "no spawn for you" in report.metrics["fallback_reason"]
         assert untimed(report) == untimed(baseline)
@@ -227,12 +235,12 @@ class TestCrashSafeCache:
                                                     solver_pairs):
         plan = EngineChaosPlan(abort_after_solved=3)
         with pytest.raises(SweepAborted):
-            run_pair_sweep(analysis, CFG, use_cache=True,
+            sweep(analysis, CFG, use_cache=True,
                            cache_dir=str(tmp_path), checkpoint_every=1,
                            chaos=plan)
         # the checkpointed prefix survives: the warm re-run replays it
         # and re-solves only the tail
-        warm = run_pair_sweep(analysis, CFG, use_cache=True,
+        warm = sweep(analysis, CFG, use_cache=True,
                               cache_dir=str(tmp_path))
         assert warm.metrics["cache_hits"] == 3
         assert warm.metrics["solver_calls"] == len(solver_pairs) - 3
@@ -242,7 +250,7 @@ class TestCrashSafeCache:
                                                      analysis):
         plan = EngineChaosPlan(abort_after_solved=2)
         with pytest.raises(SweepAborted):
-            run_pair_sweep(analysis, CFG, use_cache=True,
+            sweep(analysis, CFG, use_cache=True,
                            cache_dir=str(tmp_path), checkpoint_every=1,
                            chaos=plan)
         cache_file = (Path(tmp_path)
@@ -252,14 +260,14 @@ class TestCrashSafeCache:
 
     def test_corrupt_cache_is_quarantined_mid_pipeline(self, tmp_path,
                                                        analysis, baseline):
-        run_pair_sweep(analysis, CFG, use_cache=True,
+        sweep(analysis, CFG, use_cache=True,
                        cache_dir=str(tmp_path))
         cache_file = (Path(tmp_path)
                       / f"{_safe_name(analysis.app_name)}.json")
         original = cache_file.read_text()
         cache_file.write_text("{broken" + original[:40])
         with pytest.warns(RuntimeWarning, match="quarantined"):
-            report = run_pair_sweep(analysis, CFG, use_cache=True,
+            report = sweep(analysis, CFG, use_cache=True,
                                     cache_dir=str(tmp_path))
         quarantined = cache_file.with_name(cache_file.name
                                            + QUARANTINE_SUFFIX)

@@ -311,8 +311,11 @@ class TestEngineInstrumentation:
                                cache_dir=str(tmp_path))
         hits = reg.value("noctua_engine_cache_hits_total")
         misses = reg.value("noctua_engine_cache_misses_total")
+        shared = reg.value("noctua_engine_class_shared_total")
         assert misses > 0  # cold sweep
-        assert hits == misses  # warm sweep replayed every solved pair
+        # the warm sweep replays every solved pair plus the class
+        # members the cold sweep fanned out into the cache
+        assert hits == misses + shared
 
     def test_unmetered_sweep_is_unchanged(self, courseware_analysis):
         """No registry active: the sweep neither fails nor meters."""

@@ -285,5 +285,7 @@ class TestPipelineTracing:
         assert sweep.kind == "pair-sweep"
         rebuilt = EngineMetrics.from_sweep(sweep).to_dict()
         assert rebuilt == report.metrics
-        assert rebuilt["solver_calls"] == 8
+        # 10 pairs: 2 fast-pruned, 1 class-shared, 7 solved
+        assert rebuilt["solver_calls"] == 7
+        assert rebuilt["shared"] == 1
         assert rebuilt["pruned"] == 2

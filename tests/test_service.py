@@ -38,7 +38,8 @@ from repro.verifier import CheckConfig
 QUICK = CheckConfig(timeout_s=60.0, max_samples=60, max_exhaustive=800)
 
 #: the edit that touches one view (CompleteTask) without changing any
-#: verdict: invalidates exactly the 10 CompleteTask pairs out of 55
+#: verdict: exactly the 10 CompleteTask pairs out of 55 miss the warm
+#: cache and re-solve (todo's creating updates defeat rw-pruning)
 PRIORITY_OLD = "task.done = True"
 PRIORITY_NEW = "task.done = True\n        task.priority = 1"
 

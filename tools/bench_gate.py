@@ -29,15 +29,29 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_FILE = REPO_ROOT / "BENCH_pair_sweep.json"
 
-#: trajectory totals the gate checks, with human-readable names.
+#: trajectory totals the gate checks, as (key, label, unit).
 #: Entries predating a metric carry no value for it: ``check()`` skips
 #: a metric whose baseline is absent/zero, so adding one here stays
 #: backward compatible with the committed trajectory.
 GATED_METRICS = (
-    ("cold_wall_s", "total cold wall time"),
-    ("cold_solve_s", "total cold solve time"),
-    ("incr_warm_wall_s", "incremental one-edit re-verify time"),
+    ("cold_wall_s", "total cold wall time", "s"),
+    ("cold_solve_s", "total cold solve time", "s"),
+    ("incr_warm_wall_s", "incremental one-edit re-verify time", "s"),
+    ("solver_calls", "total cold solver calls", ""),
 )
+
+#: totals reported for context but never gated — the reduction layer's
+#: effect (classes formed, pairs statically pruned) is informative, but
+#: a *drop* in pruning is not by itself a regression (an app change can
+#: legitimately shift pairs between routes).
+REPORTED_METRICS = (
+    ("class_count", "signature classes", ""),
+    ("pruned_pairs", "statically pruned pairs", ""),
+)
+
+
+def _fmt(value: float, unit: str) -> str:
+    return f"{value:.3f}{unit}" if unit else f"{value:.0f}"
 
 
 def config_key(entry: dict) -> tuple:
@@ -61,7 +75,7 @@ def find_baseline(trajectory: list[dict]) -> tuple[dict | None, dict | None]:
 def check(latest: dict, baseline: dict, threshold: float) -> list[str]:
     """Regression messages for every gated metric beyond the threshold."""
     problems: list[str] = []
-    for metric, label in GATED_METRICS:
+    for metric, label, unit in GATED_METRICS:
         new = float(latest.get("totals", {}).get(metric, 0.0))
         old = float(baseline.get("totals", {}).get(metric, 0.0))
         if old <= 1e-9:
@@ -70,8 +84,8 @@ def check(latest: dict, baseline: dict, threshold: float) -> list[str]:
         if ratio > 1.0 + threshold:
             problems.append(
                 f"{label} regressed {ratio - 1.0:+.0%}: "
-                f"{old:.3f}s ({baseline.get('date', '?')}) -> "
-                f"{new:.3f}s ({latest.get('date', '?')}), "
+                f"{_fmt(old, unit)} ({baseline.get('date', '?')}) -> "
+                f"{_fmt(new, unit)} ({latest.get('date', '?')}), "
                 f"threshold +{threshold:.0%}"
             )
     return problems
@@ -117,12 +131,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench_gate: FAIL: {problem}", file=sys.stderr)
     if problems:
         return 1
-    for metric, label in GATED_METRICS:
+    for metric, label, unit in GATED_METRICS:
         new = latest.get("totals", {}).get(metric, 0.0)
         old = baseline.get("totals", {}).get(metric, 0.0)
+        if old <= 1e-9 and new <= 1e-9:
+            continue  # metric absent from both entries
         delta = (new / old - 1.0) if old > 1e-9 else 0.0
-        print(f"bench_gate: ok: {label} {old:.3f}s -> {new:.3f}s "
-              f"({delta:+.0%})")
+        print(f"bench_gate: ok: {label} {_fmt(old, unit)} -> "
+              f"{_fmt(new, unit)} ({delta:+.0%})")
+    for metric, label, unit in REPORTED_METRICS:
+        new = latest.get("totals", {}).get(metric)
+        if new is None:
+            continue
+        old = baseline.get("totals", {}).get(metric)
+        prev = _fmt(float(old), unit) if old is not None else "n/a"
+        print(f"bench_gate: info: {label} {prev} -> "
+              f"{_fmt(float(new), unit)} (not gated)")
     return 0
 
 

@@ -15,6 +15,14 @@ Two checks over the repository's Markdown (README.md + docs/*.md):
    subcommand the real parser accepts must appear as ``noctua <sub>``
    in at least one document, so new CLI surface (e.g. ``serve``,
    ``cache``) cannot ship undocumented.
+4. **Stale metric family names** — every ``noctua_*`` metric token in
+   docs (after stripping Prometheus exposition suffixes
+   ``_bucket``/``_sum``/``_count``) must be declared in the closed
+   catalogue ``repro.metrics.registry.FAMILIES``, so renaming a family
+   breaks the lint, not a dashboard.
+5. **Stale ``--engine`` values** — every engine name documented next to
+   an ``--engine`` flag (``--engine portfolio``, ``--engine
+   enum|smt|portfolio``) must be a real choice of the argparse parser.
 
 Run directly (``python tools/docs_lint.py``) or via ``make docs-lint``;
 exits non-zero with one line per problem.
@@ -35,6 +43,13 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 #: invocations, so flags are also collected line-by-line after a match.
 CLI_RE = re.compile(r"\bnoctua\s+([a-z-]+)([^`\n#|)]*)")
 FLAG_RE = re.compile(r"(--[a-z][a-z-]*)")
+#: metric family tokens; label sets (`{tag=...}`) and exposition
+#: suffixes are handled by the checker, not the regex
+METRIC_RE = re.compile(r"\bnoctua_[a-z0-9_]+")
+#: documented engine values: `--engine portfolio`, `--engine enum|smt`
+ENGINE_RE = re.compile(r"--engine[= ]([a-z][a-z|-]*)")
+#: Prometheus exposition suffixes that are not part of the family name
+EXPOSITION_SUFFIXES = ("_bucket", "_sum", "_count")
 
 
 def doc_files() -> list[str]:
@@ -141,8 +156,60 @@ def check_cli(path: str, text: str, table: dict[str, set[str]],
     return problems
 
 
+def metric_families() -> set[str]:
+    from repro.metrics.registry import FAMILIES
+
+    return set(FAMILIES)
+
+
+def engine_choices(table_parser: argparse.ArgumentParser) -> set[str]:
+    """Every value any subcommand's ``--engine`` option accepts."""
+    choices: set[str] = set()
+    for action in table_parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for sub in action.choices.values():
+                for sub_action in sub._actions:
+                    if "--engine" in sub_action.option_strings:
+                        choices.update(sub_action.choices or ())
+    return choices
+
+
+def check_metrics(path: str, text: str, families: set[str]) -> list[str]:
+    problems = []
+    rel = os.path.relpath(path, REPO)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for token in METRIC_RE.findall(line):
+            name = token
+            for suffix in EXPOSITION_SUFFIXES:
+                if name not in families and name.endswith(suffix):
+                    name = name[: -len(suffix)]
+                    break
+            if name not in families:
+                problems.append(
+                    f"{rel}:{lineno}: unknown metric family '{token}' "
+                    f"(not declared in repro.metrics.registry.FAMILIES)"
+                )
+    return problems
+
+
+def check_engines(path: str, text: str, choices: set[str]) -> list[str]:
+    problems = []
+    rel = os.path.relpath(path, REPO)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for group in ENGINE_RE.findall(line):
+            for value in group.split("|"):
+                if value and value not in choices:
+                    problems.append(
+                        f"{rel}:{lineno}: '--engine {value}' is not a "
+                        f"real engine choice {sorted(choices)}"
+                    )
+    return problems
+
+
 def main() -> int:
     table = cli_flag_table()
+    families = metric_families()
+    engines = engine_choices(build_parser())
     problems: list[str] = []
     used: set[str] = set()
     for path in doc_files():
@@ -150,6 +217,8 @@ def main() -> int:
             text = f.read()
         problems += check_links(path, text)
         problems += check_cli(path, text, table, used)
+        problems += check_metrics(path, text, families)
+        problems += check_engines(path, text, engines)
     for sub in sorted(set(table) - used):
         problems.append(
             f"README.md/docs: subcommand 'noctua {sub}' is documented "
