@@ -3,8 +3,8 @@
 PYTHON ?= python3
 
 .PHONY: install test test-fast coverage bench bench-full bench-sweep \
-	bench-gate examples chaos engine-chaos difftest trace-demo \
-	metrics-demo serve-demo docs-lint clean
+	bench-gate examples chaos engine-chaos difftest difftest-directed \
+	trace-demo metrics-demo serve-demo docs-lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,14 @@ coverage:
 difftest:
 	$(PYTHON) -m repro difftest --seeds 50 --timeout 4
 	$(PYTHON) -m repro difftest --replay
+
+# Slow: the full acceptance sweep — directed pair walk at the 300-eval
+# budget, a k=3 DPOR schedule sweep, and the directed-vs-random A/B
+# benchmark (asserts directed strictly wins and pruning stays <= 50%).
+difftest-directed:
+	$(PYTHON) -m repro difftest --directed --seeds 5 --budget 300 --shrink
+	$(PYTHON) -m repro difftest --directed --seeds 5 --budget 200 --k 3 --shrink
+	$(PYTHON) benchmarks/bench_directed_ab.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,213 @@
+"""Directed-vs-random A/B benchmark for differential test generation.
+
+The PR's headline claim, measured: on the **same oracle-probe budget
+over the same seed block**, the directed walk (witness-seeded mutation
+scored by distance-to-flip) discovers strictly more distinct
+verdict-flip boundary cases than unscored random mutation.  Both arms
+run the identical engine — same probe, same mutation operators, same
+per-seed RNG derivation — differing only in parent selection (scored
+frontier vs uniform), operator bias (toward the boundary vs uniform)
+and witness seeding (on vs off), so the delta isolates the *directed*
+part.  The run **asserts** the strict inequality; a regression that
+blunts the scoring function fails the benchmark, not just a dashboard.
+
+Also records the DPOR economics on the k=3 benchmark block: the
+sleep-set pruner must explore at most half of the full ``k!``
+interleavings in aggregate while reaching verdicts identical to
+brute-force enumeration (the per-case equivalence is pinned by
+``tests/test_difftest_dpor.py``; this benchmark re-measures the
+aggregate ratio so the number in the JSON is always fresh).
+
+Writes ``BENCH_directed_ab.json`` at the repo root in the standard
+two-part shape: ``current`` (the full latest result) and ``trajectory``
+(an append-only list of dated per-run summaries — committed history
+accumulates across PRs).
+
+Runs standalone: ``python benchmarks/bench_directed_ab.py [--smoke]``.
+``--smoke`` shrinks the budget for a fast CI pass; the committed
+trajectory should come from full runs (default: 300 evals over 5
+seeds, the budget named in the acceptance criteria).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_directed_ab.json"
+
+#: the k=3 seed block the DPOR aggregate is measured on (kept in sync
+#: with tests/test_difftest_dpor.py::TestVerdictEquivalence.SEEDS).
+DPOR_SEEDS = range(0, 18)
+
+
+def run_arm(mode: str, *, seeds: int, budget: int) -> dict:
+    from repro.difftest.directed import DirectedConfig, run_directed
+
+    config = DirectedConfig(budget=budget, mode=mode)
+    started = time.perf_counter()
+    report = run_directed(seeds, config=config)
+    wall = time.perf_counter() - started
+    return {
+        "mode": mode,
+        "seeds": seeds,
+        "budget": budget,
+        "evals": report.evals,
+        "flips": len(report.flips),
+        "distinct_flips": report.distinct_flips,
+        "mismatches": len(report.mismatches),
+        "first_levels": report.to_obj()["first_levels"],
+        "wall_s": round(wall, 4),
+    }
+
+
+def dpor_economics() -> dict:
+    """Pruned vs full schedule counts over the k=3 benchmark block,
+    with verdict-identical results re-asserted."""
+    from repro.difftest.dpor import run_schedule_oracle
+    from repro.difftest.gen import generate_case_k
+    from repro.difftest.oracle import OracleConfig
+
+    cfg = OracleConfig(max_states=12, max_env_pairs=16, max_combos=400)
+    explored = full = divergent = 0
+    verdicts_agree = True
+    for seed in DPOR_SEEDS:
+        case = generate_case_k(seed, 3)
+        pruned = run_schedule_oracle(case.paths, case.schema, cfg)
+        brute = run_schedule_oracle(case.paths, case.schema, cfg,
+                                    prune=False)
+        if (pruned.divergence is None) != (brute.divergence is None):
+            verdicts_agree = False
+        explored += pruned.schedules_explored
+        full += pruned.schedules_full
+        divergent += pruned.divergence is not None
+    return {
+        "k": 3,
+        "seeds": len(DPOR_SEEDS),
+        "schedules_explored": explored,
+        "schedules_full": full,
+        "pruning_ratio": round(explored / full, 4),
+        "divergent_cases": divergent,
+        "verdicts_agree_with_bruteforce": verdicts_agree,
+    }
+
+
+def trajectory_entry(result: dict, *, date: str, label: str = "") -> dict:
+    directed = result["directed"]
+    rand = result["random"]
+    entry = {
+        "date": date,
+        "budget": directed["budget"],
+        "directed_distinct_flips": directed["distinct_flips"],
+        "random_distinct_flips": rand["distinct_flips"],
+        "advantage": directed["distinct_flips"] - rand["distinct_flips"],
+        "dpor_pruning_ratio": result["dpor"]["pruning_ratio"],
+        "mismatches": directed["mismatches"] + rand["mismatches"],
+        "smoke": result["smoke"],
+    }
+    if label:
+        entry["label"] = label
+    return entry
+
+
+def load_trajectory(out_path: pathlib.Path) -> list[dict]:
+    if not out_path.exists():
+        return []
+    try:
+        previous = json.loads(out_path.read_text())
+    except (OSError, ValueError):
+        return []
+    if isinstance(previous.get("trajectory"), list):
+        return previous["trajectory"]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="walks per arm (default: 5)")
+    parser.add_argument("--budget", type=int, default=300,
+                        help="probe evaluations per arm (default: 300, "
+                             "the acceptance budget)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny budget for a fast CI pass "
+                             "(3 seeds x 90 evals)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="output JSON path")
+    parser.add_argument("--label", default="",
+                        help="free-form tag recorded on the trajectory "
+                             "entry")
+    args = parser.parse_args(argv)
+
+    seeds, budget = args.seeds, args.budget
+    if args.smoke:
+        seeds, budget = 3, 90
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    print(f"directed arm: {seeds} seeds x {budget} evals ...")
+    directed = run_arm("directed", seeds=seeds, budget=budget)
+    print(f"  {directed['distinct_flips']} distinct flips "
+          f"({directed['flips']} total) in {directed['wall_s']}s")
+    print(f"random arm:   {seeds} seeds x {budget} evals ...")
+    rand = run_arm("random", seeds=seeds, budget=budget)
+    print(f"  {rand['distinct_flips']} distinct flips "
+          f"({rand['flips']} total) in {rand['wall_s']}s")
+    print("dpor economics (k=3 block) ...")
+    dpor = dpor_economics()
+    print(f"  explored {dpor['schedules_explored']}/"
+          f"{dpor['schedules_full']} schedules "
+          f"(ratio {dpor['pruning_ratio']}), "
+          f"{dpor['divergent_cases']} divergent case(s)")
+
+    failures: list[str] = []
+    if directed["distinct_flips"] <= rand["distinct_flips"]:
+        failures.append(
+            f"directed must beat random at equal budget: "
+            f"{directed['distinct_flips']} <= {rand['distinct_flips']}"
+        )
+    if dpor["pruning_ratio"] > 0.5:
+        failures.append(
+            f"DPOR must explore at most half of k! in aggregate: "
+            f"ratio {dpor['pruning_ratio']}"
+        )
+    if not dpor["verdicts_agree_with_bruteforce"]:
+        failures.append("pruned and brute-force verdicts disagree")
+    if directed["mismatches"] or rand["mismatches"]:
+        failures.append(
+            f"engine mismatches found: directed={directed['mismatches']} "
+            f"random={rand['mismatches']} — shrink and pin them "
+            f"(noctua difftest --directed --shrink)"
+        )
+
+    result = {
+        "directed": directed,
+        "random": rand,
+        "dpor": dpor,
+        "smoke": args.smoke,
+        "ok": not failures,
+        "failures": failures,
+    }
+
+    out_path = pathlib.Path(args.out)
+    today = datetime.date.today().isoformat()
+    trajectory = load_trajectory(out_path)
+    trajectory.append(trajectory_entry(result, date=today,
+                                       label=args.label))
+    out_path.write_text(json.dumps(
+        {"current": result, "trajectory": trajectory}, indent=2,
+        sort_keys=True,
+    ) + "\n")
+    print(f"wrote {out_path} ({len(trajectory)} trajectory entries)")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -444,6 +444,8 @@ def cmd_difftest(args) -> int:
         return 1 if failures else 0
 
     config = CheckConfig(timeout_s=args.timeout)
+    if args.directed:
+        return _difftest_directed(args, config)
     report = run_difftest(
         args.seeds, start=args.start, check_config=config, log=print,
     )
@@ -471,6 +473,63 @@ def cmd_difftest(args) -> int:
                 name=f"difftest-seed{m.seed}-{m.check}",
                 schema=schema, p=p, q=q,
                 origin=f"noctua difftest seed {m.seed}, shrunk",
+                description=f"{m.kind}: {m.detail}",
+            )
+            out = save_corpus_case(case, args.corpus)
+            print(f"  pinned {out} "
+                  f"({len(p.commands)}+{len(q.commands)} commands); "
+                  f"fill in 'expect' after triage (docs/DIFFTEST.md)")
+    return 1
+
+
+def _difftest_directed(args, config) -> int:
+    from collections import Counter
+
+    from .difftest import save_corpus_case, shrink_case
+    from .difftest.corpus import CorpusCase
+    from .difftest.crosscheck import mismatch_keys
+    from .difftest.directed import DirectedConfig, run_directed
+
+    dcfg = DirectedConfig(
+        budget=args.budget, k=args.k, isolation=args.isolation,
+        mode=args.mode,
+    )
+    report = run_directed(
+        args.seeds, start=args.start, config=dcfg,
+        check_config=config, log=print,
+    )
+    levels = Counter(f.first_level or dcfg.isolation for f in report.flips)
+    print(f"{report.evals} probe eval(s) in {report.elapsed_s:.1f} s, "
+          f"{len(report.flips)} flip(s) "
+          f"({report.distinct_flips} distinct boundary case(s)), "
+          f"{len(report.mismatches)} mismatch(es)")
+    if levels:
+        print("  first diverging level: "
+              + ", ".join(f"{lv}={n}" for lv, n in sorted(levels.items())))
+    if report.stats.get("crosscheck_drops"):
+        print(f"  crosscheck_drops: {report.stats['crosscheck_drops']} "
+              f"(flips beyond the per-seed engine-check cap)")
+    if not report.mismatches:
+        return 0
+    if args.shrink:
+        seen: set = set()
+        for m in report.mismatches:
+            if m.schema is None or (m.seed, m.key) in seen:
+                continue
+            seen.add((m.seed, m.key))
+            print(f"shrinking seed {m.seed} ({m.kind}/{m.check}) ...")
+
+            def pred(schema, p, q, _key=m.key):
+                return _key in mismatch_keys(p, q, schema,
+                                             check_config=config)
+
+            schema, p, q = shrink_case(m.schema, m.p, m.q, pred)
+            case = CorpusCase(
+                name=f"directed-seed{m.seed}-{m.kind}",
+                schema=schema, p=p, q=q,
+                origin=(f"noctua difftest --directed seed {m.seed} "
+                        f"(isolation={dcfg.isolation}, k={dcfg.k}), "
+                        f"shrunk"),
                 description=f"{m.kind}: {m.detail}",
             )
             out = save_corpus_case(case, args.corpus)
@@ -761,6 +820,24 @@ def main(argv: list[str] | None = None) -> int:
     p_diff.add_argument("--timeout", type=float, default=2.0, metavar="S",
                         help="per-check solver timeout in seconds "
                              "(default: 2.0)")
+    p_diff.add_argument("--directed", action="store_true",
+                        help="witness-seeded boundary walk instead of "
+                             "blind sampling: mutate cases toward verdict "
+                             "flips and cross-check every flip")
+    p_diff.add_argument("--budget", type=int, default=300, metavar="N",
+                        help="with --directed: total probe evaluations, "
+                             "split evenly across seeds (default: 300)")
+    p_diff.add_argument("--isolation", default="por",
+                        choices=("por", "causal", "eventual"),
+                        help="with --directed: oracle witness "
+                             "admissibility level (default: por)")
+    p_diff.add_argument("--k", type=int, default=2, metavar="K",
+                        help="with --directed: paths per case; k >= 3 "
+                             "probes DPOR-pruned schedules (default: 2)")
+    p_diff.add_argument("--mode", default="directed",
+                        choices=("directed", "random"),
+                        help="with --directed: 'random' runs the unscored "
+                             "A/B baseline arm (default: directed)")
 
     p_echaos = sub.add_parser(
         "engine-chaos",

@@ -22,34 +22,67 @@ design* instead of by accident:
   a mismatching case to a minimal schema + command list;
 * :mod:`repro.difftest.corpus` — a pinned-corpus format + replayer so
   every mismatch ever found becomes a permanent regression test
-  (``tests/corpus/``).
+  (``tests/corpus/``);
+* :mod:`repro.difftest.directed` — a directed-generation engine that
+  walks the restricted↔unrestricted boundary by witness-seeded mutation
+  instead of blind sampling;
+* :mod:`repro.difftest.dpor` — the k-path schedule oracle with
+  sleep-set DPOR pruning over footprint independence.
 
-Entry point: ``noctua difftest --seeds N [--shrink] [--replay]``.
+Entry points: ``noctua difftest --seeds N [--shrink] [--replay]`` and
+``noctua difftest --directed [--budget N] [--isolation LEVEL] [--k 3]``.
 """
 
 from .corpus import CorpusCase, load_corpus, replay_case, save_corpus_case
 from .crosscheck import CrossCheckResult, DiffTestReport, Mismatch, cross_check, run_difftest
-from .gen import GenConfig, GeneratedCase, generate_analysis, generate_case, generate_schema
-from .oracle import OracleConfig, OracleReport, run_oracle
+from .directed import DirectedConfig, DirectedReport, FlipRecord, probe_case, run_directed
+from .dpor import KScheduleReport, KWitness, dpor_schedules, run_schedule_oracle
+from .gen import (
+    GenConfig,
+    GeneratedCase,
+    generate_analysis,
+    generate_case,
+    generate_case_k,
+    generate_schema,
+)
+from .oracle import (
+    ISOLATION_LEVELS,
+    OracleConfig,
+    OracleReport,
+    first_divergence_level,
+    run_oracle,
+)
 from .shrink import shrink_case
 
 __all__ = [
     "CorpusCase",
     "CrossCheckResult",
     "DiffTestReport",
+    "DirectedConfig",
+    "DirectedReport",
+    "FlipRecord",
     "GenConfig",
     "GeneratedCase",
+    "ISOLATION_LEVELS",
+    "KScheduleReport",
+    "KWitness",
     "Mismatch",
     "OracleConfig",
     "OracleReport",
     "cross_check",
+    "dpor_schedules",
+    "first_divergence_level",
     "generate_analysis",
     "generate_case",
+    "generate_case_k",
     "generate_schema",
     "load_corpus",
     "replay_case",
+    "probe_case",
     "run_difftest",
+    "run_directed",
     "run_oracle",
+    "run_schedule_oracle",
     "save_corpus_case",
     "shrink_case",
 ]

@@ -58,6 +58,11 @@ class Mismatch:
     schema: Schema | None = None
     p: CodePath | None = None
     q: CodePath | None = None
+    #: structured engine witness environments, when an engine produced a
+    #: concrete counterexample for the same pair (directed difftest
+    #: harvests these to seed its mutation walk).
+    env_p: dict | None = None
+    env_q: dict | None = None
 
     @property
     def key(self) -> tuple[str, str]:

@@ -1,0 +1,963 @@
+"""Directed differential test generation (CLOTHO-style boundary walk).
+
+Random difftest samples (schema, paths) cases blindly and hopes to land
+near interesting verdicts.  This module *steers*: starting from a seeded
+random case, it walks a mutation graph whose moves are the constraint
+and guard edits that move a case across the restricted↔unrestricted
+boundary — tighten/loosen ``unique`` / ``unique_together`` /
+``min_value``, add/remove guard reads, perturb literal argument domains
+— scoring every mutant by **distance to a verdict flip** and expanding
+the frontier closest to the boundary.  Verdict flips are exactly the
+cases where the engines' decision surface is thinnest, which is where
+bounded-scope soundness bugs live (Rahmani et al.'s CLOTHO makes the
+same observation for weak-consistency bugs; see PAPERS.md).
+
+The verdict source for the walk is a *probe*: a budget-capped concrete
+scan through the oracle's state × environment enumeration that counts
+diverging/invalidating combinations instead of stopping at the first
+witness.  Probes are two to three orders of magnitude cheaper than an
+engine call, so the walk spends its budget exploring; the engines are
+consulted only at flips, where a full cross-check runs and any
+:class:`~repro.difftest.crosscheck.Mismatch` is routed through the
+normal ddmin shrinker into the pinned corpus.
+
+Witness seeding: every concrete witness the walk encounters — oracle
+witnesses from probes, and structured ``Counterexample`` environments
+harvested from the engines at flip cross-checks — feeds its argument
+values and touched columns back into the walk (probe enumeration pools
+and mutation targeting), so later steps search near states that already
+broke something.
+
+Determinism contract: a walk is a pure function of (seed, per-seed
+budget, config).  Each seed's walk derives its own ``random.Random`` —
+never shared across seeds — so ``--seeds 5`` equals ``--seeds 3`` plus
+``--start 3 --seeds 2`` when the per-seed budget is held fixed
+(``budget`` is split evenly across seeds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..engine.reduction import canonical_case, rw_footprint
+from ..metrics.registry import inc as _metric_inc
+from ..metrics.registry import observe as _metric_observe
+from ..soir import commands as C
+from ..soir import expr as E
+from ..soir.interp import Interpreter, InterpError, PathAborted, apply_path, run_path
+from ..soir.path import CodePath
+from ..soir.schema import Schema
+from ..soir.state import DBState
+from ..soir.types import INT, STRING, Comparator
+from ..soir.validate import validate_path
+from ..verifier.enumcheck import CheckConfig
+from ..verifier.restrictions import Outcome
+from ..verifier.runner import verify_pair
+from .crosscheck import Mismatch, cross_check
+from .dpor import dependency_matrix, dpor_schedules, run_schedule_oracle
+from .gen import GenConfig, generate_case_k
+from .shrink import _rewrite_path
+from .oracle import (
+    ISOLATION_LEVELS,
+    OracleConfig,
+    _collect_args,
+    _Domains,
+    enumerate_env_vectors,
+    enumerate_states,
+    feasibility_states,
+    first_divergence_level,
+    schema_violations,
+)
+
+_WALK_SALT = 0x9E3779B97F4A7C15
+
+
+@dataclass(frozen=True)
+class DirectedConfig:
+    """Budgets and strategy knobs of the directed walk."""
+
+    #: total probe evaluations, split evenly across seeds.
+    budget: int = 300
+    #: paths per case; k >= 3 probes DPOR-pruned schedules.
+    k: int = 2
+    #: oracle admissibility level for probe witnesses.
+    isolation: str = "por"
+    #: "directed" scores and steers; "random" is the unscored A/B arm
+    #: (uniform parent pick, uniform operator pick, no witness seeding).
+    mode: str = "directed"
+    # -- probe budgets (a probe must stay ~100x cheaper than an engine
+    # call; these bounds size it for generated two-model schemas) -------
+    probe_states: int = 8
+    probe_env_vectors: int = 12
+    probe_combos: int = 240
+    rows_per_model: int = 2
+    #: operator draws per expansion before falling back to a fresh case.
+    mutation_attempts: int = 12
+    #: directed parent selection samples among the best this many nodes.
+    frontier_top: int = 6
+    #: engine cross-checks per seed walk (flips beyond this are recorded
+    #: but not engine-checked; the report counts the drops).
+    max_crosschecks_per_seed: int = 6
+    gen: GenConfig = GenConfig()
+
+    def probe_oracle(self) -> OracleConfig:
+        return OracleConfig(
+            rows_per_model=self.rows_per_model,
+            max_states=self.probe_states,
+            max_env_pairs=self.probe_env_vectors,
+            max_combos=self.probe_combos,
+            isolation=self.isolation,
+        )
+
+
+@dataclass
+class ProbeResult:
+    """One bounded concrete evaluation of a case."""
+
+    restricted: bool
+    #: distance-to-flip: (0, 1] when restricted (diverging fraction —
+    #: smaller is closer to the boundary), [1, 2] when unrestricted
+    #: (footprint overlap + guard margins — smaller is closer).
+    score: float
+    div_frac: float = 0.0
+    combos: int = 0
+    #: (model, field) cells concrete divergences touched — mutation bias.
+    hot: frozenset = frozenset()
+    #: argument values harvested from concrete witnesses.
+    witness_values: tuple = ()
+    schedules_explored: int = 0
+    schedules_full: int = 0
+
+
+@dataclass
+class FlipRecord:
+    """One mutation step that crossed the verdict boundary."""
+
+    seed: int
+    step: int
+    op: str
+    direction: str  # "restricting" | "relaxing"
+    digest_restricted: str
+    digest_unrestricted: str
+    isolation: str
+    #: first isolation level at which the restricted side diverges
+    #: (pair cases only; k-path flips carry the walk's level).
+    first_level: str | None
+    schema: Schema
+    paths: tuple[CodePath, ...]          # the restricted side
+    other_schema: Schema
+    other_paths: tuple[CodePath, ...]    # the unrestricted side
+
+    @property
+    def boundary_key(self) -> tuple[str, str]:
+        pair = sorted((self.digest_restricted, self.digest_unrestricted))
+        return (pair[0], pair[1])
+
+    def to_obj(self) -> dict:
+        return {
+            "seed": self.seed,
+            "step": self.step,
+            "op": self.op,
+            "direction": self.direction,
+            "digest_restricted": self.digest_restricted,
+            "digest_unrestricted": self.digest_unrestricted,
+            "isolation": self.isolation,
+            "first_level": self.first_level,
+            "paths": [p.name for p in self.paths],
+        }
+
+
+@dataclass
+class DirectedReport:
+    """Aggregate result of one directed (or random-arm) run."""
+
+    start: int
+    seeds: int
+    budget: int
+    k: int
+    isolation: str
+    mode: str
+    evals: int = 0
+    flips: list[FlipRecord] = field(default_factory=list)
+    mismatches: list[Mismatch] = field(default_factory=list)
+    stats: Counter = field(default_factory=Counter)
+    elapsed_s: float = 0.0
+
+    @property
+    def boundary_keys(self) -> set[tuple[str, str]]:
+        return {f.boundary_key for f in self.flips}
+
+    @property
+    def distinct_flips(self) -> int:
+        return len(self.boundary_keys)
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches
+
+    def to_obj(self) -> dict:
+        levels = Counter(
+            f.first_level or "none" for f in self.flips
+        )
+        return {
+            "start": self.start,
+            "seeds": self.seeds,
+            "budget": self.budget,
+            "k": self.k,
+            "isolation": self.isolation,
+            "mode": self.mode,
+            "evals": self.evals,
+            "flips": len(self.flips),
+            "distinct_flips": self.distinct_flips,
+            "mismatches": len(self.mismatches),
+            "first_levels": dict(levels),
+            "stats": dict(self.stats),
+            "elapsed_s": self.elapsed_s,
+            "flip_records": [f.to_obj() for f in self.flips],
+        }
+
+
+# ---------------------------------------------------------------------------
+# The probe
+# ---------------------------------------------------------------------------
+
+
+def _diff_cells(a: DBState, b: DBState) -> set:
+    """The (model, field) cells — and (model, None) row-presence slots —
+    on which two states disagree."""
+    out: set = set()
+    for model in set(a.tables) | set(b.tables):
+        ta = a.tables.get(model, {})
+        tb = b.tables.get(model, {})
+        for pk in set(ta) | set(tb):
+            ra, rb = ta.get(pk), tb.get(pk)
+            if ra is None or rb is None:
+                out.add((model, None))
+                continue
+            for f in set(ra) | set(rb):
+                if repr(ra.get(f)) != repr(rb.get(f)):
+                    out.add((model, f))
+    for rel in set(a.assocs) | set(b.assocs):
+        if a.assocs.get(rel, set()) != b.assocs.get(rel, set()):
+            out.add((rel, None))
+    return out
+
+
+def _guard_margin(
+    path: CodePath, state: DBState, env: dict, schema: Schema,
+) -> float | None:
+    """The smallest |left - right| over the path's numeric guard
+    comparisons evaluated at ``state`` — how far the nearest guard is
+    from flipping.  ``None`` when no numeric guard evaluates."""
+    interp = Interpreter(schema, state.clone(), env)
+    best: float | None = None
+    numeric_ops = (Comparator.GE, Comparator.LE, Comparator.GT, Comparator.LT)
+    for cmd in path.commands:
+        if not isinstance(cmd, C.Guard):
+            continue
+        cond = cmd.cond
+        if not (isinstance(cond, E.Cmp) and cond.op in numeric_ops):
+            continue
+        try:
+            left = interp.eval(cond.left)
+            right = interp.eval(cond.right)
+        except (PathAborted, InterpError):
+            continue
+        if (isinstance(left, (int, float)) and isinstance(right, (int, float))
+                and not isinstance(left, bool)
+                and not isinstance(right, bool)):
+            margin = abs(float(left) - float(right))
+            best = margin if best is None else min(best, margin)
+    return best
+
+
+def _footprint_overlap(paths, schema: Schema) -> float:
+    """Fraction of the combined write surface in rw-conflict, maximized
+    over path pairs: 0 = provably independent, 1 = fully conflicting."""
+    prints = [rw_footprint(p, schema) for p in paths]
+    best = 0.0
+    for i in range(len(paths)):
+        ri, wi = prints[i]
+        for j in range(i + 1, len(paths)):
+            rj, wj = prints[j]
+            conflict = (wi & (rj | wj)) | (wj & (ri | wi))
+            denom = len(wi | wj)
+            if denom:
+                best = max(best, len(conflict) / denom)
+    return best
+
+
+def _harvest_values(*envs: dict) -> tuple:
+    out = []
+    for env in envs:
+        for v in env.values():
+            if isinstance(v, bool) or v is None:
+                continue
+            if isinstance(v, (int, str)) and v not in out:
+                out.append(v)
+    return tuple(out[:6])
+
+
+def _inject_values(domains: _Domains, values: tuple) -> None:
+    """Feed harvested witness values into the probe's enumeration pools
+    (bounded, so pools cannot grow without bound along a walk)."""
+    for v in values:
+        t = STRING if isinstance(v, str) else INT
+        pool = domains.by_type.get(t, [])
+        if v not in pool:
+            domains.by_type[t] = pool + [v]
+    for t in (INT, STRING):
+        pool = domains.by_type.get(t)
+        if pool and len(pool) > 9:
+            domains.by_type[t] = pool[-9:]
+
+
+def probe_case(
+    schema: Schema,
+    paths: tuple[CodePath, ...],
+    config: DirectedConfig,
+    *,
+    seed_values: tuple = (),
+) -> ProbeResult:
+    """One bounded concrete evaluation: counts diverging / invalidating
+    (state, env) combinations instead of stopping at the first witness,
+    so the count doubles as a distance-to-flip signal."""
+    ocfg = config.probe_oracle()
+    domains = _Domains(schema, paths, ocfg)
+    if seed_values and config.mode == "directed":
+        _inject_values(domains, seed_values)
+    states = enumerate_states(schema, domains, ocfg)
+    args_list = [_collect_args(p) for p in paths]
+    vectors = enumerate_env_vectors(args_list, domains, ocfg)
+    if len(paths) >= 3:
+        return _probe_schedules(
+            schema, paths, states, vectors, domains, ocfg, config,
+        )
+    return _probe_pair(schema, paths, states, vectors, domains, ocfg)
+
+
+def _make_feasible(schema, paths, states, domains, ocfg):
+    feas_states: list = []
+    feas_cache: dict = {}
+
+    def feasible(idx: int, env: dict) -> bool:
+        key = (idx, tuple(sorted((k, repr(v)) for k, v in env.items())))
+        hit = feas_cache.get(key)
+        if hit is not None:
+            return hit
+        if not feas_states:
+            feas_states.extend(
+                feasibility_states(schema, domains, states, ocfg)
+            )
+        ok = any(
+            run_path(paths[idx], s, env, schema).committed
+            for s in feas_states
+        )
+        feas_cache[key] = ok
+        return ok
+
+    return feasible
+
+
+def _admissible(level, feasible, paths, envs, state, schema) -> bool:
+    if level == "eventual":
+        return True
+    for i, env in enumerate(envs):
+        if feasible(i, env):
+            continue
+        if level == "causal" and any(
+            run_path(paths[i],
+                     apply_path(paths[j], state, envs[j], schema),
+                     env, schema).committed
+            for j in range(len(paths)) if j != i
+        ):
+            continue
+        return False
+    return True
+
+
+def _probe_pair(
+    schema, paths, states, vectors, domains, ocfg,
+) -> ProbeResult:
+    p, q = paths
+    feasible = _make_feasible(schema, paths, states, domains, ocfg)
+    checked = div = sem = 0
+    hot: set = set()
+    witness_values: tuple = ()
+    margins: list[float] = []
+    for state in states:
+        for envs in vectors:
+            if checked >= ocfg.max_combos:
+                break
+            checked += 1
+            env_p, env_q = envs
+            s_p = apply_path(p, state, env_p, schema)
+            s_q = apply_path(q, state, env_q, schema)
+            s_pq = apply_path(q, s_p, env_q, schema)
+            s_qp = apply_path(p, s_q, env_p, schema)
+            if not s_pq.same_state(s_qp) and _admissible(
+                ocfg.isolation, feasible, paths, envs, state, schema,
+            ):
+                div += 1
+                hot |= _diff_cells(s_pq, s_qp)
+                if not witness_values:
+                    witness_values = _harvest_values(env_p, env_q)
+            out_p = run_path(p, state, env_p, schema)
+            out_q = run_path(q, state, env_q, schema)
+            if not (out_p.committed and out_q.committed):
+                continue
+            invalidated = (
+                not run_path(p, out_q.state, env_p, schema).committed
+                or not run_path(q, out_p.state, env_q, schema).committed
+            )
+            if invalidated:
+                sem += 1
+                if not witness_values:
+                    witness_values = _harvest_values(env_p, env_q)
+            else:
+                for path, env, after in ((p, env_p, out_q.state),
+                                         (q, env_q, out_p.state)):
+                    margin = _guard_margin(path, after, env, schema)
+                    if margin is not None:
+                        margins.append(margin)
+    restricted = (div + sem) > 0
+    if restricted:
+        frac = (div + sem) / max(1, checked)
+        score = max(frac, 1e-6)
+    else:
+        overlap = _footprint_overlap(paths, schema)
+        margin_norm = min(1.0, min(margins) / 4.0) if margins else 1.0
+        score = 1.0 + 0.5 * (1.0 - overlap) + 0.5 * margin_norm
+    return ProbeResult(
+        restricted=restricted,
+        score=score,
+        div_frac=(div + sem) / max(1, checked),
+        combos=checked,
+        hot=frozenset(hot),
+        witness_values=witness_values,
+    )
+
+
+def _probe_schedules(
+    schema, paths, states, vectors, domains, ocfg, config,
+) -> ProbeResult:
+    """k >= 3: divergence across the DPOR-pruned schedule set."""
+    k = len(paths)
+    dep = dependency_matrix(paths, schema)
+    schedules = dpor_schedules(k, dep)
+    full = 1
+    for i in range(2, k + 1):
+        full *= i
+    _metric_observe("noctua_difftest_directed_schedules", len(schedules))
+    feasible = _make_feasible(schema, paths, states, domains, ocfg)
+    checked = div = 0
+    hot: set = set()
+    witness_values: tuple = ()
+    for state in states:
+        for envs in vectors:
+            if checked >= ocfg.max_combos:
+                break
+            checked += 1
+            finals = []
+            for sched in schedules:
+                s = state
+                for idx in sched:
+                    s = apply_path(paths[idx], s, envs[idx], schema)
+                finals.append(s)
+            base = finals[0]
+            diverged = next(
+                (f for f in finals[1:] if not f.same_state(base)), None,
+            )
+            if diverged is not None and _admissible(
+                ocfg.isolation, feasible, paths, envs, state, schema,
+            ):
+                div += 1
+                hot |= _diff_cells(base, diverged)
+                if not witness_values:
+                    witness_values = _harvest_values(*envs)
+    restricted = div > 0
+    if restricted:
+        score = max(div / max(1, checked), 1e-6)
+    else:
+        overlap = _footprint_overlap(paths, schema)
+        score = 1.0 + 0.5 * (1.0 - overlap) + 0.5
+    return ProbeResult(
+        restricted=restricted,
+        score=score,
+        div_frac=div / max(1, checked),
+        combos=checked,
+        hot=frozenset(hot),
+        witness_values=witness_values,
+        schedules_explored=len(schedules),
+        schedules_full=full,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Mutation operators
+# ---------------------------------------------------------------------------
+
+
+def _replace_model(schema: Schema, model) -> Schema:
+    models = dict(schema.models)
+    models[model.name] = model
+    return Schema(models=models, relations=dict(schema.relations))
+
+
+def _replace_field(schema: Schema, mname: str, fname: str, **changes) -> Schema:
+    model = schema.models[mname]
+    fields = tuple(
+        dataclasses.replace(f, **changes) if f.name == fname else f
+        for f in model.fields
+    )
+    return _replace_model(schema, dataclasses.replace(model, fields=fields))
+
+
+def _pick_field(rng, schema, hot, *, types=None, pred=None):
+    """A (model, field) target, biased toward the probe's hot cells."""
+    candidates = []
+    for mname, model in sorted(schema.models.items()):
+        for f in model.fields:
+            if f.name == model.pk:
+                continue
+            if types is not None and f.type not in types:
+                continue
+            if pred is not None and not pred(f):
+                continue
+            candidates.append((mname, f))
+    if not candidates:
+        return None
+    hot_hits = [(m, f) for m, f in candidates if (m, f.name) in hot]
+    if hot_hits and rng.random() < 0.7:
+        return rng.choice(hot_hits)
+    return rng.choice(candidates)
+
+
+def _op_tighten_unique(rng, schema, paths, hot):
+    pick = _pick_field(rng, schema, hot, pred=lambda f: not f.unique,
+                       types=(INT, STRING))
+    if pick is None:
+        return None
+    m, f = pick
+    return _replace_field(schema, m, f.name, unique=True), paths
+
+
+def _op_loosen_unique(rng, schema, paths, hot):
+    pick = _pick_field(rng, schema, hot, pred=lambda f: f.unique)
+    if pick is None:
+        return None
+    m, f = pick
+    if f.name == schema.models[m].pk:
+        return None
+    return _replace_field(schema, m, f.name, unique=False), paths
+
+
+def _op_add_unique_together(rng, schema, paths, hot):
+    for mname in sorted(schema.models, key=lambda _: rng.random()):
+        model = schema.models[mname]
+        non_pk = [f.name for f in model.fields if f.name != model.pk]
+        if len(non_pk) < 2:
+            continue
+        group = tuple(sorted(rng.sample(non_pk, 2)))
+        if group in model.unique_together:
+            continue
+        return _replace_model(schema, dataclasses.replace(
+            model, unique_together=model.unique_together + (group,),
+        )), paths
+    return None
+
+
+def _op_drop_unique_together(rng, schema, paths, hot):
+    with_groups = [m for m in sorted(schema.models)
+                   if schema.models[m].unique_together]
+    if not with_groups:
+        return None
+    model = schema.models[rng.choice(with_groups)]
+    groups = list(model.unique_together)
+    groups.pop(rng.randrange(len(groups)))
+    return _replace_model(schema, dataclasses.replace(
+        model, unique_together=tuple(groups),
+    )), paths
+
+
+def _op_raise_min(rng, schema, paths, hot):
+    pick = _pick_field(rng, schema, hot, types=(INT,))
+    if pick is None:
+        return None
+    m, f = pick
+    new = 0 if f.min_value is None else f.min_value + 1
+    return _replace_field(schema, m, f.name, min_value=new), paths
+
+
+def _op_clear_min(rng, schema, paths, hot):
+    pick = _pick_field(rng, schema, hot,
+                       pred=lambda f: f.min_value is not None)
+    if pick is None:
+        return None
+    m, f = pick
+    return _replace_field(schema, m, f.name, min_value=None), paths
+
+
+def _op_toggle_nullable(rng, schema, paths, hot):
+    pick = _pick_field(rng, schema, hot, pred=lambda f: not f.nullable,
+                       types=(INT, STRING))
+    if pick is None:
+        return None
+    m, f = pick
+    return _replace_field(schema, m, f.name, nullable=True), paths
+
+
+def _op_drop_guard(rng, schema, paths, hot):
+    guarded = [
+        (i, j) for i, p in enumerate(paths)
+        for j, cmd in enumerate(p.commands) if isinstance(cmd, C.Guard)
+    ]
+    if not guarded:
+        return None
+    i, j = rng.choice(guarded)
+    path = paths[i]
+    commands = path.commands[:j] + path.commands[j + 1:]
+    if not commands:
+        return None
+    new = dataclasses.replace(path, commands=commands)
+    return schema, paths[:i] + (new,) + paths[i + 1:]
+
+
+def _op_add_guard(rng, schema, paths, hot):
+    """Insert a guard *read*: the path's precondition now observes a
+    model's row population (non-emptiness), which the other side's
+    inserts/deletes can invalidate."""
+    i = rng.randrange(len(paths))
+    path = paths[i]
+    hot_models = [m for m, _ in hot if m in schema.models]
+    if hot_models and rng.random() < 0.7:
+        model = rng.choice(sorted(set(hot_models)))
+    else:
+        model = rng.choice(sorted(schema.models))
+    guard = C.Guard(E.Not(E.IsEmpty(E.All(model))))
+    if any(repr(cmd) == repr(guard) for cmd in path.commands):
+        return None
+    new = dataclasses.replace(path, commands=(guard,) + path.commands)
+    return schema, paths[:i] + (new,) + paths[i + 1:]
+
+
+def _op_perturb_literal(rng, schema, paths, hot):
+    """Shift one literal in one path: ints step ±1, strings cycle a
+    small alphabet — moving argument/field value collision patterns."""
+    i = rng.randrange(len(paths))
+    path = paths[i]
+    lits = []
+    for cmd in path.commands:
+        for node in cmd.walk_exprs():
+            if isinstance(node, E.Lit) and not isinstance(node.value, bool):
+                if isinstance(node.value, (int, str)):
+                    lits.append(node)
+    if not lits:
+        return None
+    target = rng.choice(lits)
+    if isinstance(target.value, int):
+        replacement = E.Lit(target.value + rng.choice((-1, 1)), INT)
+    else:
+        alphabet = ("a", "b", "c", "s1")
+        pool = [s for s in alphabet if s != target.value] or ["a"]
+        replacement = E.Lit(rng.choice(pool), STRING)
+    new = _rewrite_path(
+        path, lambda node: replacement if node is target else node,
+    )
+    return schema, paths[:i] + (new,) + paths[i + 1:]
+
+
+#: (name, restricting?, fn).  ``restricting`` flags operators that tend
+#: to move an unrestricted case toward a restricted verdict; the
+#: directed walk weights the group pointing *across* the boundary.
+_OPERATORS: tuple = (
+    ("tighten-unique", True, _op_tighten_unique),
+    ("add-unique-together", True, _op_add_unique_together),
+    ("raise-min", True, _op_raise_min),
+    ("add-guard", True, _op_add_guard),
+    ("loosen-unique", False, _op_loosen_unique),
+    ("drop-unique-together", False, _op_drop_unique_together),
+    ("clear-min", False, _op_clear_min),
+    ("drop-guard", False, _op_drop_guard),
+    ("toggle-nullable", False, _op_toggle_nullable),
+    ("perturb-literal", True, _op_perturb_literal),
+)
+
+
+def _valid_case(schema: Schema, paths) -> bool:
+    try:
+        schema.validate()
+        for p in paths:
+            validate_path(p, schema)
+    except Exception:
+        return False
+    return True
+
+
+def mutate_case(
+    rng: random.Random,
+    schema: Schema,
+    paths: tuple[CodePath, ...],
+    *,
+    hot: frozenset = frozenset(),
+    toward_restricted: bool | None = None,
+    attempts: int = 12,
+) -> tuple[str, Schema, tuple[CodePath, ...]] | None:
+    """One valid mutant of the case, or ``None`` when ``attempts``
+    operator draws all fail.  ``toward_restricted`` biases the operator
+    pick across the boundary (directed mode); ``None`` picks uniformly
+    (the random arm)."""
+    for _ in range(attempts):
+        if toward_restricted is None:
+            name, _, fn = rng.choice(_OPERATORS)
+        else:
+            weights = [
+                3.0 if restricting == toward_restricted else 1.0
+                for _, restricting, _ in _OPERATORS
+            ]
+            name, _, fn = rng.choices(_OPERATORS, weights=weights)[0]
+        result = fn(rng, schema, paths, hot)
+        if result is None:
+            continue
+        new_schema, new_paths = result
+        if _valid_case(new_schema, new_paths):
+            return name, new_schema, tuple(new_paths)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The walk
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Node:
+    schema: Schema
+    paths: tuple[CodePath, ...]
+    ev: ProbeResult
+    digest: str
+    op: str = "seed"
+
+
+def _select_parent(nodes: list, rng: random.Random, mode: str) -> "_Node":
+    if mode != "directed":
+        return rng.choice(nodes)
+    ranked = sorted(nodes, key=lambda n: n.ev.score)
+    top = ranked[:max(1, min(len(ranked), 6))]
+    weights = [2.0 ** -i for i in range(len(top))]
+    return rng.choices(top, weights=weights)[0]
+
+
+def _k_schedule_mismatches(
+    flip: FlipRecord, check_config: CheckConfig, probe_cfg: OracleConfig,
+) -> list[Mismatch]:
+    """k >= 3 flips: localize the restricted side's schedule divergence
+    to an adjacent pair swap at a concrete well-formed intermediate
+    state; if the engines pass that pair, the k-schedule found a
+    concrete miss of the pairwise bounded scopes."""
+    report = run_schedule_oracle(flip.paths, flip.schema, probe_cfg)
+    w = report.divergence
+    if w is None or schema_violations(w.mid_state, flip.schema):
+        return []
+    i, j = w.pair
+    p, q = flip.paths[i], flip.paths[j]
+    out = []
+    for engine in ("enum", "smt"):
+        verdict = verify_pair(p, q, flip.schema, check_config, engine=engine)
+        comm = verdict.commutativity
+        if comm is not None and comm.outcome is Outcome.PASS:
+            out.append(Mismatch(
+                kind=f"k-schedule-missed-by-{engine}",
+                check="commutativity",
+                detail=(
+                    f"{report.k}-path schedule diverges through an "
+                    f"intermediate state but {engine} passed the "
+                    f"localized pair ({p.name}, {q.name}); {w.detail}"
+                ),
+                seed=flip.seed,
+                schema=flip.schema,
+                p=p,
+                q=q,
+            ))
+    return out
+
+
+def run_directed(
+    seeds: int,
+    *,
+    start: int = 0,
+    config: DirectedConfig | None = None,
+    check_config: CheckConfig | None = None,
+    log=None,
+) -> DirectedReport:
+    """Walk ``seeds`` independent mutation searches and cross-check every
+    distinct verdict flip against the engines.
+
+    ``config.budget`` probe evaluations are split evenly across seeds;
+    each seed's walk is a pure function of (seed, per-seed budget,
+    config), so a run over seeds ``[a, b)`` followed by one over
+    ``[b, c)`` reproduces the run over ``[a, c)`` exactly."""
+    config = config or DirectedConfig()
+    if config.isolation not in ISOLATION_LEVELS:
+        raise ValueError(f"unknown isolation level {config.isolation!r}")
+    check_config = check_config or CheckConfig()
+    report = DirectedReport(
+        start=start, seeds=seeds, budget=config.budget, k=config.k,
+        isolation=config.isolation, mode=config.mode,
+    )
+    per_seed = max(2, config.budget // max(1, seeds))
+    t0 = time.perf_counter()
+    for seed in range(start, start + seeds):
+        _walk_seed(seed, per_seed, config, check_config, report, log)
+    report.elapsed_s = time.perf_counter() - t0
+    return report
+
+
+def _walk_seed(seed, per_seed, config, check_config, report, log) -> None:
+    rng = random.Random((seed + 1) * _WALK_SALT ^ 0xD12EC7ED)
+    directed = config.mode == "directed"
+    case = generate_case_k(seed, config.k, config.gen)
+    harvested: tuple = ()
+
+    def probe(schema, paths) -> ProbeResult:
+        ev = probe_case(schema, paths, config, seed_values=harvested)
+        report.evals += 1
+        report.stats["evals"] += 1
+        _metric_inc("noctua_difftest_directed_evals_total", mode=config.mode)
+        return ev
+
+    ev0 = probe(case.schema, case.paths)
+    nodes = [_Node(case.schema, case.paths, ev0,
+                   canonical_case(case.paths, case.schema)[0])]
+    seen_digests = {nodes[0].digest}
+    walk_keys: set = set()
+    crosschecks = 0
+    walk_evals = 1
+    step = 0
+    while walk_evals < per_seed:
+        step += 1
+        parent = _select_parent(nodes, rng, config.mode)
+        toward = (not parent.ev.restricted) if directed else None
+        mutated = mutate_case(
+            rng, parent.schema, parent.paths,
+            hot=parent.ev.hot if directed else frozenset(),
+            toward_restricted=toward,
+            attempts=config.mutation_attempts,
+        )
+        if mutated is None:
+            # The neighbourhood is exhausted: restart from a fresh
+            # seeded case (derived from this walk's rng, so it stays a
+            # pure function of the seed).
+            fresh = generate_case_k(
+                seed * 1_000_003 + rng.randrange(1 << 20), config.k,
+                config.gen,
+            )
+            op, schema, paths = "reseed", fresh.schema, fresh.paths
+        else:
+            op, schema, paths = mutated
+        digest = canonical_case(paths, schema)[0]
+        if digest in seen_digests and mutated is not None:
+            report.stats["duplicate_mutants"] += 1
+            continue
+        seen_digests.add(digest)
+        _metric_inc("noctua_difftest_directed_mutations_total", op=op)
+        report.stats[f"op_{op}"] += 1
+        ev = probe(schema, paths)
+        walk_evals += 1
+        node = _Node(schema, paths, ev, digest, op=op)
+        nodes.append(node)
+        if mutated is None or ev.restricted == parent.ev.restricted:
+            continue
+        # -- a verdict flip: one mutation step crossed the boundary ----
+        if ev.restricted:
+            res, unres = node, parent
+            direction = "restricting"
+        else:
+            res, unres = parent, node
+            direction = "relaxing"
+        first_level = None
+        if config.k == 2:
+            first_level = first_divergence_level(
+                res.paths[0], res.paths[1], res.schema,
+                config.probe_oracle(),
+            )
+        flip = FlipRecord(
+            seed=seed, step=step, op=op, direction=direction,
+            digest_restricted=res.digest,
+            digest_unrestricted=unres.digest,
+            isolation=config.isolation,
+            first_level=first_level,
+            schema=res.schema, paths=res.paths,
+            other_schema=unres.schema, other_paths=unres.paths,
+        )
+        report.flips.append(flip)
+        report.stats["flips"] += 1
+        _metric_inc("noctua_difftest_directed_flips_total",
+                    isolation=flip.first_level or config.isolation)
+        if flip.boundary_key in walk_keys:
+            continue
+        walk_keys.add(flip.boundary_key)
+        if crosschecks >= config.max_crosschecks_per_seed:
+            report.stats["crosscheck_drops"] += 1
+            continue
+        crosschecks += 1
+        mismatches = _crosscheck_flip(flip, config, check_config)
+        if mismatches:
+            report.mismatches.extend(mismatches)
+            if log is not None:
+                for m in mismatches:
+                    log(f"seed {seed} step {step}: MISMATCH "
+                        f"{m.kind}/{m.check}: {m.detail}")
+        # Witness seeding: engine counterexample environments (and the
+        # probe's own witness values) steer the rest of this walk.
+        if directed:
+            harvested = tuple(dict.fromkeys(
+                harvested + ev.witness_values
+                + _engine_witness_values(mismatches)
+            ))[:8]
+    if log is not None:
+        log(f"seed {seed}: {walk_evals} evals, "
+            f"{len(walk_keys)} distinct flip(s)")
+
+
+def _engine_witness_values(mismatches) -> tuple:
+    values: list = []
+    for m in mismatches:
+        for env in (getattr(m, "env_p", None), getattr(m, "env_q", None)):
+            if isinstance(env, dict):
+                values.extend(_harvest_values(env))
+    return tuple(values)
+
+
+def _crosscheck_flip(
+    flip: FlipRecord, config: DirectedConfig, check_config: CheckConfig,
+) -> list[Mismatch]:
+    """Consult the engines at a boundary crossing: full pair cross-check
+    on both sides of the flip (k=2), or localized-pair analysis of the
+    k-schedule divergence (k>=3)."""
+    if config.k >= 3:
+        return _k_schedule_mismatches(flip, check_config,
+                                      config.probe_oracle())
+    out: list[Mismatch] = []
+    for schema, paths in ((flip.schema, flip.paths),
+                          (flip.other_schema, flip.other_paths)):
+        result = cross_check(
+            paths[0], paths[1], schema,
+            seed=flip.seed, check_config=check_config,
+        )
+        for m in result.mismatches:
+            m.detail += f" [directed flip, isolation={flip.isolation}]"
+            out.append(m)
+        # carry structured engine witness envs outward for seeding
+        for verdict in (result.enum_verdict, result.smt_verdict):
+            for check in (verdict.commutativity, verdict.semantic):
+                if check is not None and check.witness is not None:
+                    for m in out:
+                        if getattr(m, "env_p", None) is None:
+                            m.env_p = check.witness.env_p
+                            m.env_q = check.witness.env_q
+    return out

@@ -1,0 +1,310 @@
+"""DPOR-pruned k-path schedule oracle.
+
+The pair oracle asks "do the two application orders of *two* effects
+converge?".  Replicated anomalies are not limited to pairs: three
+effects can pairwise commute inside the pairwise oracle's bounded scope
+and still diverge through an intermediate state only a longer schedule
+reaches.  This module generalizes the concrete oracle to ``k``
+concurrently delivered effects (k=3 by default) — every replica applies
+all ``k`` committed effects in *some* total order, so the check is
+whether all ``k!`` application orders agree.
+
+``k!`` schedules per (state, env-vector) combo is the cost problem, and
+dynamic partial-order reduction is the classic fix (Flanagan–Godefroid;
+Bouajjani/Enea/Román-Calvo adapt it to weak isolation levels, see
+PAPERS.md).  We run a *sleep-set* exploration over a static dependency
+relation derived from :func:`repro.engine.reduction.rw_footprint`: two
+effects are independent when their column-level footprints are
+rw-disjoint, which is exactly the condition the verifier's fast path
+already relies on for solver-free PASS verdicts.  Independence implies
+concrete commutation from every state (a missed interaction in the
+conservative footprint means a missed *prune*, never a missed
+conflict), so the pruned schedule set contains one representative per
+Mazurkiewicz trace and its divergence verdict equals full enumeration —
+``tests/test_difftest_dpor.py`` asserts this equivalence on random
+cases rather than trusting the argument.
+
+A k-schedule divergence is *localized* before it is reported: since the
+schedule graph is connected by adjacent transpositions, some adjacent
+swap of two effects at a concrete intermediate state must already
+diverge.  That reduces every k-path anomaly to an ordinary pair
+counterexample ``(pair, state, envs)`` that the engines have a verdict
+for — if they say PASS for that pair, the k-schedule found a concrete
+soundness witness the pairwise scopes missed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from ..engine.reduction import rw_footprint
+from ..soir.interp import apply_path, run_path
+from ..soir.path import CodePath
+from ..soir.schema import Schema
+from ..soir.state import DBState
+from .oracle import (
+    OracleConfig,
+    _Domains,
+    _collect_args,
+    enumerate_env_vectors,
+    enumerate_states,
+    feasibility_states,
+)
+
+
+# ---------------------------------------------------------------------------
+# Dependency relation + sleep-set exploration
+# ---------------------------------------------------------------------------
+
+
+def dependency_matrix(
+    paths: tuple[CodePath, ...] | list[CodePath], schema: Schema,
+) -> list[list[bool]]:
+    """``dep[i][j]`` — whether effects i and j may interact: their
+    column-level footprints are not rw-disjoint.  Symmetric; the diagonal
+    is True (an effect never commutes with reordering against itself in
+    a way we would want to prune)."""
+    prints = [rw_footprint(p, schema) for p in paths]
+    n = len(paths)
+    dep = [[True] * n for _ in range(n)]
+    for i in range(n):
+        ri, wi = prints[i]
+        for j in range(i + 1, n):
+            rj, wj = prints[j]
+            disjoint = (
+                not (wi & (rj | wj)) and not (wj & (ri | wi))
+            )
+            dep[i][j] = dep[j][i] = not disjoint
+    return dep
+
+
+def full_schedules(k: int) -> list[tuple[int, ...]]:
+    """Every total application order of ``k`` effects."""
+    return list(itertools.permutations(range(k)))
+
+
+def dpor_schedules(
+    k: int, dep: list[list[bool]],
+) -> list[tuple[int, ...]]:
+    """Sleep-set pruned schedule set: at least one representative per
+    Mazurkiewicz trace of the dependency relation, at most ``k!``.
+
+    The classic recursion: after exploring event ``e`` from a node,
+    ``e`` joins the node's sleep set (its traces are covered); a sleeping
+    event stays asleep down a branch only while the branch's events are
+    independent of it (a dependent event wakes it, because the new prefix
+    is in a different trace)."""
+    out: list[tuple[int, ...]] = []
+
+    def explore(prefix: list[int], remaining: frozenset, sleep: set) -> None:
+        if not remaining:
+            out.append(tuple(prefix))
+            return
+        sleep = set(sleep)
+        for e in sorted(remaining):
+            if e in sleep:
+                continue
+            child_sleep = {s for s in sleep if not dep[s][e]}
+            prefix.append(e)
+            explore(prefix, remaining - {e}, child_sleep)
+            prefix.pop()
+            sleep.add(e)
+
+    explore([], frozenset(range(k)), set())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The k-path schedule oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KWitness:
+    """A concrete k-schedule divergence, localized to an adjacent swap."""
+
+    state: DBState
+    envs: tuple[dict, ...]
+    schedule_a: tuple[int, ...]
+    schedule_b: tuple[int, ...]
+    #: the localized adjacent transposition: swapping paths ``pair`` at
+    #: concrete intermediate state ``mid_state`` already diverges.
+    pair: tuple[int, int]
+    mid_state: DBState
+    detail: str = ""
+
+
+@dataclass
+class KScheduleReport:
+    """The schedule oracle's findings for one k-tuple of paths."""
+
+    k: int
+    divergence: KWitness | None = None
+    schedules_explored: int = 0
+    schedules_full: int = 0
+    states_examined: int = 0
+    env_vectors_examined: int = 0
+    combos_examined: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def pruning_ratio(self) -> float:
+        if not self.schedules_full:
+            return 1.0
+        return self.schedules_explored / self.schedules_full
+
+
+def _apply_schedule(
+    paths, envs, state: DBState, schedule: tuple[int, ...], schema: Schema,
+) -> DBState:
+    for idx in schedule:
+        state = apply_path(paths[idx], state, envs[idx], schema)
+    return state
+
+
+def localize_divergence(
+    paths,
+    envs,
+    state: DBState,
+    schema: Schema,
+) -> tuple[tuple[int, int], DBState] | None:
+    """Find an adjacent transposition that diverges: a schedule position
+    where swapping the two next effects from the concrete prefix state
+    yields different final states.  Exists whenever any two schedules'
+    finals differ (adjacent transpositions connect the schedule graph,
+    and equal-everywhere swaps compose to equal finals)."""
+    k = len(paths)
+    for schedule in itertools.permutations(range(k)):
+        prefix_state = state
+        for t in range(k - 1):
+            i, j = schedule[t], schedule[t + 1]
+            s_ij = apply_path(
+                paths[j],
+                apply_path(paths[i], prefix_state, envs[i], schema),
+                envs[j], schema,
+            )
+            s_ji = apply_path(
+                paths[i],
+                apply_path(paths[j], prefix_state, envs[j], schema),
+                envs[i], schema,
+            )
+            if not s_ij.same_state(s_ji):
+                return (i, j), prefix_state
+            prefix_state = apply_path(
+                paths[schedule[t]], prefix_state, envs[schedule[t]], schema,
+            )
+    return None
+
+
+def run_schedule_oracle(
+    paths: tuple[CodePath, ...] | list[CodePath],
+    schema: Schema,
+    config: OracleConfig | None = None,
+    *,
+    prune: bool = True,
+) -> KScheduleReport:
+    """Check whether all application orders of ``len(paths)`` committed
+    effects converge, exploring the DPOR-pruned schedule set (or all
+    ``k!`` schedules with ``prune=False`` — the brute-force baseline the
+    property test compares against).
+
+    Witness admissibility follows the pair oracle's isolation axis:
+    under ``por`` every argument vector must be generatable on some
+    fresh state; ``causal`` also admits vectors generated after
+    observing one other effect; ``eventual`` admits everything.
+    """
+    config = config or OracleConfig()
+    paths = tuple(paths)
+    k = len(paths)
+    domains = _Domains(schema, paths, config)
+    states = enumerate_states(schema, domains, config)
+    args_list = [_collect_args(p) for p in paths]
+    vectors = enumerate_env_vectors(args_list, domains, config)
+    dep = dependency_matrix(paths, schema)
+    schedules = dpor_schedules(k, dep) if prune else full_schedules(k)
+    report = KScheduleReport(
+        k=k,
+        schedules_explored=len(schedules),
+        schedules_full=math.factorial(k),
+        states_examined=len(states),
+        env_vectors_examined=len(vectors),
+    )
+
+    feas_states: list[DBState] | None = None
+    feas_cache: dict = {}
+
+    def feasible(idx: int, env: dict) -> bool:
+        nonlocal feas_states
+        key = (idx, tuple(sorted((k_, repr(v)) for k_, v in env.items())))
+        hit = feas_cache.get(key)
+        if hit is not None:
+            return hit
+        if feas_states is None:
+            feas_states = feasibility_states(schema, domains, states, config)
+        ok = any(
+            run_path(paths[idx], s, env, schema).committed
+            for s in feas_states
+        )
+        feas_cache[key] = ok
+        return ok
+
+    def admissible(envs, state: DBState) -> bool:
+        if config.isolation == "eventual":
+            return True
+        for i, env in enumerate(envs):
+            if feasible(i, env):
+                continue
+            if config.isolation == "causal":
+                # generatable after observing one concurrently delivered
+                # effect counts under causal delivery
+                if any(
+                    run_path(paths[i],
+                             apply_path(paths[j], state, envs[j], schema),
+                             env, schema).committed
+                    for j in range(k) if j != i
+                ):
+                    continue
+            return False
+        return True
+
+    combos = 0
+    for state in states:
+        for envs in vectors:
+            if combos >= config.max_combos:
+                report.notes.append("combo budget exhausted")
+                report.combos_examined = combos
+                return report
+            combos += 1
+            finals = [
+                (sched, _apply_schedule(paths, envs, state, sched, schema))
+                for sched in schedules
+            ]
+            base_sched, base = finals[0]
+            for sched, final in finals[1:]:
+                if final.same_state(base):
+                    continue
+                if not admissible(envs, state):
+                    break
+                localized = localize_divergence(paths, envs, state, schema)
+                if localized is None:  # pragma: no cover - connectivity
+                    report.notes.append("divergence failed to localize")
+                    break
+                pair, mid_state = localized
+                report.divergence = KWitness(
+                    state=state,
+                    envs=tuple(envs),
+                    schedule_a=base_sched,
+                    schedule_b=sched,
+                    pair=pair,
+                    mid_state=mid_state,
+                    detail=(
+                        f"{k}-path schedules diverge; localized to "
+                        f"adjacent swap of paths {pair[0]} and {pair[1]}"
+                    ),
+                )
+                report.combos_examined = combos
+                return report
+    report.combos_examined = combos
+    return report

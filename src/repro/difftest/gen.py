@@ -59,12 +59,18 @@ class GenConfig:
 
 @dataclass(frozen=True)
 class GeneratedCase:
-    """One generated schema plus a pair of code paths over it."""
+    """One generated schema plus a pair of code paths over it (plus any
+    extra paths when the case was generated for a k-path schedule)."""
 
     seed: int
     schema: Schema
     p: CodePath
     q: CodePath
+    extras: tuple[CodePath, ...] = ()
+
+    @property
+    def paths(self) -> tuple[CodePath, ...]:
+        return (self.p, self.q) + self.extras
 
 
 #: (name, type, min_value) — the per-model field palette.
@@ -77,6 +83,10 @@ _FIELD_PALETTE: tuple[tuple[str, SoirType, int | None], ...] = (
 )
 
 _MODEL_NAMES = ("Alpha", "Beta")
+
+#: extra model added to k-path schemas (k > 2) so spread paths have a
+#: table of their own; never used by pair generation.
+_SPREAD_MODEL = "Gamma"
 
 
 # ---------------------------------------------------------------------------
@@ -415,12 +425,26 @@ def generate_path(
     *,
     config: GenConfig | None = None,
     view: str = "",
+    models: tuple[str, ...] | None = None,
 ) -> CodePath:
     """One random code path over ``schema``: 1..max_templates templates
-    concatenated, arguments prefixed per position."""
+    concatenated, arguments prefixed per position.
+
+    ``models`` restricts the path to templates bound to those models
+    (relation templates need both endpoints allowed) — how k-path
+    generation spreads extra paths onto tables the pair never touches,
+    so their footprints stay rw-disjoint and DPOR has traces to prune."""
     config = config or GenConfig()
     ctx = _Ctx(rng, schema, config)
     entries = _applicable_templates(schema, ctx)
+    if models is not None:
+        allowed = set(models)
+        entries = [
+            (w, fn, binding) for w, fn, binding in entries
+            if (binding in allowed
+                if isinstance(binding, str)
+                else {binding.source, binding.target} <= allowed)
+        ] or entries
     weights = [w for w, _, _ in entries]
     n = rng.randint(1, config.max_templates)
     for position in range(n):
@@ -433,14 +457,52 @@ def generate_path(
     return path
 
 
+#: path names for k-path cases, in generation order.
+_PATH_NAMES = ("P", "Q", "R", "S", "T", "U", "V", "W")
+
+
 def generate_case(seed: int, config: GenConfig | None = None) -> GeneratedCase:
     """The unit the differential test consumes: one schema, two paths."""
+    return generate_case_k(seed, 2, config)
+
+
+def generate_case_k(
+    seed: int, k: int, config: GenConfig | None = None,
+) -> GeneratedCase:
+    """One schema plus ``k`` code paths over it.  The first two paths of
+    ``generate_case_k(seed, k)`` are identical to ``generate_case(seed)``
+    for every ``k`` — extra paths extend the pair case, they never
+    reshuffle it — so pairwise and k-path sweeps over the same seed block
+    examine the same pairs."""
+    if not 2 <= k <= len(_PATH_NAMES):
+        raise ValueError(f"k must be in 2..{len(_PATH_NAMES)}, got {k}")
     config = config or GenConfig()
     rng = random.Random(seed)
     schema = generate_schema(rng, config)
-    p = generate_path(rng, schema, "P", config=config)
-    q = generate_path(rng, schema, "Q", config=config)
-    return GeneratedCase(seed=seed, schema=schema, p=p, q=q)
+    paths = [
+        generate_path(rng, schema, _PATH_NAMES[i], config=config)
+        for i in range(2)
+    ]
+    # k-path schemas grow a third model *after* the pair is generated
+    # (so P and Q never see it), and extra paths prefer models the pair
+    # never touches: realistic workloads mostly hit different tables per
+    # endpoint, and fully entangled extras would leave the DPOR pruner
+    # nothing to prune — the directed walk's mutations re-entangle them.
+    if k > 2:
+        schema.add_model(_generate_model(rng, _SPREAD_MODEL, config))
+        schema.validate()
+        untouched = tuple(sorted(
+            set(schema.models)
+            - paths[0].models_touched(schema)
+            - paths[1].models_touched(schema)
+        ))
+        for i in range(2, k):
+            paths.append(generate_path(
+                rng, schema, _PATH_NAMES[i], config=config,
+                models=untouched or None,
+            ))
+    return GeneratedCase(seed=seed, schema=schema, p=paths[0], q=paths[1],
+                         extras=tuple(paths[2:]))
 
 
 def generate_analysis(

@@ -270,22 +270,27 @@ def _canon_relation(r: RelationSchema, rn: _Renamer) -> dict:
     }
 
 
-def canonical_pair(
-    p: CodePath, q: CodePath, schema: Schema,
+def canonical_case(
+    paths: tuple[CodePath, ...] | list[CodePath], schema: Schema,
 ) -> tuple[str, dict[str, dict[str, str]]]:
-    """Canonicalize one pair's complete check problem.
+    """Canonicalize a complete check problem over ``len(paths)`` paths.
 
-    Returns ``(class_key, maps)``: the signature-class digest and the
-    per-kind ``original name -> token`` maps used to produce it (the raw
-    material for member → representative renamings)."""
+    The two-path payload shape is exactly :func:`canonical_pair`'s
+    historical one (``"p"``/``"q"`` keys), so pair digests — and with
+    them every signature-class cache key — are unchanged; k-path
+    problems (the difftest schedule oracle) use a ``"paths"`` list and
+    can never alias a pair digest."""
     rn = _Renamer()
-    p_obj = _canon_path(p, rn, "P")
-    q_obj = _canon_path(q, rn, "Q")
+    labels = [chr(ord("P") + i) for i in range(len(paths))]
+    objs = [_canon_path(p, rn, label) for p, label in zip(paths, labels)]
 
     # The touched sub-schema is exactly the model-finder's scope footprint:
     # touched models ∪ touched relations, plus relation endpoint models.
-    models = set(p.models_touched(schema)) | set(q.models_touched(schema))
-    rels = set(p.relations_touched(schema)) | set(q.relations_touched(schema))
+    models: set[str] = set()
+    rels: set[str] = set()
+    for p in paths:
+        models |= set(p.models_touched(schema))
+        rels |= set(p.relations_touched(schema))
     for rname in rels:
         r = schema.relation(rname)
         models.add(r.source)
@@ -301,15 +306,28 @@ def canonical_pair(
 
     payload = {
         "v": REDUCTION_VERSION,
-        "p": p_obj,
-        "q": q_obj,
         "models": [_canon_model(schema.model(name), rn)
                    for name in ordered(models, "model")],
         "relations": [_canon_relation(schema.relation(name), rn)
                       for name in ordered(rels, "relation")],
     }
+    if len(paths) == 2:
+        payload["p"], payload["q"] = objs
+    else:
+        payload["paths"] = objs
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest(), rn.maps
+
+
+def canonical_pair(
+    p: CodePath, q: CodePath, schema: Schema,
+) -> tuple[str, dict[str, dict[str, str]]]:
+    """Canonicalize one pair's complete check problem.
+
+    Returns ``(class_key, maps)``: the signature-class digest and the
+    per-kind ``original name -> token`` maps used to produce it (the raw
+    material for member → representative renamings)."""
+    return canonical_case((p, q), schema)
 
 
 def renaming_between(

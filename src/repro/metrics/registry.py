@@ -174,6 +174,17 @@ FAMILIES: dict[str, FamilySpec] = _specs(
                "Differential mismatches found, by kind."),
     FamilySpec("noctua_difftest_case_seconds", HISTOGRAM,
                "Wall seconds per differential test case.", SECONDS_BUCKETS),
+    FamilySpec("noctua_difftest_directed_evals_total", COUNTER,
+               "Directed-walk probe evaluations, by mode "
+               "(directed / random)."),
+    FamilySpec("noctua_difftest_directed_flips_total", COUNTER,
+               "Verdict-boundary crossings found by the directed walk, "
+               "by first diverging isolation level."),
+    FamilySpec("noctua_difftest_directed_mutations_total", COUNTER,
+               "Directed-walk mutants probed, by mutation operator."),
+    FamilySpec("noctua_difftest_directed_schedules", HISTOGRAM,
+               "DPOR-pruned schedules explored per k-path probe.",
+               ROUNDS_BUCKETS),
     # -- continuous verification service -------------------------------------
     FamilySpec("noctua_service_cycles_total", COUNTER,
                "Daemon watch cycles, by outcome "

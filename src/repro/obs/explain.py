@@ -47,7 +47,8 @@ from ..soir.schema import Schema
 from ..soir.state import DBState
 from ..soir import commands as C
 
-__all__ = ["explain_pair", "explain_report", "diff_states", "ExplainError"]
+__all__ = ["explain_pair", "explain_report", "explain_flip",
+           "diff_states", "ExplainError"]
 
 
 class ExplainError(ValueError):
@@ -465,3 +466,40 @@ def explain_report(
         sections.append(f"{report.app_name}: no restricted pairs — every "
                         f"operation pair may run concurrently.\n")
     return "\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# Directed difftest flips
+# ---------------------------------------------------------------------------
+
+def explain_flip(flip: dict) -> str:
+    """Render one directed-difftest boundary crossing.
+
+    Takes the plain-dict form (:meth:`FlipRecord.to_obj`) rather than
+    the record itself so report JSON written by
+    ``benchmarks/bench_directed_ab.py`` or a ``--directed`` sweep can be
+    explained without importing :mod:`repro.difftest` — and without
+    this module growing a dependency on it."""
+    direction = flip.get("direction", "?")
+    op = flip.get("op", "?")
+    verb = ("one mutation made the case diverge"
+            if direction == "restricting"
+            else "one mutation made the divergence disappear")
+    lines = [
+        f"flip: seed {flip.get('seed', '?')} step "
+        f"{flip.get('step', '?')} — {verb}",
+        f"  operator : {op} ({direction})",
+        f"  paths    : {', '.join(flip.get('paths', ()) or ('?',))}",
+        f"  isolation: {flip.get('isolation', 'por')}",
+    ]
+    first = flip.get("first_level")
+    if first:
+        lines.append(f"  first diverging level: {first} "
+                     f"(divergence admissible from this level on)")
+    res = str(flip.get("digest_restricted", ""))[:12]
+    unres = str(flip.get("digest_unrestricted", ""))[:12]
+    lines.append(f"  boundary : restricted {res} <-> unrestricted {unres}")
+    lines.append("  the engines were cross-checked on both sides of "
+                 "this boundary; any disagreement is pinned under "
+                 "tests/corpus/ as directed-seedN-<kind>.json.")
+    return "\n".join(lines) + "\n"

@@ -280,6 +280,8 @@ class PairChecker:
                 state=repr(info["state"].canonical()),
                 args_p=repr(info["env_p"]),
                 args_q=repr(info["env_q"]),
+                env_p=dict(info["env_p"]),
+                env_q=dict(info["env_q"]),
             ),
         )
 
@@ -370,5 +372,7 @@ class PairChecker:
                 state=repr(info["state"].canonical()),
                 args_p=repr(info["env_p"]),
                 args_q=repr(info["env_q"]),
+                env_p=dict(info["env_p"]),
+                env_q=dict(info["env_q"]),
             ),
         )

@@ -31,12 +31,20 @@ class Outcome(enum.Enum):
 
 @dataclass(frozen=True)
 class Counterexample:
-    """A witness found by the model finder."""
+    """A witness found by the model finder.
+
+    ``args_p``/``args_q`` are human-readable reprs; ``env_p``/``env_q``
+    carry the same argument bindings as structured name→value dicts when
+    the engine has them in concrete form (the enumerative checker always
+    does; the symbolic engine's model reprs stay string-only).  Directed
+    difftest harvests these to seed its mutation walk."""
 
     description: str
     state: str = ""
     args_p: str = ""
     args_q: str = ""
+    env_p: dict | None = None
+    env_q: dict | None = None
 
 
 @dataclass
@@ -111,6 +119,8 @@ def check_result_to_obj(result: CheckResult) -> dict:
             "state": result.witness.state,
             "args_p": result.witness.args_p,
             "args_q": result.witness.args_q,
+            "env_p": result.witness.env_p,
+            "env_q": result.witness.env_q,
         }
     return obj
 
@@ -124,6 +134,8 @@ def check_result_from_obj(obj: dict) -> CheckResult:
             state=w.get("state", ""),
             args_p=w.get("args_p", ""),
             args_q=w.get("args_q", ""),
+            env_p=w.get("env_p"),
+            env_q=w.get("env_q"),
         )
     return CheckResult(
         left=obj["left"],

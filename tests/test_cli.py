@@ -162,3 +162,27 @@ class TestParser:
     def test_simulate_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["simulate", "todo"])
+
+
+class TestDifftestDirected:
+    def test_directed_smoke_runs_clean(self, capsys):
+        code, out = run_cli(capsys, "difftest", "--directed",
+                            "--seeds", "2", "--budget", "40")
+        assert code == 0
+        assert "probe eval(s)" in out
+        assert "mismatch(es)" in out
+
+    def test_directed_k3(self, capsys):
+        code, out = run_cli(capsys, "difftest", "--directed",
+                            "--seeds", "1", "--budget", "20", "--k", "3")
+        assert code == 0
+
+    def test_directed_random_arm(self, capsys):
+        code, out = run_cli(capsys, "difftest", "--directed",
+                            "--seeds", "1", "--budget", "20",
+                            "--mode", "random")
+        assert code == 0
+
+    def test_isolation_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["difftest", "--directed", "--isolation", "strong"])

@@ -213,6 +213,6 @@ class TestSchemaViolations:
 
         for seed in (0, 5, 13):
             case = generate_case(seed)
-            domains = _Domains(case.schema, case.p, case.q, CFG)
+            domains = _Domains(case.schema, (case.p, case.q), CFG)
             for state in enumerate_states(case.schema, domains, CFG):
                 assert schema_violations(state, case.schema) == []

@@ -117,3 +117,64 @@ class TestShrinkCase:
         a = shrink_case(case.schema, case.p, case.q, still_diverges)
         b = shrink_case(case.schema, case.p, case.q, still_diverges)
         assert a[1] == b[1] and a[2] == b[2]
+
+
+CFG = OracleConfig(max_states=12, max_env_pairs=24)
+
+
+def _diverges(schema, p, q) -> bool:
+    return run_oracle(p, q, schema, CFG).commutativity is not None
+
+
+def _divergent_seeds(count: int = 3) -> list[int]:
+    out = []
+    seed = 0
+    while len(out) < count and seed < 40:
+        case = generate_case(seed)
+        if _diverges(case.schema, case.p, case.q):
+            out.append(seed)
+        seed += 1
+    assert len(out) == count, "not enough divergent seeds below 40"
+    return out
+
+
+class TestShrinkProperties:
+    """Idempotence, validity and taxon preservation — the contract the
+    pinned-corpus pipeline relies on."""
+
+    def test_shrink_is_idempotent(self):
+        """``shrink_case`` reaches a fixed point: shrinking its own
+        output changes nothing.  Otherwise two pin runs of the same
+        mismatch could disagree about the canonical corpus case."""
+        for seed in _divergent_seeds():
+            case = generate_case(seed)
+            once = shrink_case(case.schema, case.p, case.q, _diverges)
+            twice = shrink_case(*once, _diverges)
+            assert twice[1] == once[1] and twice[2] == once[2], \
+                f"seed {seed}: second shrink still reduced"
+            assert set(twice[0].models) == set(once[0].models)
+
+    def test_shrunk_case_is_valid(self):
+        """Every shrunk case passes the same structural validation the
+        shrinker's internal ``_valid`` gate enforces mid-flight."""
+        from repro.difftest.shrink import _valid
+
+        for seed in _divergent_seeds():
+            case = generate_case(seed)
+            schema, p, q = shrink_case(case.schema, case.p, case.q,
+                                       _diverges)
+            assert _valid(schema, p, q)
+            schema.validate()
+            validate_path(p, schema)
+            validate_path(q, schema)
+
+    def test_shrink_preserves_taxon(self):
+        """Shrinking must not wander to a *different* kind of failure:
+        a case pinned for a commutativity divergence still witnesses a
+        commutativity divergence (not merely any oracle complaint)."""
+        for seed in _divergent_seeds():
+            case = generate_case(seed)
+            schema, p, q = shrink_case(case.schema, case.p, case.q,
+                                       _diverges)
+            report = run_oracle(p, q, schema, CFG)
+            assert report.commutativity is not None

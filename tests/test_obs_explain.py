@@ -124,3 +124,33 @@ class TestExplainReport:
         text = explain_report(courseware_analysis, report, CFG, limit=1)
         assert "1 further restricted pair" in text
         assert "--explain-all" in text
+
+
+class TestExplainFlip:
+    def test_renders_from_plain_dict(self):
+        from repro.obs.explain import explain_flip
+
+        text = explain_flip({
+            "seed": 3, "step": 7, "op": "tighten-unique",
+            "direction": "restricting",
+            "digest_restricted": "abcdef0123456789",
+            "digest_unrestricted": "9876543210fedcba",
+            "isolation": "por", "first_level": "por",
+            "paths": ["P", "Q"],
+        })
+        assert "tighten-unique" in text
+        assert "restricted abcdef012345" in text
+        assert "first diverging level: por" in text
+
+    def test_real_flip_record_roundtrips(self):
+        from repro.difftest.directed import DirectedConfig, run_directed
+        from repro.obs.explain import explain_flip
+
+        report = run_directed(1, config=DirectedConfig(budget=30))
+        if not report.flips:
+            import pytest
+
+            pytest.skip("seed 0 walk found no flip at this budget")
+        text = explain_flip(report.flips[0].to_obj())
+        assert "flip: seed 0" in text
+        assert report.flips[0].op in text
